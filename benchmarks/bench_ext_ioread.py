@@ -1,0 +1,58 @@
+"""Extension benchmark — the mirrored collective-read path.
+
+Not a paper figure (the paper measures writes): verifies that Algorithm
+2's balance and adaptivity pay off identically on restart/read traffic,
+using the full-duplex 11th links' inbound direction.  Pattern-1 reads at
+8,192 cores, ours vs the lockstep two-phase read baseline.
+"""
+
+from repro.bench.harness import FigureResult, Series
+from repro.bench.report import render_figure
+from repro.core.ioread import run_io_read
+from repro.machine import mira_system
+from repro.torus.mapping import RankMapping
+from repro.torus.partition import CORES_PER_NODE
+from repro.util.units import MiB
+from repro.workloads import uniform_pattern
+
+
+def run_extension(cores=(2048, 8192), seed: int = 2014):
+    xs, ours_y, base_y = [], [], []
+    for ncores in cores:
+        system = mira_system(ncores=ncores)
+        mapping = RankMapping(system.topology, ranks_per_node=CORES_PER_NODE)
+        sizes = uniform_pattern(mapping.nranks, max_size=8 * MiB, seed=seed)
+        xs.append(ncores)
+        ours_y.append(
+            run_io_read(
+                system, sizes, method="topology_aware", mapping=mapping,
+                batch_tol=0.1, fair_tol=0.05, lazy_frac=0.05,
+            ).throughput
+        )
+        base_y.append(
+            run_io_read(
+                system, sizes, method="collective", mapping=mapping,
+                batch_tol=0.1, fair_tol=0.05, lazy_frac=0.05,
+            ).throughput
+        )
+    fig = FigureResult(
+        figure="ext_ioread",
+        title="Collective read from the IONs (extension: restart path)",
+        xlabel="cores",
+        ylabel="total throughput [B/s]",
+        series=[
+            Series("topology-aware read", xs, ours_y),
+            Series("two-phase read", xs, base_y),
+        ],
+    )
+    fig.notes["gain"] = fig.get("topology-aware read").ratio_to(
+        fig.get("two-phase read")
+    )
+    return fig
+
+
+def test_ext_ioread(benchmark, save_figure):
+    fig = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+    assert all(g > 1.2 for g in fig.notes["gain"])

@@ -1,0 +1,85 @@
+"""Extension benchmark — pipelined relays (the paper's §VII proposal).
+
+The paper's conclusion predicts that splitting data into small pipelined
+messages removes one of the two store-and-forward hops from the critical
+path, so *2* proxies suffice for a benefit.  This benchmark sweeps
+message sizes for direct, store-and-forward (k = 4, the paper's best)
+and pipelined k = 2 / k = 4 transfers on the Figure-5 geometry, and
+asserts the prediction.
+"""
+
+from repro.bench.harness import FigureResult, Series, sweep_sizes
+from repro.bench.report import render_figure
+from repro.core import (
+    TransferSpec,
+    find_proxies_for_pair,
+    run_pipelined_transfer,
+    run_transfer,
+)
+from repro.machine import mira_system
+from repro.util.units import GB, KiB
+
+
+def run_extension():
+    system = mira_system(nnodes=128)
+    src, dst = 0, system.nnodes - 1
+    asg2 = find_proxies_for_pair(system, src, dst, max_proxies=2)
+    asg4 = find_proxies_for_pair(
+        system, src, dst, max_proxies=4, reserved=set(asg2.proxies)
+    )
+    asg4_full = find_proxies_for_pair(system, src, dst, max_proxies=4)
+
+    sizes = sweep_sizes(64 * KiB, 64 * 1024 * KiB)
+    series = {
+        "direct": [],
+        "store&forward k=4": [],
+        "pipelined k=2": [],
+        "pipelined k=4": [],
+    }
+    for nbytes in sizes:
+        spec = TransferSpec(src, dst, nbytes)
+        series["direct"].append(
+            run_transfer(system, [spec], mode="direct").throughput
+        )
+        series["store&forward k=4"].append(
+            run_transfer(
+                system, [spec], mode="proxy", assignments={(src, dst): asg4_full}
+            ).throughput
+        )
+        series["pipelined k=2"].append(
+            run_pipelined_transfer(
+                system, [spec], assignments={(src, dst): asg2}
+            ).throughput
+        )
+        series["pipelined k=4"].append(
+            run_pipelined_transfer(
+                system, [spec], assignments={(src, dst): asg4_full}
+            ).throughput
+        )
+    fig = FigureResult(
+        figure="ext_pipeline",
+        title="Pipelined relays vs store-and-forward (future work, §VII)",
+        xlabel="message size [B]",
+        ylabel="throughput [B/s]",
+        series=[Series(n, sizes, ys) for n, ys in series.items()],
+    )
+    fig.notes["crossover_pipelined_k2"] = fig.crossover("pipelined k=2", "direct")
+    fig.notes["crossover_sf_k4"] = fig.crossover("store&forward k=4", "direct")
+    return fig
+
+
+def test_ext_pipeline(benchmark, save_figure):
+    fig = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+
+    big = fig.series[0].x[-1]
+    direct = fig.get("direct").y_at(big)
+    # The paper's prediction: 2 pipelined proxies already beat direct...
+    assert fig.get("pipelined k=2").y_at(big) > 1.7 * direct
+    # ...roughly matching 4 store-and-forward proxies...
+    assert fig.get("pipelined k=2").y_at(big) > 0.9 * fig.get(
+        "store&forward k=4"
+    ).y_at(big)
+    # ...and 4 pipelined proxies approach 4x (k, not k/2).
+    assert fig.get("pipelined k=4").y_at(big) > 5.5 * GB

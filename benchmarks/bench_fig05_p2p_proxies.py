@@ -1,0 +1,23 @@
+"""Figure 5 — point-to-point PUT with and without 4 proxies.
+
+Paper configuration: first and last node of a 128-node ``2x2x4x4x2``
+partition, message sizes 1 KB – 128 MB doubling, proxies in four
+directions.  Expected shape: direct saturates at ~1.6 GB/s, proxied
+transfers cross over at 256 KB (~1.4–1.5 GB/s) and reach ~3.2 GB/s.
+"""
+
+from repro.bench.figures import fig5_p2p_proxies
+from repro.bench.report import render_figure
+from repro.util.units import GB, KiB
+
+
+def test_fig5_p2p_proxies(benchmark, save_figure):
+    fig = benchmark.pedantic(fig5_p2p_proxies, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+
+    direct = fig.get("direct")
+    proxied = fig.series[1]
+    assert direct.y[-1] > 1.55 * GB
+    assert proxied.y[-1] > 3.0 * GB
+    assert fig.notes["crossover"] == fig.notes["paper_crossover"] == 256 * KiB

@@ -1,0 +1,25 @@
+"""Figure 6 — group-to-group PUT (256 v 256 nodes in a 2K-node torus).
+
+Paper configuration: two 256-node groups at opposite ends of the
+``4x4x4x16x2`` partition, 3 groups of proxies.  Expected shape: direct
+saturates at ~1.6 GB/s per pair, crossover at 512 KB, proxied transfers
+reach ~2.4 GB/s per pair (the k/2 law with k = 3).
+"""
+
+from repro.bench.figures import fig6_group_proxies
+from repro.bench.report import render_figure
+from repro.util.units import GB, KiB
+
+
+def test_fig6_group_proxies(benchmark, save_figure):
+    fig = benchmark.pedantic(fig6_group_proxies, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+
+    direct = fig.get("direct")
+    proxied = fig.series[1]
+    k = int(proxied.name.split(":")[1])
+    assert k >= 3
+    assert direct.y[-1] > 1.5 * GB
+    assert proxied.y[-1] > 0.9 * (k / 2) * 1.6 * GB
+    assert fig.notes["crossover"] == fig.notes["paper_crossover"] == 512 * KiB

@@ -1,0 +1,24 @@
+"""Figure 7 — throughput vs number of proxy groups (32 v 32 in 512 nodes).
+
+Paper findings reproduced as assertions: 2 proxy groups buy nothing,
+3 groups give ~1.5x, 4 groups ~2x, and a 5th carrier (the source itself)
+*degrades* throughput because its direct path interferes with the proxy
+paths.
+"""
+
+import pytest
+
+from repro.bench.figures import fig7_proxy_count
+from repro.bench.report import render_figure
+
+
+def test_fig7_proxy_count(benchmark, save_figure):
+    fig = benchmark.pedantic(fig7_proxy_count, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+
+    speedups = fig.notes["speedup_at_max"]
+    assert speedups["2 proxy groups"] == pytest.approx(1.0, abs=0.05)
+    assert speedups["3 proxy groups"] == pytest.approx(1.5, rel=0.08)
+    assert speedups["4 proxy groups"] == pytest.approx(2.0, rel=0.08)
+    assert speedups["5 proxy groups"] < speedups["4 proxy groups"]

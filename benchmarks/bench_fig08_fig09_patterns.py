@@ -1,0 +1,35 @@
+"""Figures 8–9 — the sparse data-size distributions.
+
+Figure 8: Pattern 1, per-rank sizes uniform on [0, 8 MB] for 1,024
+processes (total ≈ 50% of dense).  Figure 9: Pattern 2, Pareto sizes —
+most ranks near zero, a few near 8 MB (total ≈ 20% of dense).
+"""
+
+import pytest
+
+from repro.bench.figures import fig8_pattern1_histogram, fig9_pattern2_histogram
+from repro.bench.report import render_figure
+from repro.util.units import MiB
+
+
+def test_fig8_pattern1_histogram(benchmark, save_figure):
+    fig = benchmark.pedantic(fig8_pattern1_histogram, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+    counts = fig.series[0].y
+    mean = sum(counts) / len(counts)
+    assert max(counts) < 2 * mean  # flat histogram
+    assert fig.notes["total_bytes"] == pytest.approx(
+        0.5 * 1024 * 8 * MiB, rel=0.1
+    )
+
+
+def test_fig9_pattern2_histogram(benchmark, save_figure):
+    fig = benchmark.pedantic(fig9_pattern2_histogram, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+    counts = fig.series[0].y
+    assert counts[0] == max(counts)  # mass at zero
+    assert fig.notes["total_bytes"] == pytest.approx(
+        0.2 * 1024 * 8 * MiB, rel=0.1
+    )

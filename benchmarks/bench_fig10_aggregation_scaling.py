@@ -1,0 +1,28 @@
+"""Figure 10 — aggregation throughput to the I/O nodes, weak scaling.
+
+Paper configuration: Patterns 1 and 2, 2,048 → 131,072 cores, our
+topology-aware aggregation vs default MPI collective I/O, writing to
+``/dev/null`` on the IONs.  Expected shape: ours wins at every scale;
+Pattern-1 gain ≈ 2x at 2,048 cores growing toward 3x, Pattern-2 gain
+≈ 1.5–2x.
+
+Runs a reduced core grid by default; ``REPRO_FULL=1`` sweeps the paper's
+full range (the 8,192-node points take several minutes each).
+"""
+
+from repro.bench.figures import fig10_aggregation_scaling
+from repro.bench.report import render_figure
+
+
+def test_fig10_aggregation_scaling(benchmark, save_figure, io_cores):
+    fig = benchmark.pedantic(
+        fig10_aggregation_scaling, kwargs={"cores": io_cores}, rounds=1, iterations=1
+    )
+    print()
+    print(save_figure(fig, render_figure(fig)))
+
+    assert all(g > 1.4 for g in fig.notes["gain_P1"])
+    assert all(g > 1.3 for g in fig.notes["gain_P2"])
+    # Weak scaling: our throughput grows with the machine.
+    ours = fig.get("ours P1")
+    assert ours.y[-1] > ours.y[0]

@@ -1,0 +1,22 @@
+"""Figure 11 — HACC I/O write throughput to the I/O nodes.
+
+Paper configuration: 8,192 → 131,072 cores; 10% of the checkpoint volume
+written by the ranks in [0.4 N, 0.5 N); customized (topology-aware)
+aggregator selection vs default MPI collective I/O.  Expected shape:
+customized aggregators win by up to ~50%.
+"""
+
+from repro.bench.figures import fig11_hacc_io
+from repro.bench.report import render_figure
+
+
+def test_fig11_hacc_io(benchmark, save_figure, hacc_cores):
+    fig = benchmark.pedantic(
+        fig11_hacc_io, kwargs={"cores": hacc_cores}, rounds=1, iterations=1
+    )
+    print()
+    print(save_figure(fig, render_figure(fig)))
+
+    gains = fig.notes["gain"]
+    assert all(g > 1.1 for g in gains)
+    assert max(gains) > 1.3

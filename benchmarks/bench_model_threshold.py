@@ -1,0 +1,21 @@
+"""Extra check — analytic thresholds (Eqs. 1–5) vs simulated crossovers.
+
+Not a paper figure per se: validates that the closed-form threshold
+``d*(k) = r (o_msg + o_fwd) k / (k - 2)`` predicts where the simulator's
+direct/proxy curves actually cross, for k = 3 and k = 4.
+"""
+
+from repro.bench.figures import model_threshold_check
+from repro.bench.report import render_figure
+
+
+def test_model_threshold(benchmark, save_figure):
+    fig = benchmark.pedantic(model_threshold_check, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+
+    analytic = fig.get("analytic")
+    simulated = fig.get("simulated")
+    for a, s in zip(analytic.y, simulated.y):
+        # Simulated crossover = first doubling grid point >= analytic.
+        assert a <= s <= 2 * a

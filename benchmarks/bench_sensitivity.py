@@ -1,0 +1,100 @@
+"""Calibration sensitivity — do the conclusions depend on the constants?
+
+The reproduction calibrates two endpoint constants against the paper's
+measurements (``stream_cap`` and ``o_msg + o_fwd``).  This benchmark
+sweeps both and checks that only the *positions* of the paper's features
+move, never their existence or direction:
+
+* the crossover threshold tracks ``d*(k) = r (o_msg+o_fwd) k/(k-2)`` as
+  the relay overhead is varied 4x in both directions, and
+* the direct/proxy plateaus track ``r`` and ``(k/2) r`` as the stream
+  ceiling is varied.
+"""
+
+import pytest
+
+from repro.bench.harness import FigureResult, Series
+from repro.bench.report import render_figure
+from repro.core import TransferModel, TransferSpec, find_proxies_for_pair, run_transfer
+from repro.machine import mira_system
+from repro.network.params import MIRA_PARAMS
+from repro.util.units import GB, KiB
+
+
+def _simulated_crossover(params) -> "int | None":
+    system = mira_system(nnodes=128, params=params)
+    asg = find_proxies_for_pair(system, 0, 127, max_proxies=4)
+    size = 1 * KiB
+    while size <= 128 * 1024 * KiB:
+        spec = TransferSpec(0, 127, size)
+        d = run_transfer(system, [spec], mode="direct")
+        p = run_transfer(
+            system, [spec], mode="proxy", assignments={(0, 127): asg}
+        )
+        if p.throughput >= d.throughput * (1 - 1e-9):
+            return size
+        size *= 2
+    return None
+
+
+def run_overhead_sweep():
+    factors = [0.25, 0.5, 1.0, 2.0, 4.0]
+    analytic, simulated = [], []
+    for f in factors:
+        params = MIRA_PARAMS.with_(o_fwd=MIRA_PARAMS.o_fwd * f, o_msg=MIRA_PARAMS.o_msg * f)
+        analytic.append(TransferModel(params).threshold(4))
+        simulated.append(_simulated_crossover(params))
+    return FigureResult(
+        figure="sensitivity_overhead",
+        title="Crossover threshold vs relay overhead (k=4)",
+        xlabel="overhead scale factor",
+        ylabel="crossover size [B]",
+        series=[
+            Series("analytic d*(4)", factors, analytic),
+            Series("simulated crossover", factors, simulated),
+        ],
+    )
+
+
+def run_stream_cap_sweep():
+    caps = [0.8 * GB, 1.6 * GB, 3.2 * GB]
+    direct_y, proxy_y = [], []
+    for cap in caps:
+        params = MIRA_PARAMS.with_(stream_cap=cap, link_bw=max(cap * 1.125, MIRA_PARAMS.link_bw))
+        system = mira_system(nnodes=128, params=params)
+        spec = TransferSpec(0, 127, 128 * 1024 * KiB)
+        direct_y.append(run_transfer(system, [spec], mode="direct").throughput)
+        proxy_y.append(
+            run_transfer(system, [spec], mode="proxy", max_proxies=4).throughput
+        )
+    return FigureResult(
+        figure="sensitivity_stream_cap",
+        title="Plateaus vs single-stream ceiling (k=4, 128 MiB)",
+        xlabel="stream_cap [B/s]",
+        ylabel="throughput [B/s]",
+        series=[Series("direct", caps, direct_y), Series("proxies:4", caps, proxy_y)],
+    )
+
+
+def test_sensitivity_overhead(benchmark, save_figure):
+    fig = benchmark.pedantic(run_overhead_sweep, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+    for a, s in zip(fig.get("analytic d*(4)").y, fig.get("simulated crossover").y):
+        assert s is not None
+        assert a / 2 <= s <= 2 * a  # doubling-grid quantisation only
+
+    # Threshold is monotone in the overheads.
+    ys = fig.get("simulated crossover").y
+    assert ys == sorted(ys)
+
+
+def test_sensitivity_stream_cap(benchmark, save_figure):
+    fig = benchmark.pedantic(run_stream_cap_sweep, rounds=1, iterations=1)
+    print()
+    print(save_figure(fig, render_figure(fig)))
+    for cap, d, p in zip(
+        fig.get("direct").x, fig.get("direct").y, fig.get("proxies:4").y
+    ):
+        assert d == pytest.approx(cap, rel=0.05)
+        assert p == pytest.approx(2 * cap, rel=0.10)  # the k/2 law scales

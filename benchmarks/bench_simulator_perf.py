@@ -1,0 +1,61 @@
+"""Simulator performance microbenchmarks (pytest-benchmark timing loops).
+
+These measure the library itself rather than the paper's systems: the
+max-min waterfill, deterministic routing, and proxy search — the hot
+paths that bound how large a machine the figure benchmarks can sweep.
+"""
+
+import numpy as np
+
+from repro.core.proxy_select import find_proxies_for_pair
+from repro.machine import mira_system
+from repro.network.flow import Flow
+from repro.network.flowsim import FlowSim, uniform_capacities
+from repro.network.params import MIRA_PARAMS
+from repro.routing.deterministic import route
+from repro.util.units import MiB
+
+
+def test_waterfill_1k_flows(benchmark):
+    """One rate computation over 1,000 contending flows."""
+    rng = np.random.default_rng(0)
+    system = mira_system(nnodes=512)
+    nodes = rng.integers(0, 512, size=(1000, 2))
+    flows = [
+        Flow(
+            fid=i,
+            size=float(rng.integers(1, 8 * MiB)),
+            path=system.compute_path(int(a), int(b)).links,
+        )
+        for i, (a, b) in enumerate(nodes)
+        if a != b
+    ]
+    sim = FlowSim(system.capacity, MIRA_PARAMS, batch_tol=0.5)
+
+    benchmark(sim.run, flows)
+
+
+def test_deterministic_routing(benchmark, system512):
+    """Routing cost for one cross-machine pair (uncached)."""
+    t = system512.topology
+
+    def _route():
+        return route(t, 0, t.nnodes - 1)
+
+    benchmark(_route)
+
+
+def test_proxy_search(benchmark, system512):
+    """Algorithm 1 candidate search for one pair."""
+    benchmark(
+        lambda: find_proxies_for_pair(system512, 0, system512.nnodes - 1)
+    )
+
+
+def test_flowsim_small_exact(benchmark):
+    """Exact-mode simulation of a 100-flow single-bottleneck scenario."""
+    flows = [
+        Flow(fid=i, size=float(1 + i), path=(0,)) for i in range(100)
+    ]
+    sim = FlowSim(uniform_capacities(MIRA_PARAMS.link_bw), MIRA_PARAMS)
+    benchmark(sim.run, flows)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Under the hood: deterministic routing, zones and proxy geometry.
+
+Shows the machinery the paper's placement heuristics rest on: the
+longest-to-shortest dimension order, zone-dependent routes, why a single
+deterministic path leaves 9 of a node's 10 links idle, and how Algorithm
+1 finds link-disjoint two-hop detours.
+
+Run:  python examples/routing_and_proxies.py
+"""
+
+from repro import ZoneId, mira_system, route
+from repro.core import find_proxies_for_pair
+from repro.routing.zones import zone_dim_order
+from repro.routing.paths import count_link_loads
+
+
+def main() -> None:
+    system = mira_system(nnodes=128)
+    t = system.topology
+    src, dst = 0, t.nnodes - 1
+    print(f"torus {t}; routing node {src} {t.coord(src)} -> {dst} {t.coord(dst)}")
+
+    path = route(t, src, dst)
+    print(f"\ndeterministic path ({path.nhops} hops):")
+    print("  " + " -> ".join(t.describe_link(l) for l in path.links))
+    print(
+        f"  links used: {path.nhops} of the {2 * t.ndims} directions the "
+        "source could drive — the underutilisation the paper attacks."
+    )
+
+    print("\nzone-dependent dimension orders for this pair:")
+    for zone in ZoneId:
+        order = zone_dim_order(zone, t.coord(src), t.coord(dst), t.shape)
+        letters = "".join(t.dim_name(d) for d in order)
+        print(f"  zone {int(zone)} ({zone.name}): {letters}")
+
+    asg = find_proxies_for_pair(system, src, dst, max_proxies=4)
+    print(f"\nAlgorithm 1 found {asg.k} link-disjoint proxies:")
+    for proxy, p1, p2 in zip(asg.proxies, asg.phase1, asg.phase2):
+        print(
+            f"  proxy {proxy} {t.coord(proxy)}: "
+            f"{p1.nhops} hops in, {p2.nhops} hops out"
+        )
+    loads = count_link_loads(asg.phase1)
+    print(
+        f"\nphase-1 paths touch {len(loads)} distinct links, "
+        f"max load {max(loads.values())} (1 = fully disjoint, as Algorithm 1 guarantees)"
+    )
+    with_direct = count_link_loads(list(asg.phase1) + [path])
+    print(
+        f"adding the direct path raises the max load to "
+        f"{max(with_direct.values())} — why the paper's 5th 'proxy' "
+        "(the source itself) degrades throughput in Figure 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` on environments without the
+``wheel`` package (PEP 660 editable installs require it); all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

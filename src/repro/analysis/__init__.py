@@ -1,0 +1,33 @@
+"""Graph-theoretic analysis of data movement — the paper's future work.
+
+The conclusion of the paper proposes "an analytical model for the
+achievable throughput and ... graph models for data movement in
+different network topologies and with different shapes of partitions".
+This package provides both:
+
+* :mod:`repro.analysis.graphmodel` — the torus as a capacitated digraph
+  (networkx): max-flow throughput bounds between nodes and node groups,
+  edge-disjoint path counts, and the efficiency of Algorithm 1's proxy
+  plans against those bounds.
+* :mod:`repro.analysis.linkload` — per-dimension link-load summaries and
+  ASCII heat reports of simulation results.
+"""
+
+from repro.analysis.graphmodel import (
+    torus_digraph,
+    max_flow_bound,
+    group_max_flow_bound,
+    edge_disjoint_path_count,
+    proxy_plan_efficiency,
+)
+from repro.analysis.linkload import dimension_loads, link_load_report
+
+__all__ = [
+    "torus_digraph",
+    "max_flow_bound",
+    "group_max_flow_bound",
+    "edge_disjoint_path_count",
+    "proxy_plan_efficiency",
+    "dimension_loads",
+    "link_load_report",
+]

@@ -1,0 +1,152 @@
+"""Max-flow throughput bounds on the torus digraph.
+
+These bounds answer "how much better could *any* multipath scheme do?":
+
+* :func:`max_flow_bound` — the min-cut capacity between two nodes: no
+  routing scheme, proxied or otherwise, can exceed it.
+* :func:`edge_disjoint_path_count` — the number of link-disjoint paths
+  (max-flow with unit capacities): an upper bound on the number of
+  carriers Algorithm 1 could ever place.
+* :func:`proxy_plan_efficiency` — how close a concrete proxy assignment
+  gets to the disjoint-path bound.
+
+The paper's 10-link BG/Q node has min-cut 10·link_bw between far-apart
+nodes; the measured 3.2 GB/s for k = 4 store-and-forward proxies is
+``k/2 · stream_cap``, i.e. well below the topological bound — headroom
+the pipelined extension (:mod:`repro.core.pipeline`) then exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.core.proxy_select import ProxyAssignment
+from repro.machine.system import BGQSystem
+from repro.torus.topology import TorusTopology
+from repro.util.validation import ConfigError
+
+
+def torus_digraph(
+    topology: TorusTopology,
+    link_bw: float = 1.0,
+) -> "nx.DiGraph":
+    """The torus as a capacitated directed graph.
+
+    Every directed torus link becomes one edge with ``capacity=link_bw``
+    (parallel +/- links between the same node pair in size-2 rings merge
+    into one edge of doubled capacity, matching the hardware's two
+    cables).
+    """
+    if link_bw <= 0:
+        raise ConfigError(f"link_bw must be > 0, got {link_bw}")
+    g = nx.DiGraph()
+    g.add_nodes_from(topology.all_nodes())
+    for node in topology.all_nodes():
+        for dim in range(topology.ndims):
+            for sign in (+1, -1):
+                if topology.shape[dim] == 1:
+                    continue
+                dst = topology.neighbor(node, dim, sign)
+                if dst == node:
+                    continue
+                if g.has_edge(node, dst):
+                    g[node][dst]["capacity"] += link_bw
+                else:
+                    g.add_edge(node, dst, capacity=link_bw)
+    return g
+
+
+def max_flow_bound(
+    system: "BGQSystem | TorusTopology",
+    src: int,
+    dst: int,
+) -> float:
+    """Min-cut capacity between two nodes [bytes/s].
+
+    An absolute upper bound on any (multi)path transfer between them.
+    """
+    topo, link_bw = _unpack(system)
+    if src == dst:
+        raise ConfigError("src and dst must differ")
+    g = torus_digraph(topo, link_bw)
+    value, _ = nx.maximum_flow(g, src, dst)
+    return float(value)
+
+
+def group_max_flow_bound(
+    system: "BGQSystem | TorusTopology",
+    sources: Sequence[int],
+    dests: Sequence[int],
+) -> float:
+    """Min-cut capacity between two node groups [bytes/s].
+
+    Super-source/super-sink max flow: bounds the aggregate rate of any
+    group-to-group coupling exchange, whatever the pairing.
+    """
+    topo, link_bw = _unpack(system)
+    sources = list(sources)
+    dests = list(dests)
+    if not sources or not dests:
+        raise ConfigError("groups must be non-empty")
+    if set(sources) & set(dests):
+        raise ConfigError("groups must be disjoint")
+    g = torus_digraph(topo, link_bw)
+    ssrc, ssnk = "SRC", "SNK"
+    for s in sources:
+        g.add_edge(ssrc, s, capacity=float("inf"))
+    for d in dests:
+        g.add_edge(d, ssnk, capacity=float("inf"))
+    value, _ = nx.maximum_flow(g, ssrc, ssnk)
+    return float(value)
+
+
+def edge_disjoint_path_count(
+    system: "BGQSystem | TorusTopology",
+    src: int,
+    dst: int,
+) -> int:
+    """Number of pairwise link-disjoint src→dst paths.
+
+    Upper-bounds the carrier count any placement algorithm can reach
+    (equals the min of out-degree and in-degree on a torus by Menger's
+    theorem, but computed exactly).
+    """
+    topo, _ = _unpack(system)
+    if src == dst:
+        raise ConfigError("src and dst must differ")
+    g = torus_digraph(topo, 1.0)
+    # Size-2 rings merged two unit links into capacity 2; max-flow with
+    # these capacities counts disjoint *links*, which is what contention
+    # is about.
+    value, _ = nx.maximum_flow(g, src, dst)
+    return int(round(value))
+
+
+def proxy_plan_efficiency(
+    system: BGQSystem,
+    assignment: ProxyAssignment,
+) -> dict:
+    """How much of the topological path diversity a proxy plan captures.
+
+    Returns a dict with the achieved carrier count, the edge-disjoint
+    bound, their ratio, and the max-flow rate bound between the
+    endpoints.
+    """
+    bound = edge_disjoint_path_count(system, assignment.source, assignment.dest)
+    rate_bound = max_flow_bound(system, assignment.source, assignment.dest)
+    return {
+        "carriers": assignment.k,
+        "disjoint_path_bound": bound,
+        "path_efficiency": assignment.k / bound if bound else 0.0,
+        "max_flow_rate": rate_bound,
+    }
+
+
+def _unpack(system: "BGQSystem | TorusTopology") -> tuple[TorusTopology, float]:
+    if isinstance(system, BGQSystem):
+        return system.topology, system.params.link_bw
+    if isinstance(system, TorusTopology):
+        return system, 1.0
+    raise ConfigError("system must be a BGQSystem or TorusTopology")

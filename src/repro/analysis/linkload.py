@@ -1,0 +1,53 @@
+"""Link-load summaries and ASCII heat reports.
+
+Turns a :class:`~repro.network.flowsim.FlowSimResult`'s per-link byte
+counts into the per-dimension utilisation picture the paper argues from:
+single-path transfers light up one thin trail of links; proxied
+transfers recruit whole extra dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.machine.system import BGQSystem
+from repro.network.flowsim import FlowSimResult
+from repro.torus.links import link_id_parts
+from repro.util.units import format_bytes
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def dimension_loads(result: FlowSimResult, system: BGQSystem) -> dict[str, float]:
+    """Bytes carried per torus dimension-direction (e.g. ``"+B"``), plus
+    the I/O and storage link totals under ``"ION"`` / ``"STORAGE"``."""
+    ndims = system.topology.ndims
+    out: dict[str, float] = {}
+    for link, nbytes in result.link_bytes.items():
+        if link < system.topology.nlinks:
+            _, dim, sign = link_id_parts(link, ndims)
+            key = ("+" if sign > 0 else "-") + system.topology.dim_name(dim)
+        elif link < system._storage_link_base:
+            key = "ION"
+        else:
+            key = "STORAGE"
+        out[key] = out.get(key, 0.0) + nbytes
+    return out
+
+
+def link_load_report(result: FlowSimResult, system: BGQSystem, *, width: int = 40) -> str:
+    """An ASCII bar chart of bytes per dimension-direction."""
+    loads = dimension_loads(result, system)
+    if not loads:
+        return "(no link traffic)"
+    peak = max(loads.values())
+    lines = []
+    order = sorted(
+        loads,
+        key=lambda k: (k in ("ION", "STORAGE"), k.lstrip("+-"), k[0] == "-"),
+    )
+    for key in order:
+        nbytes = loads[key]
+        bar = "#" * max(1, int(width * nbytes / peak)) if nbytes else ""
+        lines.append(f"{key:>8} {format_bytes(nbytes):>10} |{bar}")
+    busy = len(result.link_bytes)
+    lines.append(f"{busy} directed links carried traffic")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Benchmark harness: one experiment per paper figure.
+
+:mod:`repro.bench.figures` defines every evaluation artefact of the paper
+(Figures 5–11) as a parameterised experiment returning a
+:class:`repro.bench.harness.FigureResult`; :mod:`repro.bench.report`
+renders those as the text tables/series recorded in EXPERIMENTS.md.  The
+``benchmarks/`` directory wraps each experiment in pytest-benchmark.
+"""
+
+from repro.bench.harness import Series, FigureResult, sweep_sizes
+from repro.bench.figures import (
+    fig5_p2p_proxies,
+    fig6_group_proxies,
+    fig7_proxy_count,
+    fig8_pattern1_histogram,
+    fig9_pattern2_histogram,
+    fig10_aggregation_scaling,
+    fig11_hacc_io,
+    model_threshold_check,
+)
+from repro.bench.report import render_figure, render_all
+
+__all__ = [
+    "Series",
+    "FigureResult",
+    "sweep_sizes",
+    "fig5_p2p_proxies",
+    "fig6_group_proxies",
+    "fig7_proxy_count",
+    "fig8_pattern1_histogram",
+    "fig9_pattern2_histogram",
+    "fig10_aggregation_scaling",
+    "fig11_hacc_io",
+    "model_threshold_check",
+    "render_figure",
+    "render_all",
+]

@@ -1,0 +1,95 @@
+"""Result containers and sweep helpers for the figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import KiB
+from repro.util.validation import ConfigError
+
+
+@dataclass
+class Series:
+    """One plotted line: named (x, y) pairs plus free-form metadata."""
+
+    name: str
+    x: list
+    y: list
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.x) != len(self.y):
+            raise ConfigError(
+                f"series {self.name!r}: x has {len(self.x)} points, y has {len(self.y)}"
+            )
+
+    def y_at(self, x_value) -> float:
+        """The y value at an exact x (raises if absent)."""
+        try:
+            return self.y[self.x.index(x_value)]
+        except ValueError:
+            raise ConfigError(f"series {self.name!r} has no point x={x_value}") from None
+
+    def ratio_to(self, other: "Series") -> list[float]:
+        """Pointwise ``self.y / other.y`` over the common x grid."""
+        if self.x != other.x:
+            raise ConfigError("series have different x grids")
+        return [a / b if b else float("inf") for a, b in zip(self.y, other.y)]
+
+
+@dataclass
+class FigureResult:
+    """A reproduced paper figure.
+
+    Attributes:
+        figure: paper artefact id, e.g. ``"fig5"``.
+        title: what the figure shows.
+        xlabel / ylabel: axis semantics of the series.
+        series: the plotted lines.
+        notes: free-form comparison notes (crossovers, ratios).
+    """
+
+    figure: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series]
+    notes: dict = field(default_factory=dict)
+
+    def get(self, name: str) -> Series:
+        """A series by name."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise ConfigError(f"{self.figure}: no series named {name!r}")
+
+    def crossover(self, a: str, b: str) -> "float | None":
+        """Smallest x where series ``a`` first matches or exceeds ``b``.
+
+        Ties count: the paper reports its thresholds as the grid point
+        where the two methods meet (e.g. "(256KB, 1.4GB/s)" in Fig. 5).
+        """
+        sa, sb = self.get(a), self.get(b)
+        for x, ya, yb in zip(sa.x, sa.y, sb.y):
+            if ya >= yb * (1 - 1e-9):
+                return x
+        return None
+
+
+def sweep_sizes(
+    lo: int = 1 * KiB,
+    hi: int = 128 * 1024 * KiB,
+    *,
+    factor: int = 2,
+) -> list[int]:
+    """The paper's message-size grid: ``lo`` doubling up to ``hi``."""
+    if lo < 1 or hi < lo:
+        raise ConfigError(f"invalid sweep bounds [{lo}, {hi}]")
+    if factor < 2:
+        raise ConfigError("factor must be >= 2")
+    sizes = []
+    s = lo
+    while s <= hi:
+        sizes.append(s)
+        s *= factor
+    return sizes

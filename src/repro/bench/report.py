@@ -1,0 +1,65 @@
+"""Text rendering of reproduced figures.
+
+The paper's figures are throughput-vs-size or throughput-vs-cores plots;
+``render_figure`` prints each as an aligned text table (one row per x,
+one column per series) plus the notes (crossovers, gain ratios) used in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.bench.harness import FigureResult
+from repro.util.units import GB, format_bytes
+
+
+def _fmt_x(x, xlabel: str) -> str:
+    if isinstance(x, (int, float)) and "size" in xlabel:
+        return format_bytes(x)
+    return str(x)
+
+
+def _fmt_y(y, ylabel: str) -> str:
+    if isinstance(y, (int, float)) and "B/s" in ylabel:
+        return f"{y / GB:.3f}"
+    if isinstance(y, float):
+        return f"{y:.4g}"
+    return str(y)
+
+
+def render_figure(fig: FigureResult) -> str:
+    """One reproduced figure as an aligned text table."""
+    lines = [f"== {fig.figure}: {fig.title} =="]
+    unit = " [GB/s]" if "B/s" in fig.ylabel else ""
+    header = [fig.xlabel] + [s.name + unit for s in fig.series]
+    rows = []
+    xs = fig.series[0].x
+    for i, x in enumerate(xs):
+        row = [_fmt_x(x, fig.xlabel)]
+        for s in fig.series:
+            row.append(_fmt_y(s.y[i], fig.ylabel) if i < len(s.y) else "-")
+        rows.append(row)
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) for c in range(len(header))
+    ]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    for key, value in fig.notes.items():
+        if isinstance(value, (int, float)) and "crossover" in key:
+            value = format_bytes(value)
+        elif isinstance(value, list) and all(isinstance(v, float) for v in value):
+            value = "[" + ", ".join(f"{v:.2f}" for v in value) + "]"
+        lines.append(f"  note {key}: {value}")
+    return "\n".join(lines)
+
+
+def render_all(figures: Iterable[FigureResult]) -> str:
+    """Render several figures separated by blank lines."""
+    return "\n\n".join(render_figure(f) for f in figures)
+
+
+def run_and_render(experiments: Iterable[Callable[[], FigureResult]]) -> str:
+    """Run experiment callables and render their results."""
+    return render_all(fn() for fn in experiments)

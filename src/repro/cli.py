@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the library without writing code:
+
+* ``info``      — describe a Mira partition (torus, psets, bridges);
+* ``transfer``  — move data between two nodes, direct/proxy/pipelined;
+* ``io``        — run a sparse collective write, ours vs the baseline;
+* ``figure``    — regenerate one of the paper's figures;
+* ``analyze``   — graph-theoretic bounds and proxy-plan efficiency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench import figures as figmod
+from repro.bench.report import render_figure
+from repro.util.units import format_bytes, format_rate, parse_size
+
+_FIGURES = {
+    "fig5": figmod.fig5_p2p_proxies,
+    "fig6": figmod.fig6_group_proxies,
+    "fig7": figmod.fig7_proxy_count,
+    "fig8": figmod.fig8_pattern1_histogram,
+    "fig9": figmod.fig9_pattern2_histogram,
+    "fig10": figmod.fig10_aggregation_scaling,
+    "fig11": figmod.fig11_hacc_io,
+    "model": figmod.model_threshold_check,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Sparse data movement on a simulated Blue Gene/Q (ICPP'14 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a Mira partition")
+    info.add_argument("--nodes", type=int, default=128)
+
+    tr = sub.add_parser("transfer", help="run one point-to-point transfer")
+    tr.add_argument("--nodes", type=int, default=128)
+    tr.add_argument("--src", type=int, default=0)
+    tr.add_argument("--dst", type=int, default=-1, help="-1 = last node")
+    tr.add_argument("--size", type=str, default="8MiB")
+    tr.add_argument(
+        "--mode",
+        choices=["direct", "proxy", "auto", "pipeline", "all"],
+        default="all",
+    )
+    tr.add_argument("--max-proxies", type=int, default=None)
+    tr.add_argument("--links", action="store_true", help="print the link-load report")
+
+    io = sub.add_parser("io", help="run one sparse collective write")
+    io.add_argument("--cores", type=int, default=2048)
+    io.add_argument("--pattern", choices=["1", "2", "hacc"], default="1")
+    io.add_argument(
+        "--method", choices=["topology_aware", "collective", "both"], default="both"
+    )
+    io.add_argument(
+        "--read", action="store_true",
+        help="run the collective *read* (restart) path instead of a write",
+    )
+    io.add_argument("--seed", type=int, default=2014)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("name", choices=sorted(_FIGURES))
+
+    an = sub.add_parser("analyze", help="graph bounds for a node pair")
+    an.add_argument("--nodes", type=int, default=128)
+    an.add_argument("--src", type=int, default=0)
+    an.add_argument("--dst", type=int, default=-1)
+    return p
+
+
+def _cmd_info(args) -> int:
+    from repro.machine import mira_system
+
+    system = mira_system(nnodes=args.nodes)
+    t = system.topology
+    print(f"{system}")
+    print(f"  torus shape: {'x'.join(map(str, t.shape))} ({t.nnodes} nodes)")
+    print(f"  directed torus links: {t.nlinks} at {format_rate(system.params.link_bw)}")
+    print(f"  diameter: {t.diameter()} hops")
+    print(
+        f"  psets: {system.npsets} x {system.pset_size} nodes, "
+        f"bridges per pset: {len(system.psets[0].bridges)} "
+        f"({format_rate(system.params.io_link_bw)} each)"
+    )
+    print(f"  aggregate ION bandwidth: {format_rate(len(system.bridge_nodes) * system.params.io_link_bw)}")
+    return 0
+
+
+def _cmd_transfer(args) -> int:
+    from repro.analysis import link_load_report
+    from repro.core import TransferSpec, run_transfer
+    from repro.core.pipeline import run_pipelined_transfer
+    from repro.machine import mira_system
+
+    system = mira_system(nnodes=args.nodes)
+    dst = args.dst if args.dst >= 0 else system.nnodes - 1
+    spec = TransferSpec(src=args.src, dst=dst, nbytes=parse_size(args.size))
+    print(
+        f"{format_bytes(spec.nbytes)} from node {spec.src} to node {spec.dst} "
+        f"on {system}"
+    )
+    modes = (
+        ["direct", "proxy", "pipeline"] if args.mode == "all" else [args.mode]
+    )
+    last = None
+    for mode in modes:
+        if mode == "pipeline":
+            out = run_pipelined_transfer(
+                system, [spec], max_proxies=args.max_proxies
+            )
+        else:
+            out = run_transfer(
+                system, [spec], mode=mode, max_proxies=args.max_proxies
+            )
+        used = out.mode_used[(spec.src, spec.dst)]
+        print(f"  {mode:>9} ({used}): {format_rate(out.throughput)}")
+        last = out
+    if args.links and last is not None:
+        print()
+        print(link_load_report(last.result, system))
+    return 0
+
+
+def _cmd_io(args) -> int:
+    from repro.core import run_io_movement
+    from repro.core.ioread import run_io_read
+    from repro.machine import mira_system
+    from repro.torus.mapping import RankMapping
+    from repro.torus.partition import CORES_PER_NODE
+    from repro.workloads import hacc_io_sizes, pareto_pattern, uniform_pattern
+
+    system = mira_system(ncores=args.cores)
+    mapping = RankMapping(system.topology, ranks_per_node=CORES_PER_NODE)
+    if args.pattern == "1":
+        sizes = uniform_pattern(mapping.nranks, seed=args.seed)
+    elif args.pattern == "2":
+        sizes = pareto_pattern(mapping.nranks, seed=args.seed)
+    else:
+        sizes = hacc_io_sizes(mapping.nranks)
+    print(
+        f"pattern {args.pattern}: {format_bytes(int(sizes.sum()))} over "
+        f"{mapping.nranks} ranks on {system}"
+    )
+    methods = (
+        ["topology_aware", "collective"] if args.method == "both" else [args.method]
+    )
+    runner = run_io_read if args.read else run_io_movement
+    results = {}
+    for method in methods:
+        out = runner(
+            system, sizes, method=method, mapping=mapping,
+            batch_tol=0.05, fair_tol=0.02,
+        )
+        results[method] = out
+        print(
+            f"  {method:>15}: {format_rate(out.throughput)} "
+            f"(IONs {out.active_ions}, imbalance {out.ion_imbalance:.2f})"
+        )
+    if len(results) == 2:
+        gain = (
+            results["topology_aware"].throughput
+            / results["collective"].throughput
+        )
+        print(f"  speedup: {gain:.2f}x")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    fig = _FIGURES[args.name]()
+    print(render_figure(fig))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (
+        edge_disjoint_path_count,
+        max_flow_bound,
+        proxy_plan_efficiency,
+    )
+    from repro.core import find_proxies_for_pair
+    from repro.machine import mira_system
+
+    system = mira_system(nnodes=args.nodes)
+    dst = args.dst if args.dst >= 0 else system.nnodes - 1
+    print(f"bounds for node {args.src} -> node {dst} on {system}:")
+    print(f"  edge-disjoint paths: {edge_disjoint_path_count(system, args.src, dst)}")
+    print(f"  max-flow rate bound: {format_rate(max_flow_bound(system, args.src, dst))}")
+    asg = find_proxies_for_pair(system, args.src, dst)
+    eff = proxy_plan_efficiency(system, asg)
+    print(
+        f"  Algorithm 1 found {eff['carriers']} carriers "
+        f"({eff['path_efficiency']:.0%} of the disjoint-path bound)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "transfer": _cmd_transfer,
+    "io": _cmd_io,
+    "figure": _cmd_figure,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI shim
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""The paper's contribution: multipath proxy data movement and
+topology-aware I/O aggregation.
+
+* :mod:`repro.core.model` — the analytic transfer-time model (paper
+  Eqs. 1–5): when do store-and-forward proxies pay off, and by how much.
+* :mod:`repro.core.proxy_select` — Algorithm 1: per-source search for
+  intermediate nodes whose two-hop deterministic paths share no links.
+* :mod:`repro.core.multipath` — executes transfers directly or via the
+  selected proxies (phase 1 source→proxies, phase 2 proxies→destination).
+* :mod:`repro.core.planner` — the direct-vs-proxy decision combining the
+  model threshold with proxy availability.
+* :mod:`repro.core.aggregation` — Algorithm 2: dynamically sized,
+  uniformly placed I/O aggregators that balance every ION.
+* :mod:`repro.core.iomove` — end-to-end sparse I/O movement runner, with
+  the ROMIO baseline (:mod:`repro.mpi.mpiio`) as comparator.
+"""
+
+from repro.core.model import TransferModel
+from repro.core.proxy_select import (
+    ProxyAssignment,
+    ProxyPlan,
+    find_proxies,
+    find_proxies_for_pair,
+    forced_assignment,
+)
+from repro.core.multipath import (
+    TransferSpec,
+    TransferOutcome,
+    split_bytes,
+    weighted_split,
+    path_rate_weights,
+    build_direct_flows,
+    build_multipath_flows,
+    run_transfer,
+)
+from repro.core.pipeline import (
+    build_pipelined_flows,
+    optimal_chunk_bytes,
+    predicted_pipeline_time,
+    run_pipelined_transfer,
+)
+from repro.core.planner import TransferPlanner, PlannedTransfer
+from repro.core.aggregation import (
+    AggregatorConfig,
+    AggregationPlan,
+    precompute_aggregators,
+    choose_num_aggregators,
+    plan_aggregation,
+    aggregation_flows,
+)
+from repro.core.iomove import IOOutcome, run_io_movement
+from repro.core.ioread import run_io_read
+
+__all__ = [
+    "TransferModel",
+    "ProxyAssignment",
+    "ProxyPlan",
+    "find_proxies",
+    "find_proxies_for_pair",
+    "forced_assignment",
+    "TransferSpec",
+    "TransferOutcome",
+    "split_bytes",
+    "weighted_split",
+    "path_rate_weights",
+    "build_direct_flows",
+    "build_multipath_flows",
+    "run_transfer",
+    "build_pipelined_flows",
+    "optimal_chunk_bytes",
+    "predicted_pipeline_time",
+    "run_pipelined_transfer",
+    "TransferPlanner",
+    "PlannedTransfer",
+    "AggregatorConfig",
+    "AggregationPlan",
+    "precompute_aggregators",
+    "choose_num_aggregators",
+    "plan_aggregation",
+    "aggregation_flows",
+    "IOOutcome",
+    "run_io_movement",
+    "run_io_read",
+]

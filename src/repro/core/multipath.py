@@ -1,0 +1,256 @@
+"""Multipath data movement — Algorithm 1's *Multipath Data Movement* part.
+
+Phase 1 moves each source's data, split near-equally, to its proxies;
+phase 2 moves it from the proxies to the destination.  Phases are
+store-and-forward (a proxy forwards only once its share fully arrived),
+matching the paper's model — pipelining is listed as future work there
+and implemented here as an optional extension
+(:mod:`repro.core.pipeline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.model import TransferModel
+from repro.core.proxy_select import ProxyAssignment, ProxyPlan, find_proxies
+from repro.machine.system import BGQSystem
+from repro.mpi.comm import SimComm
+from repro.mpi.program import FlowProgram
+from repro.network.flow import FlowId
+from repro.network.flowsim import FlowSimResult
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One data movement request between compute nodes."""
+
+    src: int
+    dst: int
+    nbytes: int
+
+    def __post_init__(self):
+        if self.src == self.dst:
+            raise ConfigError("src and dst must differ")
+        if self.nbytes <= 0:
+            raise ConfigError(f"nbytes must be > 0, got {self.nbytes}")
+
+
+@dataclass
+class TransferOutcome:
+    """Measured result of a set of transfers.
+
+    Attributes:
+        makespan: completion time of the slowest transfer [s].
+        total_bytes: payload moved.
+        mode_used: per-(src, dst) record: ``"direct"`` or ``"proxy:k"``.
+        result: the raw flow-level results.
+        plan: the proxy plan, when one was computed.
+    """
+
+    makespan: float
+    total_bytes: float
+    mode_used: dict[tuple[int, int], str]
+    result: FlowSimResult
+    plan: "ProxyPlan | None" = None
+
+    @property
+    def throughput(self) -> float:
+        """Total bytes over makespan — the paper's "total throughput"."""
+        return self.total_bytes / self.makespan if self.makespan > 0 else float("inf")
+
+
+def split_bytes(nbytes: int, k: int) -> list[int]:
+    """Near-equal integer split of ``nbytes`` into ``k`` positive parts.
+
+    The first ``nbytes % k`` parts get one extra byte.  Requires
+    ``nbytes >= k`` so no carrier is idle.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if nbytes < k:
+        raise ConfigError(f"cannot split {nbytes} bytes into {k} positive parts")
+    base, extra = divmod(nbytes, k)
+    return [base + (1 if i < extra else 0) for i in range(k)]
+
+
+def weighted_split(nbytes: int, weights: Sequence[float]) -> list[int]:
+    """Split ``nbytes`` proportionally to ``weights`` (each part >= 1).
+
+    Used for capacity-aware multipath on degraded machines: a path
+    through a slow link gets a proportionally smaller share so all paths
+    finish together instead of the slowest gating the transfer.
+    """
+    weights = [float(w) for w in weights]
+    if not weights:
+        raise ConfigError("weights must be non-empty")
+    if any(w <= 0 for w in weights):
+        raise ConfigError("weights must be positive")
+    if nbytes < len(weights):
+        raise ConfigError(
+            f"cannot split {nbytes} bytes into {len(weights)} positive parts"
+        )
+    total_w = sum(weights)
+    shares = [max(1, int(nbytes * w / total_w)) for w in weights]
+    # Fix rounding drift on the largest share.
+    drift = nbytes - sum(shares)
+    shares[shares.index(max(shares))] += drift
+    if min(shares) < 1:
+        raise ConfigError("weights too skewed for this message size")
+    return shares
+
+
+def path_rate_weights(
+    assignment: ProxyAssignment,
+    capacity_fn,
+    stream_cap: float,
+) -> list[float]:
+    """Achievable-rate weight per carrier: the bottleneck capacity over
+    its two-hop route, clipped at the single-stream ceiling.
+
+    Pass ``system.capacity`` for a healthy machine (all weights equal)
+    or a :func:`repro.machine.faults.degraded_system_capacity` wrapper
+    to adapt the split to degraded links.
+    """
+    weights = []
+    for p1, p2 in zip(assignment.phase1, assignment.phase2):
+        links = list(p1.links) + list(p2.links)
+        bottleneck = min((capacity_fn(l) for l in links), default=stream_cap)
+        weights.append(min(bottleneck, stream_cap))
+    return weights
+
+
+def build_direct_flows(
+    prog: FlowProgram,
+    spec: TransferSpec,
+    *,
+    label: str = "direct",
+) -> FlowId:
+    """Emit a single-path (default-routing) transfer; returns its flow id."""
+    return prog.iput_nodes(spec.src, spec.dst, spec.nbytes, label=label, tag=(spec.src, spec.dst))
+
+
+def build_multipath_flows(
+    prog: FlowProgram,
+    spec: TransferSpec,
+    assignment: ProxyAssignment,
+    *,
+    weights: "Sequence[float] | None" = None,
+    label: str = "mpath",
+) -> FlowId:
+    """Emit the two-phase multipath transfer; returns the join event id.
+
+    Self-carriers (``proxy == src``) are direct single-hop shares — how
+    forced plans model the paper's "source as 5th proxy" configuration.
+    ``weights`` switches from the paper's equal split to a proportional
+    one (see :func:`weighted_split` / :func:`path_rate_weights`).
+    """
+    if (assignment.source, assignment.dest) != (spec.src, spec.dst):
+        raise ConfigError("assignment endpoints do not match the transfer spec")
+    if assignment.k < 1:
+        raise ConfigError("assignment has no carriers")
+    if weights is not None:
+        if len(weights) != assignment.k:
+            raise ConfigError("one weight per carrier required")
+        shares = weighted_split(spec.nbytes, weights)
+    else:
+        shares = split_bytes(spec.nbytes, assignment.k)
+    exits: list[FlowId] = []
+    for share, proxy in zip(shares, assignment.proxies):
+        if proxy == spec.src:
+            exits.append(
+                prog.iput_nodes(
+                    spec.src, spec.dst, share, label=f"{label}-self", tag=(spec.src, spec.dst)
+                )
+            )
+            continue
+        f1 = prog.iput_nodes(
+            spec.src, proxy, share, label=f"{label}-p1", tag=(spec.src, spec.dst)
+        )
+        f2 = prog.iput_nodes(
+            proxy,
+            spec.dst,
+            share,
+            after=(f1,),
+            relay=True,
+            label=f"{label}-p2",
+            tag=(spec.src, spec.dst),
+        )
+        exits.append(f2)
+    return prog.event(exits, label=f"{label}-done")
+
+
+def run_transfer(
+    system: BGQSystem,
+    specs: Sequence[TransferSpec],
+    *,
+    mode: str = "auto",
+    assignments: "Mapping[tuple[int, int], ProxyAssignment] | None" = None,
+    max_proxies: "int | None" = None,
+    min_proxies: int = TransferModel.MIN_BENEFICIAL_PROXIES,
+    max_offset: int = 3,
+    batch_tol: float = 0.0,
+    fair_tol: float = 0.0,
+) -> TransferOutcome:
+    """Execute a set of transfers and measure throughput.
+
+    Args:
+        mode: ``"direct"`` (single deterministic path — the baseline),
+            ``"proxy"`` (always use proxies when at least ``min_proxies``
+            exist), or ``"auto"`` (use proxies only above the model
+            threshold — the full Algorithm 1 including its size check).
+        assignments: pre-built (possibly forced) proxy assignments; when
+            given, the search is skipped.
+    """
+    if mode not in ("direct", "proxy", "auto"):
+        raise ConfigError(f"unknown mode {mode!r}")
+    specs = list(specs)
+    if not specs:
+        raise ConfigError("specs must be non-empty")
+
+    comm = SimComm(system)
+    prog = FlowProgram(comm, batch_tol=batch_tol, fair_tol=fair_tol)
+    model = TransferModel(system.params)
+    mode_used: dict[tuple[int, int], str] = {}
+    plan: "ProxyPlan | None" = None
+
+    if mode in ("proxy", "auto") and assignments is None:
+        plan = find_proxies(
+            system,
+            [(s.src, s.dst) for s in specs],
+            max_proxies=max_proxies,
+            min_proxies=min_proxies,
+            max_offset=max_offset,
+        )
+        assignments = plan.assignments
+
+    for spec in specs:
+        key = (spec.src, spec.dst)
+        asg = assignments.get(key) if assignments else None
+        use_proxy = False
+        if mode == "direct" or asg is None or asg.k < 1:
+            use_proxy = False
+        elif mode == "proxy":
+            use_proxy = asg.k >= min_proxies
+        else:  # auto: Algorithm 1's size gate
+            use_proxy = asg.k >= min_proxies and model.use_proxies(spec.nbytes, asg.k)
+        if use_proxy and spec.nbytes < asg.k:
+            use_proxy = False  # degenerate tiny message
+        if use_proxy:
+            build_multipath_flows(prog, spec, asg)
+            mode_used[key] = f"proxy:{asg.k}"
+        else:
+            build_direct_flows(prog, spec)
+            mode_used[key] = "direct"
+
+    result = prog.run()
+    total = float(sum(s.nbytes for s in specs))
+    return TransferOutcome(
+        makespan=result.makespan,
+        total_bytes=total,
+        mode_used=mode_used,
+        result=result,
+        plan=plan,
+    )

@@ -1,0 +1,282 @@
+"""Algorithm 1 — proxy search for multipath data movement.
+
+For every source node the paper searches, along each torus dimension in
+both directions (``2L`` candidate directions in an ``L``-dimensional
+torus), for intermediate nodes ("proxies") such that the two-hop
+deterministic routes ``source → proxy → destination`` of all chosen
+proxies are pairwise **link-disjoint** — the offsets ε, δ, θ, σ of the
+paper's Figure 4 are exactly such displacement choices.  Because BG/Q
+routing is deterministic and known a priori (longest-to-shortest
+dimension order), disjointness can be *verified*, not hoped for: this
+implementation computes the actual paths of every candidate and accepts
+it only if
+
+* its phase-1 path (source→proxy) shares no link with any accepted
+  phase-1 path of the same source, and
+* its phase-2 path (proxy→destination) shares no link with any accepted
+  phase-2 path of the same source
+
+(the two phases are sequential in time, so cross-phase sharing is
+harmless).  Candidates are anchored both at the source (the paper's
+region I/IV proxies) and at the destination (regions II/III), with
+offsets swept up to ``max_offset``.
+
+If fewer than ``min_proxies`` (3, per Eq. 5) disjoint proxies exist, the
+source is marked infeasible and the planner falls back to the direct
+path — the algorithm's "Exit" branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.model import TransferModel
+from repro.routing.order import routing_dim_order
+from repro.routing.paths import Path, paths_overlap
+from repro.torus.topology import TorusTopology
+from repro.machine.system import BGQSystem
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class ProxyAssignment:
+    """Chosen proxies of one (source, destination) transfer.
+
+    Attributes:
+        source: source node.
+        dest: destination node.
+        proxies: accepted proxy nodes, in acceptance order.  The source
+            itself may appear (self-carrier = the direct path), which the
+            forced mode uses to reproduce the paper's "5th proxy is the
+            source node itself" experiment.
+        phase1: source→proxy paths, aligned with ``proxies``.
+        phase2: proxy→destination paths, aligned with ``proxies``.
+    """
+
+    source: int
+    dest: int
+    proxies: tuple[int, ...]
+    phase1: tuple[Path, ...]
+    phase2: tuple[Path, ...]
+
+    @property
+    def k(self) -> int:
+        """Number of concurrent paths."""
+        return len(self.proxies)
+
+
+@dataclass
+class ProxyPlan:
+    """Algorithm 1's output over a set of transfers."""
+
+    assignments: dict[tuple[int, int], ProxyAssignment]
+    min_proxies: int
+
+    @property
+    def feasible(self) -> bool:
+        """True when every source found at least ``min_proxies`` proxies."""
+        return bool(self.assignments) and all(
+            a.k >= self.min_proxies for a in self.assignments.values()
+        )
+
+    @property
+    def k_min(self) -> int:
+        """Smallest proxy count over all transfers (0 when empty)."""
+        if not self.assignments:
+            return 0
+        return min(a.k for a in self.assignments.values())
+
+    def proxy_groups(self) -> list[frozenset[int]]:
+        """Proxies grouped by acceptance position — the paper's "groups of
+        proxies" (the j-th proxy of every source forms group j)."""
+        kmax = max((a.k for a in self.assignments.values()), default=0)
+        return [
+            frozenset(
+                a.proxies[j] for a in self.assignments.values() if j < a.k
+            )
+            for j in range(kmax)
+        ]
+
+
+def _candidate_coords(
+    topology: TorusTopology,
+    src: int,
+    dst: int,
+    max_offset: int,
+) -> Iterable[int]:
+    """Candidate proxy nodes in the paper's search order.
+
+    Dimensions are scanned in the source→destination routing order
+    (longest-to-shortest, as Algorithm 1 prescribes: "Sort the dimensions
+    by routing order"), then the remaining dimensions; within a dimension
+    the two directions are tried with growing offsets, anchored first at
+    the source, then at the destination.
+    """
+    shape = topology.shape
+    src_c = topology.coord(src)
+    dst_c = topology.coord(dst)
+    order = list(routing_dim_order(src_c, dst_c, shape))
+    order += [d for d in range(topology.ndims) if d not in order]
+    seen: set[int] = set()
+    for offset in range(1, max_offset + 1):
+        for dim in order:
+            if shape[dim] == 1:
+                continue
+            for sign in (+1, -1):
+                for anchor in (src_c, dst_c):
+                    c = list(anchor)
+                    c[dim] = (c[dim] + sign * offset) % shape[dim]
+                    node = topology.node(tuple(c))
+                    if node not in seen:
+                        seen.add(node)
+                        yield node
+
+
+def find_proxies_for_pair(
+    system: "BGQSystem",
+    src: int,
+    dst: int,
+    *,
+    max_proxies: "int | None" = None,
+    min_proxies: int = TransferModel.MIN_BENEFICIAL_PROXIES,
+    max_offset: int = 3,
+    exclude: "Sequence[int] | frozenset[int]" = (),
+    reserved: "set[int] | None" = None,
+) -> ProxyAssignment:
+    """Run Algorithm 1's *Find Proxies* part for one (src, dst) pair.
+
+    Args:
+        system: the machine (supplies topology and the cached router).
+        max_proxies: stop after this many accepted proxies (default
+            ``2 * ndims``, all candidate directions).
+        min_proxies: required count for feasibility (3 per the model).
+        max_offset: how far from the anchors to sweep.
+        exclude: nodes that may not serve as proxies (the communicating
+            regions S and T, typically).
+        reserved: proxies already claimed by other sources; accepted
+            proxies are added to it, keeping proxy groups disjoint across
+            sources.
+    """
+    topo = system.topology
+    if src == dst:
+        raise ConfigError("source and destination must differ")
+    if max_proxies is None:
+        max_proxies = 2 * topo.ndims
+    if max_proxies < 1:
+        raise ConfigError("max_proxies must be >= 1")
+    excluded = set(exclude)
+    excluded.update((src, dst))
+    if reserved is None:
+        reserved = set()
+
+    accepted: list[int] = []
+    phase1: list[Path] = []
+    phase2: list[Path] = []
+    for cand in _candidate_coords(topo, src, dst, max_offset):
+        if len(accepted) >= max_proxies:
+            break
+        if cand in excluded or cand in reserved:
+            continue
+        p1 = system.compute_path(src, cand)
+        p2 = system.compute_path(cand, dst)
+        if any(paths_overlap(p1, q) for q in phase1):
+            continue
+        if any(paths_overlap(p2, q) for q in phase2):
+            continue
+        accepted.append(cand)
+        phase1.append(p1)
+        phase2.append(p2)
+        reserved.add(cand)
+
+    return ProxyAssignment(
+        source=src,
+        dest=dst,
+        proxies=tuple(accepted),
+        phase1=tuple(phase1),
+        phase2=tuple(phase2),
+    )
+
+
+def find_proxies(
+    system: "BGQSystem",
+    transfers: Sequence[tuple[int, int]],
+    *,
+    max_proxies: "int | None" = None,
+    min_proxies: int = TransferModel.MIN_BENEFICIAL_PROXIES,
+    max_offset: int = 3,
+    exclude_endpoints: bool = True,
+) -> ProxyPlan:
+    """Algorithm 1 over a set of transfers (the group-to-group case).
+
+    Every source searches independently (the algorithm is distributed and
+    synchronisation-free after the initial coordinate exchange); proxies
+    are kept distinct across sources via a shared reservation set, so the
+    per-position unions form the paper's translated "proxy groups".
+
+    Args:
+        transfers: (source node, destination node) pairs.
+        exclude_endpoints: forbid any communicating node (any source or
+            destination) from serving as a proxy, as the paper's regions
+            S and T are busy with their own transfers.
+    """
+    transfers = list(transfers)
+    if not transfers:
+        raise ConfigError("transfers must be non-empty")
+    seen = set()
+    for pair in transfers:
+        if pair in seen:
+            raise ConfigError(f"duplicate transfer {pair}")
+        seen.add(pair)
+    endpoints: set[int] = set()
+    if exclude_endpoints:
+        for s, d in transfers:
+            endpoints.add(s)
+            endpoints.add(d)
+    reserved: set[int] = set()
+    assignments: dict[tuple[int, int], ProxyAssignment] = {}
+    for s, d in transfers:
+        assignments[(s, d)] = find_proxies_for_pair(
+            system,
+            s,
+            d,
+            max_proxies=max_proxies,
+            min_proxies=min_proxies,
+            max_offset=max_offset,
+            exclude=frozenset(endpoints),
+            reserved=reserved,
+        )
+    return ProxyPlan(assignments=assignments, min_proxies=min_proxies)
+
+
+def forced_assignment(
+    system: "BGQSystem",
+    src: int,
+    dst: int,
+    proxies: Sequence[int],
+) -> ProxyAssignment:
+    """A :class:`ProxyAssignment` with explicitly chosen carriers.
+
+    No disjointness checking: this is how the paper's Figure 7 produces
+    its 5-group data point (the 5th carrier is the source itself, whose
+    direct path *does* collide with proxy paths and degrades throughput).
+    """
+    if src == dst:
+        raise ConfigError("source and destination must differ")
+    phase1 = []
+    phase2 = []
+    for p in proxies:
+        if p == src:
+            # Self-carrier: a direct transfer; phase 2 carries the path.
+            phase1.append(Path(src=src, dst=src, links=(), nodes=(src,)))
+            phase2.append(system.compute_path(src, dst))
+        else:
+            phase1.append(system.compute_path(src, p))
+            phase2.append(system.compute_path(p, dst))
+    return ProxyAssignment(
+        source=src,
+        dest=dst,
+        proxies=tuple(proxies),
+        phase1=tuple(phase1),
+        phase2=tuple(phase2),
+    )

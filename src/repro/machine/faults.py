@@ -1,0 +1,96 @@
+"""Fault injection: degraded links and failed nodes.
+
+The paper's §IV-A conditions its analysis on "the absence of congestion
+and network failures"; production torus partitions do run with degraded
+links (retrained to lower rates) and cordoned nodes.  This module lets
+experiments relax that assumption:
+
+* :class:`FaultModel` — multiplies selected links' capacities by a
+  degradation factor and records failed (unusable-as-proxy) nodes;
+* :func:`degraded_system` — wraps a :class:`~repro.machine.system.BGQSystem`
+  capacity function with a fault model;
+* :func:`random_link_faults` — reproducible random fault drawing.
+
+Routing is unchanged (BG/Q's static routes survive degraded links at
+reduced rate; hard link *failures* trigger re-routing that is out of
+scope), so a degraded link simply becomes a slow spot that Algorithm 1's
+disjoint paths may or may not avoid — which is exactly what the fault
+tests probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.machine.system import BGQSystem
+from repro.torus.topology import TorusTopology
+from repro.util.rng import make_rng
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A set of injected faults.
+
+    Attributes:
+        degraded_links: directed link id → capacity multiplier in (0, 1].
+        failed_nodes: nodes that must not serve as proxies/aggregators
+            (their links keep working so the machine stays routable;
+            a fully dead node would partition the static routes).
+    """
+
+    degraded_links: Mapping[int, float] = field(default_factory=dict)
+    failed_nodes: frozenset[int] = frozenset()
+
+    def __post_init__(self):
+        for link, factor in self.degraded_links.items():
+            if not 0 < factor <= 1:
+                raise ConfigError(
+                    f"link {link}: degradation factor must be in (0, 1], got {factor}"
+                )
+
+    def capacity_fn(self, base: Callable[[int], float]) -> Callable[[int], float]:
+        """Wrap a capacity function with the degradations."""
+
+        def capacity(link_id: int) -> float:
+            return base(link_id) * self.degraded_links.get(link_id, 1.0)
+
+        return capacity
+
+
+def degraded_system_capacity(
+    system: BGQSystem, faults: FaultModel
+) -> Callable[[int], float]:
+    """The machine's capacity map with faults applied (pass to FlowSim)."""
+    return faults.capacity_fn(system.capacity)
+
+
+def random_link_faults(
+    topology: TorusTopology,
+    nlinks: int,
+    *,
+    factor: float = 0.25,
+    nfailed_nodes: int = 0,
+    seed=None,
+) -> FaultModel:
+    """Draw a reproducible random fault set.
+
+    ``nlinks`` torus links degrade to ``factor`` of their capacity;
+    ``nfailed_nodes`` distinct nodes are cordoned.
+    """
+    if not 0 <= nlinks <= topology.nlinks:
+        raise ConfigError(f"nlinks must be in [0, {topology.nlinks}]")
+    if not 0 <= nfailed_nodes <= topology.nnodes:
+        raise ConfigError(f"nfailed_nodes must be in [0, {topology.nnodes}]")
+    rng = make_rng(seed)
+    links = rng.choice(topology.nlinks, size=nlinks, replace=False) if nlinks else []
+    nodes = (
+        rng.choice(topology.nnodes, size=nfailed_nodes, replace=False)
+        if nfailed_nodes
+        else []
+    )
+    return FaultModel(
+        degraded_links={int(l): factor for l in links},
+        failed_nodes=frozenset(int(n) for n in nodes),
+    )

@@ -1,0 +1,52 @@
+"""I/O nodes and compute-node → bridge assignments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.pset import Pset
+from repro.torus.topology import TorusTopology
+
+
+@dataclass(frozen=True)
+class IONode:
+    """One I/O node: serves a single pset through its bridge nodes.
+
+    Attributes:
+        index: ION number (equals the pset index).
+        pset_index: the pset it serves.
+        bridges: bridge compute nodes wired to this ION.
+    """
+
+    index: int
+    pset_index: int
+    bridges: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BridgeAssignment:
+    """Default bridge node of every compute node.
+
+    BG/Q routes a compute node's I/O traffic deterministically to *its*
+    bridge node; each bridge serves an equal contiguous sub-block of the
+    pset (the block whose centre it sits at — see
+    :func:`repro.machine.pset.build_psets`), splitting every pset evenly
+    per bridge exactly as the hardware does.  A torus-nearest assignment
+    would be *uneven* on wrap-around ties and starve one ION link.
+    """
+
+    bridge_of: dict[int, int]
+
+    def __getitem__(self, node: int) -> int:
+        return self.bridge_of[node]
+
+
+def assign_bridges(topology: TorusTopology, psets: list[Pset]) -> BridgeAssignment:
+    """Compute the default bridge of every node (equal pset sub-blocks)."""
+    table: dict[int, int] = {}
+    for pset in psets:
+        nb = len(pset.bridges)
+        block = pset.size // nb
+        for i, node in enumerate(pset.nodes):
+            table[node] = pset.bridges[min(i // block, nb - 1)]
+    return BridgeAssignment(bridge_of=table)

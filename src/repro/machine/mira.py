@@ -1,0 +1,30 @@
+"""Factory for paper-faithful Mira partitions."""
+
+from __future__ import annotations
+
+from repro.machine.system import BGQSystem
+from repro.network.params import MIRA_PARAMS, NetworkParams
+from repro.torus.partition import nodes_for_cores, partition_shape
+from repro.util.validation import ConfigError
+
+
+def mira_system(
+    *,
+    nnodes: "int | None" = None,
+    ncores: "int | None" = None,
+    params: NetworkParams = MIRA_PARAMS,
+) -> BGQSystem:
+    """A standard Mira partition as a :class:`BGQSystem`.
+
+    Give exactly one of ``nnodes`` or ``ncores`` (16 cores per node, the
+    unit the paper's x-axes use).  The torus shape comes from the Mira
+    partition catalogue; psets are 128 nodes with 2 bridge nodes each,
+    except that partitions smaller than one pset become a single pset.
+    """
+    if (nnodes is None) == (ncores is None):
+        raise ConfigError("give exactly one of nnodes or ncores")
+    if ncores is not None:
+        nnodes = nodes_for_cores(ncores)
+    assert nnodes is not None
+    shape = partition_shape(nnodes)
+    return BGQSystem(shape, params=params, pset_size=128, bridges_per_pset=2)

@@ -1,0 +1,17 @@
+"""Node roles within the machine."""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeRole(enum.Enum):
+    """What a compute node is, from the I/O subsystem's point of view."""
+
+    COMPUTE = "compute"
+    BRIDGE = "bridge"
+
+
+def node_role(node: int, bridge_nodes: frozenset[int]) -> NodeRole:
+    """Role of ``node`` given the machine's bridge set."""
+    return NodeRole.BRIDGE if node in bridge_nodes else NodeRole.COMPUTE

@@ -1,0 +1,74 @@
+"""Pset construction.
+
+A pset is a block of compute nodes sharing one I/O node.  Node indices
+linearise torus coordinates lexicographically, so contiguous index blocks
+are contiguous slabs of the torus — matching how BG/Q psets tile the
+machine.  Bridge nodes sit inside the pset (they are ordinary compute
+nodes with an extra link); we place them at the 1/4 and 3/4 points of the
+block so each bridge serves the half of the pset nearest to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class Pset:
+    """One pset: a node block, its bridge nodes and its ION id.
+
+    Attributes:
+        index: pset number (also the ION number).
+        nodes: range of member compute-node indices.
+        bridges: bridge-node indices (members of ``nodes``).
+    """
+
+    index: int
+    nodes: range
+    bridges: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of compute nodes in the pset."""
+        return len(self.nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.nodes
+
+
+def build_psets(
+    nnodes: int,
+    pset_size: int = 128,
+    bridges_per_pset: int = 2,
+) -> list[Pset]:
+    """Partition ``nnodes`` into psets with evenly spaced bridge nodes.
+
+    Small test systems may have fewer nodes than the standard pset size;
+    the pset then shrinks to the whole machine.  ``nnodes`` must divide
+    evenly into psets.
+    """
+    if nnodes < 1:
+        raise ConfigError(f"nnodes must be >= 1, got {nnodes}")
+    if pset_size < 1:
+        raise ConfigError(f"pset_size must be >= 1, got {pset_size}")
+    pset_size = min(pset_size, nnodes)
+    if nnodes % pset_size:
+        raise ConfigError(f"{nnodes} nodes do not divide into psets of {pset_size}")
+    if not 1 <= bridges_per_pset <= pset_size:
+        raise ConfigError(
+            f"bridges_per_pset must be in [1, {pset_size}], got {bridges_per_pset}"
+        )
+    psets = []
+    for p in range(nnodes // pset_size):
+        lo = p * pset_size
+        block = range(lo, lo + pset_size)
+        # Bridges at the centres of the bridges_per_pset equal sub-blocks
+        # (1/4 and 3/4 points for the standard two bridges).
+        bridges = tuple(
+            lo + (2 * b + 1) * pset_size // (2 * bridges_per_pset)
+            for b in range(bridges_per_pset)
+        )
+        psets.append(Pset(index=p, nodes=block, bridges=bridges))
+    return psets

@@ -1,0 +1,98 @@
+"""The storage/analysis fabric behind the I/O nodes (paper Figure 1).
+
+Mira's IONs connect through a QDR InfiniBand switch complex to GPFS file
+servers and to Tukey, the analysis cluster.  The paper's measurements
+deliberately stop at the IONs (writes go to ``/dev/null`` *on* the ION)
+so the aggregation mechanisms are measured against the 2 GB/s ION links
+rather than the filesystem; this module supplies the rest of the path so
+experiments can also run end-to-end and *verify* that choice:
+
+* :class:`StorageFabric` — ``nservers`` file servers of
+  ``server_bw`` each behind the IB switch; ION→fabric traffic is striped
+  over servers (GPFS-style round-robin by ION).
+* :func:`fabric_capacity` — extends a machine's capacity map with
+  per-server link ids.
+* :func:`storage_write_path` — a node's full route: torus → bridge →
+  ION → its striped file server.
+
+With Mira-like numbers (tens of GPFS servers at several GB/s each) the
+fabric out-runs the ION links for partition sizes the paper studies, so
+``/dev/null``-at-the-ION and end-to-end results coincide — the property
+``tests/test_machine_storage.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.machine.system import BGQSystem
+from repro.util.units import gbps
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class StorageFabric:
+    """File servers behind the ION IB switch.
+
+    Attributes:
+        nservers: number of file servers.
+        server_bw: ingest bandwidth per server [B/s].  Mira's GPFS had
+            hundreds of GB/s aggregate; the defaults give a deliberately
+            modest 16 x 4 GB/s = 64 GB/s so saturation *is* reachable in
+            stress tests.
+    """
+
+    nservers: int = 16
+    server_bw: float = gbps(4.0)
+
+    def __post_init__(self):
+        if self.nservers < 1:
+            raise ConfigError(f"nservers must be >= 1, got {self.nservers}")
+        if self.server_bw <= 0:
+            raise ConfigError(f"server_bw must be > 0, got {self.server_bw}")
+
+    @property
+    def aggregate_bw(self) -> float:
+        """Total fabric ingest bandwidth."""
+        return self.nservers * self.server_bw
+
+    def server_of_ion(self, ion_index: int) -> int:
+        """GPFS-style striping: IONs round-robin over servers."""
+        if ion_index < 0:
+            raise ConfigError(f"ion_index must be >= 0, got {ion_index}")
+        return ion_index % self.nservers
+
+    def server_link_id(self, system: BGQSystem, server: int) -> int:
+        """Directed-link id of one server's ingest link (appended after
+        the machine's own link space)."""
+        if not 0 <= server < self.nservers:
+            raise ConfigError(f"server {server} out of range")
+        return system.nlinks_total + server
+
+
+def fabric_capacity(
+    system: BGQSystem, fabric: StorageFabric
+) -> Callable[[int], float]:
+    """The machine's capacity map extended with the server links."""
+    base = system.nlinks_total
+
+    def capacity(link_id: int) -> float:
+        if base <= link_id < base + fabric.nservers:
+            return fabric.server_bw
+        return system.capacity(link_id)
+
+    return capacity
+
+
+def storage_write_path(
+    system: BGQSystem, fabric: StorageFabric, node: int
+) -> tuple[int, ...]:
+    """Full end-to-end write route of a compute node: torus hops to its
+    bridge, the 11th link to the ION, the ION's switch link, and the
+    striped file server's ingest link."""
+    ion = system.ion_of_node(node).index
+    server = fabric.server_of_ion(ion)
+    return system.io_path(node, to_storage=True) + (
+        fabric.server_link_id(system, server),
+    )

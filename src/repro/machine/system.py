@@ -1,0 +1,170 @@
+"""The assembled machine: torus + psets + IONs + link capacities.
+
+:class:`BGQSystem` is the object experiments hold.  It owns:
+
+* the :class:`~repro.torus.topology.TorusTopology` and a cached
+  deterministic router;
+* the pset/bridge/ION structure and each node's default I/O route;
+* the **link-capacity map** consumed by the network simulators, covering
+  three id ranges: torus links, bridge→ION (11th) links, and ION→storage
+  links.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Sequence
+
+from repro.machine.ionode import IONode, assign_bridges
+from repro.machine.pset import Pset, build_psets
+from repro.network.params import MIRA_PARAMS, NetworkParams
+from repro.routing.deterministic import DimOrderRouter
+from repro.routing.paths import Path
+from repro.torus.topology import TorusTopology
+from repro.util.validation import ConfigError
+
+
+class BGQSystem:
+    """A simulated Blue Gene/Q partition with its I/O subsystem.
+
+    Args:
+        shape: torus dimensions (or pass a ready topology).
+        params: network/endpoint constants.
+        pset_size: compute nodes per pset (128 on Mira; shrinks on tiny
+            test systems).
+        bridges_per_pset: bridge nodes per pset (2 on Mira).
+    """
+
+    def __init__(
+        self,
+        shape: "Sequence[int] | TorusTopology",
+        params: NetworkParams = MIRA_PARAMS,
+        *,
+        pset_size: int = 128,
+        bridges_per_pset: int = 2,
+    ):
+        self.topology = shape if isinstance(shape, TorusTopology) else TorusTopology(shape)
+        self.params = params
+        self.router = DimOrderRouter(self.topology)
+        self.psets: list[Pset] = build_psets(
+            self.topology.nnodes, pset_size, bridges_per_pset
+        )
+        self.pset_size = self.psets[0].size
+        self._bridge_assignment = assign_bridges(self.topology, self.psets)
+        self.ions: list[IONode] = [
+            IONode(index=p.index, pset_index=p.index, bridges=p.bridges)
+            for p in self.psets
+        ]
+        # Link id ranges: [0, T) torus; [T, T+B) bridge->ION (outbound);
+        # [T+B, T+2B) ION->bridge (inbound, for reads); [T+2B, T+2B+I)
+        # ION->storage.  The 11th link is full duplex on BG/Q, hence one
+        # id per direction at the same 2 GB/s.
+        self._io_link_base = self.topology.nlinks
+        self._bridge_list: list[int] = [b for p in self.psets for b in p.bridges]
+        self._bridge_link_of = {
+            b: self._io_link_base + i for i, b in enumerate(self._bridge_list)
+        }
+        self._io_in_link_base = self._io_link_base + len(self._bridge_list)
+        self._bridge_in_link_of = {
+            b: self._io_in_link_base + i for i, b in enumerate(self._bridge_list)
+        }
+        self._storage_link_base = self._io_in_link_base + len(self._bridge_list)
+        self.nlinks_total = self._storage_link_base + len(self.ions)
+
+    # -- structure queries -----------------------------------------------------
+
+    @property
+    def nnodes(self) -> int:
+        """Compute-node count."""
+        return self.topology.nnodes
+
+    @property
+    def npsets(self) -> int:
+        """Pset (and ION) count."""
+        return len(self.psets)
+
+    @cached_property
+    def bridge_nodes(self) -> frozenset[int]:
+        """All bridge-node indices."""
+        return frozenset(self._bridge_list)
+
+    def pset_of_node(self, node: int) -> Pset:
+        """The pset containing ``node``."""
+        if not 0 <= node < self.nnodes:
+            raise ConfigError(f"node {node} out of range")
+        return self.psets[node // self.pset_size]
+
+    def ion_of_node(self, node: int) -> IONode:
+        """The default I/O node serving ``node``."""
+        return self.ions[self.pset_of_node(node).index]
+
+    def bridge_of_node(self, node: int) -> int:
+        """The default bridge node ``node``'s I/O traffic goes through."""
+        return self._bridge_assignment[node]
+
+    # -- link id space -----------------------------------------------------------
+
+    def io_link_id(self, bridge_node: int) -> int:
+        """Directed-link id of a bridge node's outbound 11th (ION) link."""
+        try:
+            return self._bridge_link_of[bridge_node]
+        except KeyError:
+            raise ConfigError(f"node {bridge_node} is not a bridge node") from None
+
+    def io_in_link_id(self, bridge_node: int) -> int:
+        """Directed-link id of the inbound (ION → bridge) 11th link."""
+        try:
+            return self._bridge_in_link_of[bridge_node]
+        except KeyError:
+            raise ConfigError(f"node {bridge_node} is not a bridge node") from None
+
+    def storage_link_id(self, ion_index: int) -> int:
+        """Directed-link id of an ION's storage-fabric link."""
+        if not 0 <= ion_index < len(self.ions):
+            raise ConfigError(f"ION index {ion_index} out of range")
+        return self._storage_link_base + ion_index
+
+    def capacity(self, link_id: int) -> float:
+        """Capacity (bytes/s) of any link in the machine."""
+        if 0 <= link_id < self._io_link_base:
+            return self.params.link_bw
+        if self._io_link_base <= link_id < self._storage_link_base:
+            return self.params.io_link_bw
+        if self._storage_link_base <= link_id < self.nlinks_total:
+            return self.params.ion_storage_bw
+        raise ConfigError(f"link id {link_id} outside this machine's link space")
+
+    # -- routes ------------------------------------------------------------------
+
+    def compute_path(self, src: int, dst: int) -> Path:
+        """Deterministic torus path between two compute nodes."""
+        return self.router.path(src, dst)
+
+    def io_path(self, node: int, *, to_storage: bool = False) -> tuple[int, ...]:
+        """Directed links of ``node``'s default I/O write route.
+
+        Torus hops to the default bridge node, then the 11th link to the
+        ION; with ``to_storage=True`` also the ION's storage-fabric link
+        (the paper's experiments write to ``/dev/null`` *on the ION*, so
+        benchmarks leave this off).
+        """
+        bridge = self.bridge_of_node(node)
+        links = list(self.router.path(node, bridge).links)
+        links.append(self.io_link_id(bridge))
+        if to_storage:
+            links.append(self.storage_link_id(self.ion_of_node(node).index))
+        return tuple(links)
+
+    def io_read_path(self, node: int) -> tuple[int, ...]:
+        """Directed links of ``node``'s default I/O *read* route: the
+        inbound 11th link from the ION to the default bridge node, then
+        torus hops from the bridge to ``node``."""
+        bridge = self.bridge_of_node(node)
+        return (self.io_in_link_id(bridge),) + self.router.path(bridge, node).links
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(s) for s in self.topology.shape)
+        return (
+            f"BGQSystem({dims}, nodes={self.nnodes}, psets={self.npsets}, "
+            f"bridges={len(self._bridge_list)})"
+        )

@@ -1,0 +1,245 @@
+"""Collective algorithms as flow DAGs.
+
+Classic implementations, expressed as dependency-chained puts on a
+:class:`~repro.mpi.program.FlowProgram`:
+
+* ``bcast``/``reduce``/``gather`` — binomial trees;
+* ``allreduce`` — recursive doubling (power-of-two), reduce+bcast
+  otherwise;
+* ``allgather`` — Bruck's algorithm (log rounds, any rank count);
+* ``alltoallv`` — pairwise exchange (n-1 rounds; intended for small
+  communicators — the I/O engines build their exchange phases directly
+  as concurrent flows instead).
+
+Every function takes and returns a ``dict rank -> flow id``: the entry
+dependency ("this rank may start once this flow completes") and the exit
+event per rank.  Ranks are local to ``prog.comm`` unless a ``ranks``
+subset is given, in which case the collective runs over that subset with
+positions in the list acting as the collective's internal ranks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.mpi.program import FlowProgram
+from repro.network.flow import FlowId
+from repro.util.validation import ConfigError
+
+AfterMap = "dict[int, FlowId] | None"
+
+
+def _setup(prog: FlowProgram, ranks, after):
+    if ranks is None:
+        ranks = list(range(prog.comm.size))
+    else:
+        ranks = list(ranks)
+    if len(set(ranks)) != len(ranks) or not ranks:
+        raise ConfigError("ranks must be a non-empty list of distinct ranks")
+    cur: dict[int, list[FlowId]] = {r: [] for r in ranks}
+    if after:
+        for r, fid in after.items():
+            if r in cur:
+                cur[r] = [fid]
+    return ranks, cur
+
+
+def _exit_map(prog: FlowProgram, cur: dict[int, list[FlowId]]) -> dict[int, FlowId]:
+    out: dict[int, FlowId] = {}
+    for r, fids in cur.items():
+        if len(fids) == 1:
+            out[r] = fids[0]
+        else:
+            out[r] = prog.event(fids, label="join")
+    return out
+
+
+def _send(prog, ranks, cur, i_src, i_dst, nbytes, label):
+    """One collective step: position i_src sends to position i_dst."""
+    deps = tuple(cur[ranks[i_src]])
+    fid = prog.iput(ranks[i_src], ranks[i_dst], nbytes, after=deps, label=label)
+    cur[ranks[i_dst]] = cur[ranks[i_dst]] + [fid]
+    cur[ranks[i_src]] = [fid]
+    return fid
+
+
+def bcast(
+    prog: FlowProgram,
+    nbytes: float,
+    *,
+    root: int = 0,
+    ranks: "Sequence[int] | None" = None,
+    after: AfterMap = None,
+) -> dict[int, FlowId]:
+    """Binomial-tree broadcast of ``nbytes`` from position ``root``."""
+    ranks, cur = _setup(prog, ranks, after)
+    n = len(ranks)
+    rot = ranks[root:] + ranks[:root]
+    k = 1
+    while k < n:
+        for i in range(k):
+            j = i + k
+            if j < n:
+                deps = tuple(cur[rot[i]])
+                fid = prog.iput(rot[i], rot[j], nbytes, after=deps, label="bcast")
+                cur[rot[j]] = cur[rot[j]] + [fid]
+                cur[rot[i]] = [fid]
+        k *= 2
+    return _exit_map(prog, cur)
+
+
+def reduce(
+    prog: FlowProgram,
+    nbytes: float,
+    *,
+    root: int = 0,
+    ranks: "Sequence[int] | None" = None,
+    after: AfterMap = None,
+) -> dict[int, FlowId]:
+    """Binomial-tree reduction of ``nbytes`` per rank to position ``root``."""
+    ranks, cur = _setup(prog, ranks, after)
+    n = len(ranks)
+    rot = ranks[root:] + ranks[:root]
+    k = 1
+    while k < n:
+        for i in range(0, n, 2 * k):
+            j = i + k
+            if j < n:
+                deps = tuple(cur[rot[j]]) + tuple(cur[rot[i]])
+                fid = prog.iput(rot[j], rot[i], nbytes, after=deps, label="reduce")
+                cur[rot[i]] = [fid]
+                cur[rot[j]] = [fid]
+        k *= 2
+    return _exit_map(prog, cur)
+
+
+def allreduce(
+    prog: FlowProgram,
+    nbytes: float,
+    *,
+    ranks: "Sequence[int] | None" = None,
+    after: AfterMap = None,
+) -> dict[int, FlowId]:
+    """Allreduce: recursive doubling when the count is a power of two,
+    otherwise reduce-then-broadcast."""
+    ranks_l, _ = _setup(prog, ranks, after)
+    n = len(ranks_l)
+    if n & (n - 1):
+        mid = reduce(prog, nbytes, root=0, ranks=ranks_l, after=after)
+        return bcast(prog, nbytes, root=0, ranks=ranks_l, after=mid)
+    ranks_l, cur = _setup(prog, ranks_l, after)
+    k = 1
+    while k < n:
+        new_cur = {r: list(v) for r, v in cur.items()}
+        for i in range(n):
+            j = i ^ k
+            if j > i:
+                d_ij = prog.iput(
+                    ranks_l[i], ranks_l[j], nbytes, after=tuple(cur[ranks_l[i]]), label="ar"
+                )
+                d_ji = prog.iput(
+                    ranks_l[j], ranks_l[i], nbytes, after=tuple(cur[ranks_l[j]]), label="ar"
+                )
+                new_cur[ranks_l[i]] = [d_ij, d_ji]
+                new_cur[ranks_l[j]] = [d_ij, d_ji]
+        cur = new_cur
+        k *= 2
+    return _exit_map(prog, cur)
+
+
+def gather(
+    prog: FlowProgram,
+    nbytes: float,
+    *,
+    root: int = 0,
+    ranks: "Sequence[int] | None" = None,
+    after: AfterMap = None,
+) -> dict[int, FlowId]:
+    """Binomial-tree gather; message sizes grow as subtrees merge."""
+    ranks, cur = _setup(prog, ranks, after)
+    n = len(ranks)
+    rot = ranks[root:] + ranks[:root]
+    k = 1
+    while k < n:
+        for i in range(0, n, 2 * k):
+            j = i + k
+            if j < n:
+                held = min(k, n - j)  # blocks held by the sender's subtree
+                deps = tuple(cur[rot[j]]) + tuple(cur[rot[i]])
+                fid = prog.iput(
+                    rot[j], rot[i], nbytes * held, after=deps, label="gather"
+                )
+                cur[rot[i]] = [fid]
+                cur[rot[j]] = [fid]
+        k *= 2
+    return _exit_map(prog, cur)
+
+
+def allgather(
+    prog: FlowProgram,
+    nbytes: float,
+    *,
+    ranks: "Sequence[int] | None" = None,
+    after: AfterMap = None,
+) -> dict[int, FlowId]:
+    """Bruck allgather: ``ceil(log2 n)`` rounds for any rank count.
+
+    Round ``k`` has position ``i`` send its accumulated
+    ``min(2^k, n - 2^k)`` blocks to position ``(i - 2^k) mod n``.
+    """
+    ranks, cur = _setup(prog, ranks, after)
+    n = len(ranks)
+    if n == 1:
+        return _exit_map(prog, cur)
+    k = 1
+    while k < n:
+        blocks = min(k, n - k)
+        new_cur = {r: list(v) for r, v in cur.items()}
+        for i in range(n):
+            j = (i - k) % n
+            fid = prog.iput(
+                ranks[i], ranks[j], nbytes * blocks, after=tuple(cur[ranks[i]]), label="ag"
+            )
+            new_cur[ranks[j]] = new_cur[ranks[j]] + [fid]
+        cur = new_cur
+        k *= 2
+    return _exit_map(prog, cur)
+
+
+def alltoallv(
+    prog: FlowProgram,
+    sizes: "Sequence[Sequence[float]]",
+    *,
+    ranks: "Sequence[int] | None" = None,
+    after: AfterMap = None,
+) -> dict[int, FlowId]:
+    """Pairwise-exchange alltoallv.
+
+    ``sizes[i][j]`` is what position ``i`` sends to position ``j``.
+    Runs ``n - 1`` shift rounds with per-rank dependency chaining — use
+    on small communicators only (cost grows quadratically in flows).
+    """
+    ranks, cur = _setup(prog, ranks, after)
+    n = len(ranks)
+    if len(sizes) != n or any(len(row) != n for row in sizes):
+        raise ConfigError(f"sizes must be an {n}x{n} matrix")
+    for shift in range(1, n):
+        new_cur = {r: list(v) for r, v in cur.items()}
+        for i in range(n):
+            j = (i + shift) % n
+            nbytes = float(sizes[i][j])
+            if nbytes <= 0:
+                continue
+            fid = prog.iput(
+                ranks[i], ranks[j], nbytes, after=tuple(cur[ranks[i]]), label="a2av"
+            )
+            new_cur[ranks[j]] = new_cur[ranks[j]] + [fid]
+            new_cur[ranks[i]] = [fid]
+        cur = new_cur
+    return _exit_map(prog, cur)
+
+
+def log2_rounds(n: int) -> int:
+    """Number of rounds a log-structured collective needs for ``n`` ranks."""
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 0

@@ -1,0 +1,309 @@
+"""ROMIO-style two-phase collective I/O — the paper's baseline.
+
+"Default MPI collective I/O" on BG/Q means collective buffering:
+
+1. **Aggregator choice** — a fixed number of *cb nodes* (8 per pset by
+   default on Blue Gene) selected by **rank stride**, i.e. evenly spaced
+   in rank order with no knowledge of data volumes or torus/ION topology.
+2. **File domains** — the accessed byte range of the shared file is cut
+   into one contiguous, equal-sized domain per aggregator.
+3. **Exchange phase** — every rank ships each piece of its data to the
+   aggregator owning the enclosing file offset range (over the torus).
+4. **Write phase** — aggregators write their domain to storage through
+   *their own* default I/O path, in rounds of ``cb_buffer_size`` (the
+   collective-buffer size, 16 MiB by default); a round's exchange must
+   land before its write, and the single collective buffer serialises
+   consecutive rounds per aggregator.
+
+Under *sparse* patterns this goes wrong in exactly the ways the paper
+describes: data-rich file regions map onto few aggregators (so few ION
+links work while the rest idle), aggregator placement ignores the torus
+(long, overlapping exchange routes), and the aggregator count never
+adapts to the actual request volume.  :mod:`repro.core.aggregation`
+implements the paper's fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.mpi.comm import SimComm
+from repro.mpi.program import FlowProgram
+from repro.network.flow import FlowId
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class CollectiveIOConfig:
+    """Tunables of the baseline collective-buffering implementation.
+
+    Attributes:
+        aggregators_on_bridges: place the cb nodes on the bridge nodes of
+            each pset — the BG/Q MPICH (``ad_bg``) default, which derives
+            its aggregator list from the bridge-node topology.  This is
+            precisely the paper's complaint: the default aggregators "are
+            neither uniformly distributed nor balanced to connect to all
+            I/O nodes" — two fixed nodes per pset take the whole pset's
+            incast regardless of the request's shape or volume.
+        aggregators_per_pset: cb nodes per pset when
+            ``aggregators_on_bridges=False`` (rank-strided generic ROMIO
+            selection, kept for ablation).
+        cb_buffer_size: collective buffer bytes per aggregator per round.
+        merge_node_flows: coalesce exchange traffic with a common
+            (source node, aggregator, round) into one flow — pure
+            simulation economy; consecutive ranks share nodes and file
+            extents, so the hardware would see one stream anyway.
+        ctrl_cost_per_rank: per-round collective-control overhead, per
+            rank [s] — ROMIO's exchange is an ``MPI_Alltoallv`` over the
+            *full* communicator every round, whose request setup/scan
+            cost grows linearly with the rank count even when almost all
+            pairs are empty.  This O(p)-per-round term is one of the
+            documented reasons two-phase I/O degrades at scale.
+        global_rounds: model ROMIO's lockstep round structure (round
+            ``r+1``'s exchange starts only after *all* round-``r`` writes
+            completed, because the next alltoallv is collective).  True
+            matches ``ADIOI_GEN_WriteStridedColl``; False is an idealised
+            per-aggregator pipeline kept for ablation.
+    """
+
+    aggregators_on_bridges: bool = True
+    aggregators_per_pset: int = 8
+    cb_buffer_size: int = 16 * MiB
+    merge_node_flows: bool = True
+    ctrl_cost_per_rank: float = 50e-9
+    global_rounds: bool = True
+
+    def __post_init__(self):
+        if self.aggregators_per_pset < 1:
+            raise ConfigError("aggregators_per_pset must be >= 1")
+        if self.cb_buffer_size < 1:
+            raise ConfigError("cb_buffer_size must be >= 1")
+        if self.ctrl_cost_per_rank < 0:
+            raise ConfigError("ctrl_cost_per_rank must be >= 0")
+
+
+@dataclass
+class TwoPhasePlan:
+    """The static plan of one baseline collective write.
+
+    Attributes:
+        aggregator_ranks: cb node ranks, stride-selected.
+        domains: per-aggregator file byte range ``(lo, hi)``.
+        offsets: exclusive prefix sum — rank i writes file bytes
+            ``[offsets[i], offsets[i] + sizes[i])``.
+        sizes: bytes written per rank.
+        bytes_per_aggregator: exchange volume landing on each aggregator.
+        bytes_per_ion: write volume leaving through each ION index.
+    """
+
+    aggregator_ranks: list[int]
+    domains: list[tuple[int, int]]
+    offsets: np.ndarray
+    sizes: np.ndarray
+    bytes_per_aggregator: np.ndarray
+    bytes_per_ion: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes of the collective write."""
+        return int(self.sizes.sum())
+
+    @property
+    def active_aggregators(self) -> int:
+        """Aggregators that actually received any data."""
+        return int(np.count_nonzero(self.bytes_per_aggregator))
+
+    @property
+    def active_ions(self) -> int:
+        """IONs that actually carried any write traffic."""
+        return sum(1 for b in self.bytes_per_ion.values() if b > 0)
+
+
+def plan_collective_write(
+    comm: SimComm,
+    sizes_by_rank: Sequence[int],
+    config: CollectiveIOConfig = CollectiveIOConfig(),
+) -> TwoPhasePlan:
+    """Build the baseline's aggregator/file-domain plan."""
+    sizes = np.asarray(sizes_by_rank, dtype=np.int64)
+    if len(sizes) != comm.size:
+        raise ConfigError(
+            f"sizes_by_rank has {len(sizes)} entries for a comm of size {comm.size}"
+        )
+    if (sizes < 0).any():
+        raise ConfigError("sizes_by_rank must be non-negative")
+    offsets = np.zeros(comm.size, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=offsets[1:])
+    total = int(sizes.sum())
+
+    if config.aggregators_on_bridges and comm.size == comm.mapping.nranks:
+        # ad_bg style: one aggregator rank per bridge node, pset order.
+        # (Bridge ranks are world ranks; only valid on the world comm —
+        # subcommunicators fall back to the rank-strided selection.)
+        agg_ranks = [
+            int(comm.mapping.ranks_on_node(bridge)[0])
+            for pset in comm.system.psets
+            for bridge in pset.bridges
+        ]
+        naggs = len(agg_ranks)
+    else:
+        naggs = min(config.aggregators_per_pset * comm.system.npsets, comm.size)
+        agg_ranks = [int(i * comm.size // naggs) for i in range(naggs)]
+
+    # Equal contiguous file domains over the accessed range.
+    bounds = [int(i * total // naggs) for i in range(naggs + 1)]
+    domains = [(bounds[i], bounds[i + 1]) for i in range(naggs)]
+
+    bytes_per_agg = np.zeros(naggs, dtype=np.int64)
+    for a, (lo, hi) in enumerate(domains):
+        bytes_per_agg[a] = hi - lo
+
+    plan = TwoPhasePlan(
+        aggregator_ranks=agg_ranks,
+        domains=domains,
+        offsets=offsets,
+        sizes=sizes,
+        bytes_per_aggregator=bytes_per_agg,
+    )
+    for a, rank in enumerate(agg_ranks):
+        ion = comm.system.ion_of_node(comm.node_of(rank)).index
+        plan.bytes_per_ion[ion] = plan.bytes_per_ion.get(ion, 0.0) + float(
+            bytes_per_agg[a]
+        )
+    return plan
+
+
+def _domain_of(plan: TwoPhasePlan, offset: int) -> int:
+    """Index of the aggregator whose file domain contains ``offset``."""
+    naggs = len(plan.domains)
+    total = plan.domains[-1][1]
+    if total <= 0:
+        return 0
+    a = min(naggs - 1, offset * naggs // total)
+    # Integer domain bounds may be off by one from the closed form.
+    while a > 0 and offset < plan.domains[a][0]:
+        a -= 1
+    while a < naggs - 1 and offset >= plan.domains[a][1]:
+        a += 1
+    return a
+
+
+def collective_write_flows(
+    prog: FlowProgram,
+    plan: TwoPhasePlan,
+    config: CollectiveIOConfig = CollectiveIOConfig(),
+    *,
+    label: str = "cbio",
+) -> FlowId:
+    """Emit the baseline collective write into ``prog``.
+
+    Returns the flow id of the final join event (completion of the whole
+    collective write — what ``MPI_File_write_all`` returning means).
+    """
+    comm = prog.comm
+    naggs = len(plan.aggregator_ranks)
+    agg_nodes = [comm.node_of(r) for r in plan.aggregator_ranks]
+    cb = config.cb_buffer_size
+
+    # exchange[a][r] maps a source key -> bytes for aggregator a, round r.
+    # The key is the source *node* when merging (16 consecutive ranks share
+    # a node and contiguous file extents) or the source rank otherwise.
+    nrounds = [
+        max(1, -(-(hi - lo) // cb)) if hi > lo else 0 for lo, hi in plan.domains
+    ]
+    exchange: list[list[dict[int, float]]] = [
+        [dict() for _ in range(nr)] for nr in nrounds
+    ]
+    node_of_key: dict[int, int] = {}
+    for rank in range(comm.size):
+        size = int(plan.sizes[rank])
+        if size == 0:
+            continue
+        node = comm.node_of(rank)
+        key = node if config.merge_node_flows else rank
+        node_of_key[key] = node
+        off = int(plan.offsets[rank])
+        end = off + size
+        while off < end:
+            a = _domain_of(plan, off)
+            dom_lo, dom_hi = plan.domains[a]
+            # Clip to this aggregator's domain, then to the cb round.
+            r = (off - dom_lo) // cb
+            round_hi = min(dom_hi, dom_lo + (r + 1) * cb)
+            piece = min(end, round_hi) - off
+            bucket = exchange[a][r]
+            bucket[key] = bucket.get(key, 0.0) + piece
+            off += piece
+
+    # One-time offset allgather (ADIOI_Calc_file_domains): log-depth
+    # latency plus O(p) payload at 16 B per rank.
+    stream = min(prog.params.stream_cap, prog.params.mem_bw)
+    rounds_log = max(1, int(np.ceil(np.log2(max(2, comm.size)))))
+    calc_delay = rounds_log * prog.params.o_msg + 16.0 * comm.size / stream
+    phase_gate: FlowId = prog.event((), delay=calc_delay, label=f"{label}-calc")
+
+    # Per-round alltoallv control overhead (request setup over all ranks).
+    ctrl = config.ctrl_cost_per_rank * comm.size + prog.params.o_msg
+
+    write_fids: list[FlowId] = []
+    nrounds_global = max(nrounds, default=0)
+    if config.global_rounds:
+        for r in range(nrounds_global):
+            round_writes: list[FlowId] = []
+            gate = prog.event((phase_gate,), delay=ctrl, label=f"{label}-a2av")
+            for a in range(naggs):
+                if r >= nrounds[a]:
+                    continue
+                bucket = exchange[a][r]
+                if not bucket:
+                    continue
+                arrivals = [
+                    prog.iput_nodes(
+                        node_of_key[key],
+                        agg_nodes[a],
+                        b,
+                        after=(gate,),
+                        label=f"{label}-xchg",
+                    )
+                    for key, b in sorted(bucket.items())
+                ]
+                round_bytes = float(sum(bucket.values()))
+                w = prog.iwrite_ion(
+                    agg_nodes[a], round_bytes, after=arrivals, label=f"{label}-write"
+                )
+                round_writes.append(w)
+            if round_writes:
+                write_fids.extend(round_writes)
+                phase_gate = prog.event(round_writes, label=f"{label}-round")
+            # else: an all-empty round costs only its control gate.
+    else:
+        for a in range(naggs):
+            prev: FlowId = phase_gate
+            for r in range(nrounds[a]):
+                bucket = exchange[a][r]
+                if not bucket:
+                    continue
+                gate = prog.event((prev,), delay=ctrl, label=f"{label}-a2av")
+                arrivals = [
+                    prog.iput_nodes(
+                        node_of_key[key],
+                        agg_nodes[a],
+                        b,
+                        after=(gate,),
+                        label=f"{label}-xchg",
+                    )
+                    for key, b in sorted(bucket.items())
+                ]
+                round_bytes = float(sum(bucket.values()))
+                w = prog.iwrite_ion(
+                    agg_nodes[a], round_bytes, after=arrivals, label=f"{label}-write"
+                )
+                write_fids.append(w)
+                prev = w
+    if not write_fids:
+        return prog.event((phase_gate,), label=f"{label}-empty")
+    return prog.event(write_fids, label=f"{label}-done")

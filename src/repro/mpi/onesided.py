@@ -1,0 +1,126 @@
+"""One-sided (RMA) windows — the primitive the paper's code is built on.
+
+The paper's multipath engine is implemented with ``MPI_Put``: the source
+puts shares into windows exposed by the proxies, the proxies detect
+completion (a fence / flush) and put onward to the destination.  This
+module provides that vocabulary over :class:`~repro.mpi.program.FlowProgram`:
+
+* :class:`SimWindow` — a per-rank exposure epoch bookkeeping object;
+* :meth:`SimWindow.put` / :meth:`SimWindow.get` — one-sided transfers
+  (``get`` costs an extra request latency before data flows back);
+* :meth:`SimWindow.fence` — closes the epoch: a synchronisation event
+  that depends on every RMA issued since the previous fence, after which
+  targets may safely consume the data.
+
+The engines in :mod:`repro.core` build their flow DAGs directly for
+efficiency; this layer exists for faithful application-level modelling
+(examples, tests, and user code mimicking the paper's implementation).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.program import FlowProgram
+from repro.network.flow import FlowId
+from repro.util.validation import ConfigError
+
+
+class SimWindow:
+    """An RMA window over every rank of a program's communicator.
+
+    Mirrors the ``MPI_Win`` lifecycle the paper's benchmark uses:
+    ``fence; puts; fence`` epochs.  Each rank's view of the epoch is
+    tracked so a fence correctly joins all accesses touching any rank.
+    """
+
+    def __init__(self, prog: FlowProgram, *, label: str = "win"):
+        self.prog = prog
+        self.label = label
+        self._epoch = 0
+        self._accesses: list[FlowId] = []
+        self._last_fence: "FlowId | None" = None
+        self._closed = False
+
+    @property
+    def epoch(self) -> int:
+        """Number of completed fence epochs."""
+        return self._epoch
+
+    def _check_open(self):
+        if self._closed:
+            raise ConfigError("window is freed")
+
+    def put(
+        self,
+        origin_rank: int,
+        target_rank: int,
+        nbytes: float,
+        *,
+        after: "tuple[FlowId, ...]" = (),
+    ) -> FlowId:
+        """One-sided put: origin writes into the target's window."""
+        self._check_open()
+        deps = tuple(after)
+        if self._last_fence is not None:
+            deps = deps + (self._last_fence,)
+        fid = self.prog.iput(
+            origin_rank,
+            target_rank,
+            nbytes,
+            after=deps,
+            label=f"{self.label}-put",
+        )
+        self._accesses.append(fid)
+        return fid
+
+    def get(
+        self,
+        origin_rank: int,
+        target_rank: int,
+        nbytes: float,
+        *,
+        after: "tuple[FlowId, ...]" = (),
+    ) -> FlowId:
+        """One-sided get: data flows target → origin after a request
+        round-trip (one extra ``o_msg`` of latency vs a put)."""
+        self._check_open()
+        deps = tuple(after)
+        if self._last_fence is not None:
+            deps = deps + (self._last_fence,)
+        request = self.prog.event(
+            deps, delay=self.prog.params.o_msg, label=f"{self.label}-req"
+        )
+        fid = self.prog.iput(
+            target_rank,
+            origin_rank,
+            nbytes,
+            after=(request,),
+            label=f"{self.label}-get",
+        )
+        self._accesses.append(fid)
+        return fid
+
+    def fence(self) -> FlowId:
+        """Close the access epoch: completes when every RMA since the
+        previous fence has landed (plus one barrier latency)."""
+        self._check_open()
+        deps = tuple(self._accesses)
+        if self._last_fence is not None:
+            deps = deps + (self._last_fence,)
+        fence = self.prog.event(
+            deps, delay=self.prog.params.o_msg, label=f"{self.label}-fence"
+        )
+        self._accesses = []
+        self._last_fence = fence
+        self._epoch += 1
+        return fence
+
+    def free(self) -> "FlowId | None":
+        """Release the window; returns the last fence (if any) so callers
+        can order teardown."""
+        self._check_open()
+        if self._accesses:
+            raise ConfigError(
+                "window freed with un-fenced accesses; call fence() first"
+            )
+        self._closed = True
+        return self._last_fence

@@ -1,0 +1,54 @@
+"""Network simulators and performance models.
+
+Two complementary simulators share the same topology/link abstractions:
+
+* :class:`repro.network.flowsim.FlowSim` — a fluid, flow-level
+  discrete-event simulator.  Concurrent transfers are fluid flows that
+  receive **max-min fair** shares of every directed link they traverse
+  (progressive filling); events fire at flow activations and completions.
+  This is the workhorse for all paper experiments: RDMA bulk transfers on
+  a torus are long-lived and bandwidth-bound, exactly the regime where
+  fluid fair-sharing models are accurate.
+
+* :class:`repro.network.packetsim.PacketSim` — a packet-level simulator
+  with per-link FIFOs and cut-through arbitration, used on small
+  configurations to cross-validate the fluid model's contention behaviour
+  (tests assert the two agree on who-shares-what).
+
+:mod:`repro.network.params` holds the calibrated Mira constants,
+:mod:`repro.network.endpoint` the per-message Messaging-Unit overhead
+model (the source of the paper's Eq. 4 threshold behaviour), and
+:mod:`repro.network.congestion` a fast closed-form makespan bound used at
+the largest scales.
+"""
+
+from repro.network.params import NetworkParams, MIRA_PARAMS
+from repro.network.endpoint import EndpointModel
+from repro.network.flow import Flow, FlowResult
+from repro.network.flowsim import FlowSim, FlowSimResult, uniform_capacities
+from repro.network.congestion import congestion_makespan
+from repro.network.stats import LinkStats, summarize_links
+from repro.network.packet import Packet
+from repro.network.packetsim import PacketSim, PacketSimResult
+from repro.network.trace import build_trace, trace_json, trace_csv, gantt
+
+__all__ = [
+    "NetworkParams",
+    "MIRA_PARAMS",
+    "EndpointModel",
+    "Flow",
+    "FlowResult",
+    "FlowSim",
+    "FlowSimResult",
+    "uniform_capacities",
+    "congestion_makespan",
+    "LinkStats",
+    "summarize_links",
+    "Packet",
+    "PacketSim",
+    "PacketSimResult",
+    "build_trace",
+    "trace_json",
+    "trace_csv",
+    "gantt",
+]

@@ -1,0 +1,64 @@
+"""Per-message endpoint (Messaging Unit) cost model.
+
+The paper models a transfer as ``t = t_s + t_t + t_r`` (its Eq. 1):
+sender processing/injection, wire transfer, receiver processing/storage.
+Splitting a message over ``k`` store-and-forward paths gives
+``t' = 2 (t'_s + t'_t + t'_r)`` (Eq. 2), and the key inequality (Eq. 4)
+is that the *processing* components do not shrink linearly with ``k``
+because they contain fixed per-message costs.
+
+This module realises that structure for the fluid simulator:
+
+* every message pays a fixed latency ``o_msg`` (``t_s + t_r`` fixed
+  parts) that does not scale with size or path count;
+* each store-and-forward relay adds ``o_fwd`` (the proxy's extra
+  receive-process-reinject turnaround);
+* the size-dependent part is bandwidth-shaped: a single stream moves at
+  ``min(stream_cap, fair link share)``, which the simulator resolves.
+
+Local (same node) copies move at ``mem_bw``.
+"""
+
+from __future__ import annotations
+
+from repro.network.params import NetworkParams
+from repro.util.validation import check_non_negative
+
+
+class EndpointModel:
+    """Computes per-message latencies and rate caps from the parameters."""
+
+    def __init__(self, params: NetworkParams):
+        self.params = params
+
+    def message_latency(self, nbytes: float, *, nrelays: int = 0) -> float:
+        """Serial (non-bandwidth) latency of one message.
+
+        Args:
+            nbytes: message size (validated non-negative; the latency is
+                size-independent in this model — size effects enter
+                through the bandwidth term resolved by the simulator).
+            nrelays: number of store-and-forward intermediate nodes on the
+                message's journey (0 for a direct transfer).
+        """
+        check_non_negative("nbytes", nbytes)
+        check_non_negative("nrelays", nrelays)
+        return self.params.o_msg + nrelays * self.params.o_fwd
+
+    def stream_rate_cap(self) -> float:
+        """Upper bound on a single message stream's bandwidth."""
+        return min(self.params.stream_cap, self.params.mem_bw)
+
+    def local_copy_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` within one node's memory."""
+        check_non_negative("nbytes", nbytes)
+        return self.params.o_msg + nbytes / self.params.mem_bw
+
+    def direct_time(self, nbytes: float, path_rate: "float | None" = None) -> float:
+        """Closed-form time of an uncontended direct transfer.
+
+        ``path_rate`` lets callers model a known bottleneck (e.g. a shared
+        link share); defaults to the single-stream cap.
+        """
+        rate = self.stream_rate_cap() if path_rate is None else min(path_rate, self.stream_rate_cap())
+        return self.message_latency(nbytes) + nbytes / rate

@@ -1,0 +1,54 @@
+"""Bounded FIFO queues modelling the BG/Q Messaging Unit buffers.
+
+Each BG/Q node has injection FIFOs feeding its send units and reception
+FIFOs fed by its receive units; the MU provides enough FIFOs to saturate
+all links, but each individual FIFO is finite, which is what creates
+backpressure (and head-of-line blocking) under contention.  The
+packet-level simulator attaches one :class:`LinkFifo` to every directed
+link.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.network.packet import Packet
+from repro.util.validation import ConfigError
+
+
+class LinkFifo:
+    """A bounded FIFO of packets waiting to cross one directed link."""
+
+    def __init__(self, depth: int = 8):
+        if depth < 1:
+            raise ConfigError(f"FIFO depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._q: Deque[Packet] = deque()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        """True when no more packets can be enqueued."""
+        return len(self._q) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        """True when there is nothing to transmit."""
+        return not self._q
+
+    def push(self, pkt: Packet) -> None:
+        """Enqueue a packet; caller must check :attr:`full` first."""
+        if self.full:
+            raise ConfigError("push into a full FIFO (caller must check backpressure)")
+        self._q.append(pkt)
+
+    def peek(self) -> Packet:
+        """The packet that would transmit next."""
+        return self._q[0]
+
+    def pop(self) -> Packet:
+        """Dequeue the head packet."""
+        return self._q.popleft()

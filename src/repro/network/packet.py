@@ -1,0 +1,46 @@
+"""Packet records for the packet-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass
+class Packet:
+    """One network packet of a chopped-up message.
+
+    Attributes:
+        mid: id of the message this packet belongs to.
+        seq: packet sequence number within the message.
+        path: directed link ids the packet must traverse.
+        hop: index into ``path`` of the next link to cross.
+    """
+
+    mid: Hashable
+    seq: int
+    path: tuple[int, ...]
+    hop: int = 0
+
+    @property
+    def delivered(self) -> bool:
+        """True once the packet has crossed its whole path."""
+        return self.hop >= len(self.path)
+
+    def next_link(self) -> int:
+        """The next directed link this packet will occupy."""
+        return self.path[self.hop]
+
+
+@dataclass(frozen=True)
+class PacketMessage:
+    """A message to be transmitted packet-by-packet.
+
+    ``size`` is payload bytes; the simulator chops it into
+    ``ceil(size / packet_payload)`` packets.
+    """
+
+    mid: Hashable
+    size: int
+    path: tuple[int, ...]
+    inject_tick: int = 0

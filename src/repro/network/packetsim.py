@@ -1,0 +1,147 @@
+"""Packet-level torus simulator (validation substrate).
+
+A time-stepped store-and-forward simulator: time advances in *ticks* of
+one packet transmission (``packet_payload / link_bw`` seconds).  Every
+directed link has a bounded :class:`~repro.network.fifo.LinkFifo`; per
+tick each link transmits its head packet to the FIFO of the packet's next
+link (or delivers it), stalling under backpressure.  Sources inject at
+most one packet per outgoing link per tick (the MU can drive all links
+concurrently but each send unit feeds one link).
+
+This model is far too slow for 8K-node experiments — that is
+:class:`repro.network.flowsim.FlowSim`'s job — but on small
+configurations it provides an independent check that the fluid model's
+contention behaviour (equal sharing of a contended link, k-path speedup)
+is not an artefact of the max-min abstraction.  Tests compare the two.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.network.fifo import LinkFifo
+from repro.network.packet import Packet, PacketMessage
+from repro.network.params import MIRA_PARAMS, NetworkParams
+from repro.util.validation import ConfigError, SimulationError
+
+
+@dataclass(frozen=True)
+class PacketSimResult:
+    """Delivery times (in seconds) per message, plus the tick count run."""
+
+    finish_times: dict
+    ticks: int
+    tick_seconds: float
+
+    def finish(self, mid: Hashable) -> float:
+        """Delivery time of one message (seconds)."""
+        return self.finish_times[mid]
+
+    @property
+    def makespan(self) -> float:
+        """Time when the last message finished."""
+        return max(self.finish_times.values(), default=0.0)
+
+    def throughput(self, mid: Hashable, size: int) -> float:
+        """Achieved bandwidth of one message."""
+        t = self.finish_times[mid]
+        return size / t if t > 0 else float("inf")
+
+
+class PacketSim:
+    """Store-and-forward packet simulator over arbitrary directed links."""
+
+    def __init__(
+        self,
+        params: NetworkParams = MIRA_PARAMS,
+        *,
+        fifo_depth: int = 8,
+        max_ticks: int = 10_000_000,
+    ):
+        self.params = params
+        self.fifo_depth = int(fifo_depth)
+        self.max_ticks = int(max_ticks)
+        self.tick_seconds = params.packet_payload / params.link_bw
+
+    def run(self, messages: Sequence[PacketMessage]) -> PacketSimResult:
+        """Simulate all messages to delivery."""
+        for m in messages:
+            if m.size <= 0:
+                raise ConfigError(f"message {m.mid!r}: size must be > 0")
+            if not m.path:
+                raise ConfigError(f"message {m.mid!r}: empty path (same-node copy)")
+        fifos: dict[int, LinkFifo] = {}
+
+        def fifo(g: int) -> LinkFifo:
+            f = fifos.get(g)
+            if f is None:
+                f = LinkFifo(self.fifo_depth)
+                fifos[g] = f
+            return f
+
+        # Per-message packet generators (injected lazily, 1/tick/first-link).
+        pending = {
+            m.mid: [
+                math.ceil(m.size / self.params.packet_payload),  # packets left
+                0,  # next seq
+            ]
+            for m in messages
+        }
+        inject_at = {m.mid: m.inject_tick for m in messages}
+        paths = {m.mid: tuple(m.path) for m in messages}
+        undelivered = {
+            m.mid: math.ceil(m.size / self.params.packet_payload) for m in messages
+        }
+        finish_ticks: dict = {}
+
+        tick = 0
+        while len(finish_ticks) < len(messages):
+            if tick > self.max_ticks:
+                raise SimulationError(
+                    f"packet simulation exceeded {self.max_ticks} ticks "
+                    f"({len(messages) - len(finish_ticks)} messages unfinished)"
+                )
+            # 1) every link transmits its head packet (snapshot heads first
+            #    so a packet moved this tick is not re-transmitted this tick).
+            moves: list[tuple[int, Packet]] = []
+            for g, f in fifos.items():
+                if not f.empty:
+                    moves.append((g, f.peek()))
+            for g, pkt in moves:
+                if pkt.hop + 1 >= len(pkt.path):
+                    fifos[g].pop()
+                    pkt.hop += 1
+                    undelivered[pkt.mid] -= 1
+                    if undelivered[pkt.mid] == 0 and pending[pkt.mid][0] == 0:
+                        finish_ticks[pkt.mid] = tick + 1
+                else:
+                    nxt = fifo(pkt.path[pkt.hop + 1])
+                    if not nxt.full:
+                        fifos[g].pop()
+                        pkt.hop += 1
+                        nxt.push(pkt)
+                    # else: backpressure stall; retry next tick
+            # 2) sources inject one packet per message per tick.  The
+            # injection order rotates each tick so messages sharing a full
+            # first-link FIFO alternate instead of the dict-first message
+            # monopolising the freed slot (round-robin send-unit
+            # arbitration).
+            mids = list(pending.keys())
+            offset = tick % len(mids) if mids else 0
+            for mid in mids[offset:] + mids[:offset]:
+                state = pending[mid]
+                if state[0] > 0 and tick >= inject_at[mid]:
+                    first = fifo(paths[mid][0])
+                    if not first.full:
+                        first.push(Packet(mid=mid, seq=state[1], path=paths[mid]))
+                        state[0] -= 1
+                        state[1] += 1
+            tick += 1
+
+        return PacketSimResult(
+            finish_times={mid: t * self.tick_seconds for mid, t in finish_ticks.items()},
+            ticks=tick,
+            tick_seconds=self.tick_seconds,
+        )

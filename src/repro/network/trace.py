@@ -1,0 +1,93 @@
+"""Timeline traces of simulation runs.
+
+Converts a :class:`~repro.network.flowsim.FlowSimResult` into portable
+records — per-flow timelines with tags, a Gantt-style text chart, and
+JSON/CSV export — so runs can be inspected, diffed, or fed to external
+plotting without rerunning the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass
+
+from repro.network.flowsim import FlowSimResult
+from repro.util.units import format_time
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One flow's timeline entry."""
+
+    fid: str
+    size: float
+    start: float
+    finish: float
+    mean_rate: float
+    tag: str
+
+
+def build_trace(result: FlowSimResult) -> list[TraceRecord]:
+    """Flatten a result into records sorted by start time."""
+    records = []
+    for r in result.results.values():
+        records.append(
+            TraceRecord(
+                fid=str(r.fid),
+                size=float(r.size),
+                start=float(r.start),
+                finish=float(r.finish),
+                mean_rate=float(r.mean_rate) if r.duration > 0 else 0.0,
+                tag="" if r.tag is None else str(r.tag),
+            )
+        )
+    return sorted(records, key=lambda x: (x.start, x.finish, x.fid))
+
+
+def trace_json(result: FlowSimResult, *, indent: int = 2) -> str:
+    """The trace as a JSON document (records + makespan)."""
+    payload = {
+        "makespan": result.makespan,
+        "total_bytes": result.total_bytes(),
+        "flows": [asdict(r) for r in build_trace(result)],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def trace_csv(result: FlowSimResult) -> str:
+    """The trace as CSV text (one row per flow)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["fid", "size", "start", "finish", "mean_rate", "tag"])
+    for r in build_trace(result):
+        writer.writerow([r.fid, r.size, r.start, r.finish, r.mean_rate, r.tag])
+    return buf.getvalue()
+
+
+def gantt(result: FlowSimResult, *, width: int = 60, max_rows: int = 40) -> str:
+    """An ASCII Gantt chart of (up to ``max_rows``) flow timelines.
+
+    Zero-byte join events are skipped; rows are labelled with the flow id
+    and aligned to a shared time axis.
+    """
+    if width < 10:
+        raise ConfigError(f"width must be >= 10, got {width}")
+    records = [r for r in build_trace(result) if r.size > 0]
+    if not records:
+        return "(no data flows)"
+    span = max(result.makespan, 1e-30)
+    shown = records[:max_rows]
+    label_w = min(24, max(len(r.fid) for r in shown))
+    lines = []
+    for r in shown:
+        lo = int(width * r.start / span)
+        hi = max(lo + 1, int(width * r.finish / span))
+        bar = " " * lo + "=" * (hi - lo) + " " * (width - hi)
+        lines.append(f"{r.fid[:label_w]:>{label_w}} |{bar}|")
+    if len(records) > max_rows:
+        lines.append(f"... {len(records) - max_rows} more flows")
+    lines.append(f"{'':>{label_w}}  0{'':{width - 10}}{format_time(span):>8}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Deterministic (dimension-ordered) BG/Q routing.
+
+BG/Q routes each packet dimension by dimension.  Deterministic routing
+orders the dimensions *longest to shortest* by remaining hop count
+(``zone 0``-style, with fixed tie-breaks in zones 2/3); dynamic routing
+("zone routing") allows programmable orders.  The paper's algorithms rely
+on the deterministic case: because the path of a message is known a
+priori from the torus shape, source and destination coordinates, proxies
+can be placed so concurrent transfers share no links.
+
+This package computes those deterministic paths as sequences of directed
+link ids (see :mod:`repro.torus.links`), models the four zone ids, and
+provides overlap analysis between paths.
+"""
+
+from repro.routing.order import (
+    dims_longest_to_shortest,
+    dims_by_index,
+    routing_dim_order,
+)
+from repro.routing.zones import ZoneId, zone_dim_order, select_zone, flexibility
+from repro.routing.deterministic import route, route_coords, DimOrderRouter
+from repro.routing.paths import (
+    Path,
+    shared_links,
+    paths_overlap,
+    count_link_loads,
+    max_link_load,
+)
+
+__all__ = [
+    "dims_longest_to_shortest",
+    "dims_by_index",
+    "routing_dim_order",
+    "ZoneId",
+    "zone_dim_order",
+    "select_zone",
+    "flexibility",
+    "route",
+    "route_coords",
+    "DimOrderRouter",
+    "Path",
+    "shared_links",
+    "paths_overlap",
+    "count_link_loads",
+    "max_link_load",
+]

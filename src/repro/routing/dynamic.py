@@ -1,0 +1,57 @@
+"""Dynamic (zone 0/1) routing as a flow-level model.
+
+BG/Q's dynamic routing is per-packet: zone 0 picks randomly among the
+longest remaining dimensions, zone 1 among all remaining dimensions, so
+one message's packets spray over many dimension-ordered paths.  The
+fluid-level approximation here splits a message into ``nsplits``
+subflows, each routed with an independently sampled zone-conformant
+dimension order, each capped at ``stream_cap / nsplits`` — dynamic
+routing *spreads load over links* but cannot push a single message
+stream past the per-stream protocol ceiling (the reception-side
+serialisation the paper leverages proxies to escape; see §II's contrast
+with adaptive-routing work).
+"""
+
+from __future__ import annotations
+
+from repro.routing.deterministic import route
+from repro.routing.paths import Path
+from repro.routing.zones import ZoneId, zone_dim_order
+from repro.torus.topology import TorusTopology
+from repro.util.rng import make_rng
+from repro.util.validation import ConfigError
+
+
+class DynamicRouter:
+    """Samples zone-conformant paths for messages."""
+
+    def __init__(
+        self,
+        topology: TorusTopology,
+        zone: ZoneId = ZoneId.DYNAMIC_UNRESTRICTED,
+        seed=None,
+    ):
+        self.topology = topology
+        self.zone = ZoneId(zone)
+        if self.zone not in (ZoneId.DYNAMIC_LONGEST_FIRST, ZoneId.DYNAMIC_UNRESTRICTED):
+            raise ConfigError(
+                f"zone {self.zone} is deterministic; use DimOrderRouter instead"
+            )
+        self.rng = make_rng(seed)
+
+    def sample_path(self, src: int, dst: int) -> Path:
+        """One zone-conformant path draw for a message."""
+        order = zone_dim_order(
+            self.zone,
+            self.topology.coord(src),
+            self.topology.coord(dst),
+            self.topology.shape,
+            rng=self.rng,
+        )
+        return route(self.topology, src, dst, order=order)
+
+    def sample_spray(self, src: int, dst: int, nsplits: int) -> list[Path]:
+        """``nsplits`` independent path draws (the packet-spray model)."""
+        if nsplits < 1:
+            raise ConfigError(f"nsplits must be >= 1, got {nsplits}")
+        return [self.sample_path(src, dst) for _ in range(nsplits)]

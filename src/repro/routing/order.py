@@ -1,0 +1,49 @@
+"""Dimension-order computation for dimension-ordered routing.
+
+Deterministic BG/Q routing traverses dimensions *longest to shortest* by
+the hop distance the message must cover in each dimension.  Dimensions
+needing zero hops are skipped.  Ties (equal hop counts) are broken by
+ascending dimension index — a fixed, documented rule standing in for the
+hardware's static tie-break, preserving the property the paper needs:
+the path is fully determined by (shape, src, dst).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.torus.coords import hop_distance
+
+
+def dims_by_index(hops: Sequence[int]) -> tuple[int, ...]:
+    """Dimensions with nonzero hops, in plain ascending-index order."""
+    return tuple(d for d, h in enumerate(hops) if h > 0)
+
+
+def dims_longest_to_shortest(
+    hops: Sequence[int],
+    rng: "np.random.Generator | None" = None,
+) -> tuple[int, ...]:
+    """Dimensions with nonzero hops, longest hop count first.
+
+    Ties are broken by ascending dimension index, or randomly when ``rng``
+    is given (zone 0 allows random choice among equal-length dimensions).
+    """
+    active = [d for d, h in enumerate(hops) if h > 0]
+    if rng is None:
+        return tuple(sorted(active, key=lambda d: (-hops[d], d)))
+    jitter = rng.random(len(hops))
+    return tuple(sorted(active, key=lambda d: (-hops[d], jitter[d])))
+
+
+def routing_dim_order(
+    src_coord: Sequence[int],
+    dst_coord: Sequence[int],
+    shape: Sequence[int],
+    rng: "np.random.Generator | None" = None,
+) -> tuple[int, ...]:
+    """The deterministic dimension traversal order from ``src`` to ``dst``."""
+    hops = hop_distance(src_coord, dst_coord, shape)
+    return dims_longest_to_shortest(hops, rng=rng)

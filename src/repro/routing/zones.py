@@ -1,0 +1,108 @@
+"""BG/Q routing-zone semantics.
+
+The BG/Q messaging stack (PAMI) picks one of four *zone ids* per message:
+
+* **zone 0** — longest-to-shortest dimension order, but dimensions with
+  equal remaining hop counts may be chosen in random order;
+* **zone 1** — unrestricted: dimensions traversed in a random order;
+* **zone 2 / zone 3** — fully deterministic: a fixed order given the
+  message, so the path is known before the message is routed.
+
+The real selection of zone id from (torus shape, hop distance, message
+size) is an experiment-derived table hard-coded in IBM's low-level
+libraries; :func:`select_zone` implements a documented heuristic with the
+same monotone structure (large messages on flexible routes get dynamic
+zones; small messages and inflexible routes get deterministic ones).
+Users can force a zone, mirroring the ``PAMI_ROUTING`` environment
+variable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.torus.coords import hop_distance
+from repro.routing.order import dims_longest_to_shortest, dims_by_index
+from repro.util.units import KiB
+
+
+class ZoneId(enum.IntEnum):
+    """The four BG/Q routing zones."""
+
+    DYNAMIC_LONGEST_FIRST = 0
+    DYNAMIC_UNRESTRICTED = 1
+    DETERMINISTIC_LONGEST_FIRST = 2
+    DETERMINISTIC_DIM_ORDER = 3
+
+
+def flexibility(
+    src_coord: Sequence[int],
+    dst_coord: Sequence[int],
+    shape: Sequence[int],
+) -> float:
+    """Routing-flexibility metric of a (src, dst) pair.
+
+    Defined here as the mean, over dimensions that must be traversed, of
+    ``hops_d / size_d`` — the fraction of each ring the message crosses.
+    Long traversals through large dimensions leave more freedom for
+    dynamic routing (more intermediate orderings make progress), which is
+    the qualitative property of the BG/Q metric.
+    """
+    hops = hop_distance(src_coord, dst_coord, shape)
+    active = [(h, s) for h, s in zip(hops, shape) if h > 0]
+    if not active:
+        return 0.0
+    return float(np.mean([h / s for h, s in active]))
+
+
+def select_zone(
+    src_coord: Sequence[int],
+    dst_coord: Sequence[int],
+    shape: Sequence[int],
+    msg_bytes: int,
+    *,
+    flex_threshold: float = 0.25,
+    size_threshold: int = 64 * KiB,
+) -> ZoneId:
+    """Pick a zone id from flexibility and message size (heuristic).
+
+    Large messages over flexible routes benefit from dynamic routing
+    (zones 0/1); small messages, where per-packet ordering overheads
+    dominate, and inflexible routes use the deterministic zones (2/3).
+    """
+    flex = flexibility(src_coord, dst_coord, shape)
+    if msg_bytes >= size_threshold and flex >= flex_threshold:
+        return ZoneId.DYNAMIC_UNRESTRICTED if flex >= 2 * flex_threshold else ZoneId.DYNAMIC_LONGEST_FIRST
+    if flex >= flex_threshold:
+        return ZoneId.DETERMINISTIC_LONGEST_FIRST
+    return ZoneId.DETERMINISTIC_DIM_ORDER
+
+
+def zone_dim_order(
+    zone: ZoneId,
+    src_coord: Sequence[int],
+    dst_coord: Sequence[int],
+    shape: Sequence[int],
+    rng: "np.random.Generator | None" = None,
+) -> tuple[int, ...]:
+    """Dimension traversal order under a given zone.
+
+    Zones 0 and 1 require an ``rng`` for their random components; without
+    one they degrade to their deterministic counterparts (useful for
+    reproducible analysis).
+    """
+    hops = hop_distance(src_coord, dst_coord, shape)
+    zone = ZoneId(zone)
+    if zone == ZoneId.DYNAMIC_LONGEST_FIRST:
+        return dims_longest_to_shortest(hops, rng=rng)
+    if zone == ZoneId.DYNAMIC_UNRESTRICTED:
+        active = list(dims_by_index(hops))
+        if rng is not None:
+            rng.shuffle(active)
+        return tuple(active)
+    if zone == ZoneId.DETERMINISTIC_LONGEST_FIRST:
+        return dims_longest_to_shortest(hops, rng=None)
+    return dims_by_index(hops)

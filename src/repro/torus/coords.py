@@ -1,0 +1,122 @@
+"""Torus coordinate arithmetic.
+
+Coordinates are plain tuples of ints, one entry per torus dimension
+(``(a, b, c, d, e)`` on BG/Q).  Node *indices* are the row-major
+linearisation of coordinates: the first dimension varies slowest, the
+last fastest — matching the natural ``ABCDE`` enumeration order of BG/Q
+partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.util.validation import ConfigError
+
+Coord = tuple[int, ...]
+Shape = tuple[int, ...]
+
+
+def _check_shape(shape: Sequence[int]) -> Shape:
+    shape = tuple(int(s) for s in shape)
+    if not shape:
+        raise ConfigError("torus shape must have at least one dimension")
+    for s in shape:
+        if s < 1:
+            raise ConfigError(f"torus dimension sizes must be >= 1, got {shape}")
+    return shape
+
+
+def _check_coord(coord: Sequence[int], shape: Shape) -> Coord:
+    coord = tuple(int(c) for c in coord)
+    if len(coord) != len(shape):
+        raise ConfigError(
+            f"coordinate {coord} has {len(coord)} dims, shape {shape} has {len(shape)}"
+        )
+    for c, s in zip(coord, shape):
+        if not 0 <= c < s:
+            raise ConfigError(f"coordinate {coord} out of bounds for shape {shape}")
+    return coord
+
+
+def coord_to_index(coord: Sequence[int], shape: Sequence[int]) -> int:
+    """Linearise ``coord`` row-major (first dim slowest) into a node index."""
+    shape = _check_shape(shape)
+    coord = _check_coord(coord, shape)
+    idx = 0
+    for c, s in zip(coord, shape):
+        idx = idx * s + c
+    return idx
+
+
+def index_to_coord(index: int, shape: Sequence[int]) -> Coord:
+    """Inverse of :func:`coord_to_index`."""
+    shape = _check_shape(shape)
+    n = 1
+    for s in shape:
+        n *= s
+    if not 0 <= index < n:
+        raise ConfigError(f"node index {index} out of range for shape {shape}")
+    coord = []
+    for s in reversed(shape):
+        coord.append(index % s)
+        index //= s
+    return tuple(reversed(coord))
+
+
+def wrap_displacement(src: int, dst: int, size: int) -> tuple[int, int]:
+    """Shortest signed displacement from ``src`` to ``dst`` on a ring.
+
+    Returns ``(hops, sign)`` where ``hops >= 0`` and ``sign`` is ``+1`` or
+    ``-1`` (``+1`` when no movement is needed).  When the two directions
+    tie (displacement exactly half the ring), the *positive* direction is
+    chosen — a fixed tie-break mirroring the determinism of BG/Q
+    dimension-ordered routing (the hardware breaks the tie by a static
+    per-dimension rule; any fixed rule preserves determinism, which is
+    what proxy placement relies on).
+    """
+    if size <= 0:
+        raise ConfigError(f"ring size must be positive, got {size}")
+    fwd = (dst - src) % size
+    bwd = (src - dst) % size
+    if fwd == 0:
+        return 0, +1
+    if fwd <= bwd:
+        return fwd, +1
+    return bwd, -1
+
+
+def hop_distance(c1: Sequence[int], c2: Sequence[int], shape: Sequence[int]) -> tuple[int, ...]:
+    """Per-dimension shortest hop counts between two coordinates."""
+    shape = _check_shape(shape)
+    c1 = _check_coord(c1, shape)
+    c2 = _check_coord(c2, shape)
+    return tuple(wrap_displacement(a, b, s)[0] for a, b, s in zip(c1, c2, shape))
+
+
+def torus_distance(c1: Sequence[int], c2: Sequence[int], shape: Sequence[int]) -> int:
+    """Total (Manhattan-on-torus) hop distance between two coordinates."""
+    return sum(hop_distance(c1, c2, shape))
+
+
+def neighbor_coord(coord: Sequence[int], dim: int, sign: int, shape: Sequence[int]) -> Coord:
+    """Coordinate one hop from ``coord`` along ``dim`` in direction ``sign``."""
+    shape = _check_shape(shape)
+    coord = _check_coord(coord, shape)
+    if not 0 <= dim < len(shape):
+        raise ConfigError(f"dimension {dim} out of range for shape {shape}")
+    if sign not in (+1, -1):
+        raise ConfigError(f"sign must be +1 or -1, got {sign}")
+    out = list(coord)
+    out[dim] = (out[dim] + sign) % shape[dim]
+    return tuple(out)
+
+
+def all_coords(shape: Sequence[int]) -> Iterator[Coord]:
+    """Iterate all coordinates of ``shape`` in node-index order."""
+    shape = _check_shape(shape)
+    n = 1
+    for s in shape:
+        n *= s
+    for i in range(n):
+        yield index_to_coord(i, shape)

@@ -1,0 +1,40 @@
+"""Directed-link identifiers for the torus.
+
+Every node owns ``2 * ndims`` outgoing directed torus links (one per
+direction per dimension).  A directed link is identified by the integer
+
+    ``link_id = node * (2 * ndims) + dim * 2 + (1 if sign > 0 else 0)``
+
+which packs ``(node, dim, sign)`` densely into ``[0, 2 * ndims * nnodes)``.
+I/O (11th) links live in a separate id space appended after all torus
+links; they are allocated by :class:`repro.machine.system.BGQSystem`.
+"""
+
+from __future__ import annotations
+
+DIR_MINUS = -1
+DIR_PLUS = +1
+
+
+def torus_link_count(nnodes: int, ndims: int) -> int:
+    """Total number of directed torus links."""
+    return nnodes * 2 * ndims
+
+
+def torus_link_id(node: int, dim: int, sign: int, ndims: int) -> int:
+    """Pack ``(node, dim, sign)`` into a dense directed-link id."""
+    return node * (2 * ndims) + dim * 2 + (1 if sign > 0 else 0)
+
+
+def link_id_parts(link_id: int, ndims: int) -> tuple[int, int, int]:
+    """Unpack a torus link id into ``(node, dim, sign)``."""
+    node, rest = divmod(link_id, 2 * ndims)
+    dim, bit = divmod(rest, 2)
+    return node, dim, (DIR_PLUS if bit else DIR_MINUS)
+
+
+def describe_link(link_id: int, ndims: int, dim_names: str = "ABCDEFGH") -> str:
+    """Human-readable form, e.g. ``"n17:+B"``."""
+    node, dim, sign = link_id_parts(link_id, ndims)
+    name = dim_names[dim] if dim < len(dim_names) else str(dim)
+    return f"n{node}:{'+' if sign > 0 else '-'}{name}"

@@ -1,0 +1,54 @@
+"""Mira partition shape catalogue.
+
+The paper quotes specific torus shapes for its experiments (``2x2x4x4x2``
+at 128 nodes, ``4x4x4x4x2`` at 512, ``4x4x4x16x2`` at 2048).  Mira
+allocates non-overlapping rectangular sub-tori per job; this module
+records the standard shape per node count so experiments can say
+"2,048 cores" and get the same torus the paper measured on.
+
+Mira has 16 application cores per node; the paper's x-axes are in cores,
+so 2,048 cores ≡ 128 nodes, …, 131,072 cores ≡ 8,192 nodes.
+"""
+
+from __future__ import annotations
+
+from repro.torus.coords import Shape
+from repro.util.validation import ConfigError
+
+CORES_PER_NODE = 16
+
+#: Standard Mira partition torus dimensions by node count.  128/512/2048
+#: are quoted verbatim in the paper; the others follow Mira's doubling
+#: sequence (each step doubles one dimension, E is always 2).
+MIRA_PARTITION_SHAPES: dict[int, Shape] = {
+    32: (2, 2, 2, 2, 2),
+    64: (2, 2, 4, 2, 2),
+    128: (2, 2, 4, 4, 2),       # paper, Fig. 5
+    256: (4, 2, 4, 4, 2),
+    512: (4, 4, 4, 4, 2),       # paper, Fig. 7
+    1024: (4, 4, 4, 8, 2),
+    2048: (4, 4, 4, 16, 2),     # paper, Fig. 6
+    4096: (4, 4, 8, 16, 2),
+    8192: (4, 4, 16, 16, 2),
+    16384: (4, 8, 16, 16, 2),
+    32768: (8, 8, 16, 16, 2),
+    49152: (8, 12, 16, 16, 2),  # full Mira
+}
+
+
+def partition_shape(nnodes: int) -> Shape:
+    """Torus shape of the standard Mira partition with ``nnodes`` nodes."""
+    try:
+        return MIRA_PARTITION_SHAPES[int(nnodes)]
+    except KeyError:
+        raise ConfigError(
+            f"no standard Mira partition with {nnodes} nodes; "
+            f"known sizes: {sorted(MIRA_PARTITION_SHAPES)}"
+        ) from None
+
+
+def nodes_for_cores(ncores: int) -> int:
+    """Node count for a core count (16 cores/node on Mira)."""
+    if ncores % CORES_PER_NODE:
+        raise ConfigError(f"core count {ncores} is not a multiple of {CORES_PER_NODE}")
+    return ncores // CORES_PER_NODE

@@ -1,0 +1,148 @@
+"""Submachine allocation — carving rectangular sub-tori out of a machine.
+
+Paper §III: "The machine can be partitioned into non-overlapping
+rectangular submachines for certain applications upon request.  These
+submachines do not interfere with each other except for I/O nodes and
+the corresponding storage system."
+
+:class:`SubmachineAllocator` manages exactly that: it tiles a parent
+torus into axis-aligned boxes, hands out non-overlapping allocations by
+requested node count (choosing a box shape that evenly divides the
+parent), and releases them.  An allocation's box is electrically
+isolated on BG/Q — its wrap links are its own — so each allocation maps
+to an independent :class:`~repro.torus.topology.TorusTopology` of the
+box shape, on which a full :class:`~repro.machine.system.BGQSystem` can
+be built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.torus.coords import Shape
+from repro.torus.topology import TorusTopology
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class Submachine:
+    """One allocated rectangular submachine.
+
+    Attributes:
+        alloc_id: allocator-assigned handle.
+        corner: lowest-coordinate corner in the parent torus.
+        shape: per-dimension extent of the box.
+        parent_nodes: the parent-machine node indices covered, in the
+            box's own row-major order (index ``i`` of the submachine's
+            private topology is ``parent_nodes[i]``).
+    """
+
+    alloc_id: int
+    corner: tuple[int, ...]
+    shape: Shape
+    parent_nodes: tuple[int, ...]
+
+    @property
+    def nnodes(self) -> int:
+        """Node count of the allocation."""
+        return len(self.parent_nodes)
+
+    def topology(self) -> TorusTopology:
+        """The allocation's private (electrically isolated) torus."""
+        return TorusTopology(self.shape)
+
+
+def _box_shape(parent: Shape, nnodes: int) -> Shape:
+    """A box shape of ``nnodes`` whose extents divide the parent's.
+
+    Filled from the last (fastest) dimension first, taking the largest
+    divisor-of-both that fits — the same slab-first strategy real BG/Q
+    block shapes follow (E first, then D, C, B, A).
+    """
+    remaining = nnodes
+    shape = [1] * len(parent)
+    for d in range(len(parent) - 1, -1, -1):
+        best = 1
+        for ext in range(1, parent[d] + 1):
+            if parent[d] % ext == 0 and remaining % ext == 0:
+                best = ext
+        shape[d] = best
+        remaining //= best
+        if remaining == 1:
+            break
+    if remaining != 1:
+        raise ConfigError(
+            f"cannot carve {nnodes} nodes as a divisor-aligned box of {parent}"
+        )
+    return tuple(shape)
+
+
+class SubmachineAllocator:
+    """Tracks non-overlapping box allocations on one parent torus."""
+
+    def __init__(self, parent: "TorusTopology | Sequence[int]"):
+        self.parent = (
+            parent if isinstance(parent, TorusTopology) else TorusTopology(parent)
+        )
+        self._occupied = np.zeros(self.parent.nnodes, dtype=bool)
+        self._allocs: dict[int, Submachine] = {}
+        self._next_id = 0
+
+    @property
+    def free_nodes(self) -> int:
+        """Nodes not covered by any live allocation."""
+        return int((~self._occupied).sum())
+
+    def allocations(self) -> list[Submachine]:
+        """Live allocations."""
+        return list(self._allocs.values())
+
+    def allocate(self, nnodes: int) -> Submachine:
+        """Allocate a ``nnodes``-node box; raises when none fits.
+
+        Scans candidate corners on the box-shape grid (allocations are
+        grid-aligned, so feasibility never depends on allocation order
+        for equal-size requests).
+        """
+        if nnodes < 1:
+            raise ConfigError(f"nnodes must be >= 1, got {nnodes}")
+        if nnodes > self.parent.nnodes:
+            raise ConfigError(
+                f"request of {nnodes} exceeds machine size {self.parent.nnodes}"
+            )
+        shape = _box_shape(self.parent.shape, nnodes)
+        steps = [
+            range(0, self.parent.shape[d], shape[d])
+            for d in range(self.parent.ndims)
+        ]
+        for corner in np.stack(
+            np.meshgrid(*steps, indexing="ij"), axis=-1
+        ).reshape(-1, self.parent.ndims):
+            nodes = self.parent.sub_box_nodes(tuple(int(c) for c in corner), shape)
+            idx = np.asarray(nodes)
+            if not self._occupied[idx].any():
+                self._occupied[idx] = True
+                sub = Submachine(
+                    alloc_id=self._next_id,
+                    corner=tuple(int(c) for c in corner),
+                    shape=shape,
+                    parent_nodes=tuple(int(n) for n in nodes),
+                )
+                self._allocs[self._next_id] = sub
+                self._next_id += 1
+                return sub
+        raise ConfigError(
+            f"no free {('x'.join(map(str, shape)))} box left for {nnodes} nodes"
+        )
+
+    def release(self, sub: "Submachine | int") -> None:
+        """Return an allocation's nodes to the free pool."""
+        alloc_id = sub.alloc_id if isinstance(sub, Submachine) else int(sub)
+        try:
+            alloc = self._allocs.pop(alloc_id)
+        except KeyError:
+            raise ConfigError(f"unknown allocation id {alloc_id}") from None
+        self._occupied[np.asarray(alloc.parent_nodes)] = False

@@ -1,0 +1,54 @@
+"""Small shared utilities: units, validation, RNG, logging.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    KB,
+    MB,
+    GB,
+    format_bytes,
+    format_rate,
+    format_time,
+    parse_size,
+    gbps,
+)
+from repro.util.validation import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.log import get_logger
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "format_bytes",
+    "format_rate",
+    "format_time",
+    "parse_size",
+    "gbps",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "make_rng",
+    "spawn_rngs",
+    "get_logger",
+]

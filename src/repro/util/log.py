@@ -1,0 +1,18 @@
+"""Library logging setup.
+
+``repro`` never configures the root logger; it logs under the ``repro.*``
+hierarchy and leaves handlers to the application (standard library-package
+etiquette).  ``get_logger`` is a thin convenience wrapper so modules write
+``log = get_logger(__name__)``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

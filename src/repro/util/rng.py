@@ -1,0 +1,33 @@
+"""Seeded random-number helpers.
+
+All stochastic pieces of the library (workload generators, randomized
+routing orders) accept either an integer seed or a ready-made
+:class:`numpy.random.Generator`; these helpers normalise that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | None | np.random.Generator"
+
+
+def make_rng(seed: "int | None | np.random.Generator" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or generator.
+
+    Passing an existing generator returns it unchanged, so callers can
+    thread one RNG through a pipeline deterministically.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | None | np.random.Generator", n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used when per-rank or per-node streams must be independent yet
+    reproducible from a single experiment seed.
+    """
+    root = make_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)]

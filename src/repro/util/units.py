@@ -1,0 +1,93 @@
+"""Byte-size and rate units plus human-readable formatting.
+
+The paper mixes binary sizes (message sizes in KB/MB meaning KiB/MiB on the
+benchmark x-axes) with decimal link rates (GB/s meaning 1e9 bytes/s, as is
+conventional for network hardware).  We keep both conventions explicit:
+
+* :data:`KiB`, :data:`MiB`, :data:`GiB` — binary sizes (powers of two),
+  used for message sizes.
+* :data:`KB`, :data:`MB`, :data:`GB` — decimal sizes (powers of ten),
+  used for link bandwidths via :func:`gbps`.
+"""
+
+from __future__ import annotations
+
+# Binary units (message sizes).
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# Decimal units (hardware rates and capacities).
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+
+_BINARY_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+
+def gbps(value: float) -> float:
+    """Convert a rate in gigabytes/second (decimal) to bytes/second.
+
+    >>> gbps(1.8)
+    1800000000.0
+    """
+    return float(value) * GB
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human size string such as ``"256KB"`` or ``"8MiB"`` to bytes.
+
+    Sizes use *binary* multiples, matching the paper's message-size axes
+    (``1K, 2K, ..., 128M`` are powers of two).  Integers/floats pass
+    through unchanged (rounded to int).
+
+    Raises:
+        ValueError: if the string cannot be parsed.
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    s = text.strip().lower().replace(" ", "")
+    idx = len(s)
+    while idx > 0 and not s[idx - 1].isdigit() and s[idx - 1] != ".":
+        idx -= 1
+    number, suffix = s[:idx], s[idx:]
+    if not number:
+        raise ValueError(f"no numeric part in size string {text!r}")
+    if suffix not in _BINARY_SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(number) * _BINARY_SUFFIXES[suffix])
+
+
+def format_bytes(nbytes: float) -> str:
+    """Format a byte count using binary units (``256.0KiB``, ``8.0MiB``)."""
+    nbytes = float(nbytes)
+    for unit, factor in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(nbytes) >= factor:
+            return f"{nbytes / factor:.1f}{unit}"
+    return f"{nbytes:.0f}B"
+
+
+def format_rate(bytes_per_s: float) -> str:
+    """Format a rate in decimal GB/s (the paper's convention)."""
+    return f"{bytes_per_s / GB:.2f}GB/s"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (s / ms / us)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"

@@ -1,0 +1,47 @@
+"""Error types and argument validation helpers used across :mod:`repro`."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration (shapes, parameters, partitions...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Inconsistent state detected while running a simulation."""
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0`` and return it."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0`` and return it."""
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi`` and return it."""
+    if not (lo <= value <= hi):
+        raise ConfigError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Require ``isinstance(value, types)`` and return ``value``."""
+    if not isinstance(value, types):
+        raise ConfigError(
+            f"{name} must be of type {types!r}, got {type(value).__name__}"
+        )
+    return value

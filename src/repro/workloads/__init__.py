@@ -1,0 +1,41 @@
+"""Workload generators for the paper's experiments.
+
+* :mod:`repro.workloads.sparse` — the two sparse I/O patterns of §V-B:
+  Pattern 1 (uniform 0–8 MB per rank) and Pattern 2 (Pareto: most ranks
+  near zero, a few near 8 MB), with the histogram helpers behind
+  Figures 8–9.
+* :mod:`repro.workloads.coupling` — multiphysics data-coupling layouts:
+  two contiguous node regions at opposite corners of the partition
+  exchanging data pairwise (Figures 6–7).
+* :mod:`repro.workloads.hacc` — the HACC I/O pattern of §VI: a particle
+  checkpoint where only ranks in the window ``[0.4 N, 0.5 N)`` write,
+  about 10% of the generated data (Figure 11).
+"""
+
+from repro.workloads.sparse import (
+    uniform_pattern,
+    pareto_pattern,
+    size_histogram,
+    pattern_stats,
+)
+from repro.workloads.coupling import (
+    CouplingLayout,
+    corner_groups,
+    pairwise_transfers,
+)
+from repro.workloads.hacc import HACCConfig, hacc_io_sizes
+from repro.workloads.coupled_app import CoupledRunResult, simulate_coupled_run
+
+__all__ = [
+    "uniform_pattern",
+    "pareto_pattern",
+    "size_histogram",
+    "pattern_stats",
+    "CouplingLayout",
+    "corner_groups",
+    "pairwise_transfers",
+    "HACCConfig",
+    "hacc_io_sizes",
+    "CoupledRunResult",
+    "simulate_coupled_run",
+]

@@ -1,0 +1,127 @@
+"""Multiphysics data-coupling layouts (paper §V-A, Figures 5–7).
+
+Two physics modules S and T run on disjoint contiguous regions of the
+partition (the paper's validity assumption: coupled codes map their
+processes contiguously, e.g. CESM).  Periodically, every node of S ships
+its boundary data to its partner node in T.  The helpers here carve the
+standard benchmark geometries: two groups of equal sub-box shape at
+opposite corners of the torus, paired node-for-node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.multipath import TransferSpec
+from repro.torus.topology import TorusTopology
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class CouplingLayout:
+    """Two coupled node groups.
+
+    Attributes:
+        sources: nodes of region S, in box order.
+        destinations: nodes of region T, in box order (partner of
+            ``sources[i]`` is ``destinations[i]``).
+    """
+
+    sources: tuple[int, ...]
+    destinations: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.sources) != len(self.destinations):
+            raise ConfigError("source and destination groups must be equal-sized")
+        if set(self.sources) & set(self.destinations):
+            raise ConfigError("coupled regions must be disjoint")
+
+    @property
+    def group_size(self) -> int:
+        """Nodes per region."""
+        return len(self.sources)
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """The (source, destination) node pairs."""
+        return list(zip(self.sources, self.destinations))
+
+
+def _box_shape_for(topology: TorusTopology, group_size: int) -> tuple[int, ...]:
+    """A sub-box shape holding ``group_size`` nodes, greedily filling the
+    trailing (fastest-varying) dimensions first so the region is a
+    contiguous slab of the rank space too."""
+    remaining = group_size
+    shape = [1] * topology.ndims
+    for d in range(topology.ndims - 1, -1, -1):
+        # Largest divisor of `remaining` that fits the dimension.
+        take = min(remaining, topology.shape[d])
+        while remaining % take:
+            take -= 1
+        shape[d] = take
+        remaining //= take
+        if remaining == 1:
+            break
+    if remaining != 1:
+        raise ConfigError(
+            f"cannot carve a contiguous box of {group_size} nodes from {topology.shape}"
+        )
+    return tuple(shape)
+
+
+def corner_groups(topology: TorusTopology, group_size: int) -> CouplingLayout:
+    """Two equal sub-box regions at opposite ends of the partition.
+
+    Region S sits at the origin corner.  Region T is the same box
+    displaced **half-way around the first dimension the box does not
+    span** (paper: "one group is at one corner of the partition, the
+    other one is at the other end").  Displacing along a single
+    box-extent-1 dimension makes every pair's deterministic route a
+    parallel translate of its neighbours' — so the *direct* transfers are
+    link-disjoint, matching the saturating direct curves of Figures 6–7 —
+    while leaving free planes on all sides of both regions for Algorithm
+    1's proxy groups (the paper's A+/A-/B+/B- groups in Figure 7).
+
+    Falls back to far-corner placement when every non-spanned dimension
+    has box extent > 1.
+    """
+    if group_size < 1:
+        raise ConfigError(f"group_size must be >= 1, got {group_size}")
+    if 2 * group_size > topology.nnodes:
+        raise ConfigError(
+            f"two groups of {group_size} nodes do not fit in {topology.nnodes}"
+        )
+    box = _box_shape_for(topology, group_size)
+    src_lo = [0] * topology.ndims
+    dst_lo = [0] * topology.ndims
+    d0 = next(
+        (
+            d
+            for d in range(topology.ndims)
+            if box[d] == 1 and topology.shape[d] >= 2
+        ),
+        None,
+    )
+    if d0 is not None:
+        dst_lo[d0] = topology.shape[d0] // 2
+    else:  # pragma: no cover - only for exotic half-machine groups
+        dst_lo = [s - b for s, b in zip(topology.shape, box)]
+    sources = tuple(topology.sub_box_nodes(tuple(src_lo), box))
+    destinations = tuple(topology.sub_box_nodes(tuple(dst_lo), box))
+    if set(sources) & set(destinations):
+        raise ConfigError(
+            f"groups of {group_size} nodes overlap on torus {topology.shape}; "
+            "choose a smaller group"
+        )
+    return CouplingLayout(sources=sources, destinations=destinations)
+
+
+def pairwise_transfers(
+    layout: CouplingLayout, nbytes_per_pair: int
+) -> list[TransferSpec]:
+    """One :class:`TransferSpec` per (source, partner) pair."""
+    if nbytes_per_pair < 1:
+        raise ConfigError(f"nbytes_per_pair must be >= 1, got {nbytes_per_pair}")
+    return [
+        TransferSpec(src=s, dst=d, nbytes=nbytes_per_pair)
+        for s, d in layout.pairs()
+    ]

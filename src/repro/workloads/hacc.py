@@ -1,0 +1,67 @@
+"""HACC I/O workload (paper §VI, Figure 11).
+
+HACC (Hardware/Hybrid Accelerated Cosmology Code) checkpoints trillions
+of particles; the paper's benchmark writes **10% of the generated data**,
+issued only by ranks in the window ``[0.4 * N, 0.5 * N)`` of the ``N``
+MPI ranks — a textbook sparse, contiguous-band pattern.  The particle
+count scales weakly ("2048^3 to 10240^3 particles" from 8,192 to 131,072
+cores ≈ a constant ~38 bytes/particle/core checkpoint volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+
+
+@dataclass(frozen=True)
+class HACCConfig:
+    """HACC I/O benchmark parameters.
+
+    Attributes:
+        bytes_per_rank_dense: checkpoint volume a rank would write if all
+            ranks wrote (the "generated data" per rank).  The paper's
+            2 GB at 8,192 cores → ~0.25 MB/core written = 10% of
+            ~2.5 MB/core generated; we default to a dense 16 MiB/rank so
+            the written 10% matches the paper's 2 GB→85 GB span within
+            rounding.
+        write_fraction: fraction of the generated data written (0.10).
+        window_lo: start of the writing rank window, as a fraction of N.
+        window_hi: end of the writing rank window, as a fraction of N.
+    """
+
+    bytes_per_rank_dense: int = 16 * MiB
+    write_fraction: float = 0.10
+    window_lo: float = 0.4
+    window_hi: float = 0.5
+
+    def __post_init__(self):
+        if self.bytes_per_rank_dense < 1:
+            raise ConfigError("bytes_per_rank_dense must be >= 1")
+        if not 0 < self.write_fraction <= 1:
+            raise ConfigError("write_fraction must be in (0, 1]")
+        if not 0 <= self.window_lo < self.window_hi <= 1:
+            raise ConfigError("need 0 <= window_lo < window_hi <= 1")
+
+
+def hacc_io_sizes(nranks: int, config: HACCConfig = HACCConfig()) -> np.ndarray:
+    """Per-rank write sizes of one HACC checkpoint.
+
+    The written volume (``write_fraction`` of the dense total) is spread
+    evenly over the ranks in ``[window_lo * N, window_hi * N)`` — the
+    paper's ``[4 * num_processes / 10, 5 * num_processes / 10]`` window —
+    and zero elsewhere.
+    """
+    if nranks < 1:
+        raise ConfigError(f"nranks must be >= 1, got {nranks}")
+    lo = int(config.window_lo * nranks)
+    hi = max(lo + 1, int(config.window_hi * nranks))
+    total = config.write_fraction * config.bytes_per_rank_dense * nranks
+    per_writer = int(total / (hi - lo))
+    sizes = np.zeros(nranks, dtype=np.int64)
+    sizes[lo:hi] = per_writer
+    return sizes

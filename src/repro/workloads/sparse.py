@@ -1,0 +1,122 @@
+"""Sparse I/O size patterns (paper §V-B, Figures 8–10).
+
+Pattern 1 — *uniform sparse*: every rank draws its request size uniformly
+from ``[0, max_size]``; total volume ≈ 50% of the dense (all-ranks-write-
+``max_size``) case.  The paper motivates it with multi-resolution in-situ
+analysis output.
+
+Pattern 2 — *Pareto sparse*: most ranks hold (almost) nothing while a few
+hold close to ``max_size``; total volume ≈ 20% of dense.  This is the
+"write one region of contiguous ranks, ignore the rest" case.  Two
+sub-variants are provided: ``shuffled`` (sizes scattered over ranks, the
+literal histogram of Figure 9) and contiguous (the heavy ranks adjacent,
+matching the motivating scenario and the HACC benchmark's structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+
+
+def uniform_pattern(
+    nranks: int,
+    *,
+    max_size: int = 8 * MiB,
+    seed=None,
+) -> np.ndarray:
+    """Pattern 1: per-rank sizes uniform on ``[0, max_size]``.
+
+    Expected total = ``nranks * max_size / 2`` — the "about 50% of the
+    dense data" the paper quotes.
+    """
+    if nranks < 1:
+        raise ConfigError(f"nranks must be >= 1, got {nranks}")
+    if max_size < 1:
+        raise ConfigError(f"max_size must be >= 1, got {max_size}")
+    rng = make_rng(seed)
+    return rng.integers(0, max_size + 1, size=nranks).astype(np.int64)
+
+
+def pareto_pattern(
+    nranks: int,
+    *,
+    max_size: int = 8 * MiB,
+    dense_fraction: float = 0.20,
+    shape: float = 1.0,
+    contiguous: bool = False,
+    seed=None,
+) -> np.ndarray:
+    """Pattern 2: Pareto-distributed sizes, capped at ``max_size``.
+
+    The scale is solved numerically so the expected total volume is
+    ``dense_fraction`` of the dense case (the paper's ≈20%).  With
+    ``contiguous=True`` the sizes are sorted into a single heavy band of
+    ranks (descending from the band centre), modelling "write out data
+    from a region of contiguous MPI ranks while ignoring other regions".
+    """
+    if nranks < 1:
+        raise ConfigError(f"nranks must be >= 1, got {nranks}")
+    if not 0 < dense_fraction <= 1:
+        raise ConfigError(f"dense_fraction must be in (0, 1], got {dense_fraction}")
+    if shape <= 0:
+        raise ConfigError(f"shape must be > 0, got {shape}")
+    rng = make_rng(seed)
+    draws = rng.pareto(shape, size=nranks)
+    # Choose the multiplier so that E[min(c * draw, max_size)] hits the
+    # requested mean via a monotone bisection on the realised sample.
+    target_mean = dense_fraction * max_size
+    lo, hi = 0.0, float(max_size)
+    for _ in range(80):
+        mid = (lo + hi) / 2
+        mean = np.minimum(draws * mid, max_size).mean()
+        if mean < target_mean:
+            lo = mid
+        else:
+            hi = mid
+    sizes = np.minimum(draws * ((lo + hi) / 2), max_size).astype(np.int64)
+    if contiguous:
+        order = np.argsort(sizes)[::-1]
+        ranked = sizes[order]
+        out = np.zeros_like(sizes)
+        centre = nranks // 2
+        # Descending sizes placed outward from the band centre.
+        for i, v in enumerate(ranked):
+            off = (i + 1) // 2 * (1 if i % 2 else -1)
+            out[(centre + off) % nranks] = v
+        return out
+    return sizes
+
+
+def size_histogram(
+    sizes: np.ndarray,
+    *,
+    nbins: int = 32,
+    max_size: "int | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-rank sizes — Figures 8 and 9.
+
+    Returns ``(bin_edges, counts)`` with ``len(edges) == nbins + 1``.
+    """
+    sizes = np.asarray(sizes)
+    if max_size is None:
+        max_size = int(sizes.max()) if len(sizes) else 1
+    counts, edges = np.histogram(sizes, bins=nbins, range=(0, max(1, max_size)))
+    return edges, counts
+
+
+def pattern_stats(sizes: np.ndarray, *, max_size: int = 8 * MiB) -> dict:
+    """Summary statistics used by tests and EXPERIMENTS.md tables."""
+    sizes = np.asarray(sizes, dtype=np.int64)
+    dense = float(len(sizes)) * max_size
+    return {
+        "nranks": int(len(sizes)),
+        "total_bytes": int(sizes.sum()),
+        "dense_fraction": float(sizes.sum()) / dense if dense else 0.0,
+        "zero_ranks": int((sizes == 0).sum()),
+        "mean": float(sizes.mean()) if len(sizes) else 0.0,
+        "max": int(sizes.max()) if len(sizes) else 0,
+    }

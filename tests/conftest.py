@@ -1,0 +1,49 @@
+"""Shared fixtures: small machines and calibrated parameters.
+
+Session-scoped because the objects are immutable-by-convention (tests
+never mutate a system) and topology construction at 2K nodes is not free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import BGQSystem, mira_system
+from repro.network.params import MIRA_PARAMS
+from repro.torus.topology import TorusTopology
+
+
+@pytest.fixture(scope="session")
+def params():
+    """The calibrated Mira constants."""
+    return MIRA_PARAMS
+
+
+@pytest.fixture(scope="session")
+def torus_small():
+    """A 3-D 3x4x2 torus: small, asymmetric, has odd and even rings."""
+    return TorusTopology((3, 4, 2))
+
+
+@pytest.fixture(scope="session")
+def torus128():
+    """The paper's Figure-5 partition torus (2x2x4x4x2)."""
+    return TorusTopology((2, 2, 4, 4, 2))
+
+
+@pytest.fixture(scope="session")
+def system128():
+    """128-node Mira partition (one pset, two bridges)."""
+    return mira_system(nnodes=128)
+
+
+@pytest.fixture(scope="session")
+def system512():
+    """512-node Mira partition (4 psets) — the Figure-7 machine."""
+    return mira_system(nnodes=512)
+
+
+@pytest.fixture(scope="session")
+def tiny_system():
+    """A 32-node machine with 8-node psets for fast I/O-path tests."""
+    return BGQSystem((2, 2, 2, 2, 2), pset_size=8, bridges_per_pset=2)

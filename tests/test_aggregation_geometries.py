@@ -1,0 +1,84 @@
+"""Algorithm 2 invariants across machine geometries.
+
+The paper runs on 128-node/2-bridge psets; a library must keep its
+guarantees (conservation, ION balance, locality-first) on any pset
+size, bridge count and torus shape a user configures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import plan_aggregation, precompute_aggregators
+from repro.machine import BGQSystem
+from repro.util.units import MiB
+
+GEOMETRIES = [
+    # (shape, pset_size, bridges)
+    ((2, 2, 2, 2, 2), 8, 2),
+    ((2, 2, 2, 2, 2), 16, 4),
+    ((4, 4, 4, 4, 2), 64, 1),
+    ((4, 4, 4, 4, 2), 128, 2),
+    ((3, 4, 2), 6, 2),  # non-power-of-two, 3-D
+]
+
+
+@pytest.mark.parametrize("shape,pset,bridges", GEOMETRIES)
+class TestAcrossGeometries:
+    def _system(self, shape, pset, bridges):
+        return BGQSystem(shape, pset_size=pset, bridges_per_pset=bridges)
+
+    def test_conservation(self, shape, pset, bridges):
+        system = self._system(shape, pset, bridges)
+        data = np.random.default_rng(0).integers(0, 4 * MiB, size=system.nnodes)
+        plan = plan_aggregation(system, data)
+        assert plan.total_bytes == int(data.sum())
+
+    def test_ion_balance(self, shape, pset, bridges):
+        system = self._system(shape, pset, bridges)
+        data = np.random.default_rng(1).integers(0, 4 * MiB, size=system.nnodes)
+        plan = plan_aggregation(system, data)
+        assert plan.ion_imbalance() < 1.05
+
+    def test_aggregators_in_their_pset(self, shape, pset, bridges):
+        system = self._system(shape, pset, bridges)
+        table = precompute_aggregators(system)
+        for count, aggs in table.items():
+            for i, agg in enumerate(aggs):
+                assert system.pset_of_node(agg).index == i // count
+
+    def test_bridge_assignment_total(self, shape, pset, bridges):
+        system = self._system(shape, pset, bridges)
+        counts = {}
+        for node in range(system.nnodes):
+            b = system.bridge_of_node(node)
+            counts[b] = counts.get(b, 0) + 1
+        assert sum(counts.values()) == system.nnodes
+        assert len(counts) == system.npsets * bridges
+
+    def test_io_paths_terminate_at_own_ion(self, shape, pset, bridges):
+        system = self._system(shape, pset, bridges)
+        for node in range(0, system.nnodes, max(1, system.nnodes // 7)):
+            path = system.io_path(node)
+            bridge = system.bridge_of_node(node)
+            assert path[-1] == system.io_link_id(bridge)
+
+
+class TestSkewProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_balance_invariant_under_random_skew(self, seed, zero_frac):
+        """Whatever fraction of nodes holds zero data, every ION gets an
+        approximately equal share of what exists."""
+        system = BGQSystem((4, 4, 4, 4, 2), pset_size=128, bridges_per_pset=2)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(1, 4 * MiB, size=system.nnodes)
+        zeros = rng.random(system.nnodes) < zero_frac
+        data[zeros] = 0
+        plan = plan_aggregation(system, data)
+        assert plan.total_bytes == int(data.sum())
+        if data.sum() > 0:
+            assert plan.ion_imbalance() < 1.05

@@ -1,0 +1,86 @@
+"""Graph-theoretic bounds (networkx substrate)."""
+
+import pytest
+
+from repro.analysis.graphmodel import (
+    edge_disjoint_path_count,
+    group_max_flow_bound,
+    max_flow_bound,
+    proxy_plan_efficiency,
+    torus_digraph,
+)
+from repro.core.proxy_select import find_proxies_for_pair
+from repro.torus.topology import TorusTopology
+from repro.util.validation import ConfigError
+
+
+class TestDigraph:
+    def test_node_and_edge_counts(self):
+        t = TorusTopology((3, 3))
+        g = torus_digraph(t)
+        assert g.number_of_nodes() == 9
+        # 2 dims x 2 dirs x 9 nodes, no merges (size-3 rings).
+        assert g.number_of_edges() == 36
+
+    def test_size_two_ring_merges_capacity(self):
+        t = TorusTopology((2,))
+        g = torus_digraph(t, link_bw=1.0)
+        assert g.number_of_edges() == 2
+        assert g[0][1]["capacity"] == 2.0
+
+    def test_size_one_dim_no_self_loop(self):
+        t = TorusTopology((1, 3))
+        g = torus_digraph(t)
+        assert not any(u == v for u, v in g.edges)
+
+    def test_bad_bw(self):
+        with pytest.raises(ConfigError):
+            torus_digraph(TorusTopology((2, 2)), link_bw=0)
+
+
+class TestMaxFlow:
+    def test_bgq_node_degree_bound(self, system128):
+        """Far-apart BG/Q nodes: min cut = the 10 outgoing links."""
+        assert edge_disjoint_path_count(system128, 0, 127) == 10
+        assert max_flow_bound(system128, 0, 127) == pytest.approx(
+            10 * system128.params.link_bw
+        )
+
+    def test_flow_bound_respects_topology(self):
+        t = TorusTopology((4,))  # a plain ring: 2 disjoint directions
+        assert edge_disjoint_path_count(t, 0, 2) == 2
+
+    def test_same_node_rejected(self, system128):
+        with pytest.raises(ConfigError):
+            max_flow_bound(system128, 3, 3)
+
+    def test_group_bound_scales_with_group(self, system128):
+        one = group_max_flow_bound(system128, [0], [127])
+        four = group_max_flow_bound(system128, [0, 1, 2, 3], [124, 125, 126, 127])
+        assert four > 2 * one
+
+    def test_group_validation(self, system128):
+        with pytest.raises(ConfigError):
+            group_max_flow_bound(system128, [], [1])
+        with pytest.raises(ConfigError):
+            group_max_flow_bound(system128, [1], [1])
+
+
+class TestEfficiency:
+    def test_proxy_plan_within_bound(self, system128):
+        asg = find_proxies_for_pair(system128, 0, 127)
+        eff = proxy_plan_efficiency(system128, asg)
+        assert eff["carriers"] <= eff["disjoint_path_bound"]
+        assert 0 < eff["path_efficiency"] <= 1
+        assert eff["max_flow_rate"] > 0
+
+    def test_simulated_throughput_below_graph_bound(self, system128):
+        """No schedule beats the min cut: simulated multipath throughput
+        stays under the max-flow bound."""
+        from repro.core import TransferSpec, run_transfer
+        from repro.util.units import MiB
+
+        out = run_transfer(
+            system128, [TransferSpec(0, 127, 64 * MiB)], mode="proxy"
+        )
+        assert out.throughput < max_flow_bound(system128, 0, 127)

@@ -1,0 +1,49 @@
+"""Link-load summaries."""
+
+import pytest
+
+from repro.analysis.linkload import dimension_loads, link_load_report
+from repro.core import TransferSpec, run_transfer
+from repro.core.iomove import run_io_movement
+from repro.mpi.comm import SimComm
+from repro.mpi.program import FlowProgram
+from repro.util.units import MiB
+
+
+class TestDimensionLoads:
+    def test_direct_transfer_uses_route_dims(self, system128):
+        out = run_transfer(system128, [TransferSpec(0, 127, 4 * MiB)], mode="direct")
+        loads = dimension_loads(out.result, system128)
+        # Route 0->127 crosses all five dimensions once.
+        assert set(loads) == {"+A", "+B", "-C", "-D", "+E"}
+        assert all(v == pytest.approx(4 * MiB) for v in loads.values())
+
+    def test_proxy_transfer_recruits_more_directions(self, system128):
+        direct = run_transfer(system128, [TransferSpec(0, 127, 4 * MiB)], mode="direct")
+        proxied = run_transfer(system128, [TransferSpec(0, 127, 4 * MiB)], mode="proxy")
+        assert len(dimension_loads(proxied.result, system128)) > len(
+            dimension_loads(direct.result, system128)
+        )
+
+    def test_io_traffic_tagged_ion(self, tiny_system):
+        import numpy as np
+
+        sizes = np.full(tiny_system.nnodes, 1 * MiB)
+        out = run_io_movement(tiny_system, sizes)
+        loads = dimension_loads(out.result, tiny_system)
+        assert "ION" in loads
+        assert loads["ION"] == pytest.approx(float(sizes.sum()))
+
+
+class TestReport:
+    def test_report_contains_bars(self, system128):
+        out = run_transfer(system128, [TransferSpec(0, 127, 4 * MiB)], mode="direct")
+        text = link_load_report(out.result, system128)
+        assert "|#" in text
+        assert "directed links carried traffic" in text
+
+    def test_empty_report(self, system128):
+        prog = FlowProgram(SimComm(system128))
+        prog.event((), label="noop")
+        res = prog.run()
+        assert link_load_report(res, system128) == "(no link traffic)"

@@ -1,0 +1,80 @@
+"""Bench result containers."""
+
+import pytest
+
+from repro.bench.harness import FigureResult, Series, sweep_sizes
+from repro.util.units import KiB
+from repro.util.validation import ConfigError
+
+
+class TestSeries:
+    def test_length_checked(self):
+        with pytest.raises(ConfigError):
+            Series("s", [1, 2], [1.0])
+
+    def test_y_at(self):
+        s = Series("s", [1, 2, 4], [10.0, 20.0, 40.0])
+        assert s.y_at(2) == 20.0
+
+    def test_y_at_missing(self):
+        s = Series("s", [1], [1.0])
+        with pytest.raises(ConfigError):
+            s.y_at(3)
+
+    def test_ratio_to(self):
+        a = Series("a", [1, 2], [4.0, 9.0])
+        b = Series("b", [1, 2], [2.0, 3.0])
+        assert a.ratio_to(b) == [2.0, 3.0]
+
+    def test_ratio_grid_mismatch(self):
+        with pytest.raises(ConfigError):
+            Series("a", [1], [1.0]).ratio_to(Series("b", [2], [1.0]))
+
+
+class TestFigureResult:
+    def _fig(self):
+        return FigureResult(
+            figure="figX",
+            title="t",
+            xlabel="size",
+            ylabel="B/s",
+            series=[
+                Series("direct", [1, 2, 4], [3.0, 3.0, 3.0]),
+                Series("proxy", [1, 2, 4], [1.0, 3.0, 6.0]),
+            ],
+        )
+
+    def test_get(self):
+        assert self._fig().get("proxy").name == "proxy"
+
+    def test_get_missing(self):
+        with pytest.raises(ConfigError):
+            self._fig().get("nope")
+
+    def test_crossover_counts_ties(self):
+        assert self._fig().crossover("proxy", "direct") == 2
+
+    def test_crossover_none(self):
+        fig = self._fig()
+        fig.series[1] = Series("proxy", [1, 2, 4], [0.1, 0.2, 0.3])
+        assert fig.crossover("proxy", "direct") is None
+
+
+class TestSweep:
+    def test_paper_grid(self):
+        sizes = sweep_sizes(1 * KiB, 128 * 1024 * KiB)
+        assert sizes[0] == 1 * KiB
+        assert sizes[-1] == 128 * 1024 * KiB
+        assert len(sizes) == 18
+
+    def test_doubling(self):
+        sizes = sweep_sizes(4, 32)
+        assert sizes == [4, 8, 16, 32]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sweep_sizes(0, 10)
+        with pytest.raises(ConfigError):
+            sweep_sizes(10, 5)
+        with pytest.raises(ConfigError):
+            sweep_sizes(1, 10, factor=1)

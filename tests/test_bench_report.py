@@ -1,0 +1,52 @@
+"""Report rendering."""
+
+from repro.bench.harness import FigureResult, Series
+from repro.bench.report import render_all, render_figure, run_and_render
+
+
+def _fig():
+    return FigureResult(
+        figure="figX",
+        title="demo",
+        xlabel="message size [B]",
+        ylabel="throughput [B/s]",
+        series=[
+            Series("direct", [1024, 2048], [1.0e9, 2.0e9]),
+            Series("proxy", [1024, 2048], [0.5e9, 4.0e9]),
+        ],
+        notes={"crossover": 2048, "gain": [0.5, 2.0]},
+    )
+
+
+class TestRender:
+    def test_contains_title_and_series(self):
+        out = render_figure(_fig())
+        assert "figX: demo" in out
+        assert "direct [GB/s]" in out
+        assert "proxy [GB/s]" in out
+
+    def test_sizes_formatted_binary(self):
+        out = render_figure(_fig())
+        assert "1.0KiB" in out and "2.0KiB" in out
+
+    def test_rates_in_gb(self):
+        out = render_figure(_fig())
+        assert "1.000" in out and "4.000" in out
+
+    def test_notes_rendered(self):
+        out = render_figure(_fig())
+        assert "crossover" in out and "2.0KiB" in out
+        assert "gain: [0.50, 2.00]" in out
+
+    def test_render_all_joins(self):
+        out = render_all([_fig(), _fig()])
+        assert out.count("figX: demo") == 2
+
+    def test_run_and_render(self):
+        out = run_and_render([_fig])
+        assert "figX" in out
+
+    def test_rows_aligned(self):
+        lines = render_figure(_fig()).splitlines()
+        header, row1, row2 = lines[1], lines[2], lines[3]
+        assert len(header) == len(row1) == len(row2)

@@ -1,0 +1,83 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_figures(self):
+        args = build_parser().parse_args(["figure", "fig5"])
+        assert args.name == "fig5"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestInfo:
+    def test_info_output(self, capsys):
+        assert main(["info", "--nodes", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "4x4x4x4x2" in out
+        assert "psets: 4" in out
+
+
+class TestTransfer:
+    def test_all_modes(self, capsys):
+        assert main(["transfer", "--size", "4MiB"]) == 0
+        out = capsys.readouterr().out
+        assert "direct" in out and "proxy" in out and "pipeline" in out
+
+    def test_direct_only_with_links(self, capsys):
+        assert main(["transfer", "--mode", "direct", "--links"]) == 0
+        out = capsys.readouterr().out
+        assert "directed links carried traffic" in out
+
+    def test_max_proxies_flag(self, capsys):
+        assert main(
+            ["transfer", "--mode", "proxy", "--max-proxies", "3", "--size", "8MiB"]
+        ) == 0
+        assert "proxy:3" in capsys.readouterr().out
+
+
+class TestIO:
+    def test_both_methods(self, capsys):
+        assert main(["io", "--cores", "2048", "--pattern", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "topology_aware" in out
+        assert "collective" in out
+        assert "speedup" in out
+
+    def test_hacc_pattern(self, capsys):
+        assert main(
+            ["io", "--cores", "2048", "--pattern", "hacc", "--method", "topology_aware"]
+        ) == 0
+        assert "topology_aware" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_bounds_printed(self, capsys):
+        assert main(["analyze", "--nodes", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "edge-disjoint paths: 10" in out
+        assert "Algorithm 1 found" in out
+
+
+class TestFigure:
+    def test_fig8_runs(self, capsys):
+        assert main(["figure", "fig8"]) == 0
+        assert "fig8" in capsys.readouterr().out
+
+
+class TestIORead:
+    def test_read_flag(self, capsys):
+        assert main(
+            ["io", "--cores", "2048", "--pattern", "1", "--read"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out

@@ -1,0 +1,205 @@
+"""Algorithm 2 — topology-aware aggregation planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import (
+    AggregatorConfig,
+    aggregation_flows,
+    choose_num_aggregators,
+    plan_aggregation,
+    precompute_aggregators,
+)
+from repro.machine import BGQSystem, mira_system
+from repro.mpi.comm import SimComm
+from repro.mpi.program import FlowProgram
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+
+
+class TestConfig:
+    def test_candidate_counts_powers_of_two(self):
+        cfg = AggregatorConfig()
+        assert cfg.candidate_counts(128) == (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def test_candidate_counts_clamped_to_pset(self):
+        cfg = AggregatorConfig()
+        assert cfg.candidate_counts(8) == (1, 2, 4, 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AggregatorConfig(min_bytes_per_aggregator=0)
+        with pytest.raises(ConfigError):
+            AggregatorConfig(max_aggregators_per_pset=0)
+        with pytest.raises(ConfigError):
+            AggregatorConfig(min_split_bytes=0)
+
+
+class TestPrecompute:
+    def test_init_table_covers_all_counts(self, system512):
+        table = precompute_aggregators(system512)
+        assert set(table) == {1, 2, 4, 8, 16, 32, 64, 128}
+
+    def test_one_aggregator_per_pset_is_first_node(self, system512):
+        table = precompute_aggregators(system512)
+        assert table[1] == [0, 128, 256, 384]
+
+    def test_uniform_spacing_within_pset(self, system512):
+        table = precompute_aggregators(system512)
+        aggs = [a for a in table[4] if a < 128]
+        assert aggs == [0, 32, 64, 96]
+
+    def test_counts_scale(self, system512):
+        table = precompute_aggregators(system512)
+        for count, aggs in table.items():
+            assert len(aggs) == count * system512.npsets
+            assert len(set(aggs)) == len(aggs)
+
+
+class TestChooseCount:
+    def test_scales_with_volume(self, system512):
+        cfg = AggregatorConfig(min_bytes_per_aggregator=4 * MiB)
+        small = choose_num_aggregators(system512, 4 * MiB, cfg)
+        big = choose_num_aggregators(system512, 4096 * MiB, cfg)
+        assert small == 1
+        assert big > small
+
+    def test_zero_volume_one_aggregator(self, system512):
+        assert choose_num_aggregators(system512, 0) == 1
+
+    def test_clamped_at_pset_size(self, system512):
+        cfg = AggregatorConfig(min_bytes_per_aggregator=1)
+        assert choose_num_aggregators(system512, 10**15, cfg) == 128
+
+    def test_negative_rejected(self, system512):
+        with pytest.raises(ConfigError):
+            choose_num_aggregators(system512, -1)
+
+
+class TestPlan:
+    def _uniform_data(self, system, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 64 * MiB, size=system.nnodes)
+
+    def test_conservation(self, system512):
+        data = self._uniform_data(system512)
+        plan = plan_aggregation(system512, data)
+        assert plan.total_bytes == int(data.sum())
+        assert plan.bytes_per_aggregator.sum() == int(data.sum())
+
+    def test_all_ions_balanced_uniform(self, system512):
+        data = self._uniform_data(system512)
+        plan = plan_aggregation(system512, data)
+        assert plan.ion_imbalance() < 1.01
+        assert plan.active_ions == system512.npsets
+
+    def test_all_ions_used_even_when_data_concentrated(self, system512):
+        """The paper's headline property: an ION whose compute nodes hold
+        no data still receives its share via its local aggregators."""
+        data = np.zeros(system512.nnodes, dtype=np.int64)
+        data[:64] = 32 * MiB  # all data in half of pset 0
+        plan = plan_aggregation(system512, data)
+        assert plan.active_ions == system512.npsets
+        assert plan.ion_imbalance() < 1.01
+
+    def test_locality_under_uniform_data(self, system512):
+        data = self._uniform_data(system512)
+        plan = plan_aggregation(system512, data)
+        local = sum(
+            b
+            for s, a, b in plan.shipments
+            if system512.pset_of_node(s).index == system512.pset_of_node(a).index
+        )
+        assert local / plan.total_bytes > 0.9
+
+    def test_spill_under_skew(self, system512):
+        data = np.zeros(system512.nnodes, dtype=np.int64)
+        data[:128] = 16 * MiB  # pset 0 only
+        plan = plan_aggregation(system512, data)
+        remote = sum(
+            b
+            for s, a, b in plan.shipments
+            if system512.pset_of_node(s).index != system512.pset_of_node(a).index
+        )
+        assert remote / plan.total_bytes == pytest.approx(0.75, abs=0.02)
+
+    def test_aggregators_are_precomputed_positions(self, system512):
+        data = self._uniform_data(system512)
+        plan = plan_aggregation(system512, data)
+        table = precompute_aggregators(system512)
+        assert plan.aggregators == table[plan.num_agg_per_pset]
+
+    def test_no_tiny_fragments(self, system512):
+        cfg = AggregatorConfig(min_split_bytes=64 * 1024)
+        data = self._uniform_data(system512)
+        plan = plan_aggregation(system512, data, cfg)
+        pieces = {}
+        for s, a, b in plan.shipments:
+            pieces.setdefault(s, []).append(b)
+        for node, parts in pieces.items():
+            if len(parts) > 1:
+                # Split shipments only fragment at slot boundaries, never
+                # below min_split (except a node's own total being tiny).
+                assert min(parts) >= min(cfg.min_split_bytes, int(data[node]))
+
+    def test_empty_request(self, system512):
+        plan = plan_aggregation(system512, np.zeros(system512.nnodes, dtype=np.int64))
+        assert plan.shipments == []
+        assert plan.ion_imbalance() == 1.0
+
+    def test_wrong_length_rejected(self, system512):
+        with pytest.raises(ConfigError):
+            plan_aggregation(system512, [1, 2, 3])
+
+    def test_negative_rejected(self, system512):
+        data = np.zeros(system512.nnodes, dtype=np.int64)
+        data[3] = -5
+        with pytest.raises(ConfigError):
+            plan_aggregation(system512, data)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_conservation_property(self, seed):
+        system = mira_system(nnodes=128)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 8 * MiB, size=system.nnodes)
+        # Randomly zero out a prefix to create sparsity.
+        cut = int(rng.integers(0, system.nnodes))
+        data[:cut] = 0
+        plan = plan_aggregation(system, data)
+        assert plan.total_bytes == int(data.sum())
+        if data.sum() > 0:
+            assert plan.ion_imbalance() < 1.05
+
+
+class TestFlows:
+    def test_flows_complete_and_conserve(self, tiny_system):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 4 * MiB, size=tiny_system.nnodes)
+        plan = plan_aggregation(tiny_system, data)
+        prog = FlowProgram(SimComm(tiny_system))
+        final = aggregation_flows(prog, plan)
+        res = prog.run()
+        assert res.finish(final) > 0
+        writes = sum(
+            f.size for f in prog.flows if str(f.fid).startswith("agg-write")
+        )
+        assert writes == pytest.approx(float(data.sum()))
+
+    def test_metadata_sync_adds_latency(self, tiny_system):
+        data = np.full(tiny_system.nnodes, 1 * MiB)
+        plan = plan_aggregation(tiny_system, data)
+        p1 = FlowProgram(SimComm(tiny_system))
+        f1 = aggregation_flows(p1, plan, metadata_sync=True)
+        p2 = FlowProgram(SimComm(tiny_system))
+        f2 = aggregation_flows(p2, plan, metadata_sync=False)
+        assert p1.run().finish(f1) > p2.run().finish(f2)
+
+    def test_empty_plan_flows(self, tiny_system):
+        plan = plan_aggregation(
+            tiny_system, np.zeros(tiny_system.nnodes, dtype=np.int64)
+        )
+        prog = FlowProgram(SimComm(tiny_system))
+        final = aggregation_flows(prog, plan)
+        assert prog.run().finish(final) >= 0

@@ -1,0 +1,106 @@
+"""End-to-end I/O movement runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.iomove import run_io_movement, sizes_to_node_data
+from repro.torus.mapping import RankMapping
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+from repro.workloads import pareto_pattern, uniform_pattern
+
+
+@pytest.fixture(scope="module")
+def mapping128(system128_module):
+    return RankMapping(system128_module.topology, ranks_per_node=4)
+
+
+@pytest.fixture(scope="module")
+def system128_module():
+    from repro.machine import mira_system
+
+    return mira_system(nnodes=128)
+
+
+class TestSizesToNodeData:
+    def test_sums_ranks_per_node(self, system128_module):
+        m = RankMapping(system128_module.topology, ranks_per_node=2)
+        sizes = np.arange(m.nranks)
+        data = sizes_to_node_data(system128_module, m, sizes)
+        assert data[0] == 0 + 1
+        assert data[1] == 2 + 3
+        assert data.sum() == sizes.sum()
+
+    def test_length_checked(self, system128_module):
+        m = RankMapping(system128_module.topology)
+        with pytest.raises(ConfigError):
+            sizes_to_node_data(system128_module, m, [1, 2])
+
+
+class TestRunIOMovement:
+    def test_methods_conserve_bytes(self, system128_module, mapping128):
+        sizes = uniform_pattern(mapping128.nranks, max_size=2 * MiB, seed=3)
+        for method in ("topology_aware", "collective"):
+            out = run_io_movement(
+                system128_module, sizes, method=method, mapping=mapping128
+            )
+            assert out.total_bytes == float(sizes.sum())
+            assert out.makespan > 0
+            assert out.throughput == pytest.approx(out.total_bytes / out.makespan)
+
+    def test_ours_beats_baseline_pattern1(self, system128_module, mapping128):
+        sizes = uniform_pattern(mapping128.nranks, max_size=2 * MiB, seed=3)
+        ours = run_io_movement(
+            system128_module, sizes, method="topology_aware", mapping=mapping128
+        )
+        base = run_io_movement(
+            system128_module, sizes, method="collective", mapping=mapping128
+        )
+        assert ours.throughput > 1.3 * base.throughput
+
+    def test_ours_beats_baseline_pattern2(self, system128_module, mapping128):
+        sizes = pareto_pattern(mapping128.nranks, max_size=2 * MiB, seed=3)
+        ours = run_io_movement(
+            system128_module, sizes, method="topology_aware", mapping=mapping128
+        )
+        base = run_io_movement(
+            system128_module, sizes, method="collective", mapping=mapping128
+        )
+        assert ours.throughput > base.throughput
+
+    def test_ion_balance_reported(self, system128_module, mapping128):
+        sizes = uniform_pattern(mapping128.nranks, max_size=2 * MiB, seed=3)
+        ours = run_io_movement(
+            system128_module, sizes, method="topology_aware", mapping=mapping128
+        )
+        assert ours.ion_imbalance < 1.05
+        assert ours.active_ions == system128_module.npsets
+
+    def test_default_mapping_one_rank_per_node(self, system128_module):
+        sizes = np.full(system128_module.nnodes, 1 * MiB)
+        out = run_io_movement(system128_module, sizes)
+        assert out.total_bytes == float(sizes.sum())
+
+    def test_unknown_method(self, system128_module, mapping128):
+        with pytest.raises(ConfigError):
+            run_io_movement(
+                system128_module,
+                np.zeros(mapping128.nranks),
+                method="teleport",
+                mapping=mapping128,
+            )
+
+    def test_batching_close_to_exact(self, system128_module, mapping128):
+        sizes = uniform_pattern(mapping128.nranks, max_size=1 * MiB, seed=9)
+        exact = run_io_movement(
+            system128_module, sizes, method="topology_aware", mapping=mapping128
+        )
+        approx = run_io_movement(
+            system128_module,
+            sizes,
+            method="topology_aware",
+            mapping=mapping128,
+            batch_tol=0.1,
+            fair_tol=0.05,
+        )
+        assert approx.throughput == pytest.approx(exact.throughput, rel=0.15)

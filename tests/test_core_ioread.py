@@ -1,0 +1,100 @@
+"""Collective reads (the write engine mirrored)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ioread import run_io_read
+from repro.machine import mira_system
+from repro.torus.mapping import RankMapping
+from repro.util.units import GB, MiB
+from repro.util.validation import ConfigError
+from repro.workloads import pareto_pattern, uniform_pattern
+
+
+@pytest.fixture(scope="module")
+def setting():
+    system = mira_system(nnodes=256)
+    mapping = RankMapping(system.topology, ranks_per_node=4)
+    return system, mapping
+
+
+class TestReadPath:
+    def test_read_path_structure(self, system512):
+        path = system512.io_read_path(5)
+        bridge = system512.bridge_of_node(5)
+        assert path[0] == system512.io_in_link_id(bridge)
+        assert len(path) == system512.topology.distance(bridge, 5) + 1
+
+    def test_inbound_links_distinct_from_outbound(self, system512):
+        for b in system512.bridge_nodes:
+            assert system512.io_in_link_id(b) != system512.io_link_id(b)
+            assert system512.capacity(system512.io_in_link_id(b)) == pytest.approx(
+                system512.params.io_link_bw
+            )
+
+    def test_non_bridge_rejected(self, system512):
+        non_bridge = next(
+            n for n in range(512) if n not in system512.bridge_nodes
+        )
+        with pytest.raises(ConfigError):
+            system512.io_in_link_id(non_bridge)
+
+
+class TestRunIORead:
+    def test_conservation_both_methods(self, setting):
+        system, mapping = setting
+        sizes = uniform_pattern(mapping.nranks, max_size=2 * MiB, seed=3)
+        for method in ("topology_aware", "collective"):
+            out = run_io_read(
+                system, sizes, method=method, mapping=mapping, batch_tol=0.05
+            )
+            assert out.total_bytes == float(sizes.sum())
+            assert out.makespan > 0
+
+    def test_topology_aware_beats_baseline(self, setting):
+        system, mapping = setting
+        sizes = uniform_pattern(mapping.nranks, max_size=2 * MiB, seed=3)
+        ours = run_io_read(
+            system, sizes, method="topology_aware", mapping=mapping, batch_tol=0.05
+        )
+        base = run_io_read(
+            system, sizes, method="collective", mapping=mapping, batch_tol=0.05
+        )
+        assert ours.throughput > 1.3 * base.throughput
+
+    def test_reads_near_ion_limit(self, setting):
+        system, mapping = setting
+        sizes = uniform_pattern(mapping.nranks, max_size=2 * MiB, seed=3)
+        ours = run_io_read(
+            system, sizes, method="topology_aware", mapping=mapping, batch_tol=0.05
+        )
+        limit = system.npsets * 4 * GB  # two inbound 2 GB/s links per pset
+        assert ours.throughput > 0.7 * limit
+
+    def test_sparse_band_reads_balanced(self, setting):
+        system, mapping = setting
+        sizes = pareto_pattern(
+            mapping.nranks, max_size=2 * MiB, contiguous=True, seed=4
+        )
+        ours = run_io_read(
+            system, sizes, method="topology_aware", mapping=mapping, batch_tol=0.05
+        )
+        assert ours.ion_imbalance < 1.02
+        assert ours.active_ions == system.npsets
+
+    def test_unknown_method(self, setting):
+        system, mapping = setting
+        with pytest.raises(ConfigError):
+            run_io_read(
+                system,
+                np.zeros(mapping.nranks),
+                method="psychic",
+                mapping=mapping,
+            )
+
+    def test_empty_read(self, setting):
+        system, mapping = setting
+        out = run_io_read(
+            system, np.zeros(mapping.nranks, dtype=np.int64), mapping=mapping
+        )
+        assert out.total_bytes == 0.0

@@ -1,0 +1,204 @@
+"""Multipath transfer execution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multipath import (
+    TransferOutcome,
+    TransferSpec,
+    run_transfer,
+    split_bytes,
+)
+from repro.core.proxy_select import find_proxies_for_pair, forced_assignment
+from repro.util.units import GB, KiB, MiB
+from repro.util.validation import ConfigError
+
+
+class TestSplitBytes:
+    def test_even(self):
+        assert split_bytes(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        assert split_bytes(10, 3) == [4, 3, 3]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            split_bytes(2, 3)
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigError):
+            split_bytes(10, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=10**9),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_properties(self, n, k):
+        if n < k:
+            return
+        parts = split_bytes(n, k)
+        assert sum(parts) == n
+        assert len(parts) == k
+        assert max(parts) - min(parts) <= 1
+        assert min(parts) >= 1
+
+
+class TestSpec:
+    def test_same_endpoints(self):
+        with pytest.raises(ConfigError):
+            TransferSpec(src=1, dst=1, nbytes=10)
+
+    def test_zero_bytes(self):
+        with pytest.raises(ConfigError):
+            TransferSpec(src=0, dst=1, nbytes=0)
+
+
+class TestDirectVsProxy:
+    def test_direct_single_stream_peak(self, system128):
+        out = run_transfer(
+            system128, [TransferSpec(0, 127, 64 * MiB)], mode="direct"
+        )
+        assert out.throughput == pytest.approx(1.6 * GB, rel=0.02)
+
+    def test_four_proxies_double_throughput(self, system128):
+        """Paper Fig. 5: k=4 proxies reach ~2x the direct peak (3.2 GB/s)."""
+        spec = TransferSpec(0, 127, 64 * MiB)
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        out = run_transfer(
+            system128, [spec], mode="proxy", assignments={(0, 127): asg}
+        )
+        assert out.throughput == pytest.approx(3.2 * GB, rel=0.05)
+
+    def test_small_message_proxy_slower(self, system128):
+        spec = TransferSpec(0, 127, 16 * KiB)
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        d = run_transfer(system128, [spec], mode="direct")
+        p = run_transfer(
+            system128, [spec], mode="proxy", assignments={(0, 127): asg}
+        )
+        assert p.throughput < d.throughput
+
+    def test_auto_mode_picks_direct_below_threshold(self, system128):
+        out = run_transfer(system128, [TransferSpec(0, 127, 16 * KiB)], mode="auto")
+        assert out.mode_used[(0, 127)] == "direct"
+
+    def test_auto_mode_picks_proxy_above_threshold(self, system128):
+        out = run_transfer(system128, [TransferSpec(0, 127, 8 * MiB)], mode="auto")
+        assert out.mode_used[(0, 127)].startswith("proxy:")
+
+    def test_auto_beats_or_matches_direct_everywhere(self, system128):
+        for nbytes in (4 * KiB, 256 * KiB, 8 * MiB):
+            spec = TransferSpec(0, 127, nbytes)
+            auto = run_transfer(system128, [spec], mode="auto")
+            direct = run_transfer(system128, [spec], mode="direct")
+            assert auto.throughput >= direct.throughput * 0.999
+
+    def test_proxy_mode_falls_back_without_enough_proxies(self, system128):
+        forced = forced_assignment(system128, 0, 127, [1])  # k=1 < 3
+        out = run_transfer(
+            system128,
+            [TransferSpec(0, 127, 8 * MiB)],
+            mode="proxy",
+            assignments={(0, 127): forced},
+        )
+        assert out.mode_used[(0, 127)] == "direct"
+
+    def test_tiny_message_never_split_below_k(self, system128):
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        out = run_transfer(
+            system128,
+            [TransferSpec(0, 127, 2)],
+            mode="proxy",
+            assignments={(0, 127): asg},
+        )
+        assert out.mode_used[(0, 127)] == "direct"
+
+    def test_unknown_mode(self, system128):
+        with pytest.raises(ConfigError):
+            run_transfer(system128, [TransferSpec(0, 1, 10)], mode="warp")
+
+    def test_empty_specs(self, system128):
+        with pytest.raises(ConfigError):
+            run_transfer(system128, [], mode="direct")
+
+
+class TestOutcome:
+    def test_totals(self, system128):
+        specs = [TransferSpec(0, 127, MiB), TransferSpec(1, 126, MiB)]
+        out = run_transfer(system128, specs, mode="direct")
+        assert out.total_bytes == 2 * MiB
+        assert isinstance(out, TransferOutcome)
+        assert out.throughput == pytest.approx(out.total_bytes / out.makespan)
+
+    def test_plan_attached_in_search_modes(self, system128):
+        out = run_transfer(system128, [TransferSpec(0, 127, 8 * MiB)], mode="auto")
+        assert out.plan is not None
+        assert (0, 127) in out.plan.assignments
+
+    def test_five_carriers_interfere(self, system128):
+        """Paper Fig. 7's degradation: adding the source itself as a 5th
+        carrier reduces throughput below the 4-proxy configuration."""
+        spec = TransferSpec(0, 127, 32 * MiB)
+        asg4 = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        asg5 = forced_assignment(
+            system128, 0, 127, list(asg4.proxies) + [0]
+        )
+        out4 = run_transfer(
+            system128, [spec], mode="proxy", assignments={(0, 127): asg4}
+        )
+        out5 = run_transfer(
+            system128,
+            [spec],
+            mode="proxy",
+            assignments={(0, 127): asg5},
+            min_proxies=2,
+        )
+        assert out5.throughput < out4.throughput
+
+
+class TestWeightedSplit:
+    def test_proportional(self):
+        from repro.core.multipath import weighted_split
+
+        assert weighted_split(100, [1, 1, 2]) == [25, 25, 50]
+
+    def test_sum_preserved_with_rounding(self):
+        from repro.core.multipath import weighted_split
+
+        shares = weighted_split(100, [1, 1, 1])
+        assert sum(shares) == 100
+
+    def test_validation(self):
+        from repro.core.multipath import weighted_split
+        from repro.util.validation import ConfigError
+        import pytest as _pytest
+
+        with _pytest.raises(ConfigError):
+            weighted_split(100, [])
+        with _pytest.raises(ConfigError):
+            weighted_split(100, [1, -1])
+        with _pytest.raises(ConfigError):
+            weighted_split(2, [1, 1, 1])
+
+    def test_path_rate_weights_healthy_machine_equal(self, system128):
+        from repro.core.multipath import path_rate_weights
+        from repro.core.proxy_select import find_proxies_for_pair
+
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        w = path_rate_weights(asg, system128.capacity, system128.params.stream_cap)
+        assert len(set(w)) == 1  # all paths healthy -> equal weights
+
+    def test_weights_length_checked(self, system128):
+        from repro.core.multipath import build_multipath_flows
+        from repro.core.proxy_select import find_proxies_for_pair
+        from repro.mpi.comm import SimComm
+        from repro.mpi.program import FlowProgram
+        from repro.util.validation import ConfigError
+        import pytest as _pytest
+
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=3)
+        prog = FlowProgram(SimComm(system128))
+        with _pytest.raises(ConfigError):
+            build_multipath_flows(
+                prog, TransferSpec(0, 127, MiB), asg, weights=[1, 1]
+            )

@@ -1,0 +1,124 @@
+"""Pipelined proxy relays (the paper's §VII future-work extension)."""
+
+import pytest
+
+from repro.core.multipath import TransferSpec, run_transfer
+from repro.core.pipeline import (
+    MIN_PIPELINE_CHUNK,
+    build_pipelined_flows,
+    optimal_chunk_bytes,
+    predicted_pipeline_time,
+    run_pipelined_transfer,
+)
+from repro.core.proxy_select import find_proxies_for_pair
+from repro.mpi.comm import SimComm
+from repro.mpi.program import FlowProgram
+from repro.network.params import MIRA_PARAMS
+from repro.util.units import GB, KiB, MiB
+from repro.util.validation import ConfigError
+
+
+class TestChunkModel:
+    def test_optimal_chunk_scales_with_sqrt(self):
+        c1 = optimal_chunk_bytes(4 * MiB, MIRA_PARAMS)
+        c2 = optimal_chunk_bytes(64 * MiB, MIRA_PARAMS)
+        assert c2 > c1
+        assert c2 / c1 == pytest.approx((64 / 4) ** 0.5, rel=0.35)
+
+    def test_chunk_floor(self):
+        assert optimal_chunk_bytes(32 * KiB, MIRA_PARAMS) >= min(
+            MIN_PIPELINE_CHUNK, 32 * KiB
+        )
+
+    def test_chunk_never_exceeds_share(self):
+        assert optimal_chunk_bytes(8 * KiB, MIRA_PARAMS) <= 8 * KiB
+
+    def test_invalid_share(self):
+        with pytest.raises(ConfigError):
+            optimal_chunk_bytes(0, MIRA_PARAMS)
+
+    def test_predicted_time_beats_store_and_forward(self):
+        from repro.core.model import TransferModel
+
+        m = TransferModel(MIRA_PARAMS)
+        d = 32 * MiB
+        assert predicted_pipeline_time(d, 3, MIRA_PARAMS) < m.proxy_time(d, 3)
+
+    def test_predicted_k_validated(self):
+        with pytest.raises(ConfigError):
+            predicted_pipeline_time(MiB, 0, MIRA_PARAMS)
+
+
+class TestPipelinedExecution:
+    def test_two_proxies_suffice(self, system128):
+        """The headline claim: pipelining makes k = 2 profitable."""
+        spec = TransferSpec(0, 127, 32 * MiB)
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=2)
+        direct = run_transfer(system128, [spec], mode="direct")
+        piped = run_pipelined_transfer(
+            system128, [spec], assignments={(0, 127): asg}
+        )
+        assert piped.throughput > 1.7 * direct.throughput
+
+    def test_asymptotic_k_times_rate(self, system128):
+        spec = TransferSpec(0, 127, 128 * MiB)
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=3)
+        piped = run_pipelined_transfer(
+            system128, [spec], assignments={(0, 127): asg}
+        )
+        # Pipelined k paths approach k * stream_cap (vs k/2 for S&F).
+        assert piped.throughput > 0.85 * 3 * 1.6 * GB
+
+    def test_matches_analytic_prediction(self, system128):
+        spec = TransferSpec(0, 127, 32 * MiB)
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        piped = run_pipelined_transfer(
+            system128, [spec], assignments={(0, 127): asg}
+        )
+        predicted = spec.nbytes / predicted_pipeline_time(
+            spec.nbytes, asg.k, MIRA_PARAMS
+        )
+        assert piped.throughput == pytest.approx(predicted, rel=0.05)
+
+    def test_beats_store_and_forward_same_k(self, system128):
+        spec = TransferSpec(0, 127, 32 * MiB)
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=3)
+        sf = run_transfer(
+            system128, [spec], mode="proxy", assignments={(0, 127): asg}
+        )
+        piped = run_pipelined_transfer(
+            system128, [spec], assignments={(0, 127): asg}
+        )
+        assert piped.throughput > 1.5 * sf.throughput
+
+    def test_falls_back_direct_below_min(self, system128):
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=1)
+        out = run_pipelined_transfer(
+            system128,
+            [TransferSpec(0, 127, 8 * MiB)],
+            assignments={(0, 127): asg},
+            min_proxies=2,
+        )
+        assert out.mode_used[(0, 127)] == "direct"
+
+    def test_chunk_count_respected(self, system128):
+        spec = TransferSpec(0, 127, 8 * MiB)
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=2)
+        prog = FlowProgram(SimComm(system128))
+        build_pipelined_flows(prog, spec, asg, chunk_bytes=1 * MiB)
+        h1 = [f for f in prog.flows if str(f.fid).startswith("pipe-h1")]
+        # 8 MiB over 2 proxies = 4 MiB/share -> 4 chunks of 1 MiB each.
+        assert len(h1) == 8
+
+    def test_search_mode(self, system128):
+        out = run_pipelined_transfer(system128, [TransferSpec(0, 127, 16 * MiB)])
+        assert out.mode_used[(0, 127)].startswith("pipeline:")
+        assert out.plan is not None
+
+    def test_validation(self, system128):
+        with pytest.raises(ConfigError):
+            run_pipelined_transfer(system128, [])
+        with pytest.raises(ConfigError):
+            run_pipelined_transfer(
+                system128, [TransferSpec(0, 127, MiB)], min_proxies=0
+            )

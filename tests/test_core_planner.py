@@ -1,0 +1,71 @@
+"""TransferPlanner decisions."""
+
+import pytest
+
+from repro.core.model import TransferModel
+from repro.core.multipath import TransferSpec
+from repro.core.planner import TransferPlanner
+from repro.util.units import KiB, MiB
+from repro.util.validation import ConfigError
+
+
+@pytest.fixture
+def planner(system128):
+    return TransferPlanner(system128)
+
+
+class TestPlanning:
+    def test_small_goes_direct(self, planner):
+        plans = planner.plan([TransferSpec(0, 127, 16 * KiB)])
+        assert plans[0].strategy == "direct"
+        assert plans[0].predicted_speedup == 1.0
+
+    def test_large_goes_proxy(self, planner):
+        plans = planner.plan([TransferSpec(0, 127, 8 * MiB)])
+        assert plans[0].strategy == "proxy"
+        assert plans[0].predicted_speedup > 1.0
+
+    def test_prediction_consistent_with_model(self, planner, system128):
+        spec = TransferSpec(0, 127, 8 * MiB)
+        plan = planner.plan([spec])[0]
+        model = TransferModel(system128.params)
+        assert plan.predicted_time == pytest.approx(
+            model.proxy_time(spec.nbytes, plan.assignment.k)
+        )
+
+    def test_assignment_attached_even_for_direct(self, planner):
+        plan = planner.plan([TransferSpec(0, 127, 1 * KiB)])[0]
+        assert plan.assignment is not None
+
+    def test_empty_rejected(self, planner):
+        with pytest.raises(ConfigError):
+            planner.plan([])
+
+
+class TestCaching:
+    def test_plan_cache_reused(self, planner):
+        pairs = [(0, 127)]
+        p1 = planner.find_plan(pairs)
+        p2 = planner.find_plan(pairs)
+        assert p1 is p2
+
+    def test_plan_cache_invalidated_on_new_pairs(self, planner):
+        p1 = planner.find_plan([(0, 127)])
+        p2 = planner.find_plan([(1, 126)])
+        assert p1 is not p2
+
+
+class TestExecute:
+    def test_execute_beats_direct_for_large(self, planner, system128):
+        from repro.core.multipath import run_transfer
+
+        spec = TransferSpec(0, 127, 16 * MiB)
+        out = planner.execute([spec])
+        direct = run_transfer(system128, [spec], mode="direct")
+        assert out.throughput > 1.5 * direct.throughput
+
+    def test_execute_mixed_sizes(self, planner):
+        specs = [TransferSpec(0, 127, 4 * KiB), TransferSpec(1, 126, 16 * MiB)]
+        out = planner.execute(specs)
+        assert out.mode_used[(0, 127)] == "direct"
+        assert out.mode_used[(1, 126)].startswith("proxy:")

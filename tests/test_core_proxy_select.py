@@ -1,0 +1,146 @@
+"""Algorithm 1 — proxy search."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.proxy_select import (
+    ProxyAssignment,
+    find_proxies,
+    find_proxies_for_pair,
+    forced_assignment,
+)
+from repro.machine import mira_system
+from repro.routing.paths import paths_overlap
+from repro.util.validation import ConfigError
+
+
+class TestPairSearch:
+    def test_fig5_finds_four(self, system128):
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        assert asg.k == 4
+
+    def test_phase1_paths_pairwise_disjoint(self, system128):
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        for i in range(asg.k):
+            for j in range(i + 1, asg.k):
+                assert not paths_overlap(asg.phase1[i], asg.phase1[j])
+
+    def test_phase2_paths_pairwise_disjoint(self, system128):
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        for i in range(asg.k):
+            for j in range(i + 1, asg.k):
+                assert not paths_overlap(asg.phase2[i], asg.phase2[j])
+
+    def test_paths_have_correct_endpoints(self, system128):
+        asg = find_proxies_for_pair(system128, 0, 127)
+        for p, p1, p2 in zip(asg.proxies, asg.phase1, asg.phase2):
+            assert p1.src == 0 and p1.dst == p
+            assert p2.src == p and p2.dst == 127
+
+    def test_endpoints_never_proxies(self, system128):
+        asg = find_proxies_for_pair(system128, 0, 127)
+        assert 0 not in asg.proxies
+        assert 127 not in asg.proxies
+
+    def test_exclusions_respected(self, system128):
+        full = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        banned = full.proxies[0]
+        asg = find_proxies_for_pair(
+            system128, 0, 127, max_proxies=4, exclude=[banned]
+        )
+        assert banned not in asg.proxies
+
+    def test_reserved_updated_and_respected(self, system128):
+        reserved = set()
+        a1 = find_proxies_for_pair(system128, 0, 127, reserved=reserved)
+        assert set(a1.proxies) <= reserved
+        a2 = find_proxies_for_pair(system128, 1, 126, reserved=reserved)
+        assert not set(a1.proxies) & set(a2.proxies)
+
+    def test_same_endpoints_rejected(self, system128):
+        with pytest.raises(ConfigError):
+            find_proxies_for_pair(system128, 3, 3)
+
+    def test_max_proxies_limits(self, system128):
+        asg = find_proxies_for_pair(system128, 0, 127, max_proxies=2)
+        assert asg.k == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=127), st.integers(min_value=0, max_value=127))
+    def test_disjointness_invariant_random_pairs(self, a, b):
+        """Whatever the pair, every accepted proxy set is per-phase
+        link-disjoint (the algorithm's core guarantee)."""
+        if a == b:
+            return
+        system = mira_system(nnodes=128)
+        asg = find_proxies_for_pair(system, a, b)
+        for phase in (asg.phase1, asg.phase2):
+            links = [l for p in phase for l in p.links]
+            assert len(links) == len(set(links))
+
+
+class TestGroupSearch:
+    def test_groups_get_distinct_proxies(self, system512):
+        pairs = [(i, 256 + i) for i in range(8)]
+        plan = find_proxies(system512, pairs)
+        all_proxies = [p for a in plan.assignments.values() for p in a.proxies]
+        assert len(all_proxies) == len(set(all_proxies))
+
+    def test_endpoints_of_other_pairs_excluded(self, system512):
+        pairs = [(i, 256 + i) for i in range(8)]
+        plan = find_proxies(system512, pairs)
+        endpoints = {n for pair in pairs for n in pair}
+        for a in plan.assignments.values():
+            assert not set(a.proxies) & endpoints
+
+    def test_feasible_and_kmin(self, system512):
+        pairs = [(i, 256 + i) for i in range(4)]
+        plan = find_proxies(system512, pairs)
+        assert plan.k_min >= 3
+        assert plan.feasible
+
+    def test_proxy_groups_shape(self, system512):
+        pairs = [(i, 256 + i) for i in range(4)]
+        plan = find_proxies(system512, pairs, max_proxies=3)
+        groups = plan.proxy_groups()
+        assert len(groups) == 3
+        assert all(len(g) == 4 for g in groups)
+
+    def test_empty_transfers_rejected(self, system512):
+        with pytest.raises(ConfigError):
+            find_proxies(system512, [])
+
+    def test_duplicate_transfers_rejected(self, system512):
+        with pytest.raises(ConfigError):
+            find_proxies(system512, [(0, 1), (0, 1)])
+
+    def test_empty_plan_infeasible(self):
+        from repro.core.proxy_select import ProxyPlan
+
+        assert not ProxyPlan(assignments={}, min_proxies=3).feasible
+        assert ProxyPlan(assignments={}, min_proxies=3).k_min == 0
+
+
+class TestForced:
+    def test_forced_keeps_order(self, system128):
+        asg = forced_assignment(system128, 0, 127, [1, 2, 3])
+        assert asg.proxies == (1, 2, 3)
+
+    def test_forced_self_carrier(self, system128):
+        asg = forced_assignment(system128, 0, 127, [1, 0])
+        assert asg.proxies == (1, 0)
+        # Self-carrier phase 2 is the direct path.
+        assert asg.phase2[1].src == 0 and asg.phase2[1].dst == 127
+        assert asg.phase1[1].links == ()
+
+    def test_forced_no_disjointness_check(self, system128):
+        # Two proxies in the same direction overlap; forced mode allows it.
+        t = system128.topology
+        p1 = t.neighbor(0, 2, +1)
+        p2 = t.neighbor(p1, 2, +1)
+        asg = forced_assignment(system128, 0, 127, [p1, p2])
+        assert asg.k == 2
+
+    def test_forced_same_endpoints_rejected(self, system128):
+        with pytest.raises(ConfigError):
+            forced_assignment(system128, 1, 1, [2])

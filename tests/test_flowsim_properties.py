@@ -1,0 +1,169 @@
+"""Hypothesis invariants of the fluid simulator over random scenarios.
+
+These go beyond the targeted behavioural tests: random flow sets and
+random dependency DAGs, with properties any correct max-min fluid
+simulator must satisfy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.flow import Flow
+from repro.network.flowsim import FlowSim, uniform_capacities
+from repro.network.params import NetworkParams
+
+P = NetworkParams(
+    link_bw=100.0,
+    stream_cap=80.0,
+    io_link_bw=100.0,
+    ion_storage_bw=1000.0,
+    o_msg=0.0,
+    o_fwd=0.0,
+    mem_bw=1000.0,
+)
+
+
+def sim(**kw):
+    return FlowSim(uniform_capacities(P.link_bw), P, **kw)
+
+
+# A random flow: (size, links-used bitmask over 5 links).
+flow_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=1, max_value=31),
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+def mk_flows(specs):
+    return [
+        Flow(fid=i, size=float(s), path=tuple(l for l in range(5) if mask >> l & 1))
+        for i, (s, mask) in enumerate(specs)
+    ]
+
+
+class TestRandomFlowSets:
+    @settings(max_examples=40, deadline=None)
+    @given(flow_specs)
+    def test_per_flow_lower_bounds(self, specs):
+        """No flow finishes before max(own drain time, its links' loads/cap)."""
+        flows = mk_flows(specs)
+        r = sim().run(flows)
+        link_bytes = {}
+        for f in flows:
+            for l in f.path:
+                link_bytes[l] = link_bytes.get(l, 0.0) + f.size
+        for f in flows:
+            lb = f.size / P.stream_cap
+            assert r.finish(f.fid) >= lb - 1e-9
+        for l, b in link_bytes.items():
+            assert r.makespan >= b / P.link_bw - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(flow_specs)
+    def test_makespan_upper_bound(self, specs):
+        """Makespan never exceeds fully-serialised execution."""
+        flows = mk_flows(specs)
+        r = sim().run(flows)
+        serial = sum(f.size / P.stream_cap for f in flows)
+        assert r.makespan <= serial + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(flow_specs, st.integers(min_value=0, max_value=2**31))
+    def test_result_independent_of_submission_order(self, specs, seed):
+        flows = mk_flows(specs)
+        r1 = sim().run(flows)
+        rng = np.random.default_rng(seed)
+        shuffled = list(flows)
+        rng.shuffle(shuffled)
+        r2 = sim().run(shuffled)
+        for f in flows:
+            assert r1.finish(f.fid) == pytest.approx(r2.finish(f.fid), rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(flow_specs)
+    def test_adding_a_flow_never_speeds_others_up(self, specs):
+        """Monotonicity of contention: extra load cannot help anyone."""
+        flows = mk_flows(specs)
+        base = sim().run(flows)
+        extra = flows + [Flow(fid="extra", size=2000.0, path=(0, 1, 2, 3, 4))]
+        loaded = sim().run(extra)
+        for f in flows:
+            assert loaded.finish(f.fid) >= base.finish(f.fid) - 1e-9
+
+
+class TestRandomChains:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=2000), min_size=1, max_size=8)
+    )
+    def test_chain_time_is_sum(self, sizes):
+        """A dependency chain on disjoint links takes the sum of legs."""
+        flows = []
+        for i, s in enumerate(sizes):
+            deps = (i - 1,) if i else ()
+            flows.append(Flow(fid=i, size=float(s), path=(i % 5,), deps=deps))
+        r = sim().run(flows)
+        expected = sum(s / P.stream_cap for s in sizes)
+        # Legs on distinct links and nothing else running: exact sum.
+        if len({i % 5 for i in range(len(sizes))}) == len(sizes):
+            assert r.makespan == pytest.approx(expected, rel=1e-9)
+        else:
+            assert r.makespan >= expected - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=2000), min_size=2, max_size=8),
+        st.data(),
+    )
+    def test_random_dag_respects_dependencies(self, sizes, data):
+        """start(child) >= finish(every parent) for random DAGs."""
+        flows = []
+        parents = {}
+        for i, s in enumerate(sizes):
+            deps = ()
+            if i:
+                npar = data.draw(st.integers(min_value=0, max_value=min(2, i)))
+                deps = tuple(
+                    data.draw(
+                        st.lists(
+                            st.integers(min_value=0, max_value=i - 1),
+                            min_size=npar,
+                            max_size=npar,
+                            unique=True,
+                        )
+                    )
+                )
+            parents[i] = deps
+            flows.append(Flow(fid=i, size=float(s), path=(i % 5,), deps=deps))
+        r = sim().run(flows)
+        for i, deps in parents.items():
+            for d in deps:
+                assert r[i].start >= r.finish(d) - 1e-9
+
+
+class TestApproximationSafety:
+    @settings(max_examples=20, deadline=None)
+    @given(flow_specs)
+    def test_batched_mode_conserves_flows(self, specs):
+        flows = mk_flows(specs)
+        r = sim(batch_tol=0.1).run(flows)
+        assert len(r) == len(flows)
+        for f in flows:
+            assert np.isfinite(r.finish(f.fid))
+
+    @settings(max_examples=20, deadline=None)
+    @given(flow_specs)
+    def test_fair_tol_never_violates_congestion_bound(self, specs):
+        flows = mk_flows(specs)
+        r = sim(fair_tol=0.05).run(flows)
+        link_bytes = {}
+        for f in flows:
+            for l in f.path:
+                link_bytes[l] = link_bytes.get(l, 0.0) + f.size
+        for l, b in link_bytes.items():
+            assert r.makespan >= b / P.link_bw - 1e-9

@@ -1,0 +1,120 @@
+"""Fault injection and the mechanisms' behaviour under degradation."""
+
+import pytest
+
+from repro.core import TransferSpec, find_proxies_for_pair
+from repro.machine.faults import (
+    FaultModel,
+    degraded_system_capacity,
+    random_link_faults,
+)
+from repro.mpi.comm import SimComm
+from repro.mpi.program import FlowProgram
+from repro.network.flowsim import FlowSim
+from repro.util.units import GB, MiB
+from repro.util.validation import ConfigError
+
+
+class TestFaultModel:
+    def test_capacity_wrapping(self, system128):
+        path = system128.compute_path(0, 127)
+        victim = path.links[0]
+        faults = FaultModel(degraded_links={victim: 0.5})
+        cap = degraded_system_capacity(system128, faults)
+        assert cap(victim) == pytest.approx(system128.capacity(victim) / 2)
+        other = path.links[1]
+        assert cap(other) == system128.capacity(other)
+
+    def test_factor_validated(self):
+        with pytest.raises(ConfigError):
+            FaultModel(degraded_links={0: 0.0})
+        with pytest.raises(ConfigError):
+            FaultModel(degraded_links={0: 1.5})
+
+    def test_random_faults_reproducible(self, system128):
+        t = system128.topology
+        a = random_link_faults(t, 5, nfailed_nodes=2, seed=3)
+        b = random_link_faults(t, 5, nfailed_nodes=2, seed=3)
+        assert a.degraded_links == b.degraded_links
+        assert a.failed_nodes == b.failed_nodes
+
+    def test_random_fault_counts(self, system128):
+        t = system128.topology
+        f = random_link_faults(t, 7, nfailed_nodes=3, seed=1)
+        assert len(f.degraded_links) == 7
+        assert len(f.failed_nodes) == 3
+
+    def test_random_fault_bounds(self, system128):
+        with pytest.raises(ConfigError):
+            random_link_faults(system128.topology, -1)
+        with pytest.raises(ConfigError):
+            random_link_faults(system128.topology, 0, nfailed_nodes=10**6)
+
+
+class TestBehaviourUnderFaults:
+    def _transfer_time(self, system, faults, nbytes=8 * MiB):
+        prog = FlowProgram(SimComm(system))
+        fid = prog.iput_nodes(0, 127, nbytes)
+        sim = FlowSim(
+            degraded_system_capacity(system, faults), system.params
+        )
+        return sim.run(prog.flows).finish(fid)
+
+    def test_degraded_link_on_route_slows_transfer(self, system128):
+        victim = system128.compute_path(0, 127).links[2]
+        healthy = self._transfer_time(system128, FaultModel())
+        degraded = self._transfer_time(
+            system128, FaultModel(degraded_links={victim: 0.25})
+        )
+        assert degraded > 3 * healthy
+
+    def test_degraded_link_off_route_harmless(self, system128):
+        on_route = set(system128.compute_path(0, 127).links)
+        victim = next(l for l in range(system128.topology.nlinks) if l not in on_route)
+        healthy = self._transfer_time(system128, FaultModel())
+        degraded = self._transfer_time(
+            system128, FaultModel(degraded_links={victim: 0.25})
+        )
+        assert degraded == pytest.approx(healthy)
+
+    def test_proxy_search_avoids_failed_nodes(self, system128):
+        clean = find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+        faults = FaultModel(failed_nodes=frozenset(clean.proxies[:2]))
+        rerun = find_proxies_for_pair(
+            system128, 0, 127, max_proxies=4, exclude=faults.failed_nodes
+        )
+        assert not set(rerun.proxies) & faults.failed_nodes
+        assert rerun.k >= 3  # enough alternatives exist on this torus
+
+    def _degraded_multipath(self, system, weights):
+        from repro.core.multipath import build_multipath_flows
+
+        asg = find_proxies_for_pair(system, 0, 127, max_proxies=4)
+        victim = asg.phase1[0].links[0]
+        faults = FaultModel(degraded_links={victim: 0.1})
+        cap = degraded_system_capacity(system, faults)
+        w = None
+        if weights:
+            from repro.core.multipath import path_rate_weights
+
+            w = path_rate_weights(asg, cap, system.params.stream_cap)
+        prog = FlowProgram(SimComm(system))
+        final = build_multipath_flows(
+            prog, TransferSpec(0, 127, 32 * MiB), asg, weights=w
+        )
+        res = FlowSim(cap, system.params).run(prog.flows)
+        return 32 * MiB / res.finish(final)
+
+    def test_equal_split_gated_by_slowest_path(self, system128):
+        """The paper's equal split makes the degraded path gate the whole
+        transfer — quantifying why degradation-aware splitting matters."""
+        throughput = self._degraded_multipath(system128, weights=False)
+        assert throughput < 1.0 * GB  # worse than a direct transfer!
+
+    def test_weighted_split_recovers_throughput(self, system128):
+        """Capacity-aware shares restore most of the k/2-law throughput:
+        three healthy paths carry almost everything."""
+        equal = self._degraded_multipath(system128, weights=False)
+        weighted = self._degraded_multipath(system128, weights=True)
+        assert weighted > 2.5 * equal
+        assert weighted > 2.2 * GB  # near the 3-healthy-path law

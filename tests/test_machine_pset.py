@@ -1,0 +1,54 @@
+"""Pset construction."""
+
+import pytest
+
+from repro.machine.pset import Pset, build_psets
+from repro.util.validation import ConfigError
+
+
+class TestBuildPsets:
+    def test_mira_geometry(self):
+        psets = build_psets(512, pset_size=128, bridges_per_pset=2)
+        assert len(psets) == 4
+        assert all(p.size == 128 for p in psets)
+
+    def test_blocks_are_contiguous_and_disjoint(self):
+        psets = build_psets(256, 128, 2)
+        assert list(psets[0].nodes) == list(range(128))
+        assert list(psets[1].nodes) == list(range(128, 256))
+
+    def test_bridges_inside_pset(self):
+        for p in build_psets(512, 128, 2):
+            for b in p.bridges:
+                assert b in p
+
+    def test_two_bridges_at_quarter_points(self):
+        p = build_psets(128, 128, 2)[0]
+        assert p.bridges == (32, 96)
+
+    def test_small_machine_shrinks_pset(self):
+        psets = build_psets(32, pset_size=128, bridges_per_pset=2)
+        assert len(psets) == 1
+        assert psets[0].size == 32
+
+    def test_contains(self):
+        p = build_psets(128, 128, 2)[0]
+        assert 5 in p
+        assert 128 not in p
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigError):
+            build_psets(200, 128, 2)
+
+    def test_bad_bridge_count(self):
+        with pytest.raises(ConfigError):
+            build_psets(128, 128, 0)
+
+    def test_bridges_distinct(self):
+        for nb in (1, 2, 4):
+            p = build_psets(128, 128, nb)[0]
+            assert len(set(p.bridges)) == nb
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigError):
+            build_psets(0)

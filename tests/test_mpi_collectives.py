@@ -1,0 +1,155 @@
+"""Collective algorithms as flow DAGs."""
+
+import math
+
+import pytest
+
+from repro.mpi.collectives import (
+    allgather,
+    allreduce,
+    alltoallv,
+    bcast,
+    gather,
+    log2_rounds,
+    reduce,
+)
+from repro.mpi.comm import SimComm
+from repro.mpi.program import FlowProgram
+from repro.util.units import KiB
+from repro.util.validation import ConfigError
+
+
+@pytest.fixture
+def prog(system128):
+    return FlowProgram(SimComm(system128))
+
+
+def data_flows(prog):
+    return [f for f in prog.flows if f.size > 0]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", [2, 3, 8, 13])
+    def test_flow_count(self, prog, n):
+        bcast(prog, 1 * KiB, ranks=list(range(n)))
+        assert len(data_flows(prog)) == n - 1
+
+    def test_exit_per_rank(self, prog):
+        exits = bcast(prog, 1 * KiB, ranks=[0, 1, 2, 3])
+        assert set(exits) == {0, 1, 2, 3}
+
+    def test_runs_and_root_finishes_last_send(self, prog):
+        exits = bcast(prog, 64 * KiB, ranks=list(range(8)))
+        r = prog.run()
+        finishes = {rank: r.finish(f) for rank, f in exits.items()}
+        assert max(finishes.values()) < 1.0  # sanity: completes
+
+    def test_nonzero_root(self, prog):
+        exits = bcast(prog, 1 * KiB, root=2, ranks=[0, 1, 2, 3])
+        # Root's exit must precede (or equal) everyone's.
+        r = prog.run()
+        assert r.finish(exits[2]) <= max(r.finish(f) for f in exits.values())
+
+    def test_single_rank_noop(self, prog):
+        exits = bcast(prog, 1 * KiB, ranks=[5])
+        assert list(exits) == [5]
+        assert not data_flows(prog)
+
+    def test_log_depth(self, prog):
+        """Binomial bcast time grows ~log(n), not ~n."""
+        n8 = FlowProgram(prog.comm)
+        e8 = bcast(n8, 256 * KiB, ranks=list(range(8)))
+        r8 = max(n8.run().finish(f) for f in e8.values())
+        n64 = FlowProgram(prog.comm)
+        e64 = bcast(n64, 256 * KiB, ranks=list(range(64)))
+        r64 = max(n64.run().finish(f) for f in e64.values())
+        assert r64 < r8 * 3  # log2(64)/log2(8) = 2, allow slack
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [2, 5, 8])
+    def test_flow_count(self, prog, n):
+        reduce(prog, 1 * KiB, ranks=list(range(n)))
+        assert len(data_flows(prog)) == n - 1
+
+    def test_duplicate_ranks_rejected(self, prog):
+        with pytest.raises(ConfigError):
+            reduce(prog, 1, ranks=[0, 0])
+
+    def test_empty_ranks_rejected(self, prog):
+        with pytest.raises(ConfigError):
+            reduce(prog, 1, ranks=[])
+
+
+class TestAllreduce:
+    def test_power_of_two_recursive_doubling(self, prog):
+        allreduce(prog, 1 * KiB, ranks=list(range(8)))
+        # log2(8)=3 rounds, 8 flows per round (4 pairs x 2 directions).
+        assert len(data_flows(prog)) == 3 * 8
+
+    def test_non_power_of_two_falls_back(self, prog):
+        allreduce(prog, 1 * KiB, ranks=list(range(6)))
+        # reduce (5) + bcast (5).
+        assert len(data_flows(prog)) == 10
+
+    def test_all_ranks_get_exit(self, prog):
+        exits = allreduce(prog, 1 * KiB, ranks=list(range(8)))
+        assert len(exits) == 8
+        prog.run()
+
+
+class TestGather:
+    def test_flow_count(self, prog):
+        gather(prog, 1 * KiB, ranks=list(range(8)))
+        assert len(data_flows(prog)) == 7
+
+    def test_total_volume(self, prog):
+        gather(prog, 1 * KiB, ranks=list(range(8)))
+        # Binomial gather moves sum over rounds: each block travels
+        # log-depth; total = sum of subtree sizes = 4+2+1 blocks * ...
+        total = sum(f.size for f in data_flows(prog))
+        # Every rank's block except the root's moves at least once.
+        assert total >= 7 * KiB
+
+
+class TestAllgather:
+    def test_bruck_rounds(self, prog):
+        allgather(prog, 1 * KiB, ranks=list(range(6)))
+        # ceil(log2 6) = 3 rounds of 6 flows.
+        assert len(data_flows(prog)) == 18
+
+    def test_single_rank(self, prog):
+        exits = allgather(prog, 1 * KiB, ranks=[3])
+        assert list(exits) == [3]
+
+    def test_total_bytes_bruck(self, prog):
+        n = 8
+        allgather(prog, 1 * KiB, ranks=list(range(n)))
+        total = sum(f.size for f in data_flows(prog))
+        # Bruck: rounds carry 1,2,4 blocks each from n ranks = 7n blocks.
+        assert total == pytest.approx((n - 1) * n * KiB)
+
+
+class TestAlltoallv:
+    def test_sizes_matrix_respected(self, prog):
+        sizes = [[0, 10, 0], [0, 0, 20], [30, 0, 0]]
+        alltoallv(prog, sizes, ranks=[0, 1, 2])
+        moved = sorted(f.size for f in data_flows(prog))
+        assert moved == [10.0, 20.0, 30.0]
+
+    def test_zero_entries_skipped(self, prog):
+        sizes = [[0, 0], [0, 0]]
+        alltoallv(prog, sizes, ranks=[0, 1])
+        assert not data_flows(prog)
+
+    def test_bad_matrix(self, prog):
+        with pytest.raises(ConfigError):
+            alltoallv(prog, [[0, 1]], ranks=[0, 1])
+
+
+class TestRounds:
+    def test_log2_rounds(self):
+        assert log2_rounds(1) == 0
+        assert log2_rounds(2) == 1
+        assert log2_rounds(8) == 3
+        assert log2_rounds(9) == 4

@@ -1,0 +1,73 @@
+"""Simulated communicators."""
+
+import pytest
+
+from repro.mpi.comm import SimComm
+from repro.torus.mapping import RankMapping
+from repro.util.validation import ConfigError
+
+
+class TestWorldComm:
+    def test_default_one_rank_per_node(self, system128):
+        comm = SimComm(system128)
+        assert comm.size == 128
+        assert comm.node_of(5) == 5
+
+    def test_multi_rank_mapping(self, system128):
+        m = RankMapping(system128.topology, ranks_per_node=4)
+        comm = SimComm(system128, m)
+        assert comm.size == 512
+        assert comm.node_of(7) == 1
+
+    def test_world_rank_identity(self, system128):
+        comm = SimComm(system128)
+        assert comm.world_rank(3) == 3
+
+    def test_nodes_list(self, system128):
+        comm = SimComm(system128)
+        assert comm.nodes()[:3] == [0, 1, 2]
+
+    def test_rank_out_of_range(self, system128):
+        comm = SimComm(system128)
+        with pytest.raises(ConfigError):
+            comm.node_of(128)
+
+
+class TestSubComm:
+    def test_create_renumbers(self, system128):
+        world = SimComm(system128)
+        sub = world.create([10, 20, 30])
+        assert sub.size == 3
+        assert sub.world_rank(0) == 10
+        assert sub.node_of(2) == 30
+
+    def test_create_preserves_order(self, system128):
+        world = SimComm(system128)
+        sub = world.create([30, 10])
+        assert sub.world_rank(0) == 30
+
+    def test_nested_create(self, system128):
+        world = SimComm(system128)
+        sub = world.create(range(0, 128, 2))
+        subsub = sub.create([1, 2])
+        assert subsub.world_rank(0) == 2  # sub rank 1 = world rank 2
+
+    def test_duplicate_ranks_rejected(self, system128):
+        world = SimComm(system128)
+        with pytest.raises(ConfigError):
+            world.create([1, 1])
+
+    def test_split_contiguous(self, system128):
+        world = SimComm(system128)
+        parts = world.split_contiguous(4)
+        assert len(parts) == 4
+        assert parts[1].world_rank(0) == 32
+
+    def test_split_uneven_rejected(self, system128):
+        world = SimComm(system128)
+        with pytest.raises(ConfigError):
+            world.split_contiguous(3)
+
+    def test_mapping_topology_mismatch(self, system128, torus_small):
+        with pytest.raises(ConfigError):
+            SimComm(system128, RankMapping(torus_small))

@@ -1,0 +1,105 @@
+"""FlowProgram DAG builder."""
+
+import pytest
+
+from repro.mpi.comm import SimComm
+from repro.mpi.program import FlowProgram
+from repro.network.params import MIRA_PARAMS
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+
+
+@pytest.fixture
+def prog(system128):
+    return FlowProgram(SimComm(system128))
+
+
+class TestIPut:
+    def test_emits_routed_flow(self, prog, system128):
+        fid = prog.iput(0, 127, 1 * MiB)
+        flow = prog.flows[-1]
+        assert flow.fid == fid
+        assert flow.path == system128.compute_path(0, 127).links
+        assert flow.delay == MIRA_PARAMS.o_msg
+
+    def test_relay_adds_o_fwd(self, prog):
+        prog.iput(0, 1, 1024, relay=True)
+        assert prog.flows[-1].delay == pytest.approx(
+            MIRA_PARAMS.o_msg + MIRA_PARAMS.o_fwd
+        )
+
+    def test_same_node_put_is_local(self, system128):
+        from repro.torus.mapping import RankMapping
+
+        m = RankMapping(system128.topology, ranks_per_node=2)
+        prog = FlowProgram(SimComm(system128, m))
+        prog.iput(0, 1, 1024)  # both ranks on node 0
+        assert prog.flows[-1].path == ()
+        assert prog.flows[-1].rate_cap == MIRA_PARAMS.mem_bw
+
+    def test_negative_bytes_rejected(self, prog):
+        with pytest.raises(ConfigError):
+            prog.iput(0, 1, -1)
+
+    def test_dependencies_recorded(self, prog):
+        a = prog.iput(0, 1, 10)
+        b = prog.iput(1, 2, 10, after=(a,))
+        assert prog.flows[-1].deps == (a,)
+        assert b != a
+
+    def test_unique_fids(self, prog):
+        fids = {prog.iput(0, 1, 10) for _ in range(50)}
+        assert len(fids) == 50
+
+
+class TestIONWrite:
+    def test_write_uses_io_path(self, prog, system128):
+        prog.iwrite_ion(5, 1 * MiB)
+        assert prog.flows[-1].path == system128.io_path(5)
+
+    def test_write_rate_capped_at_ion_link(self, prog):
+        prog.iwrite_ion(5, 1 * MiB)
+        assert prog.flows[-1].rate_cap == MIRA_PARAMS.io_link_bw
+
+    def test_write_relay_default(self, prog):
+        prog.iwrite_ion(5, 1024)
+        assert prog.flows[-1].delay == pytest.approx(
+            MIRA_PARAMS.o_msg + MIRA_PARAMS.o_fwd
+        )
+
+
+class TestLocalAndEvents:
+    def test_local_copy_node(self, prog):
+        prog.local_copy_node(3, 1 * MiB)
+        f = prog.flows[-1]
+        assert f.path == () and f.rate_cap == MIRA_PARAMS.mem_bw
+
+    def test_local_copy_node_range(self, prog):
+        with pytest.raises(ConfigError):
+            prog.local_copy_node(9999, 10)
+
+    def test_event_zero_size(self, prog):
+        a = prog.iput(0, 1, 10)
+        e = prog.event((a,), delay=0.5)
+        assert prog.flows[-1].size == 0.0
+        assert prog.flows[-1].deps == (a,)
+
+    def test_barrier_accepts_dict(self, prog):
+        a = prog.iput(0, 1, 10)
+        b = prog.iput(2, 3, 10)
+        prog.barrier({0: a, 2: b})
+        assert set(prog.flows[-1].deps) == {a, b}
+
+
+class TestRun:
+    def test_run_executes_dag(self, prog):
+        a = prog.iput(0, 127, 8 * MiB)
+        r = prog.run()
+        thpt = 8 * MiB / r.finish(a)
+        assert thpt == pytest.approx(1.58e9, rel=0.02)
+
+    def test_sequential_puts_via_deps(self, prog):
+        a = prog.iput(0, 1, 1.6e9)  # ~1 s at stream cap
+        b = prog.iput(0, 1, 1.6e9, after=(a,))
+        r = prog.run()
+        assert r.finish(b) > 2.0

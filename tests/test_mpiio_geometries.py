@@ -1,0 +1,74 @@
+"""Baseline collective-I/O invariants across geometries and configs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import BGQSystem
+from repro.mpi.comm import SimComm
+from repro.mpi.mpiio import CollectiveIOConfig, plan_collective_write
+from repro.torus.mapping import RankMapping
+from repro.util.units import KiB, MiB
+
+
+def make_comm(shape=(4, 4, 4, 4, 2), pset=128, bridges=2, rpn=2):
+    system = BGQSystem(shape, pset_size=pset, bridges_per_pset=bridges)
+    return SimComm(system, RankMapping(system.topology, ranks_per_node=rpn))
+
+
+class TestPlanInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_domains_cover_file_exactly(self, seed):
+        comm = make_comm()
+        sizes = np.random.default_rng(seed).integers(0, 2 * MiB, size=comm.size)
+        plan = plan_collective_write(comm, sizes)
+        total = int(sizes.sum())
+        assert plan.domains[0][0] == 0
+        assert plan.domains[-1][1] == total
+        covered = sum(hi - lo for lo, hi in plan.domains)
+        assert covered == total
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_aggregator_bytes_conserve(self, seed):
+        comm = make_comm()
+        sizes = np.random.default_rng(seed).integers(0, 2 * MiB, size=comm.size)
+        plan = plan_collective_write(comm, sizes)
+        assert int(plan.bytes_per_aggregator.sum()) == int(sizes.sum())
+        assert sum(plan.bytes_per_ion.values()) == pytest.approx(float(sizes.sum()))
+
+    def test_bridge_aggregators_cover_every_pset(self):
+        comm = make_comm()
+        plan = plan_collective_write(comm, np.full(comm.size, 64 * KiB))
+        psets = {
+            comm.system.pset_of_node(comm.node_of(r)).index
+            for r in plan.aggregator_ranks
+        }
+        assert psets == set(range(comm.system.npsets))
+
+    def test_single_bridge_pset(self):
+        comm = make_comm(bridges=1)
+        plan = plan_collective_write(comm, np.full(comm.size, 64 * KiB))
+        assert len(plan.aggregator_ranks) == comm.system.npsets
+
+    def test_more_ranks_than_nodes(self):
+        comm = make_comm(rpn=8)
+        sizes = np.full(comm.size, 16 * KiB)
+        plan = plan_collective_write(comm, sizes)
+        assert plan.total_bytes == int(sizes.sum())
+
+    def test_all_zero_sizes(self):
+        comm = make_comm()
+        plan = plan_collective_write(comm, np.zeros(comm.size, dtype=np.int64))
+        assert plan.total_bytes == 0
+        assert all(hi == lo for lo, hi in plan.domains)
+
+    def test_one_writer_only(self):
+        comm = make_comm()
+        sizes = np.zeros(comm.size, dtype=np.int64)
+        sizes[17] = 5 * MiB
+        plan = plan_collective_write(comm, sizes)
+        assert plan.total_bytes == 5 * MiB
+        # The single extent spans every aggregator's (tiny) domain.
+        assert plan.active_aggregators == len(plan.aggregator_ranks)

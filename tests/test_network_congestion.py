@@ -1,0 +1,93 @@
+"""Congestion/chain makespan bounds vs the exact fluid simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.congestion import chain_bound, congestion_makespan, link_load_bound
+from repro.network.flow import Flow
+from repro.network.flowsim import FlowSim, uniform_capacities
+from repro.network.params import NetworkParams
+from repro.util.validation import ConfigError
+
+P = NetworkParams(
+    link_bw=100.0,
+    stream_cap=80.0,
+    io_link_bw=100.0,
+    ion_storage_bw=1000.0,
+    o_msg=0.0,
+    o_fwd=0.0,
+    mem_bw=1000.0,
+)
+caps = uniform_capacities(100.0)
+
+
+class TestLinkLoadBound:
+    def test_single_link(self):
+        flows = [Flow(fid=i, size=100.0, path=(0,)) for i in range(3)]
+        assert link_load_bound(flows, caps) == pytest.approx(3.0)
+
+    def test_max_over_links(self):
+        flows = [
+            Flow(fid="a", size=100.0, path=(0, 1)),
+            Flow(fid="b", size=300.0, path=(1,)),
+        ]
+        assert link_load_bound(flows, caps) == pytest.approx(4.0)
+
+    def test_empty_paths_zero(self):
+        assert link_load_bound([Flow(fid="a", size=10.0)], caps) == 0.0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            link_load_bound([Flow(fid="a", size=1.0, path=(0,))], lambda g: 0.0)
+
+
+class TestChainBound:
+    def test_serial_chain(self):
+        flows = [
+            Flow(fid="a", size=80.0, path=(0,)),
+            Flow(fid="b", size=80.0, path=(1,), deps=("a",), delay=0.5),
+        ]
+        assert chain_bound(flows, P) == pytest.approx(2.5)
+
+    def test_start_time_counts(self):
+        flows = [Flow(fid="a", size=80.0, path=(0,), start_time=3.0)]
+        assert chain_bound(flows, P) == pytest.approx(4.0)
+
+    def test_cycle_rejected(self):
+        flows = [
+            Flow(fid="a", size=1, deps=("b",)),
+            Flow(fid="b", size=1, deps=("a",)),
+        ]
+        with pytest.raises(ConfigError, match="cycle"):
+            chain_bound(flows, P)
+
+    def test_unknown_dep_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            chain_bound([Flow(fid="a", size=1, deps=("zz",))], P)
+
+
+class TestAgainstSimulation:
+    def test_bound_tight_when_saturated(self):
+        flows = [Flow(fid=i, size=400.0, path=(0,)) for i in range(4)]
+        est = congestion_makespan(flows, caps, P)
+        real = FlowSim(caps, P).run(flows).makespan
+        assert est == pytest.approx(real, rel=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=2000),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_always_a_lower_bound(self, items):
+        flows = [
+            Flow(fid=i, size=float(s), path=(l,)) for i, (s, l) in enumerate(items)
+        ]
+        est = congestion_makespan(flows, caps, P)
+        real = FlowSim(caps, P).run(flows).makespan
+        assert est <= real * (1 + 1e-9)

@@ -1,0 +1,59 @@
+"""Endpoint (Messaging Unit) cost model."""
+
+import pytest
+
+from repro.network.endpoint import EndpointModel
+from repro.network.params import MIRA_PARAMS
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+
+
+@pytest.fixture
+def ep():
+    return EndpointModel(MIRA_PARAMS)
+
+
+class TestLatency:
+    def test_direct_pays_o_msg(self, ep):
+        assert ep.message_latency(1 * MiB) == MIRA_PARAMS.o_msg
+
+    def test_relays_add_o_fwd(self, ep):
+        assert ep.message_latency(1 * MiB, nrelays=2) == pytest.approx(
+            MIRA_PARAMS.o_msg + 2 * MIRA_PARAMS.o_fwd
+        )
+
+    def test_latency_size_independent(self, ep):
+        assert ep.message_latency(1) == ep.message_latency(128 * MiB)
+
+    def test_negative_size_rejected(self, ep):
+        with pytest.raises(ConfigError):
+            ep.message_latency(-1)
+
+    def test_negative_relays_rejected(self, ep):
+        with pytest.raises(ConfigError):
+            ep.message_latency(1, nrelays=-1)
+
+
+class TestRates:
+    def test_stream_cap(self, ep):
+        assert ep.stream_rate_cap() == MIRA_PARAMS.stream_cap
+
+    def test_local_copy_uses_mem_bw(self, ep):
+        t = ep.local_copy_time(28 * 10**9)  # one second of mem_bw
+        assert t == pytest.approx(MIRA_PARAMS.o_msg + 1.0)
+
+    def test_direct_time_closed_form(self, ep):
+        d = 8 * MiB
+        assert ep.direct_time(d) == pytest.approx(
+            MIRA_PARAMS.o_msg + d / MIRA_PARAMS.stream_cap
+        )
+
+    def test_direct_time_with_slower_path(self, ep):
+        d = 8 * MiB
+        assert ep.direct_time(d, path_rate=0.8e9) == pytest.approx(
+            MIRA_PARAMS.o_msg + d / 0.8e9
+        )
+
+    def test_direct_time_path_rate_capped_by_stream(self, ep):
+        d = 8 * MiB
+        assert ep.direct_time(d, path_rate=100e9) == ep.direct_time(d)

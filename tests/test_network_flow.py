@@ -1,0 +1,47 @@
+"""Flow record validation."""
+
+import pytest
+
+from repro.network.flow import Flow, FlowResult
+from repro.util.validation import ConfigError
+
+
+class TestFlowValidation:
+    def test_minimal(self):
+        f = Flow(fid="a", size=10.0)
+        assert f.path == () and f.deps == ()
+
+    def test_negative_size(self):
+        with pytest.raises(ConfigError):
+            Flow(fid="a", size=-1)
+
+    def test_zero_size_allowed(self):
+        assert Flow(fid="a", size=0).size == 0
+
+    def test_negative_delay(self):
+        with pytest.raises(ConfigError):
+            Flow(fid="a", size=1, delay=-1)
+
+    def test_negative_start(self):
+        with pytest.raises(ConfigError):
+            Flow(fid="a", size=1, start_time=-1)
+
+    def test_bad_rate_cap(self):
+        with pytest.raises(ConfigError):
+            Flow(fid="a", size=1, rate_cap=0)
+
+    def test_frozen(self):
+        f = Flow(fid="a", size=1)
+        with pytest.raises(AttributeError):
+            f.size = 2
+
+
+class TestFlowResult:
+    def test_duration_and_rate(self):
+        r = FlowResult(fid="a", size=100.0, start=1.0, finish=3.0)
+        assert r.duration == 2.0
+        assert r.mean_rate == 50.0
+
+    def test_instant_flow_infinite_rate(self):
+        r = FlowResult(fid="a", size=0.0, start=1.0, finish=1.0)
+        assert r.mean_rate == float("inf")

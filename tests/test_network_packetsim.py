@@ -1,0 +1,106 @@
+"""Packet-level simulator, including cross-validation with the fluid model."""
+
+import pytest
+
+from repro.network.flow import Flow
+from repro.network.flowsim import FlowSim, uniform_capacities
+from repro.network.packet import Packet, PacketMessage
+from repro.network.packetsim import PacketSim
+from repro.network.params import MIRA_PARAMS, NetworkParams
+from repro.routing.deterministic import route
+from repro.util.units import KiB
+from repro.util.validation import ConfigError, SimulationError
+
+
+class TestPacket:
+    def test_delivered_after_all_hops(self):
+        p = Packet(mid="m", seq=0, path=(1, 2))
+        assert not p.delivered
+        p.hop = 2
+        assert p.delivered
+
+    def test_next_link(self):
+        p = Packet(mid="m", seq=0, path=(1, 2), hop=1)
+        assert p.next_link() == 2
+
+
+class TestPacketSim:
+    def test_single_message_near_link_rate(self):
+        sim = PacketSim()
+        msg = PacketMessage(mid="m", size=256 * KiB, path=(0, 1, 2))
+        r = sim.run([msg])
+        rate = msg.size / r.finish("m")
+        # Cut-through pipeline: within 10% of the link rate after fill.
+        assert rate > 0.9 * MIRA_PARAMS.link_bw
+        assert rate <= MIRA_PARAMS.link_bw
+
+    def test_two_messages_share_link(self):
+        sim = PacketSim()
+        msgs = [
+            PacketMessage(mid=i, size=64 * KiB, path=(9,)) for i in range(2)
+        ]
+        r = sim.run(msgs)
+        for i in range(2):
+            rate = msgs[i].size / r.finish(i)
+            assert rate == pytest.approx(MIRA_PARAMS.link_bw / 2, rel=0.15)
+
+    def test_longer_path_longer_latency(self):
+        sim = PacketSim()
+        r1 = sim.run([PacketMessage(mid="m", size=4 * KiB, path=(0,))])
+        r2 = sim.run([PacketMessage(mid="m", size=4 * KiB, path=(0, 1, 2, 3))])
+        assert r2.finish("m") > r1.finish("m")
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            PacketSim().run([PacketMessage(mid="m", size=0, path=(0,))])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigError):
+            PacketSim().run([PacketMessage(mid="m", size=10, path=())])
+
+    def test_tick_budget_enforced(self):
+        sim = PacketSim(max_ticks=3)
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run([PacketMessage(mid="m", size=1024 * KiB, path=(0,))])
+
+    def test_throughput_helper(self):
+        sim = PacketSim()
+        msg = PacketMessage(mid="m", size=8 * KiB, path=(0,))
+        r = sim.run([msg])
+        assert r.throughput("m", msg.size) == pytest.approx(msg.size / r.finish("m"))
+
+
+class TestCrossValidation:
+    """The fluid model's contention ratios should match the packet model."""
+
+    def test_sharing_ratio_matches_fluid(self, torus128):
+        path = route(torus128, 0, 5).links
+        # Packet level: two messages over one shared path.
+        psim = PacketSim()
+        msgs = [PacketMessage(mid=i, size=128 * KiB, path=path) for i in range(2)]
+        pr = psim.run(msgs)
+        solo = psim.run([PacketMessage(mid="s", size=128 * KiB, path=path)])
+        packet_slowdown = pr.makespan / solo.finish("s")
+
+        # Fluid level, same geometry (uncapped streams to isolate sharing).
+        params = NetworkParams(o_msg=0.0, o_fwd=0.0, stream_cap=MIRA_PARAMS.link_bw)
+        fsim = FlowSim(uniform_capacities(params.link_bw), params)
+        fr = fsim.run([Flow(fid=i, size=128.0 * KiB, path=path) for i in range(2)])
+        fsolo = fsim.run([Flow(fid="s", size=128.0 * KiB, path=path)])
+        fluid_slowdown = fr.makespan / fsolo.finish("s")
+
+        assert packet_slowdown == pytest.approx(fluid_slowdown, rel=0.15)
+
+    def test_disjoint_paths_no_slowdown_both_models(self, torus128):
+        p1 = route(torus128, 0, 1).links
+        p2 = route(torus128, 2, 3).links
+        assert not set(p1) & set(p2)
+        psim = PacketSim()
+        both = psim.run(
+            [
+                PacketMessage(mid="a", size=64 * KiB, path=p1),
+                PacketMessage(mid="b", size=64 * KiB, path=p2),
+            ]
+        )
+        solo = psim.run([PacketMessage(mid="a", size=64 * KiB, path=p1)])
+        assert both.finish("a") == pytest.approx(solo.finish("a"), rel=0.05)

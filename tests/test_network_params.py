@@ -1,0 +1,58 @@
+"""Network parameter validation and calibration facts."""
+
+import pytest
+
+from repro.network.params import MIRA_PARAMS, NetworkParams
+from repro.util.units import gbps
+from repro.util.validation import ConfigError
+
+
+class TestMiraCalibration:
+    def test_link_rate_matches_paper(self):
+        # 2 GB/s raw, ~90% available to user payload.
+        assert MIRA_PARAMS.link_bw == gbps(1.8)
+
+    def test_stream_cap_matches_observed_peak(self):
+        assert MIRA_PARAMS.stream_cap == gbps(1.6)
+
+    def test_io_link_rate(self):
+        assert MIRA_PARAMS.io_link_bw == gbps(2.0)
+
+    def test_stream_below_link(self):
+        assert MIRA_PARAMS.stream_cap < MIRA_PARAMS.link_bw
+
+    def test_crossover_constant(self):
+        # o_msg + o_fwd pins the k=4 crossover at ~256 KiB (see model).
+        fixed = MIRA_PARAMS.o_msg + MIRA_PARAMS.o_fwd
+        d_star = MIRA_PARAMS.stream_cap * fixed * 4 / 2
+        assert 200e3 < d_star < 300e3
+
+
+class TestValidation:
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            MIRA_PARAMS.link_bw = 1.0
+
+    @pytest.mark.parametrize(
+        "field",
+        ["link_bw", "stream_cap", "io_link_bw", "ion_storage_bw", "mem_bw"],
+    )
+    def test_positive_rates_required(self, field):
+        with pytest.raises(ConfigError):
+            NetworkParams(**{field: 0})
+
+    @pytest.mark.parametrize("field", ["o_msg", "o_fwd"])
+    def test_overheads_non_negative(self, field):
+        assert getattr(NetworkParams(**{field: 0.0}), field) == 0.0
+        with pytest.raises(ConfigError):
+            NetworkParams(**{field: -1e-6})
+
+    def test_packet_payload_positive(self):
+        with pytest.raises(ConfigError):
+            NetworkParams(packet_payload=0)
+
+    def test_with_replaces(self):
+        p = MIRA_PARAMS.with_(o_fwd=1e-3)
+        assert p.o_fwd == 1e-3
+        assert p.link_bw == MIRA_PARAMS.link_bw
+        assert MIRA_PARAMS.o_fwd != 1e-3

@@ -1,0 +1,56 @@
+"""Link statistics summaries."""
+
+import pytest
+
+from repro.network.flow import Flow
+from repro.network.flowsim import FlowSim, uniform_capacities
+from repro.network.params import NetworkParams
+from repro.network.stats import summarize_links
+
+P = NetworkParams(
+    link_bw=100.0, stream_cap=80.0, o_msg=0.0, o_fwd=0.0, mem_bw=1000.0
+)
+caps = uniform_capacities(100.0)
+
+
+def run(flows):
+    return FlowSim(caps, P).run(flows)
+
+
+class TestSummarize:
+    def test_empty(self):
+        stats = summarize_links(run([]), caps)
+        assert stats.busy_links == 0
+        assert stats.imbalance == 1.0
+
+    def test_counts_and_totals(self):
+        r = run(
+            [
+                Flow(fid="a", size=100.0, path=(0, 1)),
+                Flow(fid="b", size=50.0, path=(1,)),
+            ]
+        )
+        stats = summarize_links(r, caps)
+        assert stats.busy_links == 2
+        assert stats.total_bytes == pytest.approx(250.0)
+        assert stats.max_bytes == pytest.approx(150.0)
+
+    def test_imbalance(self):
+        r = run(
+            [
+                Flow(fid="a", size=300.0, path=(0,)),
+                Flow(fid="b", size=100.0, path=(1,)),
+            ]
+        )
+        stats = summarize_links(r, caps)
+        assert stats.imbalance == pytest.approx(1.5)
+
+    def test_utilization_saturated_link(self):
+        r = run([Flow(fid=i, size=400.0, path=(0,)) for i in range(2)])
+        stats = summarize_links(r, caps)
+        assert stats.max_utilization == pytest.approx(1.0, rel=1e-6)
+
+    def test_mapping_capacities_accepted(self):
+        r = run([Flow(fid="a", size=100.0, path=(0,))])
+        stats = summarize_links(r, {0: 100.0})
+        assert stats.busy_links == 1

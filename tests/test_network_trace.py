@@ -1,0 +1,93 @@
+"""Trace export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.network.flow import Flow
+from repro.network.flowsim import FlowSim, uniform_capacities
+from repro.network.params import NetworkParams
+from repro.network.trace import build_trace, gantt, trace_csv, trace_json
+from repro.util.validation import ConfigError
+
+P = NetworkParams(link_bw=100.0, stream_cap=80.0, o_msg=0.0, o_fwd=0.0, mem_bw=1000.0)
+
+
+@pytest.fixture
+def result():
+    flows = [
+        Flow(fid="first", size=80.0, path=(0,), tag="phase1"),
+        Flow(fid="second", size=80.0, path=(1,), deps=("first",), tag="phase2"),
+        Flow(fid="join", size=0.0, deps=("second",)),
+    ]
+    return FlowSim(uniform_capacities(100.0), P).run(flows)
+
+
+class TestBuildTrace:
+    def test_sorted_by_start(self, result):
+        records = build_trace(result)
+        starts = [r.start for r in records]
+        assert starts == sorted(starts)
+
+    def test_fields(self, result):
+        rec = next(r for r in build_trace(result) if r.fid == "second")
+        assert rec.start == pytest.approx(1.0)
+        assert rec.finish == pytest.approx(2.0)
+        assert rec.mean_rate == pytest.approx(80.0)
+        assert rec.tag == "phase2"
+
+
+class TestJson:
+    def test_valid_json_with_makespan(self, result):
+        doc = json.loads(trace_json(result))
+        assert doc["makespan"] == pytest.approx(2.0)
+        assert len(doc["flows"]) == 3
+
+    def test_total_bytes(self, result):
+        doc = json.loads(trace_json(result))
+        assert doc["total_bytes"] == pytest.approx(160.0)
+
+
+class TestCsv:
+    def test_parses_back(self, result):
+        rows = list(csv.DictReader(io.StringIO(trace_csv(result))))
+        assert len(rows) == 3
+        assert {r["fid"] for r in rows} == {"first", "second", "join"}
+
+    def test_numeric_columns(self, result):
+        rows = list(csv.DictReader(io.StringIO(trace_csv(result))))
+        for row in rows:
+            float(row["start"])
+            float(row["finish"])
+
+
+class TestGantt:
+    def test_sequential_bars_do_not_overlap(self, result):
+        chart = gantt(result, width=20)
+        lines = chart.splitlines()
+        first = next(l for l in lines if l.strip().startswith("first"))
+        second = next(l for l in lines if l.strip().startswith("second"))
+        bar1 = first.split("|")[1]
+        bar2 = second.split("|")[1]
+        # first's bar ends where second's begins.
+        assert bar1.rstrip().endswith("=")
+        assert bar2.startswith(" " * len(bar1.rstrip()))
+
+    def test_zero_size_events_skipped(self, result):
+        assert "join" not in gantt(result)
+
+    def test_row_cap(self):
+        flows = [Flow(fid=f"f{i}", size=10.0, path=(i,)) for i in range(50)]
+        res = FlowSim(uniform_capacities(100.0), P).run(flows)
+        chart = gantt(res, max_rows=5)
+        assert "45 more flows" in chart
+
+    def test_empty(self):
+        res = FlowSim(uniform_capacities(100.0), P).run([])
+        assert gantt(res) == "(no data flows)"
+
+    def test_width_validated(self, result):
+        with pytest.raises(ConfigError):
+            gantt(result, width=5)

@@ -1,0 +1,96 @@
+"""Deterministic dimension-ordered routing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.deterministic import DimOrderRouter, route, route_coords
+from repro.torus.topology import TorusTopology
+from repro.util.validation import ConfigError
+
+nodes24 = st.integers(min_value=0, max_value=23)
+
+
+class TestRoute:
+    def test_endpoints(self, torus_small):
+        p = route(torus_small, 0, 13)
+        assert p.src == 0 and p.dst == 13
+        assert p.nodes[0] == 0 and p.nodes[-1] == 13
+
+    def test_self_route_empty(self, torus_small):
+        p = route(torus_small, 5, 5)
+        assert p.links == ()
+        assert p.nodes == (5,)
+
+    def test_length_equals_distance(self, torus_small):
+        for a in torus_small.all_nodes():
+            for b in torus_small.all_nodes():
+                assert route(torus_small, a, b).nhops == torus_small.distance(a, b)
+
+    @settings(max_examples=50)
+    @given(nodes24, nodes24)
+    def test_minimality_property(self, a, b):
+        t = TorusTopology((3, 4, 2))
+        p = route(t, a, b)
+        assert p.nhops == t.distance(a, b)
+        # Consecutive nodes are torus neighbours.
+        for u, v in zip(p.nodes, p.nodes[1:]):
+            assert t.distance(u, v) == 1
+
+    def test_longest_dim_first(self, torus_small):
+        # (0,0,0) -> (1,2,0): B needs 2 hops, A needs 1: B hops first.
+        t = torus_small
+        p = route(t, t.node((0, 0, 0)), t.node((1, 2, 0)))
+        first_hop = (t.coord(p.nodes[0]), t.coord(p.nodes[1]))
+        assert first_hop[0][1] != first_hop[1][1]  # B changed first
+
+    def test_no_repeated_links(self, torus128):
+        p = route(torus128, 0, torus128.nnodes - 1)
+        assert len(set(p.links)) == len(p.links)
+
+    def test_no_repeated_nodes(self, torus128):
+        p = route(torus128, 0, torus128.nnodes - 1)
+        assert len(set(p.nodes)) == len(p.nodes)
+
+
+class TestOrderOverride:
+    def test_explicit_order_changes_path(self, torus_small):
+        t = torus_small
+        src, dst = t.node((0, 0, 0)), t.node((1, 2, 1))
+        default = route(t, src, dst)
+        forced = route(t, src, dst, order=(2, 0, 1))
+        assert default.nhops == forced.nhops
+        assert default.links != forced.links
+
+    def test_order_missing_dim_rejected(self, torus_small):
+        t = torus_small
+        with pytest.raises(ConfigError, match="omits"):
+            route(t, t.node((0, 0, 0)), t.node((1, 2, 1)), order=(0, 1))
+
+    def test_extra_zero_dim_allowed(self, torus_small):
+        t = torus_small
+        p = route(t, t.node((0, 0, 0)), t.node((1, 0, 0)), order=(0, 1, 2))
+        assert p.nhops == 1
+
+    def test_route_coords_triples(self, torus_small):
+        hops = route_coords(torus_small, 0, torus_small.node((1, 1, 0)))
+        assert all(len(h) == 3 for h in hops)
+        assert len(hops) == 2
+
+
+class TestRouter:
+    def test_cache_hit_returns_same_object(self, torus_small):
+        r = DimOrderRouter(torus_small)
+        assert r.path(0, 5) is r.path(0, 5)
+        assert r.cache_size() == 1
+
+    def test_paths_batch(self, torus_small):
+        r = DimOrderRouter(torus_small)
+        ps = r.paths([(0, 1), (1, 2)])
+        assert len(ps) == 2
+        assert r.cache_size() == 2
+
+    def test_asymmetric_cache(self, torus_small):
+        r = DimOrderRouter(torus_small)
+        r.path(0, 5)
+        r.path(5, 0)
+        assert r.cache_size() == 2

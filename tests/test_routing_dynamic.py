@@ -1,0 +1,94 @@
+"""Dynamic (zone) routing model."""
+
+import pytest
+
+from repro.core import TransferSpec, run_transfer
+from repro.core.dynroute import run_dynamic_transfer
+from repro.routing.dynamic import DynamicRouter
+from repro.routing.zones import ZoneId
+from repro.util.units import GB, MiB
+from repro.util.validation import ConfigError
+
+
+class TestDynamicRouter:
+    def test_paths_valid_and_minimal(self, system512):
+        r = DynamicRouter(system512.topology, seed=1)
+        for _ in range(20):
+            p = r.sample_path(0, 300)
+            assert p.nhops == system512.topology.distance(0, 300)
+            assert p.src == 0 and p.dst == 300
+
+    def test_zone1_varies_paths(self, system512):
+        r = DynamicRouter(system512.topology, seed=1)
+        seen = {r.sample_path(0, 300).links for _ in range(20)}
+        assert len(seen) > 1
+
+    def test_zone0_longest_first_respected(self, system512):
+        t = system512.topology
+        r = DynamicRouter(t, zone=ZoneId.DYNAMIC_LONGEST_FIRST, seed=1)
+        # 0 -> (2,1,0,0,0): A needs 2 hops, B needs 1: A must come first.
+        dst = t.node((2, 1, 0, 0, 0))
+        for _ in range(10):
+            p = r.sample_path(0, dst)
+            first_dim_changed = [
+                d
+                for d in range(t.ndims)
+                if t.coord(p.nodes[1])[d] != t.coord(p.nodes[0])[d]
+            ][0]
+            assert first_dim_changed == 0
+
+    def test_deterministic_zone_rejected(self, system512):
+        with pytest.raises(ConfigError):
+            DynamicRouter(system512.topology, zone=ZoneId.DETERMINISTIC_DIM_ORDER)
+
+    def test_spray_count(self, system512):
+        r = DynamicRouter(system512.topology, seed=1)
+        assert len(r.sample_spray(0, 300, 5)) == 5
+
+    def test_spray_validation(self, system512):
+        r = DynamicRouter(system512.topology, seed=1)
+        with pytest.raises(ConfigError):
+            r.sample_spray(0, 300, 0)
+
+
+class TestDynamicTransfer:
+    def test_single_stream_stays_under_ceiling(self, system512):
+        """Dynamic routing spreads links but cannot beat stream_cap."""
+        out = run_dynamic_transfer(
+            system512, [TransferSpec(0, 300, 64 * MiB)], seed=3
+        )
+        assert out.throughput <= 1.62 * GB
+
+    def test_reproducible_with_seed(self, system512):
+        spec = TransferSpec(0, 300, 4 * MiB)
+        a = run_dynamic_transfer(system512, [spec], seed=5)
+        b = run_dynamic_transfer(system512, [spec], seed=5)
+        assert a.makespan == b.makespan
+
+    def test_relieves_hotspots_vs_deterministic(self, system512):
+        """Convoyed pairs sharing deterministic links: spraying helps."""
+        t = system512.topology
+        # Four sources in a row all sending 4 hops along +D: the
+        # deterministic paths overlap pairwise.
+        srcs = [t.node((0, 0, 0, d, 0)) for d in range(4)]
+        dsts = [t.node((0, 0, 0, (d + 2) % 4, 1)) for d in range(4)]
+        specs = [
+            TransferSpec(s, d, 16 * MiB) for s, d in zip(srcs, dsts) if s != d
+        ]
+        det = run_transfer(system512, specs, mode="direct")
+        dyn = run_dynamic_transfer(system512, specs, seed=7)
+        assert dyn.throughput >= det.throughput * 0.98
+
+    def test_mode_label(self, system512):
+        out = run_dynamic_transfer(
+            system512, [TransferSpec(0, 300, 4 * MiB)], nsplits=4, seed=1
+        )
+        assert out.mode_used[(0, 300)] == "dynamic:z1x4"
+
+    def test_validation(self, system512):
+        with pytest.raises(ConfigError):
+            run_dynamic_transfer(system512, [])
+        with pytest.raises(ConfigError):
+            run_dynamic_transfer(
+                system512, [TransferSpec(0, 1, 10)], nsplits=0
+            )

@@ -1,0 +1,54 @@
+"""Dimension-order computation."""
+
+import numpy as np
+
+from repro.routing.order import (
+    dims_by_index,
+    dims_longest_to_shortest,
+    routing_dim_order,
+)
+
+
+class TestDimsByIndex:
+    def test_skips_zero_hops(self):
+        assert dims_by_index((0, 2, 0, 1)) == (1, 3)
+
+    def test_empty(self):
+        assert dims_by_index((0, 0)) == ()
+
+
+class TestLongestToShortest:
+    def test_sorted_descending(self):
+        assert dims_longest_to_shortest((1, 3, 2)) == (1, 2, 0)
+
+    def test_tie_break_by_index(self):
+        assert dims_longest_to_shortest((2, 2, 1)) == (0, 1, 2)
+
+    def test_zero_hops_excluded(self):
+        assert dims_longest_to_shortest((0, 5, 0)) == (1,)
+
+    def test_rng_tie_break_only_permutes_ties(self):
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(20):
+            order = dims_longest_to_shortest((2, 2, 3), rng=rng)
+            assert order[0] == 2  # strictly longest always first
+            assert set(order[1:]) == {0, 1}
+            seen.add(order)
+        assert len(seen) == 2  # both tie orders occur
+
+
+class TestRoutingDimOrder:
+    def test_from_coords(self):
+        # shape (4,4,2): (0,0,0)->(2,1,1): hops (2,1,1): A first.
+        order = routing_dim_order((0, 0, 0), (2, 1, 1), (4, 4, 2))
+        assert order[0] == 0
+        assert set(order) == {0, 1, 2}
+
+    def test_same_coord_empty(self):
+        assert routing_dim_order((1, 1), (1, 1), (3, 3)) == ()
+
+    def test_deterministic_without_rng(self):
+        a = routing_dim_order((0, 0), (1, 2), (4, 4))
+        b = routing_dim_order((0, 0), (1, 2), (4, 4))
+        assert a == b == (1, 0)

@@ -1,0 +1,63 @@
+"""Path objects and overlap analysis."""
+
+import pytest
+
+from repro.routing.paths import (
+    Path,
+    count_link_loads,
+    max_link_load,
+    paths_overlap,
+    shared_links,
+)
+
+
+def mk(src, dst, links, nodes=()):
+    return Path(src=src, dst=dst, links=tuple(links), nodes=tuple(nodes))
+
+
+class TestPath:
+    def test_nhops(self):
+        assert mk(0, 2, (5, 6)).nhops == 2
+
+    def test_link_set(self):
+        assert mk(0, 2, (5, 6, 5)).link_set() == frozenset({5, 6})
+
+    def test_nodes_validated_endpoints(self):
+        with pytest.raises(ValueError):
+            Path(src=0, dst=2, links=(1,), nodes=(1, 2))
+
+    def test_nodes_validated_length(self):
+        with pytest.raises(ValueError):
+            Path(src=0, dst=2, links=(1,), nodes=(0, 1, 2))
+
+    def test_valid_nodes(self):
+        p = Path(src=0, dst=2, links=(9,), nodes=(0, 2))
+        assert p.nodes == (0, 2)
+
+    def test_frozen(self):
+        p = mk(0, 1, (3,))
+        with pytest.raises(AttributeError):
+            p.src = 5
+
+
+class TestOverlap:
+    def test_shared(self):
+        assert shared_links(mk(0, 1, (1, 2)), mk(2, 3, (2, 3))) == frozenset({2})
+
+    def test_disjoint(self):
+        assert not paths_overlap(mk(0, 1, (1, 2)), mk(2, 3, (3, 4)))
+
+    def test_empty_path_never_overlaps(self):
+        assert not paths_overlap(mk(0, 0, ()), mk(0, 1, (1,)))
+
+
+class TestLoads:
+    def test_count(self):
+        loads = count_link_loads([mk(0, 1, (1, 2)), mk(2, 3, (2, 3))])
+        assert loads[2] == 2 and loads[1] == 1
+
+    def test_max_load(self):
+        assert max_link_load([mk(0, 1, (1, 2)), mk(2, 3, (2, 3))]) == 2
+
+    def test_max_load_empty(self):
+        assert max_link_load([]) == 0

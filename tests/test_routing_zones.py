@@ -1,0 +1,74 @@
+"""Zone-routing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.routing.zones import ZoneId, flexibility, select_zone, zone_dim_order
+from repro.util.units import KiB, MiB
+
+
+class TestFlexibility:
+    def test_zero_for_same_node(self):
+        assert flexibility((0, 0), (0, 0), (4, 4)) == 0.0
+
+    def test_half_ring(self):
+        assert flexibility((0, 0), (2, 0), (4, 4)) == pytest.approx(0.5)
+
+    def test_mean_over_active_dims(self):
+        # hops (1, 2) over sizes (4, 4): mean(0.25, 0.5).
+        assert flexibility((0, 0), (1, 2), (4, 4)) == pytest.approx(0.375)
+
+    def test_monotone_in_distance(self):
+        shape = (8, 8)
+        f1 = flexibility((0, 0), (1, 0), shape)
+        f2 = flexibility((0, 0), (3, 0), shape)
+        assert f2 > f1
+
+
+class TestSelectZone:
+    def test_small_message_deterministic(self):
+        z = select_zone((0, 0), (3, 3), (8, 8), 1 * KiB)
+        assert z in (ZoneId.DETERMINISTIC_LONGEST_FIRST, ZoneId.DETERMINISTIC_DIM_ORDER)
+
+    def test_large_flexible_dynamic(self):
+        z = select_zone((0, 0), (4, 4), (8, 8), 8 * MiB)
+        assert z in (ZoneId.DYNAMIC_LONGEST_FIRST, ZoneId.DYNAMIC_UNRESTRICTED)
+
+    def test_inflexible_route_stays_deterministic(self):
+        z = select_zone((0, 0), (1, 0), (8, 8), 8 * MiB)
+        assert z == ZoneId.DETERMINISTIC_DIM_ORDER
+
+    def test_zone_ids_match_paper(self):
+        assert ZoneId.DYNAMIC_LONGEST_FIRST == 0
+        assert ZoneId.DYNAMIC_UNRESTRICTED == 1
+        assert ZoneId.DETERMINISTIC_LONGEST_FIRST == 2
+        assert ZoneId.DETERMINISTIC_DIM_ORDER == 3
+
+
+class TestZoneDimOrder:
+    def test_zone2_longest_first(self):
+        order = zone_dim_order(ZoneId.DETERMINISTIC_LONGEST_FIRST, (0, 0, 0), (1, 2, 0), (4, 4, 2))
+        assert order == (1, 0)
+
+    def test_zone3_index_order(self):
+        order = zone_dim_order(ZoneId.DETERMINISTIC_DIM_ORDER, (0, 0, 0), (1, 2, 0), (4, 4, 2))
+        assert order == (0, 1)
+
+    def test_zone1_random_permutation_of_active(self):
+        rng = np.random.default_rng(3)
+        seen = set()
+        for _ in range(30):
+            order = zone_dim_order(
+                ZoneId.DYNAMIC_UNRESTRICTED, (0, 0, 0), (1, 2, 1), (4, 4, 2), rng=rng
+            )
+            assert set(order) == {0, 1, 2}
+            seen.add(order)
+        assert len(seen) > 1  # randomness actually varies
+
+    def test_zone0_without_rng_degrades_to_deterministic(self):
+        a = zone_dim_order(ZoneId.DYNAMIC_LONGEST_FIRST, (0, 0), (2, 2), (4, 4))
+        b = zone_dim_order(ZoneId.DETERMINISTIC_LONGEST_FIRST, (0, 0), (2, 2), (4, 4))
+        assert a == b
+
+    def test_zones_accept_int(self):
+        assert zone_dim_order(3, (0, 0), (1, 1), (4, 4)) == (0, 1)

@@ -1,0 +1,157 @@
+"""Torus coordinate arithmetic, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.torus.coords import (
+    all_coords,
+    coord_to_index,
+    hop_distance,
+    index_to_coord,
+    neighbor_coord,
+    torus_distance,
+    wrap_displacement,
+)
+from repro.util.validation import ConfigError
+
+shapes = st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=5).map(
+    tuple
+)
+
+
+def coords_for(shape):
+    return st.tuples(*[st.integers(min_value=0, max_value=s - 1) for s in shape])
+
+
+class TestIndexing:
+    def test_row_major_order(self):
+        # (a, b): a slowest.
+        assert coord_to_index((0, 0), (2, 3)) == 0
+        assert coord_to_index((0, 2), (2, 3)) == 2
+        assert coord_to_index((1, 0), (2, 3)) == 3
+
+    def test_inverse_examples(self):
+        assert index_to_coord(5, (2, 3)) == (1, 2)
+
+    def test_out_of_bounds_coord(self):
+        with pytest.raises(ConfigError):
+            coord_to_index((2, 0), (2, 3))
+
+    def test_out_of_bounds_index(self):
+        with pytest.raises(ConfigError):
+            index_to_coord(6, (2, 3))
+
+    def test_negative_index(self):
+        with pytest.raises(ConfigError):
+            index_to_coord(-1, (2, 3))
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            coord_to_index((), ())
+
+    @given(shapes.flatmap(lambda s: st.tuples(st.just(s), coords_for(s))))
+    def test_roundtrip(self, shape_coord):
+        shape, coord = shape_coord
+        assert index_to_coord(coord_to_index(coord, shape), shape) == coord
+
+    def test_all_coords_enumerates_in_index_order(self):
+        shape = (2, 3)
+        for i, c in enumerate(all_coords(shape)):
+            assert coord_to_index(c, shape) == i
+
+
+class TestWrapDisplacement:
+    def test_zero(self):
+        assert wrap_displacement(2, 2, 5) == (0, +1)
+
+    def test_forward_shorter(self):
+        assert wrap_displacement(0, 1, 5) == (1, +1)
+
+    def test_backward_shorter(self):
+        assert wrap_displacement(0, 4, 5) == (1, -1)
+
+    def test_tie_prefers_positive(self):
+        assert wrap_displacement(0, 2, 4) == (2, +1)
+
+    def test_ring_of_two_tie(self):
+        assert wrap_displacement(0, 1, 2) == (1, +1)
+        assert wrap_displacement(1, 0, 2) == (1, +1)
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigError):
+            wrap_displacement(0, 0, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=64).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            )
+        )
+    )
+    def test_shortest_and_reaches(self, args):
+        n, a, b = args
+        hops, sign = wrap_displacement(a, b, n)
+        assert 0 <= hops <= n // 2
+        assert (a + sign * hops) % n == b
+
+
+class TestDistances:
+    def test_hop_distance_per_dim(self):
+        assert hop_distance((0, 0), (1, 3), (3, 4)) == (1, 1)
+
+    def test_torus_distance_sum(self):
+        assert torus_distance((0, 0), (1, 3), (3, 4)) == 2
+
+    def test_distance_zero_iff_same(self):
+        assert torus_distance((1, 2), (1, 2), (3, 4)) == 0
+
+    @given(
+        shapes.flatmap(
+            lambda s: st.tuples(st.just(s), coords_for(s), coords_for(s))
+        )
+    )
+    def test_symmetry(self, args):
+        shape, a, b = args
+        assert torus_distance(a, b, shape) == torus_distance(b, a, shape)
+
+    @given(
+        shapes.flatmap(
+            lambda s: st.tuples(
+                st.just(s), coords_for(s), coords_for(s), coords_for(s)
+            )
+        )
+    )
+    def test_triangle_inequality(self, args):
+        shape, a, b, c = args
+        assert torus_distance(a, c, shape) <= torus_distance(a, b, shape) + torus_distance(
+            b, c, shape
+        )
+
+
+class TestNeighbor:
+    def test_plus(self):
+        assert neighbor_coord((0, 0), 1, +1, (3, 4)) == (0, 1)
+
+    def test_wrap_minus(self):
+        assert neighbor_coord((0, 0), 0, -1, (3, 4)) == (2, 0)
+
+    def test_bad_dim(self):
+        with pytest.raises(ConfigError):
+            neighbor_coord((0, 0), 2, +1, (3, 4))
+
+    def test_bad_sign(self):
+        with pytest.raises(ConfigError):
+            neighbor_coord((0, 0), 0, 2, (3, 4))
+
+    @given(
+        shapes.flatmap(lambda s: st.tuples(st.just(s), coords_for(s))),
+        st.data(),
+    )
+    def test_neighbor_at_distance_one(self, shape_coord, data):
+        shape, coord = shape_coord
+        dim = data.draw(st.integers(min_value=0, max_value=len(shape) - 1))
+        sign = data.draw(st.sampled_from([+1, -1]))
+        nb = neighbor_coord(coord, dim, sign, shape)
+        assert torus_distance(coord, nb, shape) <= 1

@@ -1,0 +1,54 @@
+"""Directed-link id packing."""
+
+from hypothesis import given, strategies as st
+
+from repro.torus.links import (
+    DIR_MINUS,
+    DIR_PLUS,
+    describe_link,
+    link_id_parts,
+    torus_link_count,
+    torus_link_id,
+)
+
+
+class TestPacking:
+    def test_count(self):
+        assert torus_link_count(128, 5) == 1280
+
+    def test_id_zero(self):
+        assert torus_link_id(0, 0, DIR_MINUS, 5) == 0
+
+    def test_id_plus_bit(self):
+        assert torus_link_id(0, 0, DIR_PLUS, 5) == 1
+
+    def test_ids_dense_and_distinct(self):
+        ndims = 3
+        ids = {
+            torus_link_id(n, d, s, ndims)
+            for n in range(4)
+            for d in range(ndims)
+            for s in (DIR_PLUS, DIR_MINUS)
+        }
+        assert ids == set(range(4 * 2 * ndims))
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=7),
+        st.sampled_from([DIR_PLUS, DIR_MINUS]),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_roundtrip(self, node, dim, sign, ndims):
+        dim = dim % ndims
+        lid = torus_link_id(node, dim, sign, ndims)
+        assert link_id_parts(lid, ndims) == (node, dim, sign)
+
+
+class TestDescribe:
+    def test_plus_b(self):
+        lid = torus_link_id(17, 1, DIR_PLUS, 5)
+        assert describe_link(lid, 5) == "n17:+B"
+
+    def test_minus_a(self):
+        lid = torus_link_id(3, 0, DIR_MINUS, 5)
+        assert describe_link(lid, 5) == "n3:-A"

@@ -1,0 +1,85 @@
+"""Rank-to-node mappings."""
+
+import numpy as np
+import pytest
+
+from repro.torus.mapping import RankMapping
+from repro.torus.topology import TorusTopology
+from repro.util.validation import ConfigError
+
+
+class TestDefaultMapping:
+    def test_abcdet_packs_node_first(self, torus128):
+        m = RankMapping(torus128, ranks_per_node=16)
+        # T fastest: ranks 0..15 on node 0, 16..31 on node 1...
+        assert m.node_of_rank(0) == 0
+        assert m.node_of_rank(15) == 0
+        assert m.node_of_rank(16) == 1
+
+    def test_nranks(self, torus128):
+        m = RankMapping(torus128, ranks_per_node=16)
+        assert m.nranks == 128 * 16
+
+    def test_ranks_on_node(self, torus128):
+        m = RankMapping(torus128, ranks_per_node=4)
+        assert m.ranks_on_node(2) == [8, 9, 10, 11]
+
+    def test_single_rank_per_node_identity(self, torus128):
+        m = RankMapping(torus128)
+        for r in (0, 31, 127):
+            assert m.node_of_rank(r) == r
+
+    def test_nodes_of_ranks_vectorised(self, torus128):
+        m = RankMapping(torus128, ranks_per_node=2)
+        out = m.nodes_of_ranks([0, 1, 2, 5])
+        assert list(out) == [0, 0, 1, 2]
+
+    def test_rank_table_copy(self, torus128):
+        m = RankMapping(torus128)
+        t = m.rank_table()
+        t[0] = 99
+        assert m.node_of_rank(0) == 0
+
+
+class TestCustomOrders:
+    def test_tabcde_spreads_ranks_across_nodes(self, torus128):
+        # T slowest: consecutive ranks go to consecutive nodes.
+        m = RankMapping(torus128, ranks_per_node=2, order="TABCDE")
+        assert m.node_of_rank(0) == 0
+        assert m.node_of_rank(1) == 1
+        assert m.node_of_rank(128) == 0  # second T layer
+
+    def test_edcbat(self, torus128):
+        # Reversed torus letters: rank 1 (after the T block... T is last
+        # so fastest) steps dimension A first.
+        m = RankMapping(torus128, ranks_per_node=1, order="EDCBAT")
+        # order EDCBAT with T fastest then A: rank 1 differs in A.
+        assert m.topology.coord(m.node_of_rank(1))[0] == 1
+
+    def test_every_node_gets_exact_count(self, torus_small):
+        m = RankMapping(torus_small, ranks_per_node=3, order="CABT")
+        counts = np.bincount(m.rank_table(), minlength=torus_small.nnodes)
+        assert (counts == 3).all()
+
+
+class TestValidation:
+    def test_missing_t(self, torus_small):
+        with pytest.raises(ConfigError):
+            RankMapping(torus_small, order="ABC")
+
+    def test_duplicate_letter(self, torus_small):
+        with pytest.raises(ConfigError):
+            RankMapping(torus_small, order="AABT")
+
+    def test_wrong_letters(self, torus_small):
+        with pytest.raises(ConfigError):
+            RankMapping(torus_small, order="ABXT")
+
+    def test_zero_ranks_per_node(self, torus_small):
+        with pytest.raises(ConfigError):
+            RankMapping(torus_small, ranks_per_node=0)
+
+    def test_rank_out_of_range(self, torus_small):
+        m = RankMapping(torus_small)
+        with pytest.raises(ConfigError):
+            m.node_of_rank(m.nranks)

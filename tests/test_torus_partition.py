@@ -1,0 +1,46 @@
+"""Mira partition catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.torus.partition import (
+    CORES_PER_NODE,
+    MIRA_PARTITION_SHAPES,
+    nodes_for_cores,
+    partition_shape,
+)
+from repro.util.validation import ConfigError
+
+
+class TestCatalogue:
+    def test_paper_shapes(self):
+        assert partition_shape(128) == (2, 2, 4, 4, 2)
+        assert partition_shape(512) == (4, 4, 4, 4, 2)
+        assert partition_shape(2048) == (4, 4, 4, 16, 2)
+
+    def test_shapes_multiply_to_node_count(self):
+        for nnodes, shape in MIRA_PARTITION_SHAPES.items():
+            assert int(np.prod(shape)) == nnodes
+
+    def test_all_shapes_are_5d(self):
+        assert all(len(s) == 5 for s in MIRA_PARTITION_SHAPES.values())
+
+    def test_e_dimension_always_two(self):
+        assert all(s[-1] == 2 for s in MIRA_PARTITION_SHAPES.values())
+
+    def test_unknown_size(self):
+        with pytest.raises(ConfigError, match="known sizes"):
+            partition_shape(100)
+
+
+class TestCores:
+    def test_cores_per_node(self):
+        assert CORES_PER_NODE == 16
+
+    def test_paper_core_counts(self):
+        assert nodes_for_cores(2048) == 128
+        assert nodes_for_cores(131072) == 8192
+
+    def test_non_multiple(self):
+        with pytest.raises(ConfigError):
+            nodes_for_cores(100)

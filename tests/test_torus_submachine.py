@@ -1,0 +1,115 @@
+"""Submachine allocation."""
+
+import pytest
+
+from repro.machine import BGQSystem
+from repro.torus.submachine import Submachine, SubmachineAllocator, _box_shape
+from repro.torus.topology import TorusTopology
+from repro.util.validation import ConfigError
+
+
+@pytest.fixture
+def mira_full():
+    # Full Mira: 48K nodes would be heavy; use the 2048-node partition.
+    return SubmachineAllocator((4, 4, 4, 16, 2))
+
+
+class TestBoxShape:
+    def test_slab_first(self):
+        assert _box_shape((4, 4, 4, 16, 2), 128) == (1, 1, 4, 16, 2)
+
+    def test_full_machine(self):
+        assert _box_shape((4, 4, 4, 16, 2), 2048) == (4, 4, 4, 16, 2)
+
+    def test_single_node(self):
+        assert _box_shape((4, 4), 1) == (1, 1)
+
+    def test_impossible(self):
+        with pytest.raises(ConfigError):
+            _box_shape((4, 4), 3)
+
+
+class TestAllocator:
+    def test_allocations_disjoint(self, mira_full):
+        a = mira_full.allocate(512)
+        b = mira_full.allocate(512)
+        assert not set(a.parent_nodes) & set(b.parent_nodes)
+
+    def test_fills_machine_exactly(self, mira_full):
+        subs = [mira_full.allocate(512) for _ in range(4)]
+        assert mira_full.free_nodes == 0
+        with pytest.raises(ConfigError, match="no free"):
+            mira_full.allocate(512)
+        covered = set()
+        for s in subs:
+            covered.update(s.parent_nodes)
+        assert len(covered) == 2048
+
+    def test_release_enables_reallocation(self, mira_full):
+        subs = [mira_full.allocate(512) for _ in range(4)]
+        mira_full.release(subs[1])
+        assert mira_full.free_nodes == 512
+        again = mira_full.allocate(512)
+        assert set(again.parent_nodes) == set(subs[1].parent_nodes)
+
+    def test_release_unknown(self, mira_full):
+        with pytest.raises(ConfigError):
+            mira_full.release(99)
+
+    def test_mixed_sizes(self, mira_full):
+        big = mira_full.allocate(1024)
+        small = [mira_full.allocate(128) for _ in range(8)]
+        assert mira_full.free_nodes == 0
+        ids = {s.alloc_id for s in [big] + small}
+        assert len(ids) == 9
+
+    def test_request_validation(self, mira_full):
+        with pytest.raises(ConfigError):
+            mira_full.allocate(0)
+        with pytest.raises(ConfigError):
+            mira_full.allocate(4096)
+
+    def test_allocations_listing(self, mira_full):
+        mira_full.allocate(512)
+        mira_full.allocate(128)
+        assert len(mira_full.allocations()) == 2
+
+
+class TestSubmachineUse:
+    def test_private_topology_shape(self, mira_full):
+        sub = mira_full.allocate(128)
+        topo = sub.topology()
+        assert topo.nnodes == 128
+        assert topo.shape == sub.shape
+
+    def test_system_buildable_on_allocation(self, mira_full):
+        """The paper's multi-job scenario: build a full machine model on
+        an allocated box and run a transfer inside it."""
+        from repro.core import TransferSpec, run_transfer
+        from repro.util.units import MiB
+
+        sub = mira_full.allocate(128)
+        system = BGQSystem(sub.topology(), pset_size=128)
+        out = run_transfer(
+            system, [TransferSpec(0, 127, 8 * MiB)], mode="proxy", max_proxies=4
+        )
+        # Slab allocations (1x1x4x16x2 here) have two size-1 dimensions,
+        # so fewer disjoint proxies exist than on the cube-ish catalogue
+        # partition — k=3 and ~1.5x is the honest expectation.
+        assert out.mode_used[(0, 127)].startswith("proxy:")
+        assert out.throughput > 2.0e9
+
+    def test_parent_node_mapping_consistent(self, mira_full):
+        parent = mira_full.parent
+        sub = mira_full.allocate(128)
+        topo = sub.topology()
+        # Submachine node i's coordinate offsets from the corner match
+        # the parent node's coordinates.
+        for i in (0, 17, 127):
+            sub_c = topo.coord(i)
+            parent_c = parent.coord(sub.parent_nodes[i])
+            expected = tuple(
+                (c + o) % s
+                for c, o, s in zip(sub_c, sub.corner, parent.shape)
+            )
+            assert parent_c == expected

@@ -1,0 +1,120 @@
+"""TorusTopology graph structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.torus.topology import TorusTopology
+from repro.util.validation import ConfigError
+
+
+class TestConstruction:
+    def test_counts(self, torus128):
+        assert torus128.nnodes == 128
+        assert torus128.ndims == 5
+        assert torus128.nlinks == 128 * 10
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigError):
+            TorusTopology((0, 2))
+
+    def test_empty_shape(self):
+        with pytest.raises(ConfigError):
+            TorusTopology(())
+
+    def test_equality_and_hash(self):
+        assert TorusTopology((2, 3)) == TorusTopology((2, 3))
+        assert TorusTopology((2, 3)) != TorusTopology((3, 2))
+        assert hash(TorusTopology((2, 3))) == hash(TorusTopology((2, 3)))
+
+    def test_dim_names(self, torus128):
+        assert [torus128.dim_name(d) for d in range(5)] == list("ABCDE")
+
+
+class TestCoordsTable:
+    def test_coord_node_roundtrip(self, torus_small):
+        for n in torus_small.all_nodes():
+            assert torus_small.node(torus_small.coord(n)) == n
+
+    def test_coords_of_vectorised(self, torus_small):
+        nodes = [0, 5, 11]
+        table = torus_small.coords_of(nodes)
+        assert table.shape == (3, 3)
+        for row, n in zip(table, nodes):
+            assert tuple(int(x) for x in row) == torus_small.coord(n)
+
+    def test_coord_out_of_range(self, torus_small):
+        with pytest.raises(ConfigError):
+            torus_small.coord(torus_small.nnodes)
+
+
+class TestAdjacency:
+    def test_neighbor_wraps(self, torus_small):
+        # shape (3,4,2); node 0 = (0,0,0); -A wraps to (2,0,0).
+        n = torus_small.neighbor(0, 0, -1)
+        assert torus_small.coord(n) == (2, 0, 0)
+
+    def test_neighbors_distinct_and_at_distance_one(self, torus_small):
+        for node in (0, 7, torus_small.nnodes - 1):
+            nbs = torus_small.neighbors(node)
+            assert len(nbs) == len(set(nbs))
+            for nb in nbs:
+                assert torus_small.distance(node, nb) == 1
+
+    def test_neighbors_count_size_two_ring(self, torus128):
+        # Dims of size 2 merge the +/- neighbours: shape (2,2,4,4,2) has
+        # 2*5=10 directed links but only 2+2+2+2+... distinct nodes:
+        # A,B,E contribute 1 distinct each; C,D contribute 2 each = 7.
+        assert len(torus128.neighbors(0)) == 7
+
+    def test_link_endpoints_consistent(self, torus_small):
+        for node in torus_small.all_nodes():
+            for dim in range(torus_small.ndims):
+                for sign in (+1, -1):
+                    lid, dst = torus_small.link(node, dim, sign)
+                    assert torus_small.link_source(lid) == node
+                    assert torus_small.link_dest(lid) == dst
+
+    def test_link_bad_dim(self, torus_small):
+        with pytest.raises(ConfigError):
+            torus_small.link(0, 9, +1)
+
+    def test_describe_link(self, torus_small):
+        lid, _ = torus_small.link(4, 1, +1)
+        assert torus_small.describe_link(lid) == "n4:+B"
+
+
+class TestDistance:
+    def test_diameter(self, torus128):
+        assert torus128.diameter() == 1 + 1 + 2 + 2 + 1
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=23), st.integers(min_value=0, max_value=23))
+    def test_distance_matches_hop_sum(self, a, b):
+        t = TorusTopology((3, 4, 2))
+        assert t.distance(a, b) == sum(t.hop_distance(a, b))
+
+
+class TestSubBox:
+    def test_full_box_is_all_nodes(self, torus_small):
+        nodes = torus_small.sub_box_nodes((0, 0, 0), torus_small.shape)
+        assert sorted(nodes) == list(torus_small.all_nodes())
+
+    def test_box_size(self, torus128):
+        nodes = torus128.sub_box_nodes((0, 0, 0, 0, 0), (1, 2, 4, 4, 2))
+        assert len(nodes) == 64
+        assert len(set(nodes)) == 64
+
+    def test_box_wraps(self, torus_small):
+        nodes = torus_small.sub_box_nodes((2, 3, 1), (2, 2, 2))
+        assert len(set(nodes)) == 8
+        coords = [torus_small.coord(n) for n in nodes]
+        assert (0, 0, 0) in coords  # wrapped corner
+
+    def test_box_bad_size(self, torus_small):
+        with pytest.raises(ConfigError):
+            torus_small.sub_box_nodes((0, 0, 0), (4, 1, 1))
+
+    def test_box_wrong_dims(self, torus_small):
+        with pytest.raises(ConfigError):
+            torus_small.sub_box_nodes((0, 0), (1, 1))

@@ -1,0 +1,35 @@
+"""Seeded RNG helpers."""
+
+import numpy as np
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_from_seed_deterministic(self):
+        a = make_rng(7).integers(0, 1000, 10)
+        b = make_rng(7).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(3, 5)) == 5
+
+    def test_spawn_streams_differ(self):
+        rngs = spawn_rngs(3, 2)
+        a = rngs[0].integers(0, 10**9, 8)
+        b = rngs[1].integers(0, 10**9, 8)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_reproducible(self):
+        a = spawn_rngs(11, 3)[2].integers(0, 10**9, 4)
+        b = spawn_rngs(11, 3)[2].integers(0, 10**9, 4)
+        assert np.array_equal(a, b)

@@ -1,0 +1,99 @@
+"""Unit and size helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    GB,
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_rate,
+    format_time,
+    gbps,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_constants(self):
+        assert KiB == 1024
+        assert MiB == 1024 * 1024
+        assert GiB == 1024**3
+
+    def test_decimal_gb(self):
+        assert GB == 10**9
+
+    def test_gbps(self):
+        assert gbps(1.8) == 1.8e9
+
+    def test_gbps_zero(self):
+        assert gbps(0) == 0.0
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1KB", KiB),
+            ("256KB", 256 * KiB),
+            ("8MB", 8 * MiB),
+            ("128M", 128 * MiB),
+            ("1GiB", GiB),
+            ("2g", 2 * GiB),
+            ("512", 512),
+            ("0.5MiB", MiB // 2),
+            ("64 KB", 64 * KiB),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_parse_int_passthrough(self):
+        assert parse_size(12345) == 12345
+
+    def test_parse_float_rounds(self):
+        assert parse_size(1.9) == 1
+
+    def test_parse_bad_suffix(self):
+        with pytest.raises(ValueError):
+            parse_size("7parsecs")
+
+    def test_parse_no_number(self):
+        with pytest.raises(ValueError):
+            parse_size("MB")
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_roundtrip_plain_integers(self, n):
+        assert parse_size(str(n)) == n
+
+
+class TestFormat:
+    def test_format_bytes_small(self):
+        assert format_bytes(512) == "512B"
+
+    def test_format_bytes_kib(self):
+        assert format_bytes(256 * KiB) == "256.0KiB"
+
+    def test_format_bytes_mib(self):
+        assert format_bytes(8 * MiB) == "8.0MiB"
+
+    def test_format_bytes_gib(self):
+        assert format_bytes(2 * GiB) == "2.0GiB"
+
+    def test_format_rate(self):
+        assert format_rate(1.6e9) == "1.60GB/s"
+
+    def test_format_time_seconds(self):
+        assert format_time(1.5) == "1.500s"
+
+    def test_format_time_millis(self):
+        assert format_time(0.012) == "12.000ms"
+
+    def test_format_time_micros(self):
+        assert format_time(7e-6) == "7.0us"
+
+    @given(st.floats(min_value=1.0, max_value=1e15))
+    def test_format_bytes_never_raises(self, x):
+        assert isinstance(format_bytes(x), str)

@@ -1,0 +1,61 @@
+"""Validation helpers and error hierarchy."""
+
+import pytest
+
+from repro.util.validation import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestHierarchy:
+    def test_config_error_is_repro_and_value_error(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(ConfigError, ValueError)
+
+    def test_simulation_error_is_repro_and_runtime_error(self):
+        assert issubclass(SimulationError, ReproError)
+        assert issubclass(SimulationError, RuntimeError)
+
+
+class TestChecks:
+    def test_check_positive_passes(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_check_positive_zero_fails(self):
+        with pytest.raises(ConfigError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_positive_negative_fails(self):
+        with pytest.raises(ConfigError):
+            check_positive("x", -1)
+
+    def test_check_non_negative_zero_ok(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_check_non_negative_fails(self):
+        with pytest.raises(ConfigError):
+            check_non_negative("x", -0.1)
+
+    def test_check_in_range_bounds_inclusive(self):
+        assert check_in_range("x", 1, 1, 2) == 1
+        assert check_in_range("x", 2, 1, 2) == 2
+
+    def test_check_in_range_fails(self):
+        with pytest.raises(ConfigError):
+            check_in_range("x", 3, 1, 2)
+
+    def test_check_type_passes(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_check_type_tuple(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0
+
+    def test_check_type_fails_with_names(self):
+        with pytest.raises(ConfigError, match="x"):
+            check_type("x", "3", int)

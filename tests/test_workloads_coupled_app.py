@@ -1,0 +1,80 @@
+"""Coupled-application time-to-solution driver."""
+
+import pytest
+
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+from repro.workloads import corner_groups
+from repro.workloads.coupled_app import CoupledRunResult, simulate_coupled_run
+
+
+@pytest.fixture(scope="module")
+def setting():
+    from repro.machine import mira_system
+
+    system = mira_system(nnodes=512)
+    return system, corner_groups(system.topology, 32)
+
+
+class TestDriver:
+    def test_total_time_formula(self, setting):
+        system, layout = setting
+        run = simulate_coupled_run(
+            system, layout, exchange_bytes=1 * MiB, steps=10, compute_seconds=0.1
+        )
+        assert run.total_seconds == pytest.approx(
+            10 * (0.1 + run.exchange_seconds)
+        )
+
+    def test_policy_ordering(self, setting):
+        """direct >= auto >= (approximately) pipeline in exchange time."""
+        system, layout = setting
+        runs = {
+            p: simulate_coupled_run(
+                system, layout, exchange_bytes=16 * MiB, policy=p
+            )
+            for p in ("direct", "auto", "pipeline")
+        }
+        assert runs["auto"].exchange_seconds < runs["direct"].exchange_seconds
+        assert runs["pipeline"].exchange_seconds < runs["auto"].exchange_seconds
+
+    def test_auto_never_worse_than_direct_small_messages(self, setting):
+        system, layout = setting
+        direct = simulate_coupled_run(
+            system, layout, exchange_bytes=64 * 1024, policy="direct"
+        )
+        auto = simulate_coupled_run(
+            system, layout, exchange_bytes=64 * 1024, policy="auto"
+        )
+        assert auto.exchange_seconds <= direct.exchange_seconds * 1.001
+
+    def test_exchange_fraction(self, setting):
+        system, layout = setting
+        run = simulate_coupled_run(
+            system,
+            layout,
+            exchange_bytes=16 * MiB,
+            compute_seconds=0.0,
+            policy="direct",
+        )
+        assert run.exchange_fraction == pytest.approx(1.0)
+
+    def test_validation(self, setting):
+        system, layout = setting
+        with pytest.raises(ConfigError):
+            simulate_coupled_run(system, layout, exchange_bytes=MiB, steps=0)
+        with pytest.raises(ConfigError):
+            simulate_coupled_run(
+                system, layout, exchange_bytes=MiB, compute_seconds=-1
+            )
+        with pytest.raises(ConfigError):
+            simulate_coupled_run(
+                system, layout, exchange_bytes=MiB, policy="teleport"
+            )
+
+    def test_result_dataclass(self):
+        r = CoupledRunResult(
+            policy="direct", steps=5, compute_seconds=1.0, exchange_seconds=1.0
+        )
+        assert r.total_seconds == 10.0
+        assert r.exchange_fraction == 0.5

@@ -1,0 +1,80 @@
+"""Multiphysics coupling layouts (Figures 6–7 geometry)."""
+
+import pytest
+
+from repro.core.multipath import TransferSpec
+from repro.routing.deterministic import route
+from repro.util.validation import ConfigError
+from repro.workloads.coupling import CouplingLayout, corner_groups, pairwise_transfers
+
+
+class TestCornerGroups:
+    def test_fig6_geometry(self, system512):
+        # 512-node machine is handy; the 2048-node case is in bench tests.
+        layout = corner_groups(system512.topology, 32)
+        assert layout.group_size == 32
+        assert not set(layout.sources) & set(layout.destinations)
+
+    def test_groups_are_boxes(self, system512):
+        t = system512.topology
+        layout = corner_groups(t, 32)
+        # All sources share the displaced-dimension coordinates of a box
+        # anchored at the origin.
+        coords = [t.coord(n) for n in layout.sources]
+        assert min(c[0] for c in coords) == 0
+
+    def test_direct_pairwise_paths_disjoint(self, system512):
+        """The load-bearing geometric property: paired direct routes are
+        parallel translates, so the paper's direct curves saturate."""
+        layout = corner_groups(system512.topology, 32)
+        links = []
+        for s, d in layout.pairs():
+            links.extend(route(system512.topology, s, d).links)
+        assert len(links) == len(set(links))
+
+    def test_proxy_room_exists(self, system512):
+        from repro.core import find_proxies
+
+        layout = corner_groups(system512.topology, 32)
+        plan = find_proxies(system512, layout.pairs(), max_proxies=4)
+        assert plan.k_min >= 4  # paper: A+, A-, B+, B- groups
+
+    def test_too_big_rejected(self, system512):
+        with pytest.raises(ConfigError):
+            corner_groups(system512.topology, 300)
+
+    def test_zero_rejected(self, system512):
+        with pytest.raises(ConfigError):
+            corner_groups(system512.topology, 0)
+
+    def test_non_divisible_group_rejected(self, torus_small):
+        with pytest.raises(ConfigError):
+            corner_groups(torus_small, 5)  # no 5-node box in (3,4,2)
+
+
+class TestLayoutValidation:
+    def test_unequal_groups(self):
+        with pytest.raises(ConfigError):
+            CouplingLayout(sources=(0, 1), destinations=(2,))
+
+    def test_overlapping_groups(self):
+        with pytest.raises(ConfigError):
+            CouplingLayout(sources=(0, 1), destinations=(1, 2))
+
+    def test_pairs(self):
+        lay = CouplingLayout(sources=(0, 1), destinations=(5, 6))
+        assert lay.pairs() == [(0, 5), (1, 6)]
+
+
+class TestPairwiseTransfers:
+    def test_specs(self, system512):
+        layout = corner_groups(system512.topology, 32)
+        specs = pairwise_transfers(layout, 1024)
+        assert len(specs) == 32
+        assert all(isinstance(s, TransferSpec) for s in specs)
+        assert all(s.nbytes == 1024 for s in specs)
+
+    def test_zero_bytes_rejected(self, system512):
+        layout = corner_groups(system512.topology, 32)
+        with pytest.raises(ConfigError):
+            pairwise_transfers(layout, 0)

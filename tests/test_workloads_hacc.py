@@ -1,0 +1,55 @@
+"""HACC I/O pattern."""
+
+import numpy as np
+import pytest
+
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+from repro.workloads.hacc import HACCConfig, hacc_io_sizes
+
+
+class TestHACCSizes:
+    def test_window_matches_paper(self):
+        """Writers are exactly the ranks in [0.4 N, 0.5 N)."""
+        sizes = hacc_io_sizes(1000)
+        writers = np.nonzero(sizes)[0]
+        assert writers.min() == 400
+        assert writers.max() == 499
+
+    def test_ten_percent_volume(self):
+        cfg = HACCConfig()
+        n = 4096
+        sizes = hacc_io_sizes(n, cfg)
+        dense = n * cfg.bytes_per_rank_dense
+        assert sizes.sum() == pytest.approx(0.10 * dense, rel=0.01)
+
+    def test_uniform_within_window(self):
+        sizes = hacc_io_sizes(1000)
+        writers = sizes[sizes > 0]
+        assert writers.min() == writers.max()
+
+    def test_paper_absolute_volumes(self):
+        """~2 GB at 8,192 cores through ~85 GB at 131,072 cores."""
+        low = hacc_io_sizes(8192).sum()
+        high = hacc_io_sizes(131072).sum()
+        assert 1e9 < low < 20e9
+        assert high == pytest.approx(low * 16, rel=0.01)
+
+    def test_tiny_rank_count_still_one_writer(self):
+        sizes = hacc_io_sizes(4)
+        assert (sizes > 0).sum() >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            hacc_io_sizes(0)
+        with pytest.raises(ConfigError):
+            HACCConfig(write_fraction=0)
+        with pytest.raises(ConfigError):
+            HACCConfig(window_lo=0.6, window_hi=0.5)
+        with pytest.raises(ConfigError):
+            HACCConfig(bytes_per_rank_dense=0)
+
+    def test_custom_window(self):
+        cfg = HACCConfig(window_lo=0.0, window_hi=1.0)
+        sizes = hacc_io_sizes(100, cfg)
+        assert (sizes > 0).all()

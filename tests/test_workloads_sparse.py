@@ -1,0 +1,120 @@
+"""Sparse I/O patterns (Figures 8–9 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.util.units import MiB
+from repro.util.validation import ConfigError
+from repro.workloads.sparse import (
+    pareto_pattern,
+    pattern_stats,
+    size_histogram,
+    uniform_pattern,
+)
+
+
+class TestUniformPattern:
+    def test_bounds(self):
+        s = uniform_pattern(4096, max_size=8 * MiB, seed=1)
+        assert s.min() >= 0 and s.max() <= 8 * MiB
+
+    def test_half_dense_volume(self):
+        """The paper: Pattern-1 totals ~50% of the dense case."""
+        s = uniform_pattern(8192, max_size=8 * MiB, seed=1)
+        frac = pattern_stats(s, max_size=8 * MiB)["dense_fraction"]
+        assert frac == pytest.approx(0.5, abs=0.03)
+
+    def test_deterministic_by_seed(self):
+        assert np.array_equal(
+            uniform_pattern(100, seed=7), uniform_pattern(100, seed=7)
+        )
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(
+            uniform_pattern(100, seed=7), uniform_pattern(100, seed=8)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            uniform_pattern(0)
+        with pytest.raises(ConfigError):
+            uniform_pattern(10, max_size=0)
+
+
+class TestParetoPattern:
+    def test_bounds(self):
+        s = pareto_pattern(4096, max_size=8 * MiB, seed=1)
+        assert s.min() >= 0 and s.max() <= 8 * MiB
+
+    def test_one_fifth_dense_volume(self):
+        """The paper: Pattern-2 totals ~20% of the dense case."""
+        s = pareto_pattern(8192, max_size=8 * MiB, seed=1)
+        frac = pattern_stats(s, max_size=8 * MiB)["dense_fraction"]
+        assert frac == pytest.approx(0.2, abs=0.03)
+
+    def test_heavy_tail_shape(self):
+        """Most ranks tiny, a few near the cap — Figure 9's shape."""
+        s = pareto_pattern(8192, max_size=8 * MiB, seed=1)
+        small = (s < 1 * MiB).mean()
+        big = (s > 7 * MiB).mean()
+        assert small > 0.6
+        assert 0 < big < 0.2
+
+    def test_more_skewed_than_uniform(self):
+        u = uniform_pattern(8192, max_size=8 * MiB, seed=1)
+        p = pareto_pattern(8192, max_size=8 * MiB, seed=1)
+        assert (p < 1 * MiB).mean() > (u < 1 * MiB).mean()
+
+    def test_contiguous_variant_is_banded(self):
+        s = pareto_pattern(1024, max_size=8 * MiB, seed=2, contiguous=True)
+        centre = 512
+        band = s[centre - 100 : centre + 100]
+        outside = np.concatenate([s[:100], s[-100:]])
+        assert band.mean() > outside.mean() * 5
+
+    def test_contiguous_preserves_total(self):
+        a = pareto_pattern(1024, seed=3)
+        b = pareto_pattern(1024, seed=3, contiguous=True)
+        assert a.sum() == b.sum()
+
+    def test_dense_fraction_parameter(self):
+        s = pareto_pattern(8192, max_size=8 * MiB, dense_fraction=0.4, seed=1)
+        frac = pattern_stats(s, max_size=8 * MiB)["dense_fraction"]
+        assert frac == pytest.approx(0.4, abs=0.04)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            pareto_pattern(10, dense_fraction=0)
+        with pytest.raises(ConfigError):
+            pareto_pattern(10, shape=-1)
+        with pytest.raises(ConfigError):
+            pareto_pattern(0)
+
+
+class TestHistogram:
+    def test_shape(self):
+        s = uniform_pattern(1024, seed=1)
+        edges, counts = size_histogram(s, nbins=32, max_size=8 * MiB)
+        assert len(edges) == 33
+        assert len(counts) == 32
+        assert counts.sum() == 1024
+
+    def test_uniform_histogram_flat(self):
+        s = uniform_pattern(100_000, seed=1)
+        _, counts = size_histogram(s, nbins=8, max_size=8 * MiB)
+        assert counts.max() / counts.min() < 1.15
+
+    def test_pareto_histogram_front_loaded(self):
+        s = pareto_pattern(100_000, seed=1)
+        _, counts = size_histogram(s, nbins=8, max_size=8 * MiB)
+        assert counts[0] > counts[1:-1].max() * 3
+
+
+class TestStats:
+    def test_fields(self):
+        s = uniform_pattern(128, seed=0)
+        st = pattern_stats(s)
+        assert st["nranks"] == 128
+        assert st["total_bytes"] == int(s.sum())
+        assert st["max"] == int(s.max())
+        assert st["zero_ranks"] == int((s == 0).sum())
