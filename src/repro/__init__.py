@@ -55,6 +55,14 @@ from repro.core import (
     run_transfer,
 )
 from repro.mpi import CollectiveIOConfig, FlowProgram, SimComm
+from repro.resilience import (
+    HealthMonitor,
+    ResilientOutcome,
+    ResilientPlanner,
+    RetryPolicy,
+    TransferAbortedError,
+    run_resilient_transfer,
+)
 from repro.workloads import (
     corner_groups,
     hacc_io_sizes,
@@ -97,6 +105,12 @@ __all__ = [
     "CollectiveIOConfig",
     "FlowProgram",
     "SimComm",
+    "HealthMonitor",
+    "ResilientOutcome",
+    "ResilientPlanner",
+    "RetryPolicy",
+    "TransferAbortedError",
+    "run_resilient_transfer",
     "corner_groups",
     "hacc_io_sizes",
     "pairwise_transfers",

@@ -6,7 +6,8 @@
 * ``transfer``  — move data between two nodes, direct/proxy/pipelined;
 * ``io``        — run a sparse collective write, ours vs the baseline;
 * ``figure``    — regenerate one of the paper's figures;
-* ``analyze``   — graph-theoretic bounds and proxy-plan efficiency.
+* ``analyze``   — graph-theoretic bounds and proxy-plan efficiency;
+* ``faults``    — inject faults and compare fault-blind vs resilient runs.
 """
 
 from __future__ import annotations
@@ -74,6 +75,34 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--nodes", type=int, default=128)
     an.add_argument("--src", type=int, default=0)
     an.add_argument("--dst", type=int, default=-1)
+
+    fl = sub.add_parser(
+        "faults", help="inject faults; compare fault-blind vs resilient transfer"
+    )
+    fl.add_argument("--nodes", type=int, default=128)
+    fl.add_argument("--src", type=int, default=0)
+    fl.add_argument("--dst", type=int, default=-1, help="-1 = last node")
+    fl.add_argument("--size", type=str, default="32MiB")
+    fl.add_argument("--max-proxies", type=int, default=None)
+    fl.add_argument(
+        "--degraded", type=int, default=8, help="randomly degraded torus links"
+    )
+    fl.add_argument(
+        "--factor", type=float, default=0.25, help="degraded-link capacity factor"
+    )
+    fl.add_argument(
+        "--failed-links", type=int, default=0, help="hard-failed torus links"
+    )
+    fl.add_argument("--failed-nodes", type=int, default=0, help="cordoned nodes")
+    fl.add_argument(
+        "--events", type=int, default=0,
+        help="random transient fault events (hidden from planning)",
+    )
+    fl.add_argument(
+        "--hard-fraction", type=float, default=0.0,
+        help="probability a transient event is a hard failure",
+    )
+    fl.add_argument("--seed", type=int, default=2014)
     return p
 
 
@@ -203,12 +232,120 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.core import TransferSpec, run_transfer
+    from repro.machine import mira_system
+    from repro.machine.faults import (
+        FaultTrace,
+        random_fault_trace,
+        random_link_faults,
+    )
+    from repro.resilience import (
+        ResilientPlanner,
+        TransferAbortedError,
+        run_resilient_transfer,
+    )
+    from repro.util.validation import ConfigError, LinkDownError
+
+    system = mira_system(nnodes=args.nodes)
+    dst = args.dst if args.dst >= 0 else system.nnodes - 1
+    spec = TransferSpec(src=args.src, dst=dst, nbytes=parse_size(args.size))
+    faults = random_link_faults(
+        system.topology,
+        args.degraded,
+        factor=args.factor,
+        nfailed_nodes=args.failed_nodes,
+        nfailed_links=args.failed_links,
+        seed=args.seed,
+    )
+    trace = (
+        random_fault_trace(
+            system.topology,
+            args.events,
+            hard_fraction=args.hard_fraction,
+            t_max=0.02,
+            seed=args.seed + 1,
+        )
+        if args.events != 0  # negative counts rejected by random_fault_trace
+        else FaultTrace()
+    )
+    print(
+        f"{format_bytes(spec.nbytes)} from node {spec.src} to node {spec.dst} "
+        f"on {system}"
+    )
+    print(
+        f"  known faults: {len(faults.degraded_links)} links at "
+        f"{args.factor:.0%}, {len(faults.failed_links)} links down, "
+        f"{len(faults.failed_nodes)} nodes cordoned"
+    )
+    print(f"  hidden trace: {len(trace.events)} timed events")
+
+    # Fault-blind baseline: plans as if pristine, runs on the true
+    # time-varying state — the trace's boundaries fire as mid-run
+    # capacity events, so a hard fault stalls it (LinkDownError).
+    from repro.network.flowsim import CapacityEvent
+
+    snap = trace.snapshot(0.0, faults)
+    blind_events = [
+        CapacityEvent(
+            time=b,
+            link=link,
+            capacity=system.capacity(link)
+            * faults.link_factor(link)
+            * trace.factor_at(link, b),
+        )
+        for link in sorted(trace.affected_links)
+        for b in trace.boundaries([link])
+        if b > 0.0
+    ]
+    try:
+        blind = run_transfer(
+            system,
+            [spec],
+            mode="auto",
+            max_proxies=args.max_proxies,
+            capacity_fn=snap.capacity_fn(system.capacity),
+            events=blind_events or None,
+        )
+        print(f"  fault-blind: {format_rate(blind.throughput)}")
+    except (ConfigError, LinkDownError) as e:
+        blind = None
+        print(f"  fault-blind: stalled ({e})")
+
+    planner = ResilientPlanner(system, faults=faults, max_proxies=args.max_proxies)
+    try:
+        out = run_resilient_transfer(
+            system, [spec], faults=faults, trace=trace, planner=planner
+        )
+    except TransferAbortedError as e:
+        print(f"  resilient:   aborted ({e})")
+        return 1
+    t = out.telemetry
+    print(f"  resilient:   {format_rate(out.throughput)}")
+    print(
+        f"    rounds {t.rounds}, retries {t.retries}, failovers {t.failovers}, "
+        f"resent {format_bytes(t.bytes_resent)}, "
+        f"direct fallbacks {t.degraded_to_direct}"
+    )
+    for a in t.failed_attempts:
+        carrier = "direct" if a.proxy is None else f"proxy {a.proxy}"
+        finish = "stalled" if a.finish > 100 * a.deadline else f"{a.finish:.6f}s"
+        print(
+            f"    round {a.round}: {carrier} missed deadline "
+            f"({finish} > {a.deadline:.6f}s), {format_bytes(a.share)} re-sent"
+        )
+    if blind is not None and blind.throughput > 0:
+        print(f"  speedup vs fault-blind: {out.throughput / blind.throughput:.2f}x")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "transfer": _cmd_transfer,
     "io": _cmd_io,
     "figure": _cmd_figure,
     "analyze": _cmd_analyze,
+    "faults": _cmd_faults,
 }
 
 

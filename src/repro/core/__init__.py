@@ -46,6 +46,7 @@ from repro.core.aggregation import (
     precompute_aggregators,
     choose_num_aggregators,
     plan_aggregation,
+    pset_capacity_weights,
     aggregation_flows,
 )
 from repro.core.iomove import IOOutcome, run_io_movement
@@ -77,6 +78,7 @@ __all__ = [
     "precompute_aggregators",
     "choose_num_aggregators",
     "plan_aggregation",
+    "pset_capacity_weights",
     "aggregation_flows",
     "IOOutcome",
     "run_io_movement",

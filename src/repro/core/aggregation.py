@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.machine.faults import FaultModel
 from repro.machine.system import BGQSystem
 from repro.mpi.program import FlowProgram
 from repro.network.flow import FlowId
@@ -114,6 +115,8 @@ class AggregationPlan:
 def precompute_aggregators(
     system: BGQSystem,
     config: AggregatorConfig = AggregatorConfig(),
+    *,
+    faults: "FaultModel | None" = None,
 ) -> dict[int, list[int]]:
     """The Init part: aggregator positions for every candidate count.
 
@@ -122,16 +125,86 @@ def precompute_aggregators(
     equal blocks and the first node of each block becomes an aggregator,
     the index-space equivalent of the paper's division of the pset along
     the five dimensions by factors ``na * nb * nc * nd * ne = num_agg``.
+
+    With a fault model, cordoned nodes never become aggregators: each
+    block's pick slides forward (wrapping within the pset) to the first
+    healthy node not already chosen.  When there are more slots than
+    healthy nodes, healthy nodes are reused (one node hosts two slots)
+    rather than placing a slot on a cordoned node.  A fully cordoned
+    pset keeps its nominal picks — the fault-aware quota logic routes no
+    bytes there.
     """
+    cordoned = faults.failed_nodes if faults is not None else frozenset()
     table: dict[int, list[int]] = {}
     for count in config.candidate_counts(system.pset_size):
         aggs: list[int] = []
         block = system.pset_size // count
         for pset in system.psets:
             lo = pset.nodes.start
-            aggs.extend(lo + i * block for i in range(count))
+            size = len(pset.nodes)
+            chosen: list[int] = []
+            taken: set[int] = set()
+            for i in range(count):
+                preferred = lo + i * block
+                pick = preferred
+                if preferred in cordoned or preferred in taken:
+                    fallback = None
+                    for off in range(size):
+                        cand = lo + (i * block + off) % size
+                        if cand in cordoned:
+                            continue
+                        if cand not in taken:
+                            pick = cand
+                            break
+                        if fallback is None:
+                            fallback = cand
+                    else:
+                        # No unused healthy node left: reuse a healthy one
+                        # (or keep the nominal pick if the pset is fully
+                        # cordoned).
+                        pick = fallback if fallback is not None else preferred
+                chosen.append(pick)
+                taken.add(pick)
+            aggs.extend(chosen)
         table[count] = aggs
     return table
+
+
+def pset_capacity_weights(system: BGQSystem, faults: FaultModel) -> list[float]:
+    """Surviving I/O capacity of each pset, as quota weights.
+
+    A pset's weight is the sum of its bridges' outbound 11th-link fault
+    factors (0 = the ION is unreachable), zeroed outright when every
+    node of the pset is cordoned (no aggregator can run there).
+    """
+    weights: list[float] = []
+    for pset in system.psets:
+        if all(n in faults.failed_nodes for n in pset.nodes):
+            weights.append(0.0)
+            continue
+        w = sum(faults.link_factor(system.io_link_id(b)) for b in pset.bridges)
+        weights.append(w)
+    return weights
+
+
+def _apportion(total: int, weights: Sequence[float]) -> list[int]:
+    """Largest-remainder split of ``total`` bytes proportional to
+    ``weights`` (deterministic; zero-weight entries get zero)."""
+    wsum = float(sum(weights))
+    if wsum <= 0:
+        raise ConfigError(
+            "every pset's I/O capacity is zero under the fault model; "
+            "no ION can absorb the write"
+        )
+    raw = [total * w / wsum for w in weights]
+    quota = [int(r) for r in raw]
+    residue = total - sum(quota)
+    order = sorted(
+        range(len(weights)), key=lambda p: (quota[p] - raw[p], p)
+    )  # biggest fractional part first
+    for p in order[:residue]:
+        quota[p] += 1
+    return quota
 
 
 def choose_num_aggregators(
@@ -158,6 +231,7 @@ def plan_aggregation(
     config: AggregatorConfig = AggregatorConfig(),
     *,
     precomputed: "dict[int, list[int]] | None" = None,
+    faults: "FaultModel | None" = None,
 ) -> AggregationPlan:
     """Build the shipment plan balancing every ION's load.
 
@@ -179,6 +253,13 @@ def plan_aggregation(
     leftovers below ``min_split_bytes`` are absorbed into the current
     slot rather than fragmenting (slight slot overfill beats sub-64K
     message storms).
+
+    With a fault model, aggregators avoid cordoned nodes (see
+    :func:`precompute_aggregators`) and the per-ION quotas become
+    proportional to each pset's *surviving* I/O capacity
+    (:func:`pset_capacity_weights`), so a pset whose 11th link is
+    degraded absorbs proportionally less and an unreachable ION absorbs
+    nothing.  Without faults the plan is bit-identical to before.
     """
     data = np.asarray(data_by_node, dtype=np.int64)
     if len(data) != system.nnodes:
@@ -191,16 +272,21 @@ def plan_aggregation(
 
     num_agg = choose_num_aggregators(system, total, config)
     if precomputed is None:
-        precomputed = precompute_aggregators(system, config)
+        precomputed = precompute_aggregators(system, config, faults=faults)
     aggregators = precomputed[num_agg]
     naggs = len(aggregators)
     npsets = system.npsets
+    fault_aware = faults is not None and not faults.is_null
 
     shipments: list[tuple[int, int, int]] = []
     bytes_per_agg = np.zeros(naggs, dtype=np.int64)
     if total > 0:
-        base, extra = divmod(total, npsets)
-        quota = [base + (1 if p < extra else 0) for p in range(npsets)]
+        if fault_aware:
+            pset_weights = pset_capacity_weights(system, faults)
+            quota = _apportion(total, pset_weights)
+        else:
+            base, extra = divmod(total, npsets)
+            quota = [base + (1 if p < extra else 0) for p in range(npsets)]
         slot_target = [-(-q // num_agg) for q in quota]  # ceil per aggregator
         # Per-pset water-fill cursor: (local aggregator index, room left
         # in the current slot).
@@ -251,10 +337,14 @@ def plan_aggregation(
                     break  # this pset's quota is exhausted
                 si += 1
         # Rounding residue (min_split absorption can shift a few bytes):
-        # anything still unplaced goes to the last pset's last slot.
+        # anything still unplaced goes to the last usable pset's last slot.
+        last_pset = npsets - 1
+        if fault_aware:
+            usable = [p for p in range(npsets) if pset_weights[p] > 0]
+            last_pset = usable[-1]
         for node, rest in spill[si:]:
             if rest > 0:
-                a = naggs - 1
+                a = last_pset * num_agg + num_agg - 1
                 shipments.append((int(node), aggregators[a], rest))
                 bytes_per_agg[a] += rest
     plan = AggregationPlan(

@@ -27,6 +27,7 @@ from repro.core.aggregation import (
     aggregation_flows,
     plan_aggregation,
 )
+from repro.machine.faults import FaultModel, degraded_system_capacity
 from repro.machine.system import BGQSystem
 from repro.mpi.comm import SimComm
 from repro.mpi.mpiio import (
@@ -100,21 +101,37 @@ def run_io_movement(
     mapping: "RankMapping | None" = None,
     agg_config: AggregatorConfig = AggregatorConfig(),
     cb_config: CollectiveIOConfig = CollectiveIOConfig(),
+    faults: "FaultModel | None" = None,
     batch_tol: float = 0.0,
     fair_tol: float = 0.0,
     lazy_frac: float = 0.0,
 ) -> IOOutcome:
-    """Run one collective write of ``sizes_by_rank`` bytes to the IONs."""
+    """Run one collective write of ``sizes_by_rank`` bytes to the IONs.
+
+    ``faults`` degrades the physics for *both* methods, but only the
+    topology-aware planner adapts to it (aggregators avoid cordoned
+    nodes, ION quotas follow surviving capacity); the collective baseline
+    stays fault-blind, as ROMIO is.
+    """
     if mapping is None:
         mapping = RankMapping(system.topology, ranks_per_node=1)
     comm = SimComm(system, mapping)
-    prog = FlowProgram(comm, batch_tol=batch_tol, fair_tol=fair_tol, lazy_frac=lazy_frac)
+    capacity_fn = None
+    if faults is not None and not faults.is_null:
+        capacity_fn = degraded_system_capacity(system, faults)
+    prog = FlowProgram(
+        comm,
+        batch_tol=batch_tol,
+        fair_tol=fair_tol,
+        lazy_frac=lazy_frac,
+        capacity_fn=capacity_fn,
+    )
     total = float(np.asarray(sizes_by_rank, dtype=np.int64).sum())
 
     if method == "topology_aware":
         data = sizes_to_node_data(system, mapping, sizes_by_rank)
         plan: "AggregationPlan | TwoPhasePlan" = plan_aggregation(
-            system, data, agg_config
+            system, data, agg_config, faults=faults
         )
         final = aggregation_flows(prog, plan)
         bytes_per_ion = plan.bytes_per_ion

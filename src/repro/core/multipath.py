@@ -132,15 +132,32 @@ def build_direct_flows(
     return prog.iput_nodes(spec.src, spec.dst, spec.nbytes, label=label, tag=(spec.src, spec.dst))
 
 
-def build_multipath_flows(
+@dataclass(frozen=True)
+class CarrierEmission:
+    """Bookkeeping for one emitted carrier of a multipath transfer.
+
+    ``phase1`` is ``None`` for a self-carrier (the source sends its share
+    on the direct path, no store-and-forward hop); ``exit`` is the flow
+    whose completion delivers the share at the destination.
+    """
+
+    proxy: int
+    share: int
+    phase1: "FlowId | None"
+    exit: FlowId
+
+
+def build_multipath_flows_detailed(
     prog: FlowProgram,
     spec: TransferSpec,
     assignment: ProxyAssignment,
     *,
     weights: "Sequence[float] | None" = None,
     label: str = "mpath",
-) -> FlowId:
-    """Emit the two-phase multipath transfer; returns the join event id.
+) -> tuple[FlowId, list[CarrierEmission]]:
+    """Emit the two-phase multipath transfer; returns the join event id
+    plus per-carrier flow ids (the resilience executor tracks each
+    carrier's deadline individually).
 
     Self-carriers (``proxy == src``) are direct single-hop shares — how
     forced plans model the paper's "source as 5th proxy" configuration.
@@ -157,13 +174,14 @@ def build_multipath_flows(
         shares = weighted_split(spec.nbytes, weights)
     else:
         shares = split_bytes(spec.nbytes, assignment.k)
-    exits: list[FlowId] = []
+    carriers: list[CarrierEmission] = []
     for share, proxy in zip(shares, assignment.proxies):
         if proxy == spec.src:
-            exits.append(
-                prog.iput_nodes(
-                    spec.src, spec.dst, share, label=f"{label}-self", tag=(spec.src, spec.dst)
-                )
+            fid = prog.iput_nodes(
+                spec.src, spec.dst, share, label=f"{label}-self", tag=(spec.src, spec.dst)
+            )
+            carriers.append(
+                CarrierEmission(proxy=proxy, share=share, phase1=None, exit=fid)
             )
             continue
         f1 = prog.iput_nodes(
@@ -178,8 +196,26 @@ def build_multipath_flows(
             label=f"{label}-p2",
             tag=(spec.src, spec.dst),
         )
-        exits.append(f2)
-    return prog.event(exits, label=f"{label}-done")
+        carriers.append(
+            CarrierEmission(proxy=proxy, share=share, phase1=f1, exit=f2)
+        )
+    done = prog.event([c.exit for c in carriers], label=f"{label}-done")
+    return done, carriers
+
+
+def build_multipath_flows(
+    prog: FlowProgram,
+    spec: TransferSpec,
+    assignment: ProxyAssignment,
+    *,
+    weights: "Sequence[float] | None" = None,
+    label: str = "mpath",
+) -> FlowId:
+    """Emit the two-phase multipath transfer; returns the join event id."""
+    done, _ = build_multipath_flows_detailed(
+        prog, spec, assignment, weights=weights, label=label
+    )
+    return done
 
 
 def run_transfer(
@@ -193,6 +229,8 @@ def run_transfer(
     max_offset: int = 3,
     batch_tol: float = 0.0,
     fair_tol: float = 0.0,
+    capacity_fn=None,
+    events=None,
 ) -> TransferOutcome:
     """Execute a set of transfers and measure throughput.
 
@@ -203,6 +241,13 @@ def run_transfer(
             threshold — the full Algorithm 1 including its size check).
         assignments: pre-built (possibly forced) proxy assignments; when
             given, the search is skipped.
+        capacity_fn: override link capacities (e.g. a degraded machine
+            via :func:`repro.machine.faults.degraded_system_capacity`) —
+            planning stays fault-blind, only the physics change.
+        events: mid-run :class:`~repro.network.flowsim.CapacityEvent`
+            interrupts (e.g. a fault trace's boundaries) — a flow caught
+            on a link that drops to zero raises
+            :class:`~repro.util.validation.LinkDownError`.
     """
     if mode not in ("direct", "proxy", "auto"):
         raise ConfigError(f"unknown mode {mode!r}")
@@ -211,7 +256,9 @@ def run_transfer(
         raise ConfigError("specs must be non-empty")
 
     comm = SimComm(system)
-    prog = FlowProgram(comm, batch_tol=batch_tol, fair_tol=fair_tol)
+    prog = FlowProgram(
+        comm, batch_tol=batch_tol, fair_tol=fair_tol, capacity_fn=capacity_fn
+    )
     model = TransferModel(system.params)
     mode_used: dict[tuple[int, int], str] = {}
     plan: "ProxyPlan | None" = None
@@ -245,7 +292,7 @@ def run_transfer(
             build_direct_flows(prog, spec)
             mode_used[key] = "direct"
 
-    result = prog.run()
+    result = prog.run(events)
     total = float(sum(s.nbytes for s in specs))
     return TransferOutcome(
         makespan=result.makespan,

@@ -63,20 +63,48 @@ class TransferPlanner:
         self._plan_cache: "ProxyPlan | None" = None
         self._plan_pairs: "tuple[tuple[int, int], ...] | None" = None
 
+    def _search_proxies(self, pairs: tuple[tuple[int, int], ...]) -> ProxyPlan:
+        """The proxy search itself (overridden by fault-aware planners)."""
+        return find_proxies(
+            self.system,
+            pairs,
+            max_proxies=self.max_proxies,
+            min_proxies=self.min_proxies,
+            max_offset=self.max_offset,
+        )
+
     def find_plan(self, pairs: Sequence[tuple[int, int]]) -> ProxyPlan:
         """Run (and cache) the proxy search for a set of endpoint pairs."""
         pairs_t = tuple(pairs)
         if self._plan_pairs != pairs_t:
-            self._plan_cache = find_proxies(
-                self.system,
-                pairs_t,
-                max_proxies=self.max_proxies,
-                min_proxies=self.min_proxies,
-                max_offset=self.max_offset,
-            )
+            self._plan_cache = self._search_proxies(pairs_t)
             self._plan_pairs = pairs_t
         assert self._plan_cache is not None
         return self._plan_cache
+
+    def _decide(self, spec: TransferSpec, asg: ProxyAssignment) -> PlannedTransfer:
+        """The Algorithm-1 step-0 decision for one transfer (overridable)."""
+        direct_t = self.model.direct_time(spec.nbytes)
+        if (
+            asg.k >= self.min_proxies
+            and spec.nbytes >= asg.k
+            and self.model.use_proxies(spec.nbytes, asg.k)
+        ):
+            t = self.model.proxy_time(spec.nbytes, asg.k)
+            return PlannedTransfer(
+                spec=spec,
+                strategy="proxy",
+                assignment=asg,
+                predicted_time=t,
+                predicted_speedup=direct_t / t,
+            )
+        return PlannedTransfer(
+            spec=spec,
+            strategy="direct",
+            assignment=asg,
+            predicted_time=direct_t,
+            predicted_speedup=1.0,
+        )
 
     def plan(self, specs: Sequence[TransferSpec]) -> list[PlannedTransfer]:
         """Decide direct vs. proxy for every transfer."""
@@ -84,36 +112,10 @@ class TransferPlanner:
         if not specs:
             raise ConfigError("specs must be non-empty")
         proxy_plan = self.find_plan([(s.src, s.dst) for s in specs])
-        out: list[PlannedTransfer] = []
-        for spec in specs:
-            asg = proxy_plan.assignments[(spec.src, spec.dst)]
-            direct_t = self.model.direct_time(spec.nbytes)
-            if (
-                asg.k >= self.min_proxies
-                and spec.nbytes >= asg.k
-                and self.model.use_proxies(spec.nbytes, asg.k)
-            ):
-                t = self.model.proxy_time(spec.nbytes, asg.k)
-                out.append(
-                    PlannedTransfer(
-                        spec=spec,
-                        strategy="proxy",
-                        assignment=asg,
-                        predicted_time=t,
-                        predicted_speedup=direct_t / t,
-                    )
-                )
-            else:
-                out.append(
-                    PlannedTransfer(
-                        spec=spec,
-                        strategy="direct",
-                        assignment=asg,
-                        predicted_time=direct_t,
-                        predicted_speedup=1.0,
-                    )
-                )
-        return out
+        return [
+            self._decide(spec, proxy_plan.assignments[(spec.src, spec.dst)])
+            for spec in specs
+        ]
 
     def execute(
         self,

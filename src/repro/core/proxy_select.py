@@ -206,6 +206,7 @@ def find_proxies(
     min_proxies: int = TransferModel.MIN_BENEFICIAL_PROXIES,
     max_offset: int = 3,
     exclude_endpoints: bool = True,
+    exclude: "Sequence[int] | frozenset[int]" = (),
 ) -> ProxyPlan:
     """Algorithm 1 over a set of transfers (the group-to-group case).
 
@@ -219,6 +220,8 @@ def find_proxies(
         exclude_endpoints: forbid any communicating node (any source or
             destination) from serving as a proxy, as the paper's regions
             S and T are busy with their own transfers.
+        exclude: further nodes that may never serve as proxies — cordoned
+            (failed) nodes, or nodes the caller reserves for itself.
     """
     transfers = list(transfers)
     if not transfers:
@@ -228,7 +231,7 @@ def find_proxies(
         if pair in seen:
             raise ConfigError(f"duplicate transfer {pair}")
         seen.add(pair)
-    endpoints: set[int] = set()
+    endpoints: set[int] = set(exclude)
     if exclude_endpoints:
         for s, d in transfers:
             endpoints.add(s)

@@ -1,27 +1,36 @@
-"""Fault injection: degraded links and failed nodes.
+"""Fault injection: degraded links, failed links/nodes, and fault schedules.
 
 The paper's §IV-A conditions its analysis on "the absence of congestion
 and network failures"; production torus partitions do run with degraded
-links (retrained to lower rates) and cordoned nodes.  This module lets
-experiments relax that assumption:
+links (retrained to lower rates), hard-failed links, and cordoned nodes.
+This module lets experiments relax that assumption:
 
-* :class:`FaultModel` — multiplies selected links' capacities by a
-  degradation factor and records failed (unusable-as-proxy) nodes;
-* :func:`degraded_system` — wraps a :class:`~repro.machine.system.BGQSystem`
-  capacity function with a fault model;
-* :func:`random_link_faults` — reproducible random fault drawing.
+* :class:`FaultModel` — a *static* fault set: selected links' capacities
+  are multiplied by a degradation factor, hard-failed links drop to zero
+  capacity, and failed (cordoned) nodes must not serve as
+  proxies/aggregators;
+* :class:`FaultTrace` — a *dynamic*, reproducible schedule of
+  time-windowed :class:`FaultEvent` records that can fire mid-transfer
+  (transient faults, link retraining windows, permanent failures);
+* :func:`degraded_system_capacity` — wraps a
+  :class:`~repro.machine.system.BGQSystem` capacity function with a
+  fault model;
+* :func:`random_link_faults` / :func:`random_fault_trace` —
+  reproducible random fault drawing.
 
-Routing is unchanged (BG/Q's static routes survive degraded links at
-reduced rate; hard link *failures* trigger re-routing that is out of
-scope), so a degraded link simply becomes a slow spot that Algorithm 1's
-disjoint paths may or may not avoid — which is exactly what the fault
-tests probe.
+The split between the two containers mirrors how the resilience layer
+(:mod:`repro.resilience`) consumes them: a :class:`FaultModel` is
+*known* state (the planner routes around it up front), while a
+:class:`FaultTrace` is ground truth the executor only discovers through
+observed throughput and missed deadlines.
 """
 
 from __future__ import annotations
 
+import math
+import operator
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.machine.system import BGQSystem
 from repro.torus.topology import TorusTopology
@@ -29,34 +38,202 @@ from repro.util.rng import make_rng
 from repro.util.validation import ConfigError
 
 
+def _check_count(name: str, value, limit: int, limit_desc: str) -> int:
+    """Validate an integer fault count against an inclusive upper limit."""
+    if isinstance(value, bool):
+        raise ConfigError(f"{name} must be an integer, got {value!r}")
+    try:
+        value = operator.index(value)
+    except TypeError:
+        raise ConfigError(f"{name} must be an integer, got {value!r}") from None
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+    if value > limit:
+        raise ConfigError(
+            f"{name}={value} exceeds {limit_desc} ({limit}); "
+            f"cannot draw that many distinct faults"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class FaultModel:
-    """A set of injected faults.
+    """A static set of injected faults.
 
     Attributes:
         degraded_links: directed link id → capacity multiplier in (0, 1].
         failed_nodes: nodes that must not serve as proxies/aggregators
             (their links keep working so the machine stays routable;
             a fully dead node would partition the static routes).
+        failed_links: directed links that are hard down (capacity 0).
+            Flows routed across them stall; the planners treat any path
+            crossing one as unusable.
     """
 
     degraded_links: Mapping[int, float] = field(default_factory=dict)
     failed_nodes: frozenset[int] = frozenset()
+    failed_links: frozenset[int] = frozenset()
 
     def __post_init__(self):
+        object.__setattr__(self, "failed_nodes", frozenset(self.failed_nodes))
+        object.__setattr__(self, "failed_links", frozenset(self.failed_links))
         for link, factor in self.degraded_links.items():
             if not 0 < factor <= 1:
                 raise ConfigError(
                     f"link {link}: degradation factor must be in (0, 1], got {factor}"
                 )
+        overlap = self.failed_links & set(self.degraded_links)
+        if overlap:
+            raise ConfigError(
+                f"links {sorted(overlap)} are both degraded and hard-failed; "
+                f"list each link in only one of degraded_links / failed_links"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when this model injects no faults at all."""
+        return (
+            not self.degraded_links
+            and not self.failed_nodes
+            and not self.failed_links
+        )
+
+    def link_factor(self, link_id: int) -> float:
+        """Effective capacity multiplier of one link (0.0 = hard down)."""
+        if link_id in self.failed_links:
+            return 0.0
+        return self.degraded_links.get(link_id, 1.0)
+
+    def path_factor(self, links: Iterable[int]) -> float:
+        """Worst (minimum) link factor along a route (1.0 when empty)."""
+        return min((self.link_factor(l) for l in links), default=1.0)
+
+    def path_ok(self, links: Iterable[int]) -> bool:
+        """True when no link on the route is hard down."""
+        return self.path_factor(links) > 0.0
 
     def capacity_fn(self, base: Callable[[int], float]) -> Callable[[int], float]:
-        """Wrap a capacity function with the degradations."""
+        """Wrap a capacity function with the degradations and failures."""
 
         def capacity(link_id: int) -> float:
-            return base(link_id) * self.degraded_links.get(link_id, 1.0)
+            return base(link_id) * self.link_factor(link_id)
 
         return capacity
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One time-windowed fault: ``link`` runs at ``factor`` during
+    ``[start, end)``.
+
+    ``factor == 0`` is a hard failure for the window; ``end`` defaults to
+    infinity (a permanent fault from ``start`` on).
+    """
+
+    link: int
+    factor: float
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self):
+        if self.link < 0:
+            raise ConfigError(f"link id must be >= 0, got {self.link}")
+        if not 0 <= self.factor <= 1:
+            raise ConfigError(
+                f"link {self.link}: event factor must be in [0, 1], got {self.factor}"
+            )
+        if self.start < 0:
+            raise ConfigError(f"event start must be >= 0, got {self.start}")
+        if not self.end > self.start:
+            raise ConfigError(
+                f"event end ({self.end}) must be after start ({self.start})"
+            )
+
+    def active_at(self, t: float) -> bool:
+        """True when the fault is live at time ``t``."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class FaultTrace:
+    """A reproducible schedule of transient/permanent link faults.
+
+    Overlapping events on one link compose by taking the *worst* (lowest)
+    factor — a link retrained twice is only as fast as its deepest
+    degradation.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "events",
+            tuple(sorted(self.events, key=lambda e: (e.start, e.link, e.factor))),
+        )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the schedule is empty."""
+        return not self.events
+
+    @property
+    def affected_links(self) -> frozenset[int]:
+        """All links that appear in any event."""
+        return frozenset(e.link for e in self.events)
+
+    def factor_at(self, link: int, t: float) -> float:
+        """Effective capacity multiplier of ``link`` at time ``t``."""
+        return min(
+            (e.factor for e in self.events if e.link == link and e.active_at(t)),
+            default=1.0,
+        )
+
+    def boundaries(self, links: "Iterable[int] | None" = None) -> list[float]:
+        """Sorted distinct times at which any (selected) link's factor may
+        change — event starts and finite ends."""
+        sel = None if links is None else set(links)
+        times: set[float] = set()
+        for e in self.events:
+            if sel is not None and e.link not in sel:
+                continue
+            times.add(e.start)
+            if math.isfinite(e.end):
+                times.add(e.end)
+        return sorted(times)
+
+    def next_change(
+        self, t: float, links: "Iterable[int] | None" = None
+    ) -> "float | None":
+        """Earliest factor-change boundary strictly after ``t`` (or None)."""
+        for b in self.boundaries(links):
+            if b > t:
+                return b
+        return None
+
+    def snapshot(self, t: float, base: "FaultModel | None" = None) -> FaultModel:
+        """The fault state at one instant, merged with a static model.
+
+        Composition is per link by worst factor; ``base.failed_nodes``
+        are carried through unchanged.
+        """
+        base = base or FaultModel()
+        degraded: dict[int, float] = dict(base.degraded_links)
+        failed: set[int] = set(base.failed_links)
+        for link in self.affected_links:
+            f = min(self.factor_at(link, t), base.link_factor(link))
+            if f <= 0.0:
+                failed.add(link)
+                degraded.pop(link, None)
+            elif f < 1.0:
+                degraded[link] = f
+        for link in failed:
+            degraded.pop(link, None)
+        return FaultModel(
+            degraded_links=degraded,
+            failed_nodes=base.failed_nodes,
+            failed_links=frozenset(failed),
+        )
 
 
 def degraded_system_capacity(
@@ -72,25 +249,84 @@ def random_link_faults(
     *,
     factor: float = 0.25,
     nfailed_nodes: int = 0,
+    nfailed_links: int = 0,
     seed=None,
 ) -> FaultModel:
     """Draw a reproducible random fault set.
 
-    ``nlinks`` torus links degrade to ``factor`` of their capacity;
-    ``nfailed_nodes`` distinct nodes are cordoned.
+    ``nlinks`` torus links degrade to ``factor`` of their capacity,
+    ``nfailed_links`` further distinct links fail hard (capacity 0), and
+    ``nfailed_nodes`` distinct nodes are cordoned.  Counts beyond the
+    topology's directed-link or node population are rejected with a
+    :class:`~repro.util.validation.ConfigError` up front rather than
+    surfacing as an opaque sampling error.
     """
-    if not 0 <= nlinks <= topology.nlinks:
-        raise ConfigError(f"nlinks must be in [0, {topology.nlinks}]")
-    if not 0 <= nfailed_nodes <= topology.nnodes:
-        raise ConfigError(f"nfailed_nodes must be in [0, {topology.nnodes}]")
+    nlinks = _check_count("nlinks", nlinks, topology.nlinks, "directed-link count")
+    nfailed_links = _check_count(
+        "nfailed_links", nfailed_links, topology.nlinks, "directed-link count"
+    )
+    if nlinks + nfailed_links > topology.nlinks:
+        raise ConfigError(
+            f"nlinks + nfailed_links = {nlinks + nfailed_links} exceeds the "
+            f"directed-link count ({topology.nlinks})"
+        )
+    nfailed_nodes = _check_count(
+        "nfailed_nodes", nfailed_nodes, topology.nnodes, "node count"
+    )
     rng = make_rng(seed)
-    links = rng.choice(topology.nlinks, size=nlinks, replace=False) if nlinks else []
+    ndraw = nlinks + nfailed_links
+    links = rng.choice(topology.nlinks, size=ndraw, replace=False) if ndraw else []
     nodes = (
         rng.choice(topology.nnodes, size=nfailed_nodes, replace=False)
         if nfailed_nodes
         else []
     )
     return FaultModel(
-        degraded_links={int(l): factor for l in links},
+        degraded_links={int(l): factor for l in links[:nlinks]},
         failed_nodes=frozenset(int(n) for n in nodes),
+        failed_links=frozenset(int(l) for l in links[nlinks:]),
     )
+
+
+def random_fault_trace(
+    topology: TorusTopology,
+    nevents: int,
+    *,
+    factors: Sequence[float] = (0.1, 0.25, 0.5),
+    hard_fraction: float = 0.0,
+    t_max: float = 1.0,
+    min_duration: float = 0.01,
+    max_duration: "float | None" = None,
+    seed=None,
+) -> FaultTrace:
+    """Draw a reproducible random fault schedule.
+
+    Each event picks a uniformly random directed link, a degradation
+    factor from ``factors`` (or a hard failure with probability
+    ``hard_fraction``), a start in ``[0, t_max)`` and a duration in
+    ``[min_duration, max_duration]`` (``None`` means permanent).
+    """
+    nevents = _check_count("nevents", nevents, 10**9, "sanity bound")
+    if not 0 <= hard_fraction <= 1:
+        raise ConfigError(f"hard_fraction must be in [0, 1], got {hard_fraction}")
+    if t_max <= 0:
+        raise ConfigError(f"t_max must be > 0, got {t_max}")
+    if min_duration <= 0:
+        raise ConfigError(f"min_duration must be > 0, got {min_duration}")
+    if max_duration is not None and max_duration < min_duration:
+        raise ConfigError("max_duration must be >= min_duration")
+    if not factors or any(not 0 < f <= 1 for f in factors):
+        raise ConfigError("factors must be non-empty multipliers in (0, 1]")
+    rng = make_rng(seed)
+    events = []
+    for _ in range(nevents):
+        link = int(rng.integers(topology.nlinks))
+        hard = bool(rng.random() < hard_fraction)
+        factor = 0.0 if hard else float(factors[int(rng.integers(len(factors)))])
+        start = float(rng.uniform(0.0, t_max))
+        if max_duration is None:
+            end = math.inf
+        else:
+            end = start + float(rng.uniform(min_duration, max_duration))
+        events.append(FaultEvent(link=link, factor=factor, start=start, end=end))
+    return FaultTrace(tuple(events))

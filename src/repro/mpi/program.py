@@ -21,12 +21,18 @@ from typing import Iterable, Sequence
 
 from repro.mpi.comm import SimComm
 from repro.network.flow import Flow, FlowId
-from repro.network.flowsim import FlowSim, FlowSimResult
+from repro.network.flowsim import CapacityEvent, CapacityFn, FlowSim, FlowSimResult
 from repro.util.validation import ConfigError
 
 
 class FlowProgram:
-    """Accumulates a flow DAG over one communicator's machine."""
+    """Accumulates a flow DAG over one communicator's machine.
+
+    ``capacity_fn`` overrides the machine's pristine link-capacity map —
+    pass :func:`repro.machine.faults.degraded_system_capacity` to run the
+    accumulated program on a degraded machine without touching the flow
+    construction logic.
+    """
 
     def __init__(
         self,
@@ -35,6 +41,7 @@ class FlowProgram:
         batch_tol: float = 0.0,
         fair_tol: float = 0.0,
         lazy_frac: float = 0.0,
+        capacity_fn: "CapacityFn | None" = None,
     ):
         self.comm = comm
         self.system = comm.system
@@ -42,6 +49,7 @@ class FlowProgram:
         self.batch_tol = batch_tol
         self.fair_tol = fair_tol
         self.lazy_frac = lazy_frac
+        self.capacity_fn = capacity_fn
         self.flows: list[Flow] = []
         self._counter = 0
 
@@ -249,13 +257,15 @@ class FlowProgram:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self) -> FlowSimResult:
-        """Simulate the accumulated DAG."""
+    def run(
+        self, capacity_events: "Sequence[CapacityEvent] | None" = None
+    ) -> FlowSimResult:
+        """Simulate the accumulated DAG (optionally under a fault schedule)."""
         sim = FlowSim(
-            self.system.capacity,
+            self.capacity_fn or self.system.capacity,
             self.params,
             batch_tol=self.batch_tol,
             fair_tol=self.fair_tol,
             lazy_frac=self.lazy_frac,
         )
-        return sim.run(self.flows)
+        return sim.run(self.flows, capacity_events=capacity_events)

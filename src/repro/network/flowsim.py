@@ -38,14 +38,41 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from dataclasses import dataclass
+
 from repro.network.flow import Flow, FlowId, FlowResult
 from repro.network.params import MIRA_PARAMS, NetworkParams
-from repro.util.validation import ConfigError, SimulationError
+from repro.util.validation import ConfigError, LinkDownError, SimulationError
 
 _EPS_BYTES = 1e-3  # sub-byte residue counts as complete (float rounding guard)
 _REL_TOL = 1e-12
 
 CapacityFn = Callable[[int], float]
+
+
+@dataclass(frozen=True, order=True)
+class CapacityEvent:
+    """A scheduled capacity change: at ``time``, directed link ``link``'s
+    capacity becomes ``capacity`` bytes/second (absolute, not a factor).
+
+    ``capacity == 0`` takes the link hard down; any flow still routed
+    across it stalls, which the simulator reports as a
+    :class:`~repro.util.validation.LinkDownError` rather than spinning on
+    a transfer that can never finish.  Fault layers build these from
+    :class:`repro.machine.faults.FaultTrace` schedules.
+    """
+
+    time: float
+    link: int
+    capacity: float
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ConfigError(f"event time must be >= 0, got {self.time}")
+        if self.capacity < 0:
+            raise ConfigError(
+                f"link {self.link}: event capacity must be >= 0, got {self.capacity}"
+            )
 
 
 def uniform_capacities(link_bw: float) -> CapacityFn:
@@ -173,7 +200,11 @@ class FlowSim:
                     link_index[g] = k
                     cap = float(self._cap_of(g))
                     if cap <= 0:
-                        raise ConfigError(f"link {g} has non-positive capacity {cap}")
+                        raise ConfigError(
+                            f"flow {f.fid!r}: route crosses link {g} with "
+                            f"non-positive capacity {cap} (link is down); "
+                            f"exclude the path or heal the link before submitting"
+                        )
                     caps.append(cap)
                 idxs[j] = k
             flow_links.append(idxs)
@@ -248,8 +279,18 @@ class FlowSim:
 
     # ------------------------------------------------------------------ run
 
-    def run(self, flows: Sequence[Flow]) -> FlowSimResult:
-        """Simulate all flows to completion and return per-flow results."""
+    def run(
+        self,
+        flows: Sequence[Flow],
+        capacity_events: "Sequence[CapacityEvent] | None" = None,
+    ) -> FlowSimResult:
+        """Simulate all flows to completion and return per-flow results.
+
+        ``capacity_events`` schedules mid-run capacity changes (link
+        degradation, failure, or recovery); each triggers an exact rate
+        recomputation at its fire time.  Events on links no submitted
+        flow traverses are ignored.
+        """
         flows = list(flows)
         if not flows:
             return FlowSimResult({}, 0.0, {}, 0)
@@ -257,6 +298,12 @@ class FlowSim:
         link_index, caps, flow_links = self._compact_links(flows)
         inv_link = {v: k for k, v in link_index.items()}
         n = len(flows)
+        events = sorted(capacity_events or ())
+        for e in events:
+            if not isinstance(e, CapacityEvent):
+                raise ConfigError(
+                    f"capacity_events must contain CapacityEvent records, got {e!r}"
+                )
 
         children: list[list[int]] = [[] for _ in range(n)]
         dep_count = np.zeros(n, dtype=np.int64)
@@ -324,6 +371,21 @@ class FlowSim:
                 moved = True
             return moved
 
+        ep = 0  # next unapplied capacity event
+
+        def apply_events_due(t: float):
+            """Apply capacity events whose fire time has arrived."""
+            nonlocal ep
+            changed = False
+            while ep < len(events) and events[ep].time <= t + 1e-18:
+                e = events[ep]
+                k = link_index.get(e.link)
+                if k is not None:
+                    caps_full[k] = e.capacity
+                    changed = True
+                ep += 1
+            return changed
+
         rates: "np.ndarray | None" = None  # aligned with `active`
         freed_rate = 0.0
         total_rate_at_fill = 0.0
@@ -332,6 +394,7 @@ class FlowSim:
             if not active:
                 # Jump to the next activation.
                 T = max(T, pending[0][0])
+                apply_events_due(T)
                 if activate_due(T):
                     rates = None
                 continue
@@ -342,29 +405,47 @@ class FlowSim:
                 n_updates += 1
                 if np.any(rates <= 0):
                     bad = act[np.asarray(rates) <= 0]
-                    raise SimulationError(
-                        f"flows starved (zero rate): {[flows[i].fid for i in bad]}"
+                    fids = [flows[int(i)].fid for i in bad]
+                    down = sorted(
+                        {
+                            inv_link[int(k)]
+                            for i in bad
+                            for k in flow_links[int(i)]
+                            if caps_full[int(k)] <= 0
+                        }
                     )
+                    if down:
+                        raise LinkDownError(
+                            f"flows {fids} stalled: their routes cross "
+                            f"zero-capacity link(s) {down} (link down); the "
+                            f"transfers can never complete",
+                            links=tuple(down),
+                        )
+                    raise SimulationError(f"flows starved (zero rate): {fids}")
                 total_rate_at_fill = float(rates.sum())
                 freed_rate = 0.0
             else:
                 act = np.asarray(active, dtype=np.int64)
 
+            next_evt = events[ep].time if ep < len(events) else np.inf
             ttf = remaining[act] / rates
             dt_complete = float(ttf.min())
             dt_act = (pending[0][0] - T) if pending else np.inf
-            if dt_act < dt_complete * (1 - _REL_TOL):
-                # An activation interrupts before any completion.
-                dt = dt_act
+            dt_int = min(dt_act, next_evt - T)
+            if dt_int < dt_complete * (1 - _REL_TOL):
+                # An activation or a capacity change interrupts before any
+                # completion; drain linearly, then recompute rates.
+                dt = max(dt_int, 0.0)
                 remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
                 T += dt
                 activate_due(T)
+                apply_events_due(T)
                 rates = None
                 continue
 
             dt = dt_complete
             if self.batch_tol > 0:
-                dt = min(dt_complete * (1 + self.batch_tol), dt_act)
+                dt = min(dt_complete * (1 + self.batch_tol), dt_act, next_evt - T)
             remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
             T += dt
 
@@ -386,6 +467,8 @@ class FlowSim:
                 rates = None
             if activate_due(T):
                 rates = None
+            if apply_events_due(T):
+                rates = None
 
         if not done.all():
             stuck = [flows[i].fid for i in range(n) if not done[i]]
@@ -402,5 +485,4 @@ class FlowSim:
             for i, f in enumerate(flows)
         }
         makespan = float(np.max(finish_rec)) if n else 0.0
-        del inv_link  # dense index map kept symmetrical; bytes are global-keyed
         return FlowSimResult(results, makespan, link_bytes, n_updates)

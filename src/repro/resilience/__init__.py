@@ -1,0 +1,30 @@
+"""Fault tolerance for sparse data movement.
+
+Closes the loop the paper's §IV-A assumes away: fault injection
+(:mod:`repro.machine.faults`) → detection (:class:`HealthMonitor`) →
+re-planning (:class:`ResilientPlanner`) → retried execution
+(:func:`run_resilient_transfer`).
+"""
+
+from repro.resilience.executor import (
+    PathAttempt,
+    ResilienceTelemetry,
+    ResilientOutcome,
+    RetryPolicy,
+    TransferAbortedError,
+    run_resilient_transfer,
+)
+from repro.resilience.health import HealthMonitor
+from repro.resilience.planner import ResilientPlanner, ResilientTransfer
+
+__all__ = [
+    "HealthMonitor",
+    "PathAttempt",
+    "ResilienceTelemetry",
+    "ResilientOutcome",
+    "ResilientPlanner",
+    "ResilientTransfer",
+    "RetryPolicy",
+    "TransferAbortedError",
+    "run_resilient_transfer",
+]

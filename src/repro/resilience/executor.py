@@ -1,0 +1,532 @@
+"""Resilient transfer execution: detect → re-plan → retry.
+
+:func:`run_resilient_transfer` closes the loop the planner alone cannot:
+the ground-truth :class:`~repro.machine.faults.FaultTrace` is *hidden*
+from planning (as real link failures are), and only shows up as missed
+per-path deadlines and collapsed observed rates.  Execution proceeds in
+**rounds**:
+
+1. every carrier gets a deadline (``deadline_factor`` × its Eq. 1/2
+   predicted time at the believed rate); the round's flows run in the
+   fluid simulator against the ground-truth capacities, with the trace's
+   factor changes applied mid-run as exact
+   :class:`~repro.network.flowsim.CapacityEvent` interrupts;
+2. a carrier **fails** when it misses its deadline *and* its achieved
+   delivery rate fell below ``health_threshold`` of plan — plain two-way
+   max-min contention yields a 0.5 rate ratio, safely above the default
+   0.4, so fair sharing alone never triggers failover;
+3. failed shares are pooled per transfer and **re-split** over the
+   carriers the :class:`~repro.resilience.health.HealthMonitor` still
+   believes healthy: ≥ ``min_healthy_paths`` survivors → proportional
+   re-split over them; 1–2 survivors → survivors plus the direct path as
+   an extra carrier; none → graceful degradation to a plain direct
+   retry;
+4. the next round starts after an exponential backoff (simulated time);
+   a transfer that exhausts ``max_retries`` raises
+   :class:`TransferAbortedError` carrying the telemetry so far.
+
+With no faults at all, round 1 emits byte-for-byte the same flow program
+as :func:`~repro.core.multipath.run_transfer` and no deadline fires, so
+the outcome is identical to the fault-blind executor's (tested).
+
+Hard-down links are clamped to :data:`STALL_RATE` (≈1 B/s) instead of
+zero so a flow routed across one *stalls* — exactly what a real RDMA put
+into a dead link does — and is caught by its deadline rather than by a
+simulator error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.multipath import (
+    TransferSpec,
+    build_direct_flows,
+    build_multipath_flows_detailed,
+)
+from repro.core.proxy_select import ProxyAssignment, forced_assignment
+from repro.machine.faults import FaultModel, FaultTrace
+from repro.machine.system import BGQSystem
+from repro.mpi.comm import SimComm
+from repro.mpi.program import FlowProgram
+from repro.network.flowsim import CapacityEvent, FlowSimResult
+from repro.resilience.health import DOWN, HEALTHY, HealthMonitor
+from repro.resilience.planner import ResilientPlanner, ResilientTransfer
+from repro.util.validation import ConfigError, SimulationError
+
+#: Residual rate of a hard-down link [B/s]: the flow stalls but the
+#: fluid model stays well-posed; deadlines do the actual failure
+#: detection, as they would on the real machine.
+STALL_RATE = 1.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the detect-and-retry loop.
+
+    Attributes:
+        max_retries: retry rounds allowed per transfer before aborting.
+        deadline_factor: a carrier is late when it exceeds this multiple
+            of its predicted time.
+        backoff_base: first retry's backoff delay [s] (simulated time).
+        backoff_multiplier: exponential backoff growth per retry.
+        min_healthy_paths: surviving-proxy count below which the direct
+            path joins the retry carriers (the Eq. 5 profitability floor:
+            fewer than 3 paths cannot beat direct anyway).
+        health_threshold: a late carrier only *fails* when its delivery
+            rate fell below this fraction of plan; keep < 0.5 so fair
+            two-way contention is never mistaken for a fault.
+        min_planned_fraction: planned rates are floored at this fraction
+            of the stream ceiling when setting deadlines, so a path the
+            monitor believes (almost) dead cannot "succeed" by matching
+            an absurdly low expectation — it fails fast instead.
+    """
+
+    max_retries: int = 3
+    deadline_factor: float = 1.5
+    backoff_base: float = 1e-4
+    backoff_multiplier: float = 2.0
+    min_healthy_paths: int = 3
+    health_threshold: float = 0.4
+    min_planned_fraction: float = 0.01
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.deadline_factor < 1.0:
+            raise ConfigError(
+                f"deadline_factor must be >= 1, got {self.deadline_factor}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.min_healthy_paths < 1:
+            raise ConfigError(
+                f"min_healthy_paths must be >= 1, got {self.min_healthy_paths}"
+            )
+        if not 0 < self.health_threshold < 1:
+            raise ConfigError(
+                f"health_threshold must be in (0, 1), got {self.health_threshold}"
+            )
+        if not 0 < self.min_planned_fraction <= 1:
+            raise ConfigError(
+                f"min_planned_fraction must be in (0, 1], got "
+                f"{self.min_planned_fraction}"
+            )
+
+
+class TransferAbortedError(SimulationError):
+    """A transfer exhausted its retries; ``telemetry`` holds the record."""
+
+    def __init__(self, message: str, telemetry: "ResilienceTelemetry | None" = None):
+        super().__init__(message)
+        self.telemetry = telemetry
+
+
+@dataclass(frozen=True)
+class PathAttempt:
+    """One carrier's attempt in one round (absolute simulated times)."""
+
+    round: int
+    src: int
+    dst: int
+    proxy: "int | None"  # None = the direct path carried this share
+    share: int
+    planned_time: float
+    deadline: float
+    finish: float
+    verdict: str  # "ok" or "failed"
+
+
+@dataclass
+class ResilienceTelemetry:
+    """Structured record of the executor's resilience actions."""
+
+    rounds: int = 0
+    retries: int = 0
+    failovers: int = 0
+    bytes_resent: int = 0
+    degraded_to_direct: int = 0
+    attempts: list[PathAttempt] = field(default_factory=list)
+
+    @property
+    def failed_attempts(self) -> list[PathAttempt]:
+        """All per-path attempts that missed their deadline and failed."""
+        return [a for a in self.attempts if a.verdict == "failed"]
+
+
+@dataclass
+class ResilientOutcome:
+    """Result of a resilient transfer run.
+
+    ``makespan`` is absolute simulated completion time including retry
+    rounds and backoffs; ``round_results`` keeps each round's raw
+    flow-level results (round 0 first).
+    """
+
+    makespan: float
+    total_bytes: float
+    delivered_bytes: float
+    mode_used: dict[tuple[int, int], str]
+    telemetry: ResilienceTelemetry
+    plans: list[ResilientTransfer]
+    round_results: list[FlowSimResult]
+
+    @property
+    def throughput(self) -> float:
+        """Requested payload over total elapsed time [B/s]."""
+        return self.total_bytes / self.makespan if self.makespan > 0 else float("inf")
+
+    @property
+    def result(self) -> FlowSimResult:
+        """The first round's flow results (fault-free: the whole run)."""
+        return self.round_results[0]
+
+
+@dataclass
+class _Carrier:
+    """One share in flight during a round."""
+
+    spec_idx: int
+    proxy: "int | None"
+    share: int
+    two_hop: bool
+    planned_rate: float
+    planned_time: float
+    deadline: float
+    exit_fid: object = None
+    obs: list = field(default_factory=list)  # (links, fid) pairs to observe
+
+
+def _predicted_time(params, share: int, rate: float, two_hop: bool) -> float:
+    """Eq. 1 / Eq. 2 per-carrier time at a believed rate."""
+    if two_hop:
+        return 2 * params.o_msg + params.o_fwd + 2 * share / rate
+    return params.o_msg + share / rate
+
+
+def run_resilient_transfer(
+    system: BGQSystem,
+    specs: Sequence[TransferSpec],
+    *,
+    faults: "FaultModel | None" = None,
+    trace: "FaultTrace | None" = None,
+    policy: "RetryPolicy | None" = None,
+    planner: "ResilientPlanner | None" = None,
+    monitor: "HealthMonitor | None" = None,
+    batch_tol: float = 0.0,
+    fair_tol: float = 0.0,
+) -> ResilientOutcome:
+    """Execute transfers with fault detection, failover and retry.
+
+    Args:
+        faults: *known* static faults — the planner routes around them.
+        trace: *hidden* ground truth the executor only discovers through
+            missed deadlines and observed rates.
+        policy: retry/deadline/backoff knobs (default :class:`RetryPolicy`).
+        planner: a pre-built (possibly pre-warmed) fault-aware planner.
+        monitor: a pre-built health monitor (kept across calls to carry
+            link beliefs from one transfer wave to the next).
+    """
+    specs = list(specs)
+    if not specs:
+        raise ConfigError("specs must be non-empty")
+    faults = faults or FaultModel()
+    trace = trace or FaultTrace()
+    policy = policy or RetryPolicy()
+    if monitor is None:
+        monitor = HealthMonitor(
+            system, faults=faults, suspect_fraction=policy.health_threshold
+        )
+    if planner is None:
+        planner = ResilientPlanner(system, faults=faults, monitor=monitor)
+    plans = planner.plan(specs)
+
+    params = system.params
+    stream = min(params.stream_cap, params.mem_bw)
+    comm = SimComm(system)
+    direct_links = {
+        (s.src, s.dst): system.compute_path(s.src, s.dst).links for s in specs
+    }
+
+    def capacity_at(link: int, t: float) -> float:
+        c = system.capacity(link) * faults.link_factor(link) * trace.factor_at(link, t)
+        return c if c > 0.0 else STALL_RATE
+
+    def round_capacity_fn(t0: float) -> "Callable[[int], float] | None":
+        if faults.is_null and trace.is_null:
+            return None  # pristine machine: identical physics to run_transfer
+        return lambda link: capacity_at(link, t0)
+
+    def round_events(t0: float) -> "list[CapacityEvent] | None":
+        if trace.is_null:
+            return None
+        evs = []
+        for link in trace.affected_links:
+            for b in trace.boundaries([link]):
+                if b > t0:
+                    evs.append(
+                        CapacityEvent(time=b - t0, link=link, capacity=capacity_at(link, b))
+                    )
+        return evs or None
+
+    def emit_carrier_group(
+        prog: FlowProgram,
+        spec_idx: int,
+        asg: ProxyAssignment,
+        nbytes: int,
+        weights: "tuple[float, ...] | None",
+        rates: Sequence[float],
+        label: str,
+    ) -> list[_Carrier]:
+        """Emit a (possibly partial) multipath group and wrap each share."""
+        spec = specs[spec_idx]
+        sub = TransferSpec(src=spec.src, dst=spec.dst, nbytes=nbytes)
+        _, emissions = build_multipath_flows_detailed(
+            prog, sub, asg, weights=weights, label=label
+        )
+        out = []
+        for i, em in enumerate(emissions):
+            two_hop = em.phase1 is not None
+            rate = max(float(rates[i]), policy.min_planned_fraction * stream)
+            t_pred = _predicted_time(params, em.share, rate, two_hop)
+            car = _Carrier(
+                spec_idx=spec_idx,
+                proxy=None if em.proxy == spec.src else em.proxy,
+                share=em.share,
+                two_hop=two_hop,
+                planned_rate=rate,
+                planned_time=t_pred,
+                deadline=policy.deadline_factor * t_pred,
+                exit_fid=em.exit,
+            )
+            if two_hop:
+                car.obs = [
+                    (asg.phase1[i].links, em.phase1),
+                    (asg.phase2[i].links, em.exit),
+                ]
+            else:
+                car.obs = [(direct_links[(spec.src, spec.dst)], em.exit)]
+            out.append(car)
+        return out
+
+    def emit_direct(
+        prog: FlowProgram, spec_idx: int, nbytes: int, rate: float, label: str
+    ) -> _Carrier:
+        spec = specs[spec_idx]
+        sub = TransferSpec(src=spec.src, dst=spec.dst, nbytes=nbytes)
+        fid = build_direct_flows(prog, sub, label=label)
+        rate = max(float(rate), policy.min_planned_fraction * stream)
+        t_pred = _predicted_time(params, nbytes, rate, two_hop=False)
+        return _Carrier(
+            spec_idx=spec_idx,
+            proxy=None,
+            share=nbytes,
+            two_hop=False,
+            planned_rate=rate,
+            planned_time=t_pred,
+            deadline=policy.deadline_factor * t_pred,
+            exit_fid=fid,
+            obs=[(direct_links[(spec.src, spec.dst)], fid)],
+        )
+
+    telemetry = ResilienceTelemetry()
+    mode_used: dict[tuple[int, int], str] = {}
+    round_results: list[FlowSimResult] = []
+    retries_left = [policy.max_retries] * len(specs)
+    delivered = 0.0
+
+    # Round 0's work comes straight from the plan; later rounds replace
+    # this with the per-spec retry emissions built below.
+    def initial_emit(prog: FlowProgram) -> list[_Carrier]:
+        out = []
+        for idx, plan in enumerate(plans):
+            spec = specs[idx]
+            key = (spec.src, spec.dst)
+            if plan.strategy == "proxy":
+                asg = plan.assignment
+                rates = (
+                    plan.weights
+                    if plan.weights is not None
+                    else [stream] * asg.k
+                )
+                out.extend(
+                    emit_carrier_group(
+                        prog, idx, asg, spec.nbytes, plan.weights, rates, "mpath"
+                    )
+                )
+                mode_used[key] = f"proxy:{asg.k}"
+            else:
+                rate = plan.effective_direct_rate or stream
+                out.append(emit_direct(prog, idx, spec.nbytes, rate, "direct"))
+                mode_used[key] = "direct"
+        return out
+
+    emit_round = initial_emit
+    T = 0.0
+    rnd = 0
+    while True:
+        prog = FlowProgram(
+            comm,
+            batch_tol=batch_tol,
+            fair_tol=fair_tol,
+            capacity_fn=round_capacity_fn(T),
+        )
+        carriers = emit_round(prog)
+        result = prog.run(round_events(T))
+        round_results.append(result)
+        telemetry.rounds += 1
+
+        round_end = 0.0
+        failed_by_spec: dict[int, list[_Carrier]] = {}
+        for car in carriers:
+            finish = result.finish(car.exit_fid)
+            ok = finish <= car.deadline
+            if not ok:
+                fixed = car.planned_time - (
+                    (2 if car.two_hop else 1) * car.share / car.planned_rate
+                )
+                elapsed = max(finish - fixed, 1e-12)
+                achieved = car.share / elapsed
+                planned_delivery = (
+                    car.planned_rate / 2 if car.two_hop else car.planned_rate
+                )
+                ok = achieved >= policy.health_threshold * planned_delivery
+            spec = specs[car.spec_idx]
+            telemetry.attempts.append(
+                PathAttempt(
+                    round=rnd,
+                    src=spec.src,
+                    dst=spec.dst,
+                    proxy=car.proxy,
+                    share=car.share,
+                    planned_time=car.planned_time,
+                    deadline=T + car.deadline,
+                    finish=T + finish,
+                    verdict="ok" if ok else "failed",
+                )
+            )
+            for links, fid in car.obs:
+                r = result[fid]
+                rate_obs = r.mean_rate if math.isfinite(r.mean_rate) else stream
+                monitor.observe(links, rate_obs)
+                if not ok and rate_obs <= 2 * STALL_RATE:
+                    monitor.mark_down(links)
+            if ok:
+                delivered += car.share
+                round_end = max(round_end, finish)
+            else:
+                # The share is re-sent in full next round; treat the
+                # carrier as cancelled at its deadline.
+                round_end = max(round_end, min(finish, car.deadline))
+                failed_by_spec.setdefault(car.spec_idx, []).append(car)
+        monitor.end_round()
+
+        if not failed_by_spec:
+            break
+
+        retry_emits: list[Callable[[FlowProgram], list[_Carrier]]] = []
+        for idx, failed in sorted(failed_by_spec.items()):
+            spec = specs[idx]
+            if retries_left[idx] == 0:
+                raise TransferAbortedError(
+                    f"transfer ({spec.src}, {spec.dst}) still failing after "
+                    f"{policy.max_retries} retries; giving up",
+                    telemetry=telemetry,
+                )
+            retries_left[idx] -= 1
+            nbytes = sum(c.share for c in failed)
+            telemetry.bytes_resent += nbytes
+            telemetry.failovers += len(failed)
+            telemetry.retries += 1
+
+            asg = plans[idx].assignment
+            d_links = direct_links[(spec.src, spec.dst)]
+            healthy = []
+            if asg is not None:
+                healthy = [
+                    j
+                    for j in range(asg.k)
+                    if asg.proxies[j] != spec.src
+                    and monitor.path_verdict(asg.phase1[j].links + asg.phase2[j].links)
+                    == HEALTHY
+                ]
+            direct_rate = monitor.path_rate(d_links)
+            use_direct = False
+            if len(healthy) >= policy.min_healthy_paths:
+                pass  # enough intact disjoint paths: re-split over them
+            elif healthy:
+                # Too few survivors for the k/2 law: add the direct path
+                # as one more carrier (unless it is believed dead too).
+                use_direct = monitor.path_verdict(d_links) != DOWN
+            else:
+                healthy = []
+                use_direct = True
+                telemetry.degraded_to_direct += 1
+
+            carriers_nodes = [asg.proxies[j] for j in healthy]
+            rates = [
+                monitor.path_rate(asg.phase1[j].links + asg.phase2[j].links) / 2
+                for j in healthy
+            ]
+            if use_direct:
+                carriers_nodes.append(spec.src)
+                rates.append(max(direct_rate, STALL_RATE))
+            # A tiny share cannot feed every carrier one positive byte.
+            if nbytes < len(carriers_nodes):
+                carriers_nodes = carriers_nodes[:nbytes]
+                rates = rates[:nbytes]
+            label = f"retry{rnd + 1}"
+
+            if carriers_nodes == [spec.src]:
+                retry_emits.append(
+                    lambda p, i=idx, n=nbytes, r=rates[0], lb=label: [
+                        emit_direct(p, i, n, r, lb)
+                    ]
+                )
+                continue
+            sub_asg = forced_assignment(system, spec.src, spec.dst, carriers_nodes)
+            equal = all(r == rates[0] for r in rates)
+            weights = None if equal else tuple(max(r, STALL_RATE) for r in rates)
+            # For the deadline math a self-carrier delivers at r (one
+            # hop), a proxy at r/2 — emit_carrier_group handles it via
+            # the single-stream rate per carrier (2x the delivery rate
+            # for two-hop carriers).
+            single_rates = [
+                2 * r if node != spec.src else r
+                for node, r in zip(carriers_nodes, rates)
+            ]
+            retry_emits.append(
+                lambda p, i=idx, a=sub_asg, n=nbytes, w=weights, sr=tuple(
+                    single_rates
+                ), lb=label: emit_carrier_group(p, i, a, n, w, sr, lb)
+            )
+
+        def emit_retries(
+            prog: FlowProgram, emits=tuple(retry_emits)
+        ) -> list[_Carrier]:
+            out = []
+            for fn in emits:
+                out.extend(fn(prog))
+            return out
+
+        emit_round = emit_retries
+        rnd += 1
+        backoff = policy.backoff_base * policy.backoff_multiplier ** (rnd - 1)
+        T = T + round_end + backoff
+
+    total = float(sum(s.nbytes for s in specs))
+    return ResilientOutcome(
+        makespan=T + round_end,
+        total_bytes=total,
+        delivered_bytes=float(delivered),
+        mode_used=mode_used,
+        telemetry=telemetry,
+        plans=plans,
+        round_results=round_results,
+    )

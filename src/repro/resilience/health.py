@@ -1,0 +1,147 @@
+"""Link-health estimation from observed flow throughputs.
+
+The executor (:mod:`repro.resilience.executor`) never sees the ground
+truth :class:`~repro.machine.faults.FaultTrace` — like a real runtime it
+only sees what its own transfers achieve.  :class:`HealthMonitor` turns
+those observations into per-link *effective capacity* estimates:
+
+* an observed flow rate is a **lower bound** on every link it crossed
+  (max-min sharing can only slow a flow down), so within one round the
+  monitor keeps the *maximum* rate seen per link;
+* at round end the fresh estimates **replace** the stored ones for the
+  links observed, so a link that recovers (a transient fault window
+  ending) is re-trusted as soon as a fast flow crosses it again;
+* links whose estimate falls below ``suspect_fraction`` of nominal are
+  flagged, and whole paths get a ``healthy`` / ``degraded`` / ``down``
+  verdict the retry logic keys on.
+
+Known static faults (a :class:`~repro.machine.faults.FaultModel`) seed
+the initial belief, so the monitor starts out distrusting links the
+operator already cordoned.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.machine.faults import FaultModel
+from repro.machine.system import BGQSystem
+from repro.util.validation import ConfigError
+
+#: Verdicts returned by :meth:`HealthMonitor.path_verdict`.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+DOWN = "down"
+
+
+class HealthMonitor:
+    """Estimates per-link effective capacity from observed throughputs.
+
+    Args:
+        system: the machine whose nominal capacities anchor the scale.
+        faults: *known* static faults seeding the initial estimates
+            (degraded links start distrusted, failed links start down).
+        suspect_fraction: links whose effective capacity falls below this
+            fraction of nominal are flagged as suspect.  The default 0.4
+            sits safely below the 0.5 rate ratio that plain two-way
+            max-min sharing produces, so fair contention alone never
+            condemns a healthy link.
+    """
+
+    def __init__(
+        self,
+        system: BGQSystem,
+        *,
+        faults: "FaultModel | None" = None,
+        suspect_fraction: float = 0.4,
+    ):
+        if not 0 < suspect_fraction < 1:
+            raise ConfigError(
+                f"suspect_fraction must be in (0, 1), got {suspect_fraction}"
+            )
+        self.system = system
+        self.faults = faults or FaultModel()
+        self.suspect_fraction = suspect_fraction
+        self._estimates: dict[int, float] = {}
+        self._pending: dict[int, float] = {}
+
+    # -- state access ------------------------------------------------------------
+
+    def nominal(self, link: int) -> float:
+        """Pristine capacity of one directed link [B/s]."""
+        return float(self.system.capacity(link))
+
+    def effective_capacity(self, link: int) -> float:
+        """Current belief about one link's usable capacity [B/s].
+
+        Observation-backed estimates win; otherwise the known static
+        fault state applies to the nominal capacity.
+        """
+        est = self._estimates.get(link)
+        if est is not None:
+            return est
+        return self.nominal(link) * self.faults.link_factor(link)
+
+    def link_fraction(self, link: int) -> float:
+        """Effective capacity as a fraction of nominal (0.0 = down)."""
+        nom = self.nominal(link)
+        return self.effective_capacity(link) / nom if nom > 0 else 0.0
+
+    def is_suspect(self, link: int) -> bool:
+        """True when the link's estimate falls below the suspect line."""
+        return self.link_fraction(link) < self.suspect_fraction
+
+    def suspect_links(self) -> list[int]:
+        """All observed-or-known links currently below the suspect line."""
+        known = set(self._estimates)
+        known.update(self.faults.degraded_links)
+        known.update(self.faults.failed_links)
+        return sorted(l for l in known if self.is_suspect(l))
+
+    # -- observation -------------------------------------------------------------
+
+    def observe(self, links: Iterable[int], rate: float) -> None:
+        """Record one flow's achieved rate over the links it crossed.
+
+        The rate is a lower bound on each link's capacity; per round the
+        best (highest) bound per link is kept until :meth:`end_round`.
+        """
+        if rate < 0:
+            raise ConfigError(f"observed rate must be >= 0, got {rate}")
+        for link in links:
+            prev = self._pending.get(link)
+            if prev is None or rate > prev:
+                self._pending[link] = float(rate)
+
+    def mark_down(self, links: Iterable[int]) -> None:
+        """Force links to zero effective capacity immediately."""
+        for link in links:
+            self._estimates[link] = 0.0
+            self._pending.pop(link, None)
+
+    def end_round(self) -> None:
+        """Commit this round's observations, replacing prior estimates
+        for the links observed (recent evidence wins — recovery shows)."""
+        self._estimates.update(self._pending)
+        self._pending.clear()
+
+    # -- path-level queries -------------------------------------------------------
+
+    def path_rate(self, links: Iterable[int], *, cap: "float | None" = None) -> float:
+        """Believed bottleneck rate along a route, clipped at ``cap``
+        (default: the single-stream ceiling)."""
+        if cap is None:
+            cap = min(self.system.params.stream_cap, self.system.params.mem_bw)
+        rate = min((self.effective_capacity(l) for l in links), default=cap)
+        return min(rate, cap)
+
+    def path_verdict(self, links: Iterable[int]) -> str:
+        """``"down"`` when any link is believed dead, ``"degraded"`` when
+        any link is suspect, ``"healthy"`` otherwise."""
+        verdict = HEALTHY
+        for link in links:
+            if self.effective_capacity(link) <= 0.0:
+                return DOWN
+            if self.is_suspect(link):
+                verdict = DEGRADED
+        return verdict

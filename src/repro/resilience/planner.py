@@ -1,0 +1,250 @@
+"""Fault-aware planning — Algorithm 1 with the paper's §IV-A assumption
+("the absence of ... network failures") removed.
+
+:class:`ResilientPlanner` wraps :class:`~repro.core.planner.TransferPlanner`
+and overrides its two hooks:
+
+* the **proxy search** excludes cordoned nodes outright and iteratively
+  re-searches around proxies whose two-hop route crosses a hard-failed
+  link or falls below ``min_path_fraction`` of nominal capacity — the
+  search space of Algorithm 1 is large (``2L`` directions × offsets), so
+  a blocked direction usually has an intact neighbour;
+* the **direct-vs-proxy decision** re-runs the Eq. 4–5 threshold against
+  *effective* rates: a degraded direct path lowers ``r`` in Eq. 1, a
+  degraded carrier lowers its contribution to the aggregate proxy rate
+  in Eq. 2, and the crossover point moves accordingly.  When nothing on
+  the pair's routes is degraded the decision reduces exactly to the
+  fault-free planner's (byte-identical plans — tested).
+
+Effective capacities come from the *known* static fault set and, when a
+:class:`~repro.resilience.health.HealthMonitor` is attached, from live
+observations — whichever believes a link is slower wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.core.multipath import TransferSpec
+from repro.core.planner import PlannedTransfer, TransferPlanner
+from repro.core.proxy_select import ProxyAssignment, ProxyPlan, find_proxies
+from repro.machine.faults import FaultModel
+from repro.machine.system import BGQSystem
+from repro.resilience.health import HealthMonitor
+from repro.util.validation import ConfigError
+
+
+@dataclass
+class ResilientTransfer(PlannedTransfer):
+    """A :class:`~repro.core.planner.PlannedTransfer` with fault context.
+
+    Attributes:
+        weights: per-carrier byte-split weights (``None`` = the paper's
+            equal split; set when carriers have unequal effective rates
+            so all paths finish together).
+        dropped_proxies: proxies the search rejected for crossing failed
+            or too-degraded links.
+        path_factors: per-carrier effective-capacity fraction (1.0 =
+            pristine two-hop route).
+        effective_direct_rate: believed bottleneck rate of the direct
+            path [B/s] (the ``r`` used in the Eq. 4 comparison).
+    """
+
+    weights: "tuple[float, ...] | None" = None
+    dropped_proxies: tuple[int, ...] = ()
+    path_factors: tuple[float, ...] = ()
+    effective_direct_rate: "float | None" = None
+
+
+class ResilientPlanner(TransferPlanner):
+    """Plans transfers around known faults and observed degradation.
+
+    Args:
+        faults: the *known* static fault set (cordoned nodes, degraded
+            and failed links).  Unknown faults are the executor's
+            problem — see :mod:`repro.resilience.executor`.
+        monitor: optional live health estimates folded into the
+            effective capacities (worst belief wins).
+        min_path_fraction: a candidate proxy whose two-hop route falls
+            below this fraction of nominal capacity is dropped and
+            searched around.
+        replan_rounds: how many exclusion-and-research iterations the
+            proxy search may take before accepting what it has.
+    """
+
+    def __init__(
+        self,
+        system: BGQSystem,
+        *,
+        faults: "FaultModel | None" = None,
+        monitor: "HealthMonitor | None" = None,
+        min_path_fraction: float = 0.5,
+        replan_rounds: int = 4,
+        **kwargs,
+    ):
+        super().__init__(system, **kwargs)
+        self.faults = faults or FaultModel()
+        self.monitor = monitor
+        if not 0 < min_path_fraction <= 1:
+            raise ConfigError(
+                f"min_path_fraction must be in (0, 1], got {min_path_fraction}"
+            )
+        if replan_rounds < 0:
+            raise ConfigError(f"replan_rounds must be >= 0, got {replan_rounds}")
+        self.min_path_fraction = min_path_fraction
+        self.replan_rounds = replan_rounds
+        self._dropped: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # -- effective capacities -----------------------------------------------------
+
+    def link_fraction(self, link: int) -> float:
+        """Worst believed capacity fraction of one link (static ∧ observed)."""
+        f = self.faults.link_factor(link)
+        if self.monitor is not None:
+            f = min(f, self.monitor.link_fraction(link))
+        return f
+
+    def path_fraction(self, links: Iterable[int]) -> float:
+        """Worst link fraction along a route (1.0 when empty)."""
+        return min((self.link_fraction(l) for l in links), default=1.0)
+
+    def _carrier_fraction(self, asg: ProxyAssignment, i: int) -> float:
+        return min(
+            self.path_fraction(asg.phase1[i].links),
+            self.path_fraction(asg.phase2[i].links),
+        )
+
+    def _path_rate(self, links: tuple[int, ...]) -> float:
+        """Believed bottleneck rate [B/s], clipped at the stream ceiling."""
+        rate = min(
+            (self.system.capacity(l) * self.link_fraction(l) for l in links),
+            default=self.model.stream_rate,
+        )
+        return min(rate, self.model.stream_rate)
+
+    def dropped_proxies(self, pair: tuple[int, int]) -> tuple[int, ...]:
+        """Proxies the last search rejected for this (src, dst) pair."""
+        return self._dropped.get(pair, ())
+
+    # -- hook overrides -----------------------------------------------------------
+
+    def _search_proxies(self, pairs: tuple[tuple[int, int], ...]) -> ProxyPlan:
+        """Algorithm 1's search, excluding cordoned nodes and iteratively
+        re-searching around carriers with failed/too-degraded routes."""
+        exclude: set[int] = set(self.faults.failed_nodes)
+        dropped: dict[tuple[int, int], list[int]] = {p: [] for p in pairs}
+        for attempt in range(self.replan_rounds + 1):
+            plan = find_proxies(
+                self.system,
+                pairs,
+                max_proxies=self.max_proxies,
+                min_proxies=self.min_proxies,
+                max_offset=self.max_offset,
+                exclude=frozenset(exclude),
+            )
+            any_dropped = False
+            filtered: dict[tuple[int, int], ProxyAssignment] = {}
+            for pair, asg in plan.assignments.items():
+                keep = [
+                    i
+                    for i in range(asg.k)
+                    if self._carrier_fraction(asg, i) >= self.min_path_fraction
+                ]
+                if len(keep) < asg.k:
+                    bad = [asg.proxies[i] for i in range(asg.k) if i not in keep]
+                    dropped[pair].extend(bad)
+                    exclude.update(bad)
+                    any_dropped = True
+                filtered[pair] = replace(
+                    asg,
+                    proxies=tuple(asg.proxies[i] for i in keep),
+                    phase1=tuple(asg.phase1[i] for i in keep),
+                    phase2=tuple(asg.phase2[i] for i in keep),
+                )
+            if not any_dropped or attempt == self.replan_rounds:
+                break
+        self._dropped = {p: tuple(v) for p, v in dropped.items()}
+        return ProxyPlan(assignments=filtered, min_proxies=self.min_proxies)
+
+    def _decide(self, spec: TransferSpec, asg: ProxyAssignment) -> ResilientTransfer:
+        """Eq. 4–5 against effective rates (exact fall-through when the
+        pair's routes are pristine, so fault-free plans are identical)."""
+        direct_links = self.system.compute_path(spec.src, spec.dst).links
+        direct_frac = self.path_fraction(direct_links)
+        fracs = tuple(self._carrier_fraction(asg, i) for i in range(asg.k))
+        pair = (spec.src, spec.dst)
+        pristine = direct_frac >= 1.0 and all(f >= 1.0 for f in fracs)
+        if pristine:
+            base = super()._decide(spec, asg)
+            return ResilientTransfer(
+                spec=base.spec,
+                strategy=base.strategy,
+                assignment=base.assignment,
+                predicted_time=base.predicted_time,
+                predicted_speedup=base.predicted_speedup,
+                weights=None,
+                dropped_proxies=self.dropped_proxies(pair),
+                path_factors=fracs,
+                effective_direct_rate=self.model.stream_rate,
+            )
+
+        eff_direct = self._path_rate(direct_links)
+        rates = tuple(
+            min(
+                self._path_rate(asg.phase1[i].links),
+                self._path_rate(asg.phase2[i].links),
+            )
+            for i in range(asg.k)
+        )
+        agg_rate = sum(rates)
+        if eff_direct <= 0.0 and agg_rate <= 0.0:
+            raise ConfigError(
+                f"transfer {pair}: the direct path and every candidate proxy "
+                f"path cross failed links; no usable route exists"
+            )
+        p = self.system.params
+        direct_t = (
+            self.model.direct_time(spec.nbytes, path_rate=eff_direct)
+            if eff_direct > 0.0
+            else float("inf")
+        )
+        # Eq. 2 with a rate-proportional split: both phases move all
+        # nbytes at the aggregate rate, so t' = 2 o_msg + o_fwd + 2 d / Σr.
+        proxy_t = (
+            2 * p.o_msg + p.o_fwd + 2 * spec.nbytes / agg_rate
+            if agg_rate > 0.0
+            else float("inf")
+        )
+        # Below min_proxies the k/2 law cannot win on a healthy machine,
+        # but a *dead* direct path makes any surviving carrier worth it.
+        enough = asg.k >= self.min_proxies or (eff_direct <= 0.0 and asg.k >= 1)
+        if enough and spec.nbytes >= asg.k and proxy_t < direct_t:
+            equal = all(r == rates[0] for r in rates)
+            return ResilientTransfer(
+                spec=spec,
+                strategy="proxy",
+                assignment=asg,
+                predicted_time=proxy_t,
+                predicted_speedup=direct_t / proxy_t if proxy_t > 0 else 1.0,
+                weights=None if equal else rates,
+                dropped_proxies=self.dropped_proxies(pair),
+                path_factors=fracs,
+                effective_direct_rate=eff_direct,
+            )
+        if eff_direct <= 0.0:
+            raise ConfigError(
+                f"transfer {pair}: direct path crosses a failed link and no "
+                f"usable proxy path exists"
+            )
+        return ResilientTransfer(
+            spec=spec,
+            strategy="direct",
+            assignment=asg,
+            predicted_time=direct_t,
+            predicted_speedup=1.0,
+            weights=None,
+            dropped_proxies=self.dropped_proxies(pair),
+            path_factors=fracs,
+            effective_direct_rate=eff_direct,
+        )

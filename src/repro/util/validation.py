@@ -17,6 +17,19 @@ class SimulationError(ReproError, RuntimeError):
     """Inconsistent state detected while running a simulation."""
 
 
+class LinkDownError(SimulationError):
+    """A flow's route crosses a link with zero effective capacity.
+
+    Raised by the fluid simulator instead of letting the flow divide
+    into a stalled transfer that never completes.  ``links`` names the
+    offending directed link ids.
+    """
+
+    def __init__(self, message: str, links: "tuple[int, ...]" = ()):
+        super().__init__(message)
+        self.links = tuple(links)
+
+
 def check_positive(name: str, value: float) -> float:
     """Require ``value > 0`` and return it."""
     if not value > 0:

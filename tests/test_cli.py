@@ -81,3 +81,42 @@ class TestIORead:
         ) == 0
         out = capsys.readouterr().out
         assert "speedup" in out
+
+
+class TestFaults:
+    def test_no_faults_matches_plain_run(self, capsys):
+        assert main(
+            ["faults", "--size", "8MiB", "--degraded", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "known faults: 0 links" in out
+        assert "fault-blind:" in out
+        assert "resilient:" in out
+        assert "rounds 1, retries 0" in out
+
+    def test_random_degradation_reports_comparison(self, capsys):
+        assert main(
+            [
+                "faults", "--size", "16MiB", "--degraded", "32",
+                "--factor", "0.1", "--seed", "7",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "known faults: 32 links at 10%" in out
+        assert "speedup vs fault-blind:" in out
+
+    def test_hidden_events_flag(self, capsys):
+        assert main(
+            [
+                "faults", "--size", "8MiB", "--degraded", "0",
+                "--events", "12", "--seed", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hidden trace: 12 timed events" in out
+
+    def test_too_many_faults_rejected(self):
+        from repro.util.validation import ConfigError
+
+        with pytest.raises(ConfigError, match="exceeds"):
+            main(["faults", "--degraded", "10000000"])

@@ -9,9 +9,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.network.flow import Flow
-from repro.network.flowsim import FlowSim, uniform_capacities
+from repro.network.flowsim import CapacityEvent, FlowSim, uniform_capacities
 from repro.network.params import NetworkParams
-from repro.util.validation import ConfigError, SimulationError
+from repro.util.validation import ConfigError, LinkDownError, SimulationError
 
 # Convenient round numbers: 100 B/s links, 80 B/s single-stream cap.
 P = NetworkParams(
@@ -322,3 +322,88 @@ class TestLazyRateUpdates:
     def test_negative_lazy_frac(self):
         with pytest.raises(ConfigError):
             sim(lazy_frac=-0.1)
+
+
+class TestCapacityEvents:
+    """Mid-run capacity changes (fault schedules entering the physics)."""
+
+    def test_capacity_drop_slows_flow(self):
+        # 5 s at 80 B/s (cap-limited) = 400 B; the rest at 40 B/s = 10 s.
+        r = sim().run(
+            [Flow(fid="f", size=800.0, path=(0,))],
+            capacity_events=[CapacityEvent(time=5.0, link=0, capacity=40.0)],
+        )
+        assert r.finish("f") == pytest.approx(15.0)
+
+    def test_capacity_recovery_speeds_up(self):
+        # 10 s at 40 B/s = 400 B; the remaining 400 B at 80 B/s = 5 s.
+        r = sim().run(
+            [Flow(fid="f", size=800.0, path=(0,))],
+            capacity_events=[
+                CapacityEvent(time=0.0, link=0, capacity=40.0),
+                CapacityEvent(time=10.0, link=0, capacity=100.0),
+            ],
+        )
+        assert r.finish("f") == pytest.approx(15.0)
+
+    def test_event_after_completion_is_harmless(self):
+        r = sim().run(
+            [Flow(fid="f", size=80.0, path=(0,))],
+            capacity_events=[CapacityEvent(time=100.0, link=0, capacity=1.0)],
+        )
+        assert r.finish("f") == pytest.approx(1.0)
+
+    def test_event_on_unused_link_ignored(self):
+        r = sim().run(
+            [Flow(fid="f", size=80.0, path=(0,))],
+            capacity_events=[CapacityEvent(time=0.1, link=99, capacity=1.0)],
+        )
+        assert r.finish("f") == pytest.approx(1.0)
+
+    def test_shared_link_redivides_after_event(self):
+        # Two flows share link 0 at 50 each; at t=4 the link halves, so
+        # each gets 25: 500 = 4*50 + t*25 -> t = 12, finish at 16.
+        flows = [Flow(fid=i, size=500.0, path=(0,)) for i in range(2)]
+        r = sim().run(
+            flows, capacity_events=[CapacityEvent(time=4.0, link=0, capacity=50.0)]
+        )
+        assert r.finish(0) == pytest.approx(16.0)
+        assert r.finish(1) == pytest.approx(16.0)
+
+    def test_zero_capacity_event_raises_link_down(self):
+        with pytest.raises(LinkDownError, match="link"):
+            sim().run(
+                [Flow(fid="f", size=800.0, path=(3,))],
+                capacity_events=[CapacityEvent(time=1.0, link=3, capacity=0.0)],
+            )
+        try:
+            sim().run(
+                [Flow(fid="f", size=800.0, path=(3,))],
+                capacity_events=[CapacityEvent(time=1.0, link=3, capacity=0.0)],
+            )
+        except LinkDownError as e:
+            assert e.links == (3,)
+
+    def test_zero_capacity_at_submission_names_link(self):
+        caps = {0: 100.0, 1: 0.0}
+        s = FlowSim(caps, P)
+        with pytest.raises(ConfigError, match="capacity.*link is down"):
+            s.run([Flow(fid="f", size=10.0, path=(0, 1))])
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigError):
+            CapacityEvent(time=-1.0, link=0, capacity=10.0)
+        with pytest.raises(ConfigError):
+            CapacityEvent(time=0.0, link=0, capacity=-5.0)
+        with pytest.raises(ConfigError):
+            sim().run([Flow(fid="f", size=1.0, path=(0,))], capacity_events=[42])
+
+    def test_unsorted_events_are_sorted(self):
+        r = sim().run(
+            [Flow(fid="f", size=800.0, path=(0,))],
+            capacity_events=[
+                CapacityEvent(time=10.0, link=0, capacity=100.0),
+                CapacityEvent(time=0.0, link=0, capacity=40.0),
+            ],
+        )
+        assert r.finish("f") == pytest.approx(15.0)
