@@ -16,12 +16,15 @@ import pytest
 
 from repro.bench.harness import FigureResult, Series
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
 from repro.core import AggregatorConfig, run_io_movement
 from repro.machine import mira_system
 from repro.mpi import CollectiveIOConfig
 from repro.torus.mapping import RankMapping
 from repro.util.units import MiB
 from repro.workloads import uniform_pattern
+
+log = get_logger(__name__)
 
 
 def run_ablation(seed: int = 2014):
@@ -79,8 +82,7 @@ def run_ablation(seed: int = 2014):
 
 def test_ablation_aggregation(benchmark, save_figure):
     fig = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     at = lambda name: fig.get(name).y[0]
     # Adaptive sizing is essential: a single aggregator per pset can only

@@ -24,11 +24,14 @@ import numpy as np
 
 from repro.bench.harness import FigureResult, Series
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
 from repro.core import TransferSpec, run_transfer
 from repro.core.dynroute import run_dynamic_transfer
 from repro.machine import mira_system
 from repro.util.units import MiB
 from repro.workloads import corner_groups, pairwise_transfers
+
+log = get_logger(__name__)
 
 
 def run_ablation(nbytes: int = 16 * MiB, seed: int = 2014):
@@ -76,8 +79,7 @@ def run_ablation(nbytes: int = 16 * MiB, seed: int = 2014):
 
 def test_ablation_dynamic_routing(benchmark, save_figure):
     fig = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     det = fig.get("deterministic")
     dyn = fig.get("dynamic zone-1")

@@ -17,6 +17,7 @@ import pytest
 
 from repro.bench.harness import FigureResult, Series
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
 from repro.core import (
     TransferSpec,
     find_proxies_for_pair,
@@ -25,6 +26,8 @@ from repro.core import (
 )
 from repro.machine import mira_system
 from repro.util.units import MiB
+
+log = get_logger(__name__)
 
 
 def run_ablation(nbytes: int = 32 * MiB, ntrials: int = 8, seed: int = 2014):
@@ -69,8 +72,7 @@ def run_ablation(nbytes: int = 32 * MiB, ntrials: int = 8, seed: int = 2014):
 
 def test_ablation_proxy_placement(benchmark, save_figure):
     fig = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     aware = fig.get("topology-aware").y[0]
     randoms = fig.get("random placement").y

@@ -8,12 +8,15 @@ using the full-duplex 11th links' inbound direction.  Pattern-1 reads at
 
 from repro.bench.harness import FigureResult, Series
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
 from repro.core.ioread import run_io_read
 from repro.machine import mira_system
 from repro.torus.mapping import RankMapping
 from repro.torus.partition import CORES_PER_NODE
 from repro.util.units import MiB
 from repro.workloads import uniform_pattern
+
+log = get_logger(__name__)
 
 
 def run_extension(cores=(2048, 8192), seed: int = 2014):
@@ -53,6 +56,5 @@ def run_extension(cores=(2048, 8192), seed: int = 2014):
 
 def test_ext_ioread(benchmark, save_figure):
     fig = benchmark.pedantic(run_extension, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
     assert all(g > 1.2 for g in fig.notes["gain"])

@@ -10,6 +10,7 @@ asserts the prediction.
 
 from repro.bench.harness import FigureResult, Series, sweep_sizes
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
 from repro.core import (
     TransferSpec,
     find_proxies_for_pair,
@@ -18,6 +19,8 @@ from repro.core import (
 )
 from repro.machine import mira_system
 from repro.util.units import GB, KiB
+
+log = get_logger(__name__)
 
 
 def run_extension():
@@ -70,8 +73,7 @@ def run_extension():
 
 def test_ext_pipeline(benchmark, save_figure):
     fig = benchmark.pedantic(run_extension, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     big = fig.series[0].x[-1]
     direct = fig.get("direct").y_at(big)

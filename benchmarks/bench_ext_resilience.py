@@ -23,7 +23,10 @@ from repro.core import TransferSpec, TransferPlanner, run_transfer
 from repro.machine import mira_system
 from repro.machine.faults import FaultEvent, FaultTrace
 from repro.resilience import ResilientPlanner, run_resilient_transfer
+from repro.util.log import get_logger
 from repro.util.units import MiB
+
+log = get_logger(__name__)
 
 
 def degraded_trace(asg, carriers=(0, 1), factor=0.25) -> FaultTrace:
@@ -106,8 +109,7 @@ def test_ext_resilience(benchmark, save_figure):
     from repro.bench.report import render_figure
 
     fig = benchmark.pedantic(run_extension, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     blind = fig.get("fault-blind (2 paths at 25%)")
     resil = fig.get("resilient (2 paths at 25%)")

@@ -8,13 +8,15 @@ transfers cross over at 256 KB (~1.4–1.5 GB/s) and reach ~3.2 GB/s.
 
 from repro.bench.figures import fig5_p2p_proxies
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
 from repro.util.units import GB, KiB
+
+log = get_logger(__name__)
 
 
 def test_fig5_p2p_proxies(benchmark, save_figure):
     fig = benchmark.pedantic(fig5_p2p_proxies, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     direct = fig.get("direct")
     proxied = fig.series[1]

@@ -8,13 +8,15 @@ reach ~2.4 GB/s per pair (the k/2 law with k = 3).
 
 from repro.bench.figures import fig6_group_proxies
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
 from repro.util.units import GB, KiB
+
+log = get_logger(__name__)
 
 
 def test_fig6_group_proxies(benchmark, save_figure):
     fig = benchmark.pedantic(fig6_group_proxies, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     direct = fig.get("direct")
     proxied = fig.series[1]

@@ -10,12 +10,14 @@ import pytest
 
 from repro.bench.figures import fig7_proxy_count
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
+
+log = get_logger(__name__)
 
 
 def test_fig7_proxy_count(benchmark, save_figure):
     fig = benchmark.pedantic(fig7_proxy_count, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     speedups = fig.notes["speedup_at_max"]
     assert speedups["2 proxy groups"] == pytest.approx(1.0, abs=0.05)

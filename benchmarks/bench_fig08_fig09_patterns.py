@@ -9,13 +9,15 @@ import pytest
 
 from repro.bench.figures import fig8_pattern1_histogram, fig9_pattern2_histogram
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
 from repro.util.units import MiB
+
+log = get_logger(__name__)
 
 
 def test_fig8_pattern1_histogram(benchmark, save_figure):
     fig = benchmark.pedantic(fig8_pattern1_histogram, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
     counts = fig.series[0].y
     mean = sum(counts) / len(counts)
     assert max(counts) < 2 * mean  # flat histogram
@@ -26,8 +28,7 @@ def test_fig8_pattern1_histogram(benchmark, save_figure):
 
 def test_fig9_pattern2_histogram(benchmark, save_figure):
     fig = benchmark.pedantic(fig9_pattern2_histogram, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
     counts = fig.series[0].y
     assert counts[0] == max(counts)  # mass at zero
     assert fig.notes["total_bytes"] == pytest.approx(

@@ -12,14 +12,16 @@ full range (the 8,192-node points take several minutes each).
 
 from repro.bench.figures import fig10_aggregation_scaling
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
+
+log = get_logger(__name__)
 
 
 def test_fig10_aggregation_scaling(benchmark, save_figure, io_cores):
     fig = benchmark.pedantic(
         fig10_aggregation_scaling, kwargs={"cores": io_cores}, rounds=1, iterations=1
     )
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     assert all(g > 1.4 for g in fig.notes["gain_P1"])
     assert all(g > 1.3 for g in fig.notes["gain_P2"])

@@ -8,14 +8,16 @@ customized aggregators win by up to ~50%.
 
 from repro.bench.figures import fig11_hacc_io
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
+
+log = get_logger(__name__)
 
 
 def test_fig11_hacc_io(benchmark, save_figure, hacc_cores):
     fig = benchmark.pedantic(
         fig11_hacc_io, kwargs={"cores": hacc_cores}, rounds=1, iterations=1
     )
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     gains = fig.notes["gain"]
     assert all(g > 1.1 for g in gains)

@@ -7,12 +7,14 @@ direct/proxy curves actually cross, for k = 3 and k = 4.
 
 from repro.bench.figures import model_threshold_check
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
+
+log = get_logger(__name__)
 
 
 def test_model_threshold(benchmark, save_figure):
     fig = benchmark.pedantic(model_threshold_check, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
 
     analytic = fig.get("analytic")
     simulated = fig.get("simulated")

@@ -15,10 +15,13 @@ import pytest
 
 from repro.bench.harness import FigureResult, Series
 from repro.bench.report import render_figure
+from repro.util.log import get_logger
 from repro.core import TransferModel, TransferSpec, find_proxies_for_pair, run_transfer
 from repro.machine import mira_system
 from repro.network.params import MIRA_PARAMS
 from repro.util.units import GB, KiB
+
+log = get_logger(__name__)
 
 
 def _simulated_crossover(params) -> "int | None":
@@ -78,8 +81,7 @@ def run_stream_cap_sweep():
 
 def test_sensitivity_overhead(benchmark, save_figure):
     fig = benchmark.pedantic(run_overhead_sweep, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
     for a, s in zip(fig.get("analytic d*(4)").y, fig.get("simulated crossover").y):
         assert s is not None
         assert a / 2 <= s <= 2 * a  # doubling-grid quantisation only
@@ -91,8 +93,7 @@ def test_sensitivity_overhead(benchmark, save_figure):
 
 def test_sensitivity_stream_cap(benchmark, save_figure):
     fig = benchmark.pedantic(run_stream_cap_sweep, rounds=1, iterations=1)
-    print()
-    print(save_figure(fig, render_figure(fig)))
+    log.info("\n" + save_figure(fig, render_figure(fig)))
     for cap, d, p in zip(
         fig.get("direct").x, fig.get("direct").y, fig.get("proxies:4").y
     ):

@@ -3,7 +3,11 @@
 These measure the library itself rather than the paper's systems: the
 max-min waterfill, deterministic routing, and proxy search — the hot
 paths that bound how large a machine the figure benchmarks can sweep.
+Results land in the metrics registry (``bench.*`` gauges) so a metrics
+dump from a benchmark run carries the measured timings.
 """
+
+import time
 
 import numpy as np
 
@@ -12,16 +16,26 @@ from repro.machine import mira_system
 from repro.network.flow import Flow
 from repro.network.flowsim import FlowSim, uniform_capacities
 from repro.network.params import MIRA_PARAMS
+from repro.obs import TimeSeriesProbe, Tracer, get_registry, use_tracer
 from repro.routing.deterministic import route
+from repro.util.log import get_logger
 from repro.util.units import MiB
 
+log = get_logger(__name__)
 
-def test_waterfill_1k_flows(benchmark):
-    """One rate computation over 1,000 contending flows."""
+
+def _record(name: str, benchmark) -> None:
+    """Mirror a benchmark's mean into the ``bench.*`` gauge namespace."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None and getattr(stats, "stats", None) is not None:
+        get_registry().gauge(f"bench.{name}.mean_s").set(stats.stats.mean)
+
+
+def _thousand_flows():
     rng = np.random.default_rng(0)
     system = mira_system(nnodes=512)
     nodes = rng.integers(0, 512, size=(1000, 2))
-    flows = [
+    return [
         Flow(
             fid=i,
             size=float(rng.integers(1, 8 * MiB)),
@@ -29,10 +43,60 @@ def test_waterfill_1k_flows(benchmark):
         )
         for i, (a, b) in enumerate(nodes)
         if a != b
-    ]
+    ], system
+
+
+def test_waterfill_1k_flows(benchmark):
+    """One rate computation over 1,000 contending flows."""
+    flows, system = _thousand_flows()
     sim = FlowSim(system.capacity, MIRA_PARAMS, batch_tol=0.5)
 
     benchmark(sim.run, flows)
+    _record("waterfill_1k_flows", benchmark)
+
+
+def test_tracer_overhead():
+    """Null-tracer (disabled) path stays within 2% of the enabled gap.
+
+    The observability hooks in the simulator's event loop are a
+    ``probe is None`` check plus a ``get_tracer()`` hit on the shared
+    null object per run; this compares the 1,000-flow simulation with
+    tracing disabled vs fully enabled (tracer + probe) and records
+    both, asserting the *disabled* path is not the slow one.
+    """
+    flows, system = _thousand_flows()
+    sim = FlowSim(system.capacity, MIRA_PARAMS, batch_tol=0.5)
+    reps = 5
+
+    def timed(fn):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    sim.run(flows)  # warm route/JIT-free caches out of the measurement
+    disabled = timed(lambda: sim.run(flows))
+
+    def enabled_run():
+        probe = TimeSeriesProbe(interval=1e-4, max_samples=2000)
+        with use_tracer(Tracer()):
+            sim.run(flows, probe=probe)
+
+    enabled = timed(enabled_run)
+    overhead = disabled / enabled - 1.0
+    reg = get_registry()
+    reg.gauge("bench.flowsim_disabled_tracer.best_s").set(disabled)
+    reg.gauge("bench.flowsim_enabled_tracer.best_s").set(enabled)
+    reg.gauge("bench.null_tracer_overhead_frac").set(overhead)
+    log.info(
+        f"flowsim 1k flows: disabled {disabled * 1e3:.2f} ms, "
+        f"enabled {enabled * 1e3:.2f} ms ({overhead:+.1%} disabled vs enabled)"
+    )
+    # Disabled must not cost more than 2% over the fully-enabled run —
+    # i.e. the hooks themselves are free when observability is off.
+    assert disabled <= enabled * 1.02
 
 
 def test_deterministic_routing(benchmark, system512):
@@ -43,6 +107,7 @@ def test_deterministic_routing(benchmark, system512):
         return route(t, 0, t.nnodes - 1)
 
     benchmark(_route)
+    _record("deterministic_routing", benchmark)
 
 
 def test_proxy_search(benchmark, system512):
@@ -50,6 +115,7 @@ def test_proxy_search(benchmark, system512):
     benchmark(
         lambda: find_proxies_for_pair(system512, 0, system512.nnodes - 1)
     )
+    _record("proxy_search", benchmark)
 
 
 def test_flowsim_small_exact(benchmark):
@@ -59,3 +125,4 @@ def test_flowsim_small_exact(benchmark):
     ]
     sim = FlowSim(uniform_capacities(MIRA_PARAMS.link_bw), MIRA_PARAMS)
     benchmark(sim.run, flows)
+    _record("flowsim_small_exact", benchmark)

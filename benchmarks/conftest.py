@@ -20,6 +20,18 @@ import pytest
 OUT_DIR = Path(__file__).parent / "out"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _bench_logging():
+    """Route benchmark figure output through the ``repro`` logger.
+
+    ``REPRO_LOG_LEVEL=warning`` silences the figure tables without
+    touching pytest's own capture settings.
+    """
+    from repro.util.log import setup_cli_logging
+
+    setup_cli_logging(os.environ.get("REPRO_LOG_LEVEL", "info"))
+
+
 def full_scale() -> bool:
     """True when the paper's full core grid was requested."""
     return os.environ.get("REPRO_FULL", "") == "1"

@@ -7,7 +7,13 @@
 * ``io``        — run a sparse collective write, ours vs the baseline;
 * ``figure``    — regenerate one of the paper's figures;
 * ``analyze``   — graph-theoretic bounds and proxy-plan efficiency;
-* ``faults``    — inject faults and compare fault-blind vs resilient runs.
+* ``faults``    — inject faults and compare fault-blind vs resilient runs;
+* ``trace``     — run a scenario under the observability layer and export
+  a Chrome/Perfetto trace with per-link time series (``docs/OBSERVABILITY.md``).
+
+All output goes through the ``repro`` logging hierarchy; ``--log-level``
+makes any run quiet (``warning``) or chatty (``debug``) on demand, and
+``--metrics-out`` dumps the run's metrics registry as JSON.
 """
 
 from __future__ import annotations
@@ -18,7 +24,10 @@ from typing import Sequence
 
 from repro.bench import figures as figmod
 from repro.bench.report import render_figure
+from repro.util.log import LEVELS, get_logger, setup_cli_logging
 from repro.util.units import format_bytes, format_rate, parse_size
+
+log = get_logger(__name__)
 
 _FIGURES = {
     "fig5": figmod.fig5_p2p_proxies,
@@ -31,12 +40,20 @@ _FIGURES = {
     "model": figmod.model_threshold_check,
 }
 
+_TRACE_SCENARIOS = ("p2p", "group", "io", "faults")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests and docs)."""
     p = argparse.ArgumentParser(
         prog="repro",
         description="Sparse data movement on a simulated Blue Gene/Q (ICPP'14 reproduction)",
+    )
+    p.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        default="info",
+        help="output verbosity (default: info)",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -55,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tr.add_argument("--max-proxies", type=int, default=None)
     tr.add_argument("--links", action="store_true", help="print the link-load report")
+    tr.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
 
     io = sub.add_parser("io", help="run one sparse collective write")
     io.add_argument("--cores", type=int, default=2048)
@@ -67,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the collective *read* (restart) path instead of a write",
     )
     io.add_argument("--seed", type=int, default=2014)
+    io.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", choices=sorted(_FIGURES))
@@ -103,7 +122,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="probability a transient event is a hard failure",
     )
     fl.add_argument("--seed", type=int, default=2014)
+    fl.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
+
+    tc = sub.add_parser(
+        "trace",
+        help="run a scenario under the tracer; export spans + per-link time series",
+    )
+    tc.add_argument("scenario", choices=_TRACE_SCENARIOS)
+    tc.add_argument("--nodes", type=int, default=128)
+    tc.add_argument("--cores", type=int, default=2048, help="io scenario size")
+    tc.add_argument("--size", type=str, default="8MiB", help="bytes per transfer")
+    tc.add_argument("--pairs", type=int, default=4, help="group scenario pair count")
+    tc.add_argument(
+        "--dip", type=float, default=0.2,
+        help="mid-run capacity factor of the injected CapacityEvent dip "
+        "(p2p/group scenarios)",
+    )
+    tc.add_argument("--samples", type=int, default=200, help="probe samples per run")
+    tc.add_argument("--seed", type=int, default=2014)
+    tc.add_argument("--out", type=str, default="trace.json", metavar="PATH")
+    tc.add_argument(
+        "--format", choices=["chrome", "jsonl"], default="chrome",
+        help="chrome: trace_event JSON for Perfetto/chrome://tracing; "
+        "jsonl: one span per line",
+    )
+    tc.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
+    tc.add_argument("--top-links", type=int, default=16)
     return p
+
+
+def _dump_metrics(args) -> None:
+    """Write the run's metrics registry snapshot when requested."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    from repro.obs import get_registry
+
+    with open(path, "w") as fh:
+        fh.write(get_registry().to_json() + "\n")
+    log.info(f"metrics written to {path}")
 
 
 def _cmd_info(args) -> int:
@@ -111,16 +168,19 @@ def _cmd_info(args) -> int:
 
     system = mira_system(nnodes=args.nodes)
     t = system.topology
-    print(f"{system}")
-    print(f"  torus shape: {'x'.join(map(str, t.shape))} ({t.nnodes} nodes)")
-    print(f"  directed torus links: {t.nlinks} at {format_rate(system.params.link_bw)}")
-    print(f"  diameter: {t.diameter()} hops")
-    print(
+    log.info(f"{system}")
+    log.info(f"  torus shape: {'x'.join(map(str, t.shape))} ({t.nnodes} nodes)")
+    log.info(f"  directed torus links: {t.nlinks} at {format_rate(system.params.link_bw)}")
+    log.info(f"  diameter: {t.diameter()} hops")
+    log.info(
         f"  psets: {system.npsets} x {system.pset_size} nodes, "
         f"bridges per pset: {len(system.psets[0].bridges)} "
         f"({format_rate(system.params.io_link_bw)} each)"
     )
-    print(f"  aggregate ION bandwidth: {format_rate(len(system.bridge_nodes) * system.params.io_link_bw)}")
+    log.info(
+        f"  aggregate ION bandwidth: "
+        f"{format_rate(len(system.bridge_nodes) * system.params.io_link_bw)}"
+    )
     return 0
 
 
@@ -133,7 +193,7 @@ def _cmd_transfer(args) -> int:
     system = mira_system(nnodes=args.nodes)
     dst = args.dst if args.dst >= 0 else system.nnodes - 1
     spec = TransferSpec(src=args.src, dst=dst, nbytes=parse_size(args.size))
-    print(
+    log.info(
         f"{format_bytes(spec.nbytes)} from node {spec.src} to node {spec.dst} "
         f"on {system}"
     )
@@ -151,11 +211,12 @@ def _cmd_transfer(args) -> int:
                 system, [spec], mode=mode, max_proxies=args.max_proxies
             )
         used = out.mode_used[(spec.src, spec.dst)]
-        print(f"  {mode:>9} ({used}): {format_rate(out.throughput)}")
+        log.info(f"  {mode:>9} ({used}): {format_rate(out.throughput)}")
         last = out
     if args.links and last is not None:
-        print()
-        print(link_load_report(last.result, system))
+        log.info("")
+        log.info(link_load_report(last.result, system))
+    _dump_metrics(args)
     return 0
 
 
@@ -175,7 +236,7 @@ def _cmd_io(args) -> int:
         sizes = pareto_pattern(mapping.nranks, seed=args.seed)
     else:
         sizes = hacc_io_sizes(mapping.nranks)
-    print(
+    log.info(
         f"pattern {args.pattern}: {format_bytes(int(sizes.sum()))} over "
         f"{mapping.nranks} ranks on {system}"
     )
@@ -190,7 +251,7 @@ def _cmd_io(args) -> int:
             batch_tol=0.05, fair_tol=0.02,
         )
         results[method] = out
-        print(
+        log.info(
             f"  {method:>15}: {format_rate(out.throughput)} "
             f"(IONs {out.active_ions}, imbalance {out.ion_imbalance:.2f})"
         )
@@ -199,13 +260,14 @@ def _cmd_io(args) -> int:
             results["topology_aware"].throughput
             / results["collective"].throughput
         )
-        print(f"  speedup: {gain:.2f}x")
+        log.info(f"  speedup: {gain:.2f}x")
+    _dump_metrics(args)
     return 0
 
 
 def _cmd_figure(args) -> int:
     fig = _FIGURES[args.name]()
-    print(render_figure(fig))
+    log.info(render_figure(fig))
     return 0
 
 
@@ -220,12 +282,12 @@ def _cmd_analyze(args) -> int:
 
     system = mira_system(nnodes=args.nodes)
     dst = args.dst if args.dst >= 0 else system.nnodes - 1
-    print(f"bounds for node {args.src} -> node {dst} on {system}:")
-    print(f"  edge-disjoint paths: {edge_disjoint_path_count(system, args.src, dst)}")
-    print(f"  max-flow rate bound: {format_rate(max_flow_bound(system, args.src, dst))}")
+    log.info(f"bounds for node {args.src} -> node {dst} on {system}:")
+    log.info(f"  edge-disjoint paths: {edge_disjoint_path_count(system, args.src, dst)}")
+    log.info(f"  max-flow rate bound: {format_rate(max_flow_bound(system, args.src, dst))}")
     asg = find_proxies_for_pair(system, args.src, dst)
     eff = proxy_plan_efficiency(system, asg)
-    print(
+    log.info(
         f"  Algorithm 1 found {eff['carriers']} carriers "
         f"({eff['path_efficiency']:.0%} of the disjoint-path bound)"
     )
@@ -269,16 +331,16 @@ def _cmd_faults(args) -> int:
         if args.events != 0  # negative counts rejected by random_fault_trace
         else FaultTrace()
     )
-    print(
+    log.info(
         f"{format_bytes(spec.nbytes)} from node {spec.src} to node {spec.dst} "
         f"on {system}"
     )
-    print(
+    log.info(
         f"  known faults: {len(faults.degraded_links)} links at "
         f"{args.factor:.0%}, {len(faults.failed_links)} links down, "
         f"{len(faults.failed_nodes)} nodes cordoned"
     )
-    print(f"  hidden trace: {len(trace.events)} timed events")
+    log.info(f"  hidden trace: {len(trace.events)} timed events")
 
     # Fault-blind baseline: plans as if pristine, runs on the true
     # time-varying state — the trace's boundaries fire as mid-run
@@ -307,10 +369,10 @@ def _cmd_faults(args) -> int:
             capacity_fn=snap.capacity_fn(system.capacity),
             events=blind_events or None,
         )
-        print(f"  fault-blind: {format_rate(blind.throughput)}")
+        log.info(f"  fault-blind: {format_rate(blind.throughput)}")
     except (ConfigError, LinkDownError) as e:
         blind = None
-        print(f"  fault-blind: stalled ({e})")
+        log.info(f"  fault-blind: stalled ({e})")
 
     planner = ResilientPlanner(system, faults=faults, max_proxies=args.max_proxies)
     try:
@@ -318,11 +380,11 @@ def _cmd_faults(args) -> int:
             system, [spec], faults=faults, trace=trace, planner=planner
         )
     except TransferAbortedError as e:
-        print(f"  resilient:   aborted ({e})")
+        log.error(f"  resilient:   aborted ({e})")
         return 1
     t = out.telemetry
-    print(f"  resilient:   {format_rate(out.throughput)}")
-    print(
+    log.info(f"  resilient:   {format_rate(out.throughput)}")
+    log.info(
         f"    rounds {t.rounds}, retries {t.retries}, failovers {t.failovers}, "
         f"resent {format_bytes(t.bytes_resent)}, "
         f"direct fallbacks {t.degraded_to_direct}"
@@ -330,12 +392,139 @@ def _cmd_faults(args) -> int:
     for a in t.failed_attempts:
         carrier = "direct" if a.proxy is None else f"proxy {a.proxy}"
         finish = "stalled" if a.finish > 100 * a.deadline else f"{a.finish:.6f}s"
-        print(
+        log.info(
             f"    round {a.round}: {carrier} missed deadline "
             f"({finish} > {a.deadline:.6f}s), {format_bytes(a.share)} re-sent"
         )
     if blind is not None and blind.throughput > 0:
-        print(f"  speedup vs fault-blind: {out.throughput / blind.throughput:.2f}x")
+        log.info(f"  speedup vs fault-blind: {out.throughput / blind.throughput:.2f}x")
+    _dump_metrics(args)
+    return 0
+
+
+def _trace_scenario_specs(args, system):
+    """The (specs, label) a trace scenario transfers."""
+    from repro.core import TransferSpec
+
+    nbytes = parse_size(args.size)
+    n = system.nnodes
+    if args.scenario == "p2p":
+        return [TransferSpec(src=0, dst=n - 1, nbytes=nbytes)]
+    pairs = max(1, min(args.pairs, n // 2))
+    return [TransferSpec(src=i, dst=n - 1 - i, nbytes=nbytes) for i in range(pairs)]
+
+
+def _cmd_trace(args) -> int:
+    """Run one scenario under tracer + probe and export the timeline."""
+    from repro.core import run_io_movement, run_transfer
+    from repro.machine import mira_system
+    from repro.network.flowsim import CapacityEvent
+    from repro.obs import (
+        MetricsRegistry,
+        TimeSeriesProbe,
+        Tracer,
+        export_chrome,
+        export_jsonl,
+        render_report,
+        use_registry,
+        use_tracer,
+    )
+
+    if args.samples < 2:
+        log.error("--samples must be >= 2")
+        return 2
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+
+    if args.scenario in ("p2p", "group"):
+        system = mira_system(nnodes=args.nodes)
+        specs = _trace_scenario_specs(args, system)
+        # Dry run: learn the makespan (for the probe grid) and the
+        # hottest link (where the injected mid-run dip bites hardest).
+        est = run_transfer(system, specs, mode="auto")
+        mk = est.makespan
+        hot_link = max(est.result.link_bytes, key=est.result.link_bytes.get)
+        cap = system.capacity(hot_link)
+        events = [
+            CapacityEvent(time=0.4 * mk, link=hot_link, capacity=cap * args.dip),
+            CapacityEvent(time=0.7 * mk, link=hot_link, capacity=cap),
+        ]
+        probe = TimeSeriesProbe(interval=mk / args.samples)
+        log.info(
+            f"{args.scenario}: {len(specs)} transfer(s) of "
+            f"{format_bytes(specs[0].nbytes)} on {system}; capacity dip to "
+            f"{args.dip:.0%} on link {hot_link} during "
+            f"[{0.4 * mk:.6f}s, {0.7 * mk:.6f}s]"
+        )
+        with use_tracer(tracer), use_registry(registry):
+            out = run_transfer(system, specs, mode="auto", events=events, probe=probe)
+        log.info(f"  throughput: {format_rate(out.throughput)}")
+    elif args.scenario == "io":
+        from repro.torus.mapping import RankMapping
+        from repro.torus.partition import CORES_PER_NODE
+        from repro.workloads import pareto_pattern
+
+        system = mira_system(ncores=args.cores)
+        mapping = RankMapping(system.topology, ranks_per_node=CORES_PER_NODE)
+        sizes = pareto_pattern(mapping.nranks, seed=args.seed)
+        est = run_io_movement(
+            system, sizes, method="topology_aware", mapping=mapping,
+            batch_tol=0.05, fair_tol=0.02,
+        )
+        probe = TimeSeriesProbe(interval=est.makespan / args.samples)
+        log.info(
+            f"io: {format_bytes(int(sizes.sum()))} over {mapping.nranks} ranks "
+            f"on {system}"
+        )
+        with use_tracer(tracer), use_registry(registry):
+            out = run_io_movement(
+                system, sizes, method="topology_aware", mapping=mapping,
+                batch_tol=0.05, fair_tol=0.02, probe=probe,
+            )
+        log.info(f"  throughput: {format_rate(out.throughput)}")
+    else:  # faults
+        from repro.core import TransferSpec
+        from repro.machine.faults import random_fault_trace, random_link_faults
+        from repro.resilience import ResilientPlanner, run_resilient_transfer
+
+        system = mira_system(nnodes=args.nodes)
+        n = system.nnodes
+        spec = TransferSpec(src=0, dst=n - 1, nbytes=parse_size(args.size))
+        faults = random_link_faults(
+            system.topology, 8, factor=0.25, seed=args.seed
+        )
+        ftrace = random_fault_trace(
+            system.topology, 6, hard_fraction=0.3, t_max=0.02, seed=args.seed + 1
+        )
+        est = run_transfer(system, [spec], mode="auto")
+        probe = TimeSeriesProbe(interval=est.makespan / args.samples)
+        planner = ResilientPlanner(system, faults=faults)
+        log.info(
+            f"faults: {format_bytes(spec.nbytes)} node {spec.src} -> {spec.dst} "
+            f"with {len(ftrace.events)} hidden events on {system}"
+        )
+        with use_tracer(tracer), use_registry(registry):
+            out = run_resilient_transfer(
+                system, [spec], faults=faults, trace=ftrace,
+                planner=planner, probe=probe,
+            )
+        log.info(
+            f"  throughput: {format_rate(out.throughput)} "
+            f"(rounds {out.telemetry.rounds}, retries {out.telemetry.retries})"
+        )
+
+    if args.format == "chrome":
+        export_chrome(tracer, args.out, probe=probe, top_links=args.top_links)
+    else:
+        export_jsonl(tracer, args.out)
+    log.info(f"trace ({args.format}) written to {args.out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(registry.to_json() + "\n")
+        log.info(f"metrics written to {args.metrics_out}")
+    log.info("")
+    log.info(render_report(tracer=tracer, registry=registry, probe=probe))
     return 0
 
 
@@ -346,12 +535,14 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "analyze": _cmd_analyze,
     "faults": _cmd_faults,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    setup_cli_logging(args.log_level)
     return _COMMANDS[args.command](args)
 
 

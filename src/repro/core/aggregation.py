@@ -34,6 +34,8 @@ from repro.machine.faults import FaultModel
 from repro.machine.system import BGQSystem
 from repro.mpi.program import FlowProgram
 from repro.network.flow import FlowId
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.util.units import MiB
 from repro.util.validation import ConfigError
 
@@ -270,6 +272,26 @@ def plan_aggregation(
         raise ConfigError("data_by_node must be non-negative")
     total = int(data.sum())
 
+    with get_tracer().span(
+        "plan-aggregation", cat="plan", total_bytes=total, nnodes=system.nnodes
+    ) as _span:
+        plan = _plan_aggregation_inner(
+            system, data, total, config, precomputed, faults
+        )
+    _span.set(num_agg_per_pset=plan.num_agg_per_pset, shipments=len(plan.shipments))
+    get_registry().counter("aggregation.plans").inc()
+    get_registry().counter("aggregation.shipments").inc(len(plan.shipments))
+    return plan
+
+
+def _plan_aggregation_inner(
+    system: BGQSystem,
+    data: np.ndarray,
+    total: int,
+    config: AggregatorConfig,
+    precomputed: "dict[int, list[int]] | None",
+    faults: "FaultModel | None",
+) -> AggregationPlan:
     num_agg = choose_num_aggregators(system, total, config)
     if precomputed is None:
         precomputed = precompute_aggregators(system, config, faults=faults)

@@ -38,6 +38,8 @@ from repro.mpi.mpiio import (
 )
 from repro.mpi.program import FlowProgram
 from repro.network.flowsim import FlowSimResult
+from repro.obs.metrics import TimeSeriesProbe, get_registry
+from repro.obs.trace import get_tracer
 from repro.torus.mapping import RankMapping
 from repro.util.validation import ConfigError
 
@@ -105,6 +107,7 @@ def run_io_movement(
     batch_tol: float = 0.0,
     fair_tol: float = 0.0,
     lazy_frac: float = 0.0,
+    probe: "TimeSeriesProbe | None" = None,
 ) -> IOOutcome:
     """Run one collective write of ``sizes_by_rank`` bytes to the IONs.
 
@@ -112,6 +115,9 @@ def run_io_movement(
     topology-aware planner adapts to it (aggregators avoid cordoned
     nodes, ION quotas follow surviving capacity); the collective baseline
     stays fault-blind, as ROMIO is.
+
+    ``probe`` samples per-link utilisation (including the ION links) at
+    fixed simulated-time intervals during the write.
     """
     if mapping is None:
         mapping = RankMapping(system.topology, ranks_per_node=1)
@@ -125,27 +131,35 @@ def run_io_movement(
         fair_tol=fair_tol,
         lazy_frac=lazy_frac,
         capacity_fn=capacity_fn,
+        probe=probe,
     )
     total = float(np.asarray(sizes_by_rank, dtype=np.int64).sum())
 
-    if method == "topology_aware":
-        data = sizes_to_node_data(system, mapping, sizes_by_rank)
-        plan: "AggregationPlan | TwoPhasePlan" = plan_aggregation(
-            system, data, agg_config, faults=faults
-        )
-        final = aggregation_flows(prog, plan)
-        bytes_per_ion = plan.bytes_per_ion
-    elif method == "collective":
-        plan = plan_collective_write(comm, sizes_by_rank, cb_config)
-        final = collective_write_flows(prog, plan, cb_config)
-        bytes_per_ion = plan.bytes_per_ion
-    else:
-        raise ConfigError(
-            f"unknown method {method!r}; use 'topology_aware' or 'collective'"
-        )
+    with get_tracer().span(
+        "io-movement", cat="io", method=method, total_bytes=total
+    ) as span:
+        if method == "topology_aware":
+            data = sizes_to_node_data(system, mapping, sizes_by_rank)
+            plan: "AggregationPlan | TwoPhasePlan" = plan_aggregation(
+                system, data, agg_config, faults=faults
+            )
+            final = aggregation_flows(prog, plan)
+            bytes_per_ion = plan.bytes_per_ion
+        elif method == "collective":
+            plan = plan_collective_write(comm, sizes_by_rank, cb_config)
+            final = collective_write_flows(prog, plan, cb_config)
+            bytes_per_ion = plan.bytes_per_ion
+        else:
+            raise ConfigError(
+                f"unknown method {method!r}; use 'topology_aware' or 'collective'"
+            )
 
-    result = prog.run()
-    makespan = result.finish(final)
+        result = prog.run()
+        makespan = result.finish(final)
+        span.set(makespan=makespan, active_ions=plan.active_ions)
+    reg = get_registry()
+    reg.counter(f"io.runs.{method}").inc()
+    reg.counter("io.bytes_written").inc(total)
     return IOOutcome(
         method=method,
         total_bytes=total,

@@ -20,6 +20,8 @@ from repro.mpi.comm import SimComm
 from repro.mpi.program import FlowProgram
 from repro.network.flow import FlowId
 from repro.network.flowsim import FlowSimResult
+from repro.obs.metrics import TimeSeriesProbe, get_registry
+from repro.obs.trace import get_tracer
 from repro.util.validation import ConfigError
 
 
@@ -231,6 +233,7 @@ def run_transfer(
     fair_tol: float = 0.0,
     capacity_fn=None,
     events=None,
+    probe: "TimeSeriesProbe | None" = None,
 ) -> TransferOutcome:
     """Execute a set of transfers and measure throughput.
 
@@ -248,6 +251,8 @@ def run_transfer(
             interrupts (e.g. a fault trace's boundaries) — a flow caught
             on a link that drops to zero raises
             :class:`~repro.util.validation.LinkDownError`.
+        probe: a :class:`~repro.obs.metrics.TimeSeriesProbe` sampling
+            per-link utilisation inside the simulator's event loop.
     """
     if mode not in ("direct", "proxy", "auto"):
         raise ConfigError(f"unknown mode {mode!r}")
@@ -255,45 +260,65 @@ def run_transfer(
     if not specs:
         raise ConfigError("specs must be non-empty")
 
-    comm = SimComm(system)
-    prog = FlowProgram(
-        comm, batch_tol=batch_tol, fair_tol=fair_tol, capacity_fn=capacity_fn
-    )
-    model = TransferModel(system.params)
-    mode_used: dict[tuple[int, int], str] = {}
-    plan: "ProxyPlan | None" = None
-
-    if mode in ("proxy", "auto") and assignments is None:
-        plan = find_proxies(
-            system,
-            [(s.src, s.dst) for s in specs],
-            max_proxies=max_proxies,
-            min_proxies=min_proxies,
-            max_offset=max_offset,
-        )
-        assignments = plan.assignments
-
-    for spec in specs:
-        key = (spec.src, spec.dst)
-        asg = assignments.get(key) if assignments else None
-        use_proxy = False
-        if mode == "direct" or asg is None or asg.k < 1:
-            use_proxy = False
-        elif mode == "proxy":
-            use_proxy = asg.k >= min_proxies
-        else:  # auto: Algorithm 1's size gate
-            use_proxy = asg.k >= min_proxies and model.use_proxies(spec.nbytes, asg.k)
-        if use_proxy and spec.nbytes < asg.k:
-            use_proxy = False  # degenerate tiny message
-        if use_proxy:
-            build_multipath_flows(prog, spec, asg)
-            mode_used[key] = f"proxy:{asg.k}"
-        else:
-            build_direct_flows(prog, spec)
-            mode_used[key] = "direct"
-
-    result = prog.run(events)
     total = float(sum(s.nbytes for s in specs))
+    tracer = get_tracer()
+    with tracer.span(
+        "transfer", cat="transfer", mode=mode, n_specs=len(specs), total_bytes=total
+    ) as span:
+        comm = SimComm(system)
+        prog = FlowProgram(
+            comm,
+            batch_tol=batch_tol,
+            fair_tol=fair_tol,
+            capacity_fn=capacity_fn,
+            probe=probe,
+        )
+        model = TransferModel(system.params)
+        mode_used: dict[tuple[int, int], str] = {}
+        plan: "ProxyPlan | None" = None
+
+        if mode in ("proxy", "auto") and assignments is None:
+            with tracer.span("proxy-select", cat="plan", n_pairs=len(specs)):
+                plan = find_proxies(
+                    system,
+                    [(s.src, s.dst) for s in specs],
+                    max_proxies=max_proxies,
+                    min_proxies=min_proxies,
+                    max_offset=max_offset,
+                )
+            assignments = plan.assignments
+
+        for spec in specs:
+            key = (spec.src, spec.dst)
+            asg = assignments.get(key) if assignments else None
+            use_proxy = False
+            if mode == "direct" or asg is None or asg.k < 1:
+                use_proxy = False
+            elif mode == "proxy":
+                use_proxy = asg.k >= min_proxies
+            else:  # auto: Algorithm 1's size gate
+                use_proxy = asg.k >= min_proxies and model.use_proxies(spec.nbytes, asg.k)
+            if use_proxy and spec.nbytes < asg.k:
+                use_proxy = False  # degenerate tiny message
+            if use_proxy:
+                build_multipath_flows(prog, spec, asg)
+                mode_used[key] = f"proxy:{asg.k}"
+            else:
+                build_direct_flows(prog, spec)
+                mode_used[key] = "direct"
+
+        result = prog.run(events)
+        span.set(makespan=result.makespan, n_flows=len(prog.flows))
+
+    reg = get_registry()
+    reg.counter("transfer.runs").inc()
+    reg.counter("transfer.bytes_requested").inc(total)
+    reg.counter("transfer.carriers.proxy").inc(
+        sum(1 for m in mode_used.values() if m.startswith("proxy"))
+    )
+    reg.counter("transfer.carriers.direct").inc(
+        sum(1 for m in mode_used.values() if m == "direct")
+    )
     return TransferOutcome(
         makespan=result.makespan,
         total_bytes=total,

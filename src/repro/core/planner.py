@@ -25,6 +25,8 @@ from repro.core.model import TransferModel
 from repro.core.multipath import TransferOutcome, TransferSpec, run_transfer
 from repro.core.proxy_select import ProxyAssignment, ProxyPlan, find_proxies
 from repro.machine.system import BGQSystem
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.util.validation import ConfigError
 
 
@@ -77,8 +79,19 @@ class TransferPlanner:
         """Run (and cache) the proxy search for a set of endpoint pairs."""
         pairs_t = tuple(pairs)
         if self._plan_pairs != pairs_t:
-            self._plan_cache = self._search_proxies(pairs_t)
+            with get_tracer().span(
+                "proxy-select", cat="plan", n_pairs=len(pairs_t)
+            ) as span:
+                self._plan_cache = self._search_proxies(pairs_t)
+                span.set(
+                    total_carriers=sum(
+                        a.k for a in self._plan_cache.assignments.values()
+                    )
+                )
+            get_registry().counter("planner.proxy_searches").inc()
             self._plan_pairs = pairs_t
+        else:
+            get_registry().counter("planner.plan_cache_hits").inc()
         assert self._plan_cache is not None
         return self._plan_cache
 
@@ -111,11 +124,23 @@ class TransferPlanner:
         specs = list(specs)
         if not specs:
             raise ConfigError("specs must be non-empty")
-        proxy_plan = self.find_plan([(s.src, s.dst) for s in specs])
-        return [
-            self._decide(spec, proxy_plan.assignments[(spec.src, spec.dst)])
-            for spec in specs
-        ]
+        with get_tracer().span(
+            "plan",
+            cat="plan",
+            n_specs=len(specs),
+            total_bytes=sum(s.nbytes for s in specs),
+        ) as span:
+            proxy_plan = self.find_plan([(s.src, s.dst) for s in specs])
+            planned = [
+                self._decide(spec, proxy_plan.assignments[(spec.src, spec.dst)])
+                for spec in specs
+            ]
+            n_proxy = sum(1 for p in planned if p.strategy == "proxy")
+            span.set(proxy=n_proxy, direct=len(planned) - n_proxy)
+        reg = get_registry()
+        reg.counter("planner.decisions.proxy").inc(n_proxy)
+        reg.counter("planner.decisions.direct").inc(len(planned) - n_proxy)
+        return planned
 
     def execute(
         self,

@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 from repro.mpi.comm import SimComm
 from repro.network.flow import Flow, FlowId
 from repro.network.flowsim import CapacityEvent, CapacityFn, FlowSim, FlowSimResult
+from repro.obs.metrics import TimeSeriesProbe
 from repro.util.validation import ConfigError
 
 
@@ -32,6 +33,11 @@ class FlowProgram:
     pass :func:`repro.machine.faults.degraded_system_capacity` to run the
     accumulated program on a degraded machine without touching the flow
     construction logic.
+
+    ``probe`` is handed to the simulator so per-link utilisation is
+    sampled mid-run; ``t_base`` is this program's absolute simulated
+    start time (the resilience executor sets it per round so one probe's
+    series stays monotone across rounds).
     """
 
     def __init__(
@@ -42,6 +48,8 @@ class FlowProgram:
         fair_tol: float = 0.0,
         lazy_frac: float = 0.0,
         capacity_fn: "CapacityFn | None" = None,
+        probe: "TimeSeriesProbe | None" = None,
+        t_base: float = 0.0,
     ):
         self.comm = comm
         self.system = comm.system
@@ -50,6 +58,8 @@ class FlowProgram:
         self.fair_tol = fair_tol
         self.lazy_frac = lazy_frac
         self.capacity_fn = capacity_fn
+        self.probe = probe
+        self.t_base = t_base
         self.flows: list[Flow] = []
         self._counter = 0
 
@@ -268,4 +278,9 @@ class FlowProgram:
             fair_tol=self.fair_tol,
             lazy_frac=self.lazy_frac,
         )
-        return sim.run(self.flows, capacity_events=capacity_events)
+        return sim.run(
+            self.flows,
+            capacity_events=capacity_events,
+            probe=self.probe,
+            t_base=self.t_base,
+        )

@@ -42,6 +42,8 @@ from dataclasses import dataclass
 
 from repro.network.flow import Flow, FlowId, FlowResult
 from repro.network.params import MIRA_PARAMS, NetworkParams
+from repro.obs.metrics import TimeSeriesProbe, get_registry
+from repro.obs.trace import get_tracer
 from repro.util.validation import ConfigError, LinkDownError, SimulationError
 
 _EPS_BYTES = 1e-3  # sub-byte residue counts as complete (float rounding guard)
@@ -283,6 +285,9 @@ class FlowSim:
         self,
         flows: Sequence[Flow],
         capacity_events: "Sequence[CapacityEvent] | None" = None,
+        *,
+        probe: "TimeSeriesProbe | None" = None,
+        t_base: float = 0.0,
     ) -> FlowSimResult:
         """Simulate all flows to completion and return per-flow results.
 
@@ -290,10 +295,21 @@ class FlowSim:
         degradation, failure, or recovery); each triggers an exact rate
         recomputation at its fire time.  Events on links no submitted
         flow traverses are ignored.
+
+        ``probe`` samples per-link rate/utilisation, per-link queue
+        depth and delivered bytes on a fixed simulated-time grid inside
+        this loop (see :class:`~repro.obs.metrics.TimeSeriesProbe`);
+        ``t_base`` is this run's absolute simulated start time, used to
+        keep probe samples and recorded spans monotone when a caller
+        (the resilience executor) chains several runs on one timeline.
         """
         flows = list(flows)
         if not flows:
             return FlowSimResult({}, 0.0, {}, 0)
+        if t_base < 0:
+            raise ConfigError(f"t_base must be >= 0, got {t_base}")
+        if probe is not None:
+            probe.rebase(t_base)
         fid_to_idx = self._index_flows(flows)
         link_index, caps, flow_links = self._compact_links(flows)
         inv_link = {v: k for k, v in link_index.items()}
@@ -343,10 +359,13 @@ class FlowSim:
         active: list[int] = []
         T = 0.0
         n_updates = 0
+        delivered = 0.0
 
         def complete(i: int, t: float):
+            nonlocal delivered
             done[i] = True
             finish_rec[i] = t
+            delivered += flows[i].size
             if np.isnan(start_rec[i]):
                 start_rec[i] = t
             for g in flows[i].path:
@@ -389,11 +408,44 @@ class FlowSim:
         rates: "np.ndarray | None" = None  # aligned with `active`
         freed_rate = 0.0
         total_rate_at_fill = 0.0
+        nl_real = len(caps)
+
+        def probe_window(t0: float, t1: float, act_arr, rate_arr) -> None:
+            """Feed one constant-rate window [t0, t1) to the probe.
+
+            Aggregation runs once per window containing a grid tick —
+            rates are frozen between events, so the samples are exact.
+            """
+            if t1 <= t0 or not probe.due(t1):
+                return
+            link_rate: dict[int, float] = {}
+            link_util: dict[int, float] = {}
+            depth: dict[int, int] = {}
+            if act_arr is not None and len(act_arr):
+                agg = np.zeros(nl_real)
+                cnt = np.zeros(nl_real, dtype=np.int64)
+                for pos, i in enumerate(act_arr):
+                    row = flow_links[int(i)]
+                    np.add.at(agg, row, rate_arr[pos])
+                    np.add.at(cnt, row, 1)
+                for k in np.nonzero(cnt)[0]:
+                    g = inv_link[int(k)]
+                    cap = float(caps_full[int(k)])
+                    link_rate[g] = float(agg[k])
+                    link_util[g] = float(agg[k]) / cap if cap > 0 else 0.0
+                    depth[g] = int(cnt[k])
+            probe.record_window(
+                t0, t1, link_rate, link_util, depth,
+                0 if act_arr is None else len(act_arr), delivered,
+            )
 
         while pending or active:
             if not active:
                 # Jump to the next activation.
-                T = max(T, pending[0][0])
+                T_new = max(T, pending[0][0])
+                if probe is not None:
+                    probe_window(T, T_new, None, None)
+                T = T_new
                 apply_events_due(T)
                 if activate_due(T):
                     rates = None
@@ -436,6 +488,8 @@ class FlowSim:
                 # An activation or a capacity change interrupts before any
                 # completion; drain linearly, then recompute rates.
                 dt = max(dt_int, 0.0)
+                if probe is not None:
+                    probe_window(T, T + dt, act, rates)
                 remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
                 T += dt
                 activate_due(T)
@@ -446,6 +500,8 @@ class FlowSim:
             dt = dt_complete
             if self.batch_tol > 0:
                 dt = min(dt_complete * (1 + self.batch_tol), dt_act, next_evt - T)
+            if probe is not None:
+                probe_window(T, T + dt, act, rates)
             remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
             T += dt
 
@@ -485,4 +541,41 @@ class FlowSim:
             for i, f in enumerate(flows)
         }
         makespan = float(np.max(finish_rec)) if n else 0.0
+        if probe is not None:
+            probe.record_final(makespan, delivered)
+        tracer = get_tracer()
+        if tracer.enabled:
+            run_span = tracer.record(
+                "flowsim.run",
+                t_base,
+                t_base + makespan,
+                cat="flowsim",
+                n_flows=n,
+                n_rate_updates=n_updates,
+                capacity_events=ep,
+                delivered_bytes=delivered,
+            )
+            if run_span is not None:
+                for i, f in enumerate(flows):
+                    if i >= tracer.max_flow_spans:
+                        tracer.n_dropped += n - i
+                        break
+                    if f.size <= 0:
+                        continue
+                    tracer.record(
+                        f"flow:{f.fid}",
+                        t_base + float(start_rec[i]),
+                        t_base + float(finish_rec[i]),
+                        cat="flow",
+                        parent=run_span,
+                        bytes=f.size,
+                        hops=len(f.path),
+                        tag=None if f.tag is None else str(f.tag),
+                    )
+        reg = get_registry()
+        reg.counter("flowsim.runs").inc()
+        reg.counter("flowsim.flows_completed").inc(n)
+        reg.counter("flowsim.rate_updates").inc(n_updates)
+        reg.counter("flowsim.capacity_events_applied").inc(ep)
+        reg.counter("flowsim.delivered_bytes").inc(delivered)
         return FlowSimResult(results, makespan, link_bytes, n_updates)

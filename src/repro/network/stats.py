@@ -55,11 +55,18 @@ def summarize_links(
     if not result.link_bytes:
         return LinkStats(0, 0.0, 0.0, 0.0, 0.0, 1.0)
     loads = np.array(list(result.link_bytes.values()))
-    links = list(result.link_bytes.keys())
-    max_i = int(np.argmax(loads))
-    max_bytes = float(loads[max_i])
-    makespan = max(result.makespan, 1e-30)
-    max_util = max_bytes / (cap_of(links[max_i]) * makespan)
+    max_bytes = float(loads.max())
+    # Utilisation is a max over *all* busy links (the most-loaded-by-bytes
+    # link need not be the most utilised one when capacities differ).
+    # Zero-capacity links (hard faults) and a zero makespan (all-empty
+    # flows) carry no defined utilisation — they contribute 0.0 rather
+    # than dividing by zero.
+    max_util = 0.0
+    if result.makespan > 0:
+        for link, nbytes in result.link_bytes.items():
+            cap = cap_of(link)
+            if cap > 0:
+                max_util = max(max_util, nbytes / (cap * result.makespan))
     mean = float(loads.mean())
     return LinkStats(
         busy_links=len(loads),

@@ -1,0 +1,66 @@
+"""Unified observability: structured tracing, metrics, and trace export.
+
+Three pieces, designed to be wired once and consumed everywhere:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer (plan →
+  proxy-select → transfer-round → flow) with a process-wide registry, a
+  zero-overhead null tracer, and JSONL / Chrome ``trace_event``
+  exporters (open the latter in Perfetto or ``chrome://tracing``);
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms,
+  and a :class:`~repro.obs.metrics.TimeSeriesProbe` sampled *inside*
+  the fluid simulator's event loop at fixed simulated-time intervals;
+* :mod:`repro.obs.report` — text summary (hottest links, span time
+  breakdown, resilience counters).
+
+See ``docs/OBSERVABILITY.md`` for the full API and trace formats.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ProbeSample,
+    TimeSeriesProbe,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.report import render_report
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    export_chrome,
+    export_jsonl,
+    get_tracer,
+    set_tracer,
+    traced,
+    use_tracer,
+    validate_well_nested,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProbeSample",
+    "TimeSeriesProbe",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "render_report",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "export_chrome",
+    "export_jsonl",
+    "get_tracer",
+    "set_tracer",
+    "traced",
+    "use_tracer",
+    "validate_well_nested",
+]

@@ -1,0 +1,345 @@
+"""Time-series metrics: counters, gauges, histograms, and a sim-time probe.
+
+Complements :mod:`repro.obs.trace`'s spans with *aggregates*: a
+process-wide :class:`MetricsRegistry` of named counters/gauges/fixed-
+bucket histograms, and a :class:`TimeSeriesProbe` the fluid simulator
+drives **inside its event loop** — sampling per-link rate and
+utilisation, per-link queue depth (active flows crossing the link) and
+cumulative delivered bytes at a fixed simulated-time interval.  Because
+samples are taken mid-run rather than post-hoc, transient dynamics such
+as a :class:`~repro.network.flowsim.CapacityEvent` capacity dip are
+visible in the series, not averaged away.
+
+Between simulator events the fluid model's rates are constant, so the
+probe is exact: it prices one per-link aggregation per *window that
+contains a tick*, never per event, keeping the disabled path (no probe)
+free and the enabled path cheap.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.util.validation import ConfigError
+
+#: Default histogram buckets: decades from 1 µs to 1000 s (seconds).
+DEFAULT_TIME_BUCKETS = tuple(10.0 ** e for e in range(-6, 4))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (>= 0) to the counter."""
+        if n < 0:
+            raise ConfigError(f"counter {self.name!r}: increment must be >= 0, got {n}")
+        self.value += n
+
+
+class Gauge:
+    """A value that can move both ways (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        """Set the gauge to ``v``."""
+        self.value = float(v)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-free, one count per bucket).
+
+    ``buckets`` are upper bounds; observations above the last bound land
+    in the overflow bucket (``counts[-1]``).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "sum")
+
+    def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_TIME_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigError(f"histogram {name!r}: buckets must be non-empty")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigError(f"histogram {name!r}: buckets must be strictly increasing")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, v: float) -> None:
+        """Count one finite observation into its bucket."""
+        if not math.isfinite(v):
+            raise ConfigError(f"histogram {self.name!r}: observation must be finite, got {v}")
+        i = 0
+        for i, b in enumerate(self.buckets):  # noqa: B007 - short fixed lists
+            if v <= b:
+                break
+        else:
+            i = len(self.buckets)
+        self.counts[i] += 1
+        self.total += 1
+        self.sum += v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+
+class MetricsRegistry:
+    """Named metrics for one process (or one run).
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the same instrument thereafter; a name may hold only one kind.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, "Counter | Gauge | Histogram"] = {}
+
+    def _get(self, name: str, kind, *args):
+        m = self._metrics.get(name)
+        if m is None:
+            m = kind(name, *args)
+            self._metrics[name] = m
+        elif not isinstance(m, kind):
+            raise ConfigError(
+                f"metric {name!r} already registered as {type(m).__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get(name, Histogram, buckets)
+
+    def snapshot(self) -> dict:
+        """All metric values as a plain JSON-ready dict."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, m in sorted(self._metrics.items()):
+            if isinstance(m, Counter):
+                out["counters"][name] = m.value
+            elif isinstance(m, Gauge):
+                out["gauges"][name] = m.value
+            else:
+                out["histograms"][name] = {
+                    "buckets": list(m.buckets),
+                    "counts": list(m.counts),
+                    "total": m.total,
+                    "sum": m.sum,
+                    "mean": m.mean,
+                }
+        return out
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The snapshot serialised as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        self._metrics.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def set_registry(registry: "MetricsRegistry | None") -> MetricsRegistry:
+    """Install ``registry`` process-wide (``None`` installs a fresh one)."""
+    global _registry
+    _registry = registry if registry is not None else MetricsRegistry()
+    return _registry
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Temporarily install ``registry`` (restores the previous on exit)."""
+    prev = get_registry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(prev)
+
+
+# -- time-series probe --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One instant of simulator state.
+
+    ``t`` is absolute simulated time (rebased across resilience rounds);
+    link keys are *global* directed link ids.
+    """
+
+    t: float
+    active_flows: int
+    delivered_bytes: float
+    link_rate: Mapping[int, float]
+    link_util: Mapping[int, float]
+    queue_depth: Mapping[int, int]
+
+
+@dataclass
+class TimeSeriesProbe:
+    """Samples simulator state on a fixed simulated-time grid.
+
+    Args:
+        interval: simulated seconds between samples (> 0).
+        links: optional link-id filter; when given, only these links'
+            series are recorded (queue depth / rate / utilisation).
+        max_samples: storage cap — a stalled flow can stretch simulated
+            time by orders of magnitude, so past the cap further ticks
+            are counted in ``n_dropped`` rather than stored.
+
+    The simulator calls :meth:`rebase` once per run (resilience rounds
+    pass their absolute start time so the series stays monotone across
+    rounds) and :meth:`record_window` for each constant-rate window that
+    contains a grid tick.
+    """
+
+    interval: float
+    links: "frozenset[int] | None" = None
+    max_samples: int = 20_000
+    samples: list[ProbeSample] = field(default_factory=list)
+    n_dropped: int = 0
+    _offset: float = 0.0
+    _next: float = 0.0  # absolute time of the next tick
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ConfigError(f"interval must be > 0, got {self.interval}")
+        if self.max_samples < 1:
+            raise ConfigError(f"max_samples must be >= 1, got {self.max_samples}")
+        if self.links is not None:
+            self.links = frozenset(self.links)
+
+    # -- simulator-facing ----------------------------------------------------
+
+    def rebase(self, t0: float) -> None:
+        """Start a run whose local time 0 is absolute time ``t0``."""
+        if t0 < 0:
+            raise ConfigError(f"t0 must be >= 0, got {t0}")
+        self._offset = float(t0)
+        if self._next < t0:
+            # Snap the grid forward to the first tick inside the new run.
+            n = math.ceil((t0 - self._next) / self.interval)
+            self._next += n * self.interval
+
+    def due(self, t1_local: float) -> bool:
+        """Does the window ending at local time ``t1_local`` contain a tick?"""
+        return self._next < self._offset + t1_local
+
+    def record_window(
+        self,
+        t0_local: float,
+        t1_local: float,
+        link_rate: Mapping[int, float],
+        link_util: Mapping[int, float],
+        queue_depth: Mapping[int, int],
+        active_flows: int,
+        delivered_bytes: float,
+    ) -> None:
+        """Record every grid tick inside local window ``[t0, t1)``.
+
+        Rates are constant inside a window, so all ticks in it share one
+        aggregation (the caller computes it once).
+        """
+        t1 = self._offset + t1_local
+        if self.links is not None:
+            link_rate = {g: v for g, v in link_rate.items() if g in self.links}
+            link_util = {g: v for g, v in link_util.items() if g in self.links}
+            queue_depth = {g: v for g, v in queue_depth.items() if g in self.links}
+        while self._next < t1 - 1e-18:
+            if len(self.samples) >= self.max_samples:
+                self.n_dropped += 1
+            else:
+                self.samples.append(
+                    ProbeSample(
+                        t=self._next,
+                        active_flows=active_flows,
+                        delivered_bytes=delivered_bytes,
+                        link_rate=dict(link_rate),
+                        link_util=dict(link_util),
+                        queue_depth=dict(queue_depth),
+                    )
+                )
+            self._next += self.interval
+
+    def record_final(self, t_local: float, delivered_bytes: float) -> None:
+        """Close a run's series with an all-idle sample at its makespan."""
+        t = self._offset + t_local
+        last = self.samples[-1].t if self.samples else -math.inf
+        if t <= last or len(self.samples) >= self.max_samples:
+            return
+        self.samples.append(
+            ProbeSample(
+                t=t,
+                active_flows=0,
+                delivered_bytes=delivered_bytes,
+                link_rate={},
+                link_util={},
+                queue_depth={},
+            )
+        )
+
+    # -- analysis ------------------------------------------------------------
+
+    def times(self) -> list[float]:
+        """Absolute simulated time of every stored sample."""
+        return [s.t for s in self.samples]
+
+    def series(self, link: int, field_: str = "link_rate") -> list[float]:
+        """One link's sampled series (``link_rate``/``link_util``/``queue_depth``)."""
+        if field_ not in ("link_rate", "link_util", "queue_depth"):
+            raise ConfigError(f"unknown probe field {field_!r}")
+        return [getattr(s, field_).get(link, 0.0) for s in self.samples]
+
+    def hottest_links(self, top: int = 10) -> list[tuple[int, float]]:
+        """Links ranked by mean sampled rate: ``(link, mean rate B/s)``."""
+        if top < 0:
+            raise ConfigError(f"top must be >= 0, got {top}")
+        if not self.samples:
+            return []
+        acc: dict[int, float] = {}
+        for s in self.samples:
+            for g, r in s.link_rate.items():
+                acc[g] = acc.get(g, 0.0) + r
+        n = len(self.samples)
+        return sorted(
+            ((g, total / n) for g, total in acc.items()), key=lambda kv: -kv[1]
+        )[:top]
+
+    def reset(self) -> None:
+        """Drop all samples and restart the grid at time zero."""
+        self.samples.clear()
+        self.n_dropped = 0
+        self._offset = 0.0
+        self._next = 0.0

@@ -1,0 +1,84 @@
+"""Human-readable summaries of one traced run.
+
+:func:`render_report` folds the three observability sources — span
+tracer, metrics registry, time-series probe — into a text report: where
+wall time went (span breakdown), where bytes went (top-N hottest links
+with peak utilisation), and what the resilience layer did (retry/
+failover counters).  The CLI prints it after ``repro trace``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, TimeSeriesProbe
+from repro.obs.trace import NullTracer, Tracer
+from repro.util.units import format_bytes, format_rate
+
+
+def span_breakdown_lines(tracer: "Tracer | NullTracer", *, top: int = 12) -> list[str]:
+    """Span names ranked by total wall/sim duration."""
+    rows = sorted(
+        tracer.breakdown().items(), key=lambda kv: -kv[1]["total_s"]
+    )[:top] if tracer.enabled else []
+    if not rows:
+        return ["  (no spans recorded)"]
+    width = max(len(name) for name, _ in rows)
+    return [
+        f"  {name:<{width}}  x{int(rec['count']):<5d} {rec['total_s'] * 1e3:10.3f} ms"
+        for name, rec in rows
+    ]
+
+
+def hottest_links_lines(probe: TimeSeriesProbe, *, top: int = 10) -> list[str]:
+    """Top links by mean sampled rate, with their peak utilisation."""
+    hot = probe.hottest_links(top)
+    if not hot:
+        return ["  (no samples)"]
+    peak_util: dict[int, float] = {}
+    for s in probe.samples:
+        for g, u in s.link_util.items():
+            if u > peak_util.get(g, 0.0):
+                peak_util[g] = u
+    return [
+        f"  link {g:>6}  mean {format_rate(rate):>12}  peak util {peak_util.get(g, 0.0):6.1%}"
+        for g, rate in hot
+    ]
+
+
+def counter_lines(registry: MetricsRegistry, *, prefix: str = "") -> list[str]:
+    """All counters (optionally filtered by name prefix), one per line."""
+    snap = registry.snapshot()["counters"]
+    rows = [(k, v) for k, v in snap.items() if k.startswith(prefix)]
+    if not rows:
+        return [f"  (no counters{' under ' + prefix if prefix else ''})"]
+    width = max(len(k) for k, _ in rows)
+    out = []
+    for k, v in rows:
+        shown = format_bytes(v) if k.endswith("bytes") else f"{v:g}"
+        out.append(f"  {k:<{width}}  {shown}")
+    return out
+
+
+def render_report(
+    *,
+    tracer: "Tracer | NullTracer | None" = None,
+    registry: "MetricsRegistry | None" = None,
+    probe: "TimeSeriesProbe | None" = None,
+    top: int = 10,
+) -> str:
+    """The full text report (sections for whichever sources are given)."""
+    lines: list[str] = ["observability report", "===================="]
+    if probe is not None:
+        n = len(probe.samples)
+        span = (
+            f"{probe.samples[0].t:.6f}s .. {probe.samples[-1].t:.6f}s" if n else "empty"
+        )
+        lines.append(f"time series: {n} samples ({span}, every {probe.interval:g}s)")
+        lines.append(f"hottest links (top {top}):")
+        lines.extend(hottest_links_lines(probe, top=top))
+    if tracer is not None:
+        lines.append("span time breakdown:")
+        lines.extend(span_breakdown_lines(tracer, top=top))
+    if registry is not None:
+        lines.append("counters:")
+        lines.extend(counter_lines(registry))
+    return "\n".join(lines)

@@ -52,6 +52,8 @@ from repro.machine.system import BGQSystem
 from repro.mpi.comm import SimComm
 from repro.mpi.program import FlowProgram
 from repro.network.flowsim import CapacityEvent, FlowSimResult
+from repro.obs.metrics import TimeSeriesProbe, get_registry
+from repro.obs.trace import get_tracer
 from repro.resilience.health import DOWN, HEALTHY, HealthMonitor
 from repro.resilience.planner import ResilientPlanner, ResilientTransfer
 from repro.util.validation import ConfigError, SimulationError
@@ -145,7 +147,13 @@ class PathAttempt:
 
 @dataclass
 class ResilienceTelemetry:
-    """Structured record of the executor's resilience actions."""
+    """Structured record of the executor's resilience actions.
+
+    The same events also feed the process-wide observability layer —
+    ``resilience.*`` counters in :func:`repro.obs.get_registry` and
+    ``transfer-round`` spans on :func:`repro.obs.get_tracer` — so this
+    object is a per-call convenience view, not the only record.
+    """
 
     rounds: int = 0
     retries: int = 0
@@ -221,6 +229,7 @@ def run_resilient_transfer(
     monitor: "HealthMonitor | None" = None,
     batch_tol: float = 0.0,
     fair_tol: float = 0.0,
+    probe: "TimeSeriesProbe | None" = None,
 ) -> ResilientOutcome:
     """Execute transfers with fault detection, failover and retry.
 
@@ -232,10 +241,15 @@ def run_resilient_transfer(
         planner: a pre-built (possibly pre-warmed) fault-aware planner.
         monitor: a pre-built health monitor (kept across calls to carry
             link beliefs from one transfer wave to the next).
+        probe: a :class:`~repro.obs.metrics.TimeSeriesProbe`; each round
+            runs with its absolute start time as the probe base, so the
+            sampled series is monotone across rounds and backoffs.
     """
     specs = list(specs)
     if not specs:
         raise ConfigError("specs must be non-empty")
+    tracer = get_tracer()
+    reg = get_registry()
     faults = faults or FaultModel()
     trace = trace or FaultTrace()
     policy = policy or RetryPolicy()
@@ -371,61 +385,86 @@ def run_resilient_transfer(
     T = 0.0
     rnd = 0
     while True:
-        prog = FlowProgram(
-            comm,
-            batch_tol=batch_tol,
-            fair_tol=fair_tol,
-            capacity_fn=round_capacity_fn(T),
-        )
-        carriers = emit_round(prog)
-        result = prog.run(round_events(T))
-        round_results.append(result)
-        telemetry.rounds += 1
-
-        round_end = 0.0
-        failed_by_spec: dict[int, list[_Carrier]] = {}
-        for car in carriers:
-            finish = result.finish(car.exit_fid)
-            ok = finish <= car.deadline
-            if not ok:
-                fixed = car.planned_time - (
-                    (2 if car.two_hop else 1) * car.share / car.planned_rate
-                )
-                elapsed = max(finish - fixed, 1e-12)
-                achieved = car.share / elapsed
-                planned_delivery = (
-                    car.planned_rate / 2 if car.two_hop else car.planned_rate
-                )
-                ok = achieved >= policy.health_threshold * planned_delivery
-            spec = specs[car.spec_idx]
-            telemetry.attempts.append(
-                PathAttempt(
-                    round=rnd,
-                    src=spec.src,
-                    dst=spec.dst,
-                    proxy=car.proxy,
-                    share=car.share,
-                    planned_time=car.planned_time,
-                    deadline=T + car.deadline,
-                    finish=T + finish,
-                    verdict="ok" if ok else "failed",
-                )
+        rspan_cm = tracer.span("transfer-round", cat="resilience", round=rnd)
+        with rspan_cm as rspan:
+            prog = FlowProgram(
+                comm,
+                batch_tol=batch_tol,
+                fair_tol=fair_tol,
+                capacity_fn=round_capacity_fn(T),
+                probe=probe,
+                t_base=T,
             )
-            for links, fid in car.obs:
-                r = result[fid]
-                rate_obs = r.mean_rate if math.isfinite(r.mean_rate) else stream
-                monitor.observe(links, rate_obs)
-                if not ok and rate_obs <= 2 * STALL_RATE:
-                    monitor.mark_down(links)
-            if ok:
-                delivered += car.share
-                round_end = max(round_end, finish)
-            else:
-                # The share is re-sent in full next round; treat the
-                # carrier as cancelled at its deadline.
-                round_end = max(round_end, min(finish, car.deadline))
-                failed_by_spec.setdefault(car.spec_idx, []).append(car)
-        monitor.end_round()
+            carriers = emit_round(prog)
+            result = prog.run(round_events(T))
+            round_results.append(result)
+            telemetry.rounds += 1
+            reg.counter("resilience.rounds").inc()
+
+            round_end = 0.0
+            failed_by_spec: dict[int, list[_Carrier]] = {}
+            for car in carriers:
+                finish = result.finish(car.exit_fid)
+                ok = finish <= car.deadline
+                if not ok:
+                    fixed = car.planned_time - (
+                        (2 if car.two_hop else 1) * car.share / car.planned_rate
+                    )
+                    elapsed = max(finish - fixed, 1e-12)
+                    achieved = car.share / elapsed
+                    planned_delivery = (
+                        car.planned_rate / 2 if car.two_hop else car.planned_rate
+                    )
+                    ok = achieved >= policy.health_threshold * planned_delivery
+                spec = specs[car.spec_idx]
+                telemetry.attempts.append(
+                    PathAttempt(
+                        round=rnd,
+                        src=spec.src,
+                        dst=spec.dst,
+                        proxy=car.proxy,
+                        share=car.share,
+                        planned_time=car.planned_time,
+                        deadline=T + car.deadline,
+                        finish=T + finish,
+                        verdict="ok" if ok else "failed",
+                    )
+                )
+                reg.counter(
+                    "resilience.attempts.ok" if ok else "resilience.attempts.failed"
+                ).inc()
+                if math.isfinite(finish):
+                    reg.histogram("resilience.attempt_time_s").observe(finish)
+                for links, fid in car.obs:
+                    r = result[fid]
+                    rate_obs = r.mean_rate if math.isfinite(r.mean_rate) else stream
+                    monitor.observe(links, rate_obs)
+                    if not ok and rate_obs <= 2 * STALL_RATE:
+                        monitor.mark_down(links)
+                if ok:
+                    delivered += car.share
+                    round_end = max(round_end, finish)
+                else:
+                    # The share is re-sent in full next round; treat the
+                    # carrier as cancelled at its deadline.
+                    round_end = max(round_end, min(finish, car.deadline))
+                    failed_by_spec.setdefault(car.spec_idx, []).append(car)
+            monitor.end_round()
+            rspan.set(
+                carriers=len(carriers),
+                failed=sum(len(v) for v in failed_by_spec.values()),
+                t_start=T,
+                round_end=T + round_end,
+            )
+        if tracer.enabled:
+            tracer.record(
+                f"round{rnd}",
+                T,
+                T + round_end,
+                cat="resilience",
+                carriers=len(carriers),
+                failed=sum(len(v) for v in failed_by_spec.values()),
+            )
 
         if not failed_by_spec:
             break
@@ -434,6 +473,7 @@ def run_resilient_transfer(
         for idx, failed in sorted(failed_by_spec.items()):
             spec = specs[idx]
             if retries_left[idx] == 0:
+                reg.counter("resilience.aborts").inc()
                 raise TransferAbortedError(
                     f"transfer ({spec.src}, {spec.dst}) still failing after "
                     f"{policy.max_retries} retries; giving up",
@@ -444,6 +484,9 @@ def run_resilient_transfer(
             telemetry.bytes_resent += nbytes
             telemetry.failovers += len(failed)
             telemetry.retries += 1
+            reg.counter("resilience.bytes_resent").inc(nbytes)
+            reg.counter("resilience.failovers").inc(len(failed))
+            reg.counter("resilience.retries").inc()
 
             asg = plans[idx].assignment
             d_links = direct_links[(spec.src, spec.dst)]
@@ -468,6 +511,7 @@ def run_resilient_transfer(
                 healthy = []
                 use_direct = True
                 telemetry.degraded_to_direct += 1
+                reg.counter("resilience.degraded_to_direct").inc()
 
             carriers_nodes = [asg.proxies[j] for j in healthy]
             rates = [

@@ -4,11 +4,23 @@
 hierarchy and leaves handlers to the application (standard library-package
 etiquette).  ``get_logger`` is a thin convenience wrapper so modules write
 ``log = get_logger(__name__)``.
+
+The CLI and the benchmark suite *are* applications, so they opt in via
+:func:`setup_cli_logging`: plain ``%(message)s`` lines to stdout at a
+chosen level, which is how ``repro --log-level`` makes runs quiet or
+verbose on demand.
 """
 
 from __future__ import annotations
 
 import logging
+import sys
+
+#: Attribute tagging handlers owned by :func:`setup_cli_logging`, so
+#: repeated calls replace rather than stack them.
+_CLI_TAG = "_repro_cli_handler"
+
+LEVELS = ("debug", "info", "warning", "error")
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -16,3 +28,30 @@ def get_logger(name: str) -> logging.Logger:
     if not name.startswith("repro"):
         name = f"repro.{name}"
     return logging.getLogger(name)
+
+
+def setup_cli_logging(level: "str | int" = "info", stream=None) -> logging.Logger:
+    """Configure the ``repro`` hierarchy for command-line use.
+
+    Installs one plain-message handler on the ``repro`` logger writing
+    to ``stream`` (default: the *current* ``sys.stdout``) and sets the
+    level.  Idempotent: previous handlers installed by this function are
+    replaced, so each CLI invocation rebinds to the live stdout.
+    """
+    if isinstance(level, str):
+        resolved = getattr(logging, level.upper(), None)
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}; use one of {LEVELS}")
+        level = resolved
+    root = logging.getLogger("repro")
+    for h in list(root.handlers):
+        if getattr(h, _CLI_TAG, False):
+            root.removeHandler(h)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _CLI_TAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    # The CLI owns its output; don't duplicate through the root logger.
+    root.propagate = False
+    return root

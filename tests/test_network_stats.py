@@ -54,3 +54,32 @@ class TestSummarize:
         r = run([Flow(fid="a", size=100.0, path=(0,))])
         stats = summarize_links(r, {0: 100.0})
         assert stats.busy_links == 1
+
+    def test_zero_capacity_link_does_not_divide_by_zero(self):
+        r = run([Flow(fid="a", size=100.0, path=(0, 1))])
+        stats = summarize_links(r, {0: 0.0, 1: 100.0})
+        assert stats.max_utilization > 0.0  # link 1 still measured
+
+    def test_all_zero_capacity_links_yield_zero_utilization(self):
+        r = run([Flow(fid="a", size=100.0, path=(0,))])
+        stats = summarize_links(r, {0: 0.0})
+        assert stats.max_utilization == 0.0
+
+    def test_zero_makespan_yields_zero_utilization(self):
+        r = run([Flow(fid="a", size=0.0, path=(0,))])
+        assert r.makespan == 0.0
+        stats = summarize_links(r, caps)
+        assert stats.max_utilization == 0.0
+
+    def test_max_utilization_scans_all_links(self):
+        # Link 1 carries fewer bytes but has far less capacity, so it is
+        # the utilisation bottleneck even though link 0 is max-by-bytes.
+        r = run(
+            [
+                Flow(fid="a", size=300.0, path=(0,)),
+                Flow(fid="b", size=100.0, path=(1,)),
+            ]
+        )
+        stats = summarize_links(r, {0: 100.0, 1: 10.0})
+        per_link = {0: 300.0 / (100.0 * r.makespan), 1: 100.0 / (10.0 * r.makespan)}
+        assert stats.max_utilization == pytest.approx(max(per_link.values()))

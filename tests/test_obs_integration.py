@@ -1,0 +1,176 @@
+"""Observability end-to-end: instrumented runs produce valid traces.
+
+The acceptance-level checks: a traced transfer's span tree is well
+nested and exports to both formats; a mid-run CapacityEvent shows up as
+a dip in the probe's per-link series; and (hypothesis) the invariants
+hold under arbitrary hidden fault schedules driven through the
+resilience executor.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TransferSpec, run_transfer
+from repro.machine import mira_system
+from repro.machine.faults import FaultEvent, FaultTrace
+from repro.network.flowsim import CapacityEvent
+from repro.obs import (
+    MetricsRegistry,
+    TimeSeriesProbe,
+    Tracer,
+    export_chrome,
+    export_jsonl,
+    render_report,
+    use_registry,
+    use_tracer,
+    validate_well_nested,
+)
+from repro.resilience import (
+    ResilientPlanner,
+    TransferAbortedError,
+    run_resilient_transfer,
+)
+
+MiB = 1 << 20
+
+SYSTEM = mira_system(nnodes=128)
+
+
+def traced_transfer(events=None, nbytes=8 * MiB, samples=50):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    spec = TransferSpec(src=0, dst=127, nbytes=nbytes)
+    mk = run_transfer(SYSTEM, [spec], mode="auto").makespan
+    probe = TimeSeriesProbe(interval=mk / samples)
+    with use_tracer(tracer), use_registry(registry):
+        out = run_transfer(SYSTEM, [spec], mode="auto", events=events, probe=probe)
+    return tracer, registry, probe, out, mk
+
+
+class TestTracedTransfer:
+    def test_span_tree_and_counters(self):
+        tracer, registry, probe, out, _ = traced_transfer()
+        names = [s.name for s in tracer.iter_spans()]
+        assert names[0] == "transfer"
+        assert "proxy-select" in names
+        assert "flowsim.run" in names
+        assert any(n.startswith("flow:") for n in names)
+        validate_well_nested(tracer.roots)
+        snap = registry.snapshot()["counters"]
+        assert snap["transfer.runs"] == 1
+        assert snap["flowsim.runs"] == 1
+        assert snap["flowsim.delivered_bytes"] >= out.total_bytes
+        assert probe.times() == sorted(probe.times())
+
+    def test_capacity_dip_visible_in_series(self):
+        # Baseline run to find the hottest link, then dip it mid-run.
+        est = traced_transfer()[3]
+        hot = max(est.result.link_bytes, key=est.result.link_bytes.get)
+        cap = SYSTEM.capacity(hot)
+        mk = est.makespan
+        events = [
+            CapacityEvent(time=0.4 * mk, link=hot, capacity=cap * 0.1),
+            CapacityEvent(time=0.7 * mk, link=hot, capacity=cap),
+        ]
+        _, _, probe, _, _ = traced_transfer(events=events, samples=100)
+        rates = probe.series(hot)
+        times = probe.times()
+        before = [r for t, r in zip(times, rates) if t < 0.4 * mk and r > 0]
+        during = [r for t, r in zip(times, rates) if 0.45 * mk < t < 0.65 * mk]
+        assert before and during
+        assert max(during) < 0.5 * max(before)
+
+    def test_export_round_trip_from_real_run(self, tmp_path):
+        tracer, _, probe, _, _ = traced_transfer()
+        jl = tmp_path / "spans.jsonl"
+        ch = tmp_path / "trace.json"
+        lines = [json.loads(x) for x in export_jsonl(tracer, jl).splitlines()]
+        assert len(lines) == len(list(tracer.iter_spans()))
+        doc = json.loads(export_chrome(tracer, ch, probe=probe))
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert {e["name"] for e in counters} >= {"goodput", "active_flows"}
+        assert any(e["name"].startswith("link") for e in counters)
+        # Goodput is cumulative, hence non-decreasing in time.
+        gp = sorted(
+            (e["ts"], e["args"]["delivered_GB"])
+            for e in counters
+            if e["name"] == "goodput"
+        )
+        assert all(a[1] <= b[1] + 1e-12 for a, b in zip(gp, gp[1:]))
+
+    def test_report_renders(self):
+        tracer, registry, probe, _, _ = traced_transfer()
+        text = render_report(tracer=tracer, registry=registry, probe=probe)
+        assert "span time breakdown" in text
+        assert "hottest links" in text
+        assert "transfer.runs" in text
+
+    def test_untraced_run_unaffected(self):
+        # Same physics with and without the observability layer.
+        spec = TransferSpec(src=0, dst=127, nbytes=4 * MiB)
+        plain = run_transfer(SYSTEM, [spec], mode="auto")
+        with use_tracer(Tracer()):
+            traced = run_transfer(SYSTEM, [spec], mode="auto")
+        assert traced.makespan == plain.makespan
+
+
+# Links a random fault can hit (as in test_resilience_properties).
+_PLANNER = ResilientPlanner(SYSTEM, max_proxies=4)
+_ASG = _PLANNER.find_plan([(0, 127)]).assignments[(0, 127)]
+ROUTE_LINKS = sorted(
+    {l for j in range(_ASG.k) for l in _ASG.phase1[j].links + _ASG.phase2[j].links}
+    | set(SYSTEM.compute_path(0, 127).links)
+)
+
+fault_events = st.lists(
+    st.builds(
+        FaultEvent,
+        link=st.sampled_from(ROUTE_LINKS),
+        factor=st.sampled_from([0.0, 0.05, 0.3, 0.7]),
+        start=st.floats(min_value=0.0, max_value=0.02),
+        end=st.one_of(
+            st.just(math.inf), st.floats(min_value=0.021, max_value=0.2)
+        ),
+    ),
+    max_size=5,
+)
+
+
+class TestObservabilityInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(events=fault_events, nbytes=st.integers(min_value=1, max_value=4 * MiB))
+    def test_well_nested_and_monotone_under_faults(self, events, nbytes):
+        """Whatever the hidden fault schedule does — retries, failovers,
+        aborts — the span forest stays well nested and the probe's
+        simulated-time series stays strictly monotone across rounds."""
+        tracer = Tracer(max_flow_spans=200)
+        registry = MetricsRegistry()
+        probe = TimeSeriesProbe(interval=2e-4, max_samples=500)
+        spec = TransferSpec(src=0, dst=127, nbytes=nbytes)
+        with use_tracer(tracer), use_registry(registry):
+            try:
+                run_resilient_transfer(
+                    SYSTEM,
+                    [spec],
+                    trace=FaultTrace(tuple(events)),
+                    planner=ResilientPlanner(SYSTEM, max_proxies=4),
+                    probe=probe,
+                )
+            except TransferAbortedError:
+                pass
+        validate_well_nested(tracer.roots)
+        ts = probe.times()
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+        snap = registry.snapshot()["counters"]
+        rounds = snap.get("resilience.rounds", 0)
+        assert rounds >= 1
+        # One flowsim.run sim span (and one round span) per round.
+        run_spans = [s for s in tracer.iter_spans() if s.name == "flowsim.run"]
+        assert len(run_spans) == rounds
+        # Rounds are rebased: each run span starts where telemetry put it,
+        # so run starts are non-decreasing in absolute simulated time.
+        starts = [s.t0 for s in run_spans]
+        assert starts == sorted(starts)

@@ -1,0 +1,144 @@
+"""Metrics registry and the simulated-time probe."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    TimeSeriesProbe,
+    get_registry,
+    use_registry,
+)
+from repro.util.validation import ConfigError
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("runs")
+        c.inc()
+        c.inc(2.5)
+        assert reg.counter("runs").value == pytest.approx(3.5)
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(3)
+        reg.gauge("depth").set(1.5)
+        assert reg.gauge("depth").value == 1.5
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram("t", buckets=(1.0, 10.0))
+        for v in (0.5, 0.9, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]
+        assert h.total == 4
+        assert h.mean == pytest.approx((0.5 + 0.9 + 5.0 + 100.0) / 4)
+
+    def test_histogram_rejects_bad_buckets_and_values(self):
+        with pytest.raises(ConfigError):
+            Histogram("t", buckets=())
+        with pytest.raises(ConfigError):
+            Histogram("t", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigError):
+            Histogram("t").observe(float("inf"))
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError, match="already registered"):
+            reg.gauge("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+
+    def test_use_registry_restores(self):
+        prev = get_registry()
+        mine = MetricsRegistry()
+        with use_registry(mine):
+            assert get_registry() is mine
+            get_registry().counter("in_scope").inc()
+        assert get_registry() is prev
+        assert "in_scope" not in prev.snapshot()["counters"]
+
+
+class TestProbe:
+    def test_grid_sampling(self):
+        p = TimeSeriesProbe(interval=0.1)
+        p.rebase(0.0)
+        # One constant-rate window [0, 0.35) covering ticks 0, 0.1, 0.2, 0.3.
+        p.record_window(0.0, 0.35, {5: 100.0}, {5: 0.5}, {5: 2}, 2, 0.0)
+        assert p.times() == pytest.approx([0.0, 0.1, 0.2, 0.3])
+        assert p.series(5) == pytest.approx([100.0] * 4)
+        assert p.series(5, "link_util") == pytest.approx([0.5] * 4)
+        assert p.series(5, "queue_depth") == pytest.approx([2] * 4)
+
+    def test_window_without_tick_records_nothing(self):
+        p = TimeSeriesProbe(interval=1.0)
+        p.rebase(0.0)
+        p.record_window(0.0, 0.5, {}, {}, {}, 1, 0.0)  # first tick is t=0
+        p.record_window(0.5, 0.9, {}, {}, {}, 1, 0.0)  # next tick is t=1.0
+        assert not p.due(0.95)
+        assert p.times() == [0.0]
+
+    def test_rebase_keeps_series_monotone(self):
+        p = TimeSeriesProbe(interval=0.1)
+        p.rebase(0.0)
+        p.record_window(0.0, 0.25, {1: 10.0}, {1: 0.1}, {1: 1}, 1, 0.0)
+        # Second "round" starts at absolute 0.9; local times restart at 0.
+        p.rebase(0.9)
+        p.record_window(0.0, 0.25, {1: 20.0}, {1: 0.2}, {1: 1}, 1, 0.0)
+        ts = p.times()
+        assert ts == sorted(ts)
+        assert all(b - a > 0 for a, b in zip(ts, ts[1:]))
+        assert ts[-1] >= 0.9
+
+    def test_max_samples_caps_storage(self):
+        p = TimeSeriesProbe(interval=0.1, max_samples=3)
+        p.rebase(0.0)
+        p.record_window(0.0, 1.05, {}, {}, {}, 1, 0.0)  # 11 ticks
+        assert len(p.samples) == 3
+        assert p.n_dropped == 8
+
+    def test_links_filter(self):
+        p = TimeSeriesProbe(interval=0.1, links=frozenset({1}))
+        p.rebase(0.0)
+        p.record_window(0.0, 0.05, {1: 5.0, 2: 9.0}, {1: 0.1, 2: 0.9}, {1: 1, 2: 3}, 2, 0.0)
+        (s,) = p.samples
+        assert set(s.link_rate) == {1}
+
+    def test_record_final_closes_series_once(self):
+        p = TimeSeriesProbe(interval=0.1)
+        p.rebase(0.0)
+        p.record_window(0.0, 0.15, {1: 5.0}, {1: 0.1}, {1: 1}, 1, 40.0)
+        p.record_final(0.2, 100.0)
+        p.record_final(0.2, 100.0)  # idempotent: not past the last sample
+        assert p.times() == pytest.approx([0.0, 0.1, 0.2])
+        assert p.samples[-1].active_flows == 0
+        assert p.samples[-1].delivered_bytes == 100.0
+
+    def test_hottest_links_ranked_by_mean_rate(self):
+        p = TimeSeriesProbe(interval=0.1)
+        p.rebase(0.0)
+        p.record_window(0.0, 0.25, {1: 10.0, 2: 50.0}, {}, {}, 1, 0.0)
+        hot = p.hottest_links(top=1)
+        assert hot == [(2, pytest.approx(50.0))]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TimeSeriesProbe(interval=0.0)
+        with pytest.raises(ConfigError):
+            TimeSeriesProbe(interval=1.0, max_samples=0)
+        p = TimeSeriesProbe(interval=1.0)
+        with pytest.raises(ConfigError):
+            p.series(0, "nope")
+        with pytest.raises(ConfigError):
+            p.rebase(-1.0)

@@ -1,0 +1,222 @@
+"""Span tracer: nesting, the null path, validation, and exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    export_chrome,
+    export_jsonl,
+    get_tracer,
+    set_tracer,
+    traced,
+    use_tracer,
+    validate_well_nested,
+)
+from repro.util.validation import ConfigError
+
+
+def make_tracer(**kw):
+    """A tracer on a deterministic fake clock (1 tick per call)."""
+    t = {"now": 0.0}
+
+    def clock():
+        t["now"] += 1.0
+        return t["now"]
+
+    return Tracer(clock=clock, **kw)
+
+
+class TestSpans:
+    def test_context_manager_nesting(self):
+        tr = make_tracer()
+        with tr.span("plan", cat="plan") as outer:
+            with tr.span("proxy-select") as inner:
+                inner.set(k=4)
+        assert [s.name for s in tr.iter_spans()] == ["plan", "proxy-select"]
+        assert tr.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.attrs == {"k": 4}
+        assert inner.t1 is not None and outer.t1 >= inner.t1
+
+    def test_exception_closes_span_and_marks_error(self):
+        tr = make_tracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("x")
+        (s,) = tr.roots
+        assert s.t1 is not None
+        assert s.attrs["error"] == "ValueError"
+
+    def test_record_sim_span_under_open_wall_span(self):
+        tr = make_tracer()
+        with tr.span("transfer"):
+            tr.record("flowsim.run", 0.0, 0.5, cat="flowsim", n_flows=3)
+        (root,) = tr.roots
+        (sim,) = root.children
+        assert sim.domain == "sim"
+        assert sim.duration == pytest.approx(0.5)
+        assert sim.attrs["n_flows"] == 3
+
+    def test_record_with_explicit_parent(self):
+        tr = make_tracer()
+        run = tr.record("flowsim.run", 0.0, 1.0)
+        tr.record("flow:a", 0.0, 0.4, parent=run)
+        assert [s.name for s in tr.iter_spans()] == ["flowsim.run", "flow:a"]
+
+    def test_record_rejects_reversed_interval(self):
+        tr = make_tracer()
+        with pytest.raises(ConfigError):
+            tr.record("bad", 1.0, 0.5)
+
+    def test_max_spans_cap_counts_drops(self):
+        tr = make_tracer(max_spans=2)
+        tr.record("a", 0, 1)
+        tr.record("b", 0, 1)
+        assert tr.record("c", 0, 1) is None
+        assert tr.n_dropped == 1
+        assert len(list(tr.iter_spans())) == 2
+
+    def test_breakdown_and_clear(self):
+        tr = make_tracer()
+        tr.record("x", 0.0, 1.0)
+        tr.record("x", 0.0, 2.0)
+        b = tr.breakdown()
+        assert b["x"]["count"] == 2
+        assert b["x"]["total_s"] == pytest.approx(3.0)
+        tr.clear()
+        assert tr.roots == [] and list(tr.iter_spans()) == []
+
+
+class TestGlobalRegistry:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), (NullTracer, Tracer))
+
+    def test_use_tracer_restores(self):
+        prev = get_tracer()
+        tr = make_tracer()
+        with use_tracer(tr):
+            assert get_tracer() is tr
+        assert get_tracer() is prev
+
+    def test_set_none_restores_null(self):
+        prev = get_tracer()
+        try:
+            assert set_tracer(None) is NULL_TRACER
+        finally:
+            set_tracer(prev)
+
+    def test_traced_decorator(self):
+        tr = make_tracer()
+
+        @traced("work", cat="test")
+        def work(x):
+            return x + 1
+
+        with use_tracer(tr):
+            assert work(1) == 2
+        (s,) = tr.roots
+        assert s.name == "work" and s.cat == "test"
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        nt = NULL_TRACER
+        with nt.span("x", cat="c", a=1) as s:
+            s.set(b=2)
+        assert nt.record("y", 0, 1) is None
+        assert nt.current() is None
+        assert list(nt.iter_spans()) == []
+        assert not nt.enabled
+
+    def test_exporters_accept_null_tracer(self):
+        assert export_jsonl(NULL_TRACER) == ""
+        doc = json.loads(export_chrome(NULL_TRACER))
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+class TestValidation:
+    def test_well_nested_passes(self):
+        tr = make_tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        assert validate_well_nested(tr.roots) == 2
+
+    def test_child_escaping_parent_fails(self):
+        parent = Span("p", "sim", 0.0, 1.0)
+        parent.children.append(Span("c", "sim", 0.5, 2.0))
+        with pytest.raises(ConfigError, match="escapes"):
+            validate_well_nested([parent])
+
+    def test_cross_domain_children_not_compared(self):
+        # A sim child under a wall parent lives on a different clock.
+        parent = Span("p", "wall", 0.0, 0.001)
+        parent.children.append(Span("c", "sim", 0.0, 50.0))
+        assert validate_well_nested([parent]) == 2
+
+    def test_negative_duration_fails(self):
+        with pytest.raises(ConfigError, match="negative"):
+            validate_well_nested([Span("p", "sim", 1.0, 0.0)])
+
+
+class TestExporters:
+    def _populated(self):
+        tr = make_tracer()
+        with tr.span("transfer", cat="transfer", total_bytes=100):
+            run = tr.record("flowsim.run", 0.0, 2.0, cat="flowsim")
+            tr.record("flow:a", 0.0, 1.5, parent=run, size=100)
+        return tr
+
+    def test_jsonl_round_trip(self):
+        tr = self._populated()
+        lines = [json.loads(x) for x in export_jsonl(tr).splitlines()]
+        assert [d["name"] for d in lines] == ["transfer", "flowsim.run", "flow:a"]
+        by_id = {d["id"]: d for d in lines}
+        # Parent links re-form the original tree.
+        assert lines[0]["parent"] is None
+        assert by_id[lines[1]["parent"]]["name"] == "transfer"
+        assert by_id[lines[2]["parent"]]["name"] == "flowsim.run"
+        assert lines[2]["attrs"] == {"size": 100}
+
+    def test_jsonl_writes_path(self, tmp_path):
+        p = tmp_path / "spans.jsonl"
+        text = export_jsonl(self._populated(), p)
+        assert p.read_text() == text
+
+    def test_chrome_schema(self, tmp_path):
+        p = tmp_path / "trace.json"
+        export_chrome(self._populated(), p)
+        doc = json.loads(p.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        ev = doc["traceEvents"]
+        complete = [e for e in ev if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"transfer", "flowsim.run", "flow:a"}
+        for e in complete:
+            assert set(e) >= {"name", "cat", "ph", "pid", "tid", "ts", "dur", "args"}
+            assert e["dur"] >= 0
+        # Wall spans on pid 0, sim spans on pid 1.
+        pid = {e["name"]: e["pid"] for e in complete}
+        assert pid == {"transfer": 0, "flowsim.run": 1, "flow:a": 1}
+        # Microsecond timestamps: the 2 s sim run is 2e6 us long.
+        run = next(e for e in complete if e["name"] == "flowsim.run")
+        assert run["dur"] == pytest.approx(2e6)
+
+    def test_chrome_open_spans_skipped(self):
+        tr = make_tracer()
+        cm = tr.span("open")
+        cm.__enter__()
+        doc = json.loads(export_chrome(tr))
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        cm.__exit__(None, None, None)
+
+    def test_chrome_non_jsonable_attrs_stringified(self):
+        tr = make_tracer()
+        tr.record("x", 0, 1, link=(0, 1))
+        doc = json.loads(export_chrome(tr))
+        (e,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert e["args"]["link"] == "(0, 1)"
