@@ -1,0 +1,589 @@
+"""The seed (pre-vectorization) fluid simulator, retained verbatim as a
+performance and correctness oracle.
+
+``repro.network.flowsim`` was rewritten around a precomputed sparse
+link×flow incidence matrix with an incremental event loop (see
+``docs/PERFORMANCE.md``).  This module keeps the original per-event
+implementation so the benchmark suite can (a) assert the vectorized
+exact mode is no slower even at small flow counts and (b) cross-check
+exact-mode results.  Do not import it from library code.
+
+Model
+-----
+Concurrent transfers are *fluid flows*.  At any instant, the rate vector
+over active flows is the **max-min fair allocation** subject to
+
+* every directed link's capacity (flows traversing a link share it), and
+* a per-flow single-stream ceiling (``stream_cap``, the protocol limit a
+  single message stream can reach on BG/Q — modelled as a private virtual
+  link per flow).
+
+Rates are recomputed at every event (flow activation or completion) by
+progressive filling: all unfrozen flows grow uniformly until some link
+saturates, flows crossing it freeze, and the process repeats.  Between
+events, flows drain linearly, so the simulation is exact for the fluid
+model.
+
+Dependencies (``Flow.deps``) implement store-and-forward: a dependent
+flow becomes *ready* when all its predecessors complete, then waits
+``delay`` seconds (endpoint/forwarding overhead) before consuming
+bandwidth.
+
+Scale
+-----
+``batch_tol > 0`` enables *batched completions*: when the earliest
+completion is ``dt`` away, all flows finishing within ``dt * (1 +
+batch_tol)`` complete together (each is granted at most ``batch_tol``
+extra relative time).  This collapses near-ties and cuts rate
+recomputations by orders of magnitude at 4K–8K nodes, with error bounded
+by ``batch_tol``; tests cross-validate against exact mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from dataclasses import dataclass
+
+from repro.network.flow import Flow, FlowId, FlowResult
+from repro.network.params import MIRA_PARAMS, NetworkParams
+from repro.obs.metrics import TimeSeriesProbe, get_registry
+from repro.obs.trace import get_tracer
+from repro.util.validation import ConfigError, LinkDownError, SimulationError
+
+_EPS_BYTES = 1e-3  # sub-byte residue counts as complete (float rounding guard)
+_REL_TOL = 1e-12
+
+CapacityFn = Callable[[int], float]
+
+
+@dataclass(frozen=True, order=True)
+class CapacityEvent:
+    """A scheduled capacity change: at ``time``, directed link ``link``'s
+    capacity becomes ``capacity`` bytes/second (absolute, not a factor).
+
+    ``capacity == 0`` takes the link hard down; any flow still routed
+    across it stalls, which the simulator reports as a
+    :class:`~repro.util.validation.LinkDownError` rather than spinning on
+    a transfer that can never finish.  Fault layers build these from
+    :class:`repro.machine.faults.FaultTrace` schedules.
+    """
+
+    time: float
+    link: int
+    capacity: float
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ConfigError(f"event time must be >= 0, got {self.time}")
+        if self.capacity < 0:
+            raise ConfigError(
+                f"link {self.link}: event capacity must be >= 0, got {self.capacity}"
+            )
+
+
+def uniform_capacities(link_bw: float) -> CapacityFn:
+    """A capacity function giving every link the same bandwidth.
+
+    Suitable for torus-only experiments; the machine model in
+    :mod:`repro.machine` supplies heterogeneous capacities (torus links
+    vs. 2 GB/s ION links vs. the ION→storage fabric).
+    """
+    if link_bw <= 0:
+        raise ConfigError(f"link_bw must be > 0, got {link_bw}")
+    return lambda link_id: link_bw
+
+
+class FlowSimResult:
+    """Results of one :class:`FlowSim` run."""
+
+    def __init__(
+        self,
+        results: dict[FlowId, FlowResult],
+        makespan: float,
+        link_bytes: dict[int, float],
+        n_rate_updates: int,
+    ):
+        self.results = results
+        self.makespan = makespan
+        self.link_bytes = link_bytes
+        self.n_rate_updates = n_rate_updates
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, fid: FlowId) -> FlowResult:
+        return self.results[fid]
+
+    def finish(self, fid: FlowId) -> float:
+        """Completion time of one flow."""
+        return self.results[fid].finish
+
+    def total_bytes(self) -> float:
+        """Sum of all flow payloads."""
+        return float(sum(r.size for r in self.results.values()))
+
+    def aggregate_throughput(self) -> float:
+        """Total payload divided by makespan (the paper's 'total throughput')."""
+        if self.makespan <= 0:
+            return float("inf") if self.total_bytes() > 0 else 0.0
+        return self.total_bytes() / self.makespan
+
+    def by_tag(self, tag) -> list[FlowResult]:
+        """All flow results carrying ``tag``."""
+        return [r for r in self.results.values() if r.tag == tag]
+
+
+class FlowSim:
+    """Max-min fair fluid simulator over an arbitrary link set.
+
+    Args:
+        capacities: mapping or callable giving each directed link id its
+            capacity in bytes/second.
+        params: machine constants (only ``stream_cap``/``mem_bw`` are used
+            here; overhead constants are applied by the layers that build
+            flows, as ``Flow.delay``).
+        batch_tol: relative completion-batching tolerance (0 = exact).
+        fair_tol: waterfill near-tie grouping tolerance (0 = exact
+            max-min fairness; small values like 0.02 speed up very large
+            active sets with a bounded relative rate error).
+        lazy_frac: lazy rate-update threshold (0 = recompute at every
+            event).  With ``lazy_frac > 0``, surviving flows keep their
+            frozen (still capacity-feasible) rates after completions
+            until the freed bandwidth exceeds this fraction of the last
+            allocation — a *conservative* approximation (rates are never
+            overestimated) that collapses thousands of rate updates on
+            very large homogeneous phases.
+    """
+
+    def __init__(
+        self,
+        capacities: "Mapping[int, float] | CapacityFn",
+        params: NetworkParams = MIRA_PARAMS,
+        *,
+        batch_tol: float = 0.0,
+        fair_tol: float = 0.0,
+        lazy_frac: float = 0.0,
+    ):
+        if isinstance(capacities, Mapping):
+            self._cap_of: CapacityFn = capacities.__getitem__
+        elif callable(capacities):
+            self._cap_of = capacities
+        else:
+            raise ConfigError("capacities must be a mapping or callable")
+        if batch_tol < 0:
+            raise ConfigError(f"batch_tol must be >= 0, got {batch_tol}")
+        if fair_tol < 0:
+            raise ConfigError(f"fair_tol must be >= 0, got {fair_tol}")
+        if lazy_frac < 0:
+            raise ConfigError(f"lazy_frac must be >= 0, got {lazy_frac}")
+        self.params = params
+        self.batch_tol = float(batch_tol)
+        self.fair_tol = float(fair_tol)
+        self.lazy_frac = float(lazy_frac)
+        self._default_cap = min(params.stream_cap, params.mem_bw)
+
+    # ------------------------------------------------------------------ setup
+
+    def _index_flows(self, flows: Sequence[Flow]):
+        fid_to_idx: dict[FlowId, int] = {}
+        for i, f in enumerate(flows):
+            if f.fid in fid_to_idx:
+                raise ConfigError(f"duplicate flow id {f.fid!r}")
+            fid_to_idx[f.fid] = i
+        return fid_to_idx
+
+    def _compact_links(self, flows: Sequence[Flow]):
+        """Map global link ids to dense indices; fetch capacities once."""
+        link_index: dict[int, int] = {}
+        caps: list[float] = []
+        flow_links: list[np.ndarray] = []
+        for f in flows:
+            idxs = np.empty(len(f.path), dtype=np.int64)
+            for j, g in enumerate(f.path):
+                k = link_index.get(g)
+                if k is None:
+                    k = len(link_index)
+                    link_index[g] = k
+                    cap = float(self._cap_of(g))
+                    if cap <= 0:
+                        raise ConfigError(
+                            f"flow {f.fid!r}: route crosses link {g} with "
+                            f"non-positive capacity {cap} (link is down); "
+                            f"exclude the path or heal the link before submitting"
+                        )
+                    caps.append(cap)
+                idxs[j] = k
+            flow_links.append(idxs)
+        return link_index, np.asarray(caps, dtype=np.float64), flow_links
+
+    # ------------------------------------------------------------------ fairness
+
+    def _waterfill(
+        self,
+        caps_full: np.ndarray,
+        rows: list[np.ndarray],
+    ) -> np.ndarray:
+        """Max-min fair rates for one active set (progressive filling).
+
+        ``caps_full`` holds capacities indexed by *global* dense link id —
+        real links first, then one virtual per-flow cap link per flow
+        (appended by :meth:`run`).  ``rows[i]`` is active flow i's link
+        row including its virtual link, so every row is non-empty and the
+        filling always terminates.
+        """
+        nf = len(rows)
+        lens = np.fromiter((len(r) for r in rows), dtype=np.int64, count=nf)
+        concat_g = np.concatenate(rows)
+        flow_of_entry = np.repeat(np.arange(nf), lens)
+
+        # Compact to the links this active set actually touches.
+        links, concat = np.unique(concat_g, return_inverse=True)
+        cap_rem = caps_full[links].astype(np.float64, copy=True)
+        cap0 = cap_rem.copy()
+        nfl = np.bincount(concat, minlength=len(links)).astype(np.float64)
+        entry_alive = np.ones(len(concat), dtype=bool)
+        rate = np.zeros(nf)
+        frozen = np.zeros(nf, dtype=bool)
+        n_frozen = 0
+
+        ftol = self.fair_tol
+        for _ in range(nf + 1):
+            if n_frozen == nf:
+                break
+            live = nfl > 0
+            if not live.any():  # pragma: no cover - virtual links prevent this
+                raise SimulationError("waterfill: no live links but unfrozen flows remain")
+            shares = np.where(live, cap_rem / np.where(live, nfl, 1.0), np.inf)
+            inc = shares.min()
+            if inc < 0:
+                inc = 0.0
+            rate[~frozen] += inc
+            cap_rem[live] -= inc * nfl[live]
+            # Saturated links freeze every unfrozen flow crossing them.
+            # fair_tol > 0 groups near-ties: links whose fair share is
+            # within (1 + fair_tol) of the bottleneck freeze together,
+            # trading <= fair_tol relative rate error for far fewer
+            # filling iterations on large active sets.
+            if ftol > 0:
+                sat = live & (shares <= inc * (1 + ftol))
+                cap_rem[sat] = 0.0
+            else:
+                sat = live & (cap_rem <= cap0 * 1e-9)
+            hit = entry_alive & sat[concat]
+            if not hit.any():  # pragma: no cover - progressive filling invariant
+                raise SimulationError("waterfill: no flow froze in an iteration")
+            newly = np.unique(flow_of_entry[hit])
+            frozen[newly] = True
+            n_frozen += len(newly)
+            # Retire every still-alive entry of every frozen flow at once.
+            dead = entry_alive & frozen[flow_of_entry]
+            np.subtract.at(nfl, concat[dead], 1.0)
+            entry_alive[dead] = False
+        else:  # pragma: no cover - loop bound is nf freezes
+            raise SimulationError("waterfill did not converge")
+        return rate
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        flows: Sequence[Flow],
+        capacity_events: "Sequence[CapacityEvent] | None" = None,
+        *,
+        probe: "TimeSeriesProbe | None" = None,
+        t_base: float = 0.0,
+    ) -> FlowSimResult:
+        """Simulate all flows to completion and return per-flow results.
+
+        ``capacity_events`` schedules mid-run capacity changes (link
+        degradation, failure, or recovery); each triggers an exact rate
+        recomputation at its fire time.  Events on links no submitted
+        flow traverses are ignored.
+
+        ``probe`` samples per-link rate/utilisation, per-link queue
+        depth and delivered bytes on a fixed simulated-time grid inside
+        this loop (see :class:`~repro.obs.metrics.TimeSeriesProbe`);
+        ``t_base`` is this run's absolute simulated start time, used to
+        keep probe samples and recorded spans monotone when a caller
+        (the resilience executor) chains several runs on one timeline.
+        """
+        flows = list(flows)
+        if not flows:
+            return FlowSimResult({}, 0.0, {}, 0)
+        if t_base < 0:
+            raise ConfigError(f"t_base must be >= 0, got {t_base}")
+        if probe is not None:
+            probe.rebase(t_base)
+        fid_to_idx = self._index_flows(flows)
+        link_index, caps, flow_links = self._compact_links(flows)
+        inv_link = {v: k for k, v in link_index.items()}
+        n = len(flows)
+        events = sorted(capacity_events or ())
+        for e in events:
+            if not isinstance(e, CapacityEvent):
+                raise ConfigError(
+                    f"capacity_events must contain CapacityEvent records, got {e!r}"
+                )
+
+        children: list[list[int]] = [[] for _ in range(n)]
+        dep_count = np.zeros(n, dtype=np.int64)
+        for i, f in enumerate(flows):
+            for dep in f.deps:
+                j = fid_to_idx.get(dep)
+                if j is None:
+                    raise ConfigError(f"flow {f.fid!r} depends on unknown flow {dep!r}")
+                if j == i:
+                    raise ConfigError(f"flow {f.fid!r} depends on itself")
+                children[j].append(i)
+                dep_count[i] += 1
+
+        remaining = np.array([f.size for f in flows], dtype=np.float64)
+        rate_caps_all = np.array(
+            [f.rate_cap if f.rate_cap is not None else self._default_cap for f in flows]
+        )
+        # Global dense link space: real links, then one virtual cap link
+        # per flow.  Rows are prebuilt once; the waterfill slices them.
+        nl = len(caps)
+        caps_full = np.concatenate([caps, rate_caps_all])
+        rows_all = [
+            np.concatenate([flow_links[i], np.array([nl + i], dtype=np.int64)])
+            for i in range(n)
+        ]
+        ready_time = np.zeros(n)  # max(dep finishes), running
+        start_rec = np.full(n, np.nan)
+        finish_rec = np.full(n, np.nan)
+        done = np.zeros(n, dtype=bool)
+        link_bytes: dict[int, float] = {}
+
+        pending: list[tuple[float, int]] = []  # (activation time, idx)
+        for i, f in enumerate(flows):
+            if dep_count[i] == 0:
+                heapq.heappush(pending, (f.start_time + f.delay, i))
+
+        active: list[int] = []
+        T = 0.0
+        n_updates = 0
+        delivered = 0.0
+
+        def complete(i: int, t: float):
+            nonlocal delivered
+            done[i] = True
+            finish_rec[i] = t
+            delivered += flows[i].size
+            if np.isnan(start_rec[i]):
+                start_rec[i] = t
+            for g in flows[i].path:
+                link_bytes[g] = link_bytes.get(g, 0.0) + flows[i].size
+            for c in children[i]:
+                ready_time[c] = max(ready_time[c], t)
+                dep_count[c] -= 1
+                if dep_count[c] == 0:
+                    t_act = max(ready_time[c], flows[c].start_time) + flows[c].delay
+                    heapq.heappush(pending, (t_act, c))
+
+        def activate_due(t: float):
+            """Move pending flows whose activation time has arrived."""
+            moved = False
+            while pending and pending[0][0] <= t + 1e-18:
+                t_act, i = heapq.heappop(pending)
+                start_rec[i] = t_act
+                if remaining[i] <= _EPS_BYTES:
+                    complete(i, t_act)
+                else:
+                    active.append(i)
+                moved = True
+            return moved
+
+        ep = 0  # next unapplied capacity event
+
+        def apply_events_due(t: float):
+            """Apply capacity events whose fire time has arrived."""
+            nonlocal ep
+            changed = False
+            while ep < len(events) and events[ep].time <= t + 1e-18:
+                e = events[ep]
+                k = link_index.get(e.link)
+                if k is not None:
+                    caps_full[k] = e.capacity
+                    changed = True
+                ep += 1
+            return changed
+
+        rates: "np.ndarray | None" = None  # aligned with `active`
+        freed_rate = 0.0
+        total_rate_at_fill = 0.0
+        nl_real = len(caps)
+
+        def probe_window(t0: float, t1: float, act_arr, rate_arr) -> None:
+            """Feed one constant-rate window [t0, t1) to the probe.
+
+            Aggregation runs once per window containing a grid tick —
+            rates are frozen between events, so the samples are exact.
+            """
+            if t1 <= t0 or not probe.due(t1):
+                return
+            link_rate: dict[int, float] = {}
+            link_util: dict[int, float] = {}
+            depth: dict[int, int] = {}
+            if act_arr is not None and len(act_arr):
+                agg = np.zeros(nl_real)
+                cnt = np.zeros(nl_real, dtype=np.int64)
+                for pos, i in enumerate(act_arr):
+                    row = flow_links[int(i)]
+                    np.add.at(agg, row, rate_arr[pos])
+                    np.add.at(cnt, row, 1)
+                for k in np.nonzero(cnt)[0]:
+                    g = inv_link[int(k)]
+                    cap = float(caps_full[int(k)])
+                    link_rate[g] = float(agg[k])
+                    link_util[g] = float(agg[k]) / cap if cap > 0 else 0.0
+                    depth[g] = int(cnt[k])
+            probe.record_window(
+                t0, t1, link_rate, link_util, depth,
+                0 if act_arr is None else len(act_arr), delivered,
+            )
+
+        while pending or active:
+            if not active:
+                # Jump to the next activation.
+                T_new = max(T, pending[0][0])
+                if probe is not None:
+                    probe_window(T, T_new, None, None)
+                T = T_new
+                apply_events_due(T)
+                if activate_due(T):
+                    rates = None
+                continue
+
+            if rates is None:
+                act = np.asarray(active, dtype=np.int64)
+                rates = self._waterfill(caps_full, [rows_all[i] for i in act])
+                n_updates += 1
+                if np.any(rates <= 0):
+                    bad = act[np.asarray(rates) <= 0]
+                    fids = [flows[int(i)].fid for i in bad]
+                    down = sorted(
+                        {
+                            inv_link[int(k)]
+                            for i in bad
+                            for k in flow_links[int(i)]
+                            if caps_full[int(k)] <= 0
+                        }
+                    )
+                    if down:
+                        raise LinkDownError(
+                            f"flows {fids} stalled: their routes cross "
+                            f"zero-capacity link(s) {down} (link down); the "
+                            f"transfers can never complete",
+                            links=tuple(down),
+                        )
+                    raise SimulationError(f"flows starved (zero rate): {fids}")
+                total_rate_at_fill = float(rates.sum())
+                freed_rate = 0.0
+            else:
+                act = np.asarray(active, dtype=np.int64)
+
+            next_evt = events[ep].time if ep < len(events) else np.inf
+            ttf = remaining[act] / rates
+            dt_complete = float(ttf.min())
+            dt_act = (pending[0][0] - T) if pending else np.inf
+            dt_int = min(dt_act, next_evt - T)
+            if dt_int < dt_complete * (1 - _REL_TOL):
+                # An activation or a capacity change interrupts before any
+                # completion; drain linearly, then recompute rates.
+                dt = max(dt_int, 0.0)
+                if probe is not None:
+                    probe_window(T, T + dt, act, rates)
+                remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
+                T += dt
+                activate_due(T)
+                apply_events_due(T)
+                rates = None
+                continue
+
+            dt = dt_complete
+            if self.batch_tol > 0:
+                dt = min(dt_complete * (1 + self.batch_tol), dt_act, next_evt - T)
+            if probe is not None:
+                probe_window(T, T + dt, act, rates)
+            remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
+            T += dt
+
+            finished_mask = remaining[act] <= _EPS_BYTES
+            if not finished_mask.any():  # pragma: no cover - dt covers the min
+                raise SimulationError("no flow completed at a completion event")
+            for i in act[finished_mask]:
+                complete(int(i), T)
+            active = [int(i) for i in act[~finished_mask]]
+            # Lazy rate updates: survivors keep their (still feasible)
+            # rates until enough bandwidth has been freed to matter.
+            freed_rate += float(rates[finished_mask].sum())
+            rates = rates[~finished_mask]
+            if (
+                self.lazy_frac <= 0
+                or freed_rate > self.lazy_frac * max(total_rate_at_fill, 1e-30)
+                or not len(rates)
+            ):
+                rates = None
+            if activate_due(T):
+                rates = None
+            if apply_events_due(T):
+                rates = None
+
+        if not done.all():
+            stuck = [flows[i].fid for i in range(n) if not done[i]]
+            raise SimulationError(f"dependency cycle or stuck flows: {stuck}")
+
+        results = {
+            f.fid: FlowResult(
+                fid=f.fid,
+                size=f.size,
+                start=float(start_rec[i]),
+                finish=float(finish_rec[i]),
+                tag=f.tag,
+            )
+            for i, f in enumerate(flows)
+        }
+        makespan = float(np.max(finish_rec)) if n else 0.0
+        if probe is not None:
+            probe.record_final(makespan, delivered)
+        tracer = get_tracer()
+        if tracer.enabled:
+            run_span = tracer.record(
+                "flowsim.run",
+                t_base,
+                t_base + makespan,
+                cat="flowsim",
+                n_flows=n,
+                n_rate_updates=n_updates,
+                capacity_events=ep,
+                delivered_bytes=delivered,
+            )
+            if run_span is not None:
+                for i, f in enumerate(flows):
+                    if i >= tracer.max_flow_spans:
+                        tracer.n_dropped += n - i
+                        break
+                    if f.size <= 0:
+                        continue
+                    tracer.record(
+                        f"flow:{f.fid}",
+                        t_base + float(start_rec[i]),
+                        t_base + float(finish_rec[i]),
+                        cat="flow",
+                        parent=run_span,
+                        bytes=f.size,
+                        hops=len(f.path),
+                        tag=None if f.tag is None else str(f.tag),
+                    )
+        reg = get_registry()
+        reg.counter("flowsim.runs").inc()
+        reg.counter("flowsim.flows_completed").inc(n)
+        reg.counter("flowsim.rate_updates").inc(n_updates)
+        reg.counter("flowsim.capacity_events_applied").inc(ep)
+        reg.counter("flowsim.delivered_bytes").inc(delivered)
+        return FlowSimResult(results, makespan, link_bytes, n_updates)

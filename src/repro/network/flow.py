@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Hashable
+
+import numpy as np
 
 from repro.util.validation import ConfigError
 
@@ -50,6 +53,17 @@ class Flow:
             raise ConfigError(f"flow {self.fid!r}: start_time must be >= 0")
         if self.rate_cap is not None and self.rate_cap <= 0:
             raise ConfigError(f"flow {self.fid!r}: rate_cap must be > 0")
+
+    @cached_property
+    def path_arr(self) -> np.ndarray:
+        """``path`` as an ``int64`` array, computed once per flow.
+
+        The simulator's incidence-matrix build concatenates these
+        directly (no per-hop tuple iteration); caching matters because
+        benchmarks and the resilience executor re-run the same flow
+        objects many times.
+        """
+        return np.asarray(self.path, dtype=np.int64)
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,22 @@ flow becomes *ready* when all its predecessors complete, then waits
 ``delay`` seconds (endpoint/forwarding overhead) before consuming
 bandwidth.
 
+Implementation
+--------------
+The core is vectorized around a **sparse link×flow incidence matrix**
+built once per run in CSR form: one flat ``int64`` array of dense link
+indices (every flow's real links followed by its private virtual cap
+link) plus row-pointer offsets.  The event loop is *incremental*: the
+per-link active-flow counts (``nfl``) are maintained with
+``np.add.at``/``np.subtract.at`` as flows activate and complete, and the
+active-set incidence slice is re-gathered with one fancy index per rate
+epoch — there is no per-flow Python loop over path rows anywhere in the
+hot path.  :meth:`FlowSim._waterfill` consumes those arrays directly:
+per-iteration link loads, saturation detection and flow freezing are all
+boolean-mask operations over the incidence entries.  Dependency releases
+are batched per completion event (one segmented gather over a children
+CSR).  See ``docs/PERFORMANCE.md`` for the measured speedups.
+
 Scale
 -----
 ``batch_tol > 0`` enables *batched completions*: when the earliest
@@ -50,6 +66,23 @@ _EPS_BYTES = 1e-3  # sub-byte residue counts as complete (float rounding guard)
 _REL_TOL = 1e-12
 
 CapacityFn = Callable[[int], float]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _segment_gather(ptr: np.ndarray, lens: np.ndarray, idxs: np.ndarray) -> np.ndarray:
+    """Indices of every CSR entry of rows ``idxs`` (concatenated, in order).
+
+    ``ptr``/``lens`` describe a CSR layout (``ptr[i]`` is row ``i``'s first
+    entry, ``lens[i]`` its length); the result indexes the flat array.
+    """
+    counts = lens[idxs]
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY_I64
+    ends = np.cumsum(counts)
+    offs = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return np.repeat(ptr[idxs], counts) + offs
 
 
 @dataclass(frozen=True, order=True)
@@ -103,6 +136,7 @@ class FlowSimResult:
         self.makespan = makespan
         self.link_bytes = link_bytes
         self.n_rate_updates = n_rate_updates
+        self._total_bytes: "float | None" = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -115,8 +149,11 @@ class FlowSimResult:
         return self.results[fid].finish
 
     def total_bytes(self) -> float:
-        """Sum of all flow payloads."""
-        return float(sum(r.size for r in self.results.values()))
+        """Sum of all flow payloads (computed once, then cached —
+        benchmarks call this inside timing loops)."""
+        if self._total_bytes is None:
+            self._total_bytes = float(sum(r.size for r in self.results.values()))
+        return self._total_bytes
 
     def aggregate_throughput(self) -> float:
         """Total payload divided by makespan (the paper's 'total throughput')."""
@@ -189,94 +226,287 @@ class FlowSim:
         return fid_to_idx
 
     def _compact_links(self, flows: Sequence[Flow]):
-        """Map global link ids to dense indices; fetch capacities once."""
-        link_index: dict[int, int] = {}
-        caps: list[float] = []
-        flow_links: list[np.ndarray] = []
-        for f in flows:
-            idxs = np.empty(len(f.path), dtype=np.int64)
-            for j, g in enumerate(f.path):
-                k = link_index.get(g)
-                if k is None:
-                    k = len(link_index)
-                    link_index[g] = k
-                    cap = float(self._cap_of(g))
-                    if cap <= 0:
-                        raise ConfigError(
-                            f"flow {f.fid!r}: route crosses link {g} with "
-                            f"non-positive capacity {cap} (link is down); "
-                            f"exclude the path or heal the link before submitting"
-                        )
-                    caps.append(cap)
-                idxs[j] = k
-            flow_links.append(idxs)
-        return link_index, np.asarray(caps, dtype=np.float64), flow_links
+        """Build the real-link half of the incidence matrix in one pass.
+
+        Maps global link ids to dense indices via one ``np.unique`` over
+        the concatenation of every flow's precomputed hop→link-id array
+        (:attr:`Flow.path_arr`), fetches each distinct link's capacity
+        exactly once, and returns CSR arrays:
+
+        * ``link_index`` — global id → dense index (for capacity events),
+        * ``uniq`` — dense index → global id,
+        * ``caps`` — per-dense-link capacity,
+        * ``real_flat``/``real_ptr``/``real_lens`` — the CSR incidence of
+          real links (``real_flat[real_ptr[i]:real_ptr[i+1]]`` is flow
+          ``i``'s dense link row).
+        """
+        n = len(flows)
+        real_lens = np.fromiter((len(f.path) for f in flows), dtype=np.int64, count=n)
+        real_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(real_lens, out=real_ptr[1:])
+        if real_ptr[-1]:
+            flat_g = np.concatenate([f.path_arr for f in flows])
+        else:
+            flat_g = _EMPTY_I64
+        uniq, real_flat = np.unique(flat_g, return_inverse=True)
+        real_flat = real_flat.astype(np.int64, copy=False)
+        caps = np.array([float(self._cap_of(int(g))) for g in uniq], dtype=np.float64)
+        bad = np.flatnonzero(caps <= 0)
+        if len(bad):
+            e = int(np.flatnonzero(np.isin(real_flat, bad))[0])
+            i = int(np.searchsorted(real_ptr, e, side="right")) - 1
+            g = int(uniq[real_flat[e]])
+            raise ConfigError(
+                f"flow {flows[i].fid!r}: route crosses link {g} with "
+                f"non-positive capacity {caps[real_flat[e]]} (link is down); "
+                f"exclude the path or heal the link before submitting"
+            )
+        link_index = {int(g): k for k, g in enumerate(uniq)}
+        return link_index, uniq, caps, real_flat, real_ptr, real_lens
 
     # ------------------------------------------------------------------ fairness
 
     def _waterfill(
         self,
         caps_full: np.ndarray,
-        rows: list[np.ndarray],
+        flat: np.ndarray,
+        ptr: np.ndarray,
+        lens: np.ndarray,
+        t_flow: np.ndarray,
+        t_ptr: np.ndarray,
+        t_lens: np.ndarray,
+        frozen: np.ndarray,
+        nfl0: np.ndarray,
+        nf: int,
+        n_real: int,
+        freeze_log: "list | None" = None,
+        rows_unique: bool = True,
     ) -> np.ndarray:
         """Max-min fair rates for one active set (progressive filling).
 
-        ``caps_full`` holds capacities indexed by *global* dense link id —
-        real links first, then one virtual per-flow cap link per flow
-        (appended by :meth:`run`).  ``rows[i]`` is active flow i's link
-        row including its virtual link, so every row is non-empty and the
-        filling always terminates.
-        """
-        nf = len(rows)
-        lens = np.fromiter((len(r) for r in rows), dtype=np.int64, count=nf)
-        concat_g = np.concatenate(rows)
-        flow_of_entry = np.repeat(np.arange(nf), lens)
+        Fully vectorized over the precomputed link×flow incidence
+        matrix, held in CSR form both ways:
 
-        # Compact to the links this active set actually touches.
-        links, concat = np.unique(concat_g, return_inverse=True)
-        cap_rem = caps_full[links].astype(np.float64, copy=True)
-        cap0 = cap_rem.copy()
-        nfl = np.bincount(concat, minlength=len(links)).astype(np.float64)
-        entry_alive = np.ones(len(concat), dtype=bool)
-        rate = np.zeros(nf)
-        frozen = np.zeros(nf, dtype=bool)
+        * ``flat``/``ptr``/``lens`` — flow → dense-link rows (each
+          flow's real links followed by its private virtual cap link, so
+          every row is non-empty and the filling always terminates);
+        * ``t_flow``/``t_ptr`` — the transpose, link → flows crossing
+          it (built once per run; each link saturates at most once per
+          fill, so the freeze work it feeds is amortized O(entries)).
+
+        ``frozen`` marks the *inactive* flows on entry (consumed, not
+        copied); ``nfl0`` is the per-dense-link count of active-flow
+        entries, maintained incrementally by :meth:`run` — dense links
+        with a zero count (untouched by the active set) are priced out
+        with an infinite water level rather than compacted away.
+        ``n_real`` is the number of real links: dense ids at or above it
+        are the per-flow virtual cap links (id ``n_real + flow``), which
+        the freeze step exploits to skip the transpose gather when every
+        saturated link is virtual.
+
+        Per iteration, all unfrozen flows share one water ``level``:
+        the bottleneck search is a handful of O(links) array ops, links
+        saturated at the level freeze their unfrozen flows via the
+        transpose slices, and the frozen rows' counts retire with one
+        ``np.subtract.at``.  Returns the rate vector over *all* flows
+        (inactive entries are 0; callers slice the active set).
+
+        ``freeze_log``, when given, receives one sorted array of flow
+        indices per filling iteration — the flows frozen at that
+        bottleneck level (used by the property tests to compare freeze
+        order against the reference implementation).
+        """
+        # Compact to the links the active set actually touches (every
+        # dense link with a positive count) — one linear mask + remap
+        # per fill, so the per-iteration scans below shrink with the
+        # active set instead of staying O(all links) for tail events.
+        live_idx = (nfl0 > 0).nonzero()[0]
+        remap = np.empty(len(caps_full), dtype=np.int64)
+        remap[live_idx] = np.arange(len(live_idx), dtype=np.int64)
+        caps_live = caps_full[live_idx]
+        nfl = nfl0[live_idx]
+        # Per-link *absolute saturation levels*: link l saturates when
+        # the shared water level reaches ``s[l]``; its remaining capacity
+        # at level h is implicitly ``(s[l] - h) * nfl[l]``, so no
+        # per-link capacity needs materializing.  Between freezes
+        # nothing about a link changes — ``s`` only needs recomputing
+        # for the links the newly frozen flows touch (``s_new = level +
+        # (s_old - level) * n_old / n_new``), and the per-iteration
+        # bottleneck search is a single min plus one equality scan (the
+        # bottleneck link hits its own minimum exactly; independent
+        # near-ties land in their own iterations at levels within float
+        # rounding of each other).  Links whose flows all froze are
+        # priced out at an infinite level.
+        s = caps_live / nfl
+        n = len(ptr) - 1
+        rate = np.zeros(n)
+        fbuf = np.zeros(n, dtype=bool)  # per-iteration freeze dedup scratch
         n_frozen = 0
+        level = 0.0
+
+        # Saturation levels only ever rise (freezing a flow weakly raises
+        # every touched link's level), so the bottleneck search can run
+        # over a small *candidate pool* of the currently-lowest levels,
+        # rebuilt via one ``np.partition`` only when the pool's minimum
+        # climbs past its admission threshold.  Every saturated link goes
+        # dead, so a pool of ``_POOL`` links sustains about that many
+        # iterations between O(links) rebuilds.
+        _POOL = 64
+        use_pool = len(s) > 4 * _POOL
+        if use_pool:
+            t_thr = float(np.partition(s, _POOL)[_POOL])
+            C = (s <= t_thr).nonzero()[0]
 
         ftol = self.fair_tol
-        for _ in range(nf + 1):
-            if n_frozen == nf:
-                break
-            live = nfl > 0
-            if not live.any():  # pragma: no cover - virtual links prevent this
-                raise SimulationError("waterfill: no live links but unfrozen flows remain")
-            shares = np.where(live, cap_rem / np.where(live, nfl, 1.0), np.inf)
-            inc = shares.min()
-            if inc < 0:
-                inc = 0.0
-            rate[~frozen] += inc
-            cap_rem[live] -= inc * nfl[live]
-            # Saturated links freeze every unfrozen flow crossing them.
-            # fair_tol > 0 groups near-ties: links whose fair share is
-            # within (1 + fair_tol) of the bottleneck freeze together,
-            # trading <= fair_tol relative rate error for far fewer
-            # filling iterations on large active sets.
-            if ftol > 0:
-                sat = live & (shares <= inc * (1 + ftol))
-                cap_rem[sat] = 0.0
-            else:
-                sat = live & (cap_rem <= cap0 * 1e-9)
-            hit = entry_alive & sat[concat]
-            if not hit.any():  # pragma: no cover - progressive filling invariant
-                raise SimulationError("waterfill: no flow froze in an iteration")
-            newly = np.unique(flow_of_entry[hit])
-            frozen[newly] = True
-            n_frozen += len(newly)
-            # Retire every still-alive entry of every frozen flow at once.
-            dead = entry_alive & frozen[flow_of_entry]
-            np.subtract.at(nfl, concat[dead], 1.0)
-            entry_alive[dead] = False
-        else:  # pragma: no cover - loop bound is nf freezes
-            raise SimulationError("waterfill did not converge")
+        sub_at = np.subtract.at
+        concat = np.concatenate
+        s_item = s.item
+        nfl_item = nfl.item
+        remap_item = remap.item
+        ptr_item = ptr.item
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for _ in range(nf + 1):
+                if n_frozen == nf:
+                    break
+                if use_pool:
+                    sC = s[C]
+                    smin = float(sC.min())
+                    if smin > t_thr:
+                        t_thr = float(np.partition(s, _POOL)[_POOL])
+                        C = (s <= t_thr).nonzero()[0]
+                        sC = s[C]
+                        smin = float(sC.min())
+                else:
+                    smin = float(s.min())
+                if smin == np.inf:  # pragma: no cover - virtual links prevent this
+                    raise SimulationError("waterfill: no live links but unfrozen flows remain")
+                prev = level
+                if smin > level:
+                    level = smin
+                # Saturated links freeze every unfrozen flow crossing them.
+                # fair_tol > 0 groups near-ties: links whose fair share is
+                # within (1 + fair_tol) of the bottleneck freeze together,
+                # trading <= fair_tol relative rate error for far fewer
+                # filling iterations on large active sets.
+                if ftol > 0:
+                    bound = prev + (level - prev) * (1 + ftol)
+                    if use_pool and bound > t_thr:
+                        # Widen the pool to cover the whole grouping window.
+                        t_thr = bound
+                        C = (s <= t_thr).nonzero()[0]
+                        sC = s[C]
+                    if use_pool:
+                        sat_links = C[(sC <= bound).nonzero()[0]]
+                    else:
+                        sat_links = (s <= bound).nonzero()[0]
+                elif use_pool:
+                    sat_links = C[sC == smin]
+                else:
+                    sat_links = (s == smin).nonzero()[0]
+                sat_orig = live_idx[sat_links]  # transpose slices use dense ids
+                ks = sat_orig.tolist()
+                if ks[0] >= n_real:
+                    # Every saturated link is a private virtual cap link
+                    # (dense ids sorted, so checking the smallest
+                    # suffices).  Each carries exactly its own flow,
+                    # unfrozen by construction while its count is live —
+                    # the freeze set is just the id offset, with no
+                    # transpose gather and no dedup.  Rate-cap ties
+                    # (many flows pinned at the same stream cap) make
+                    # this the dominant shape on parameterized machines.
+                    newly = sat_orig - n_real
+                else:
+                    if len(ks) == 1:
+                        k = ks[0]
+                        cand = t_flow[t_ptr[k] : t_ptr[k + 1]]
+                    elif len(ks) <= 32:
+                        cand = concat([t_flow[t_ptr[k] : t_ptr[k + 1]] for k in ks])
+                    else:
+                        cand = t_flow[_segment_gather(t_ptr, t_lens, sat_orig)]
+                    cand = cand[~frozen[cand]]
+                    if not len(cand):  # pragma: no cover - filling invariant
+                        raise SimulationError(
+                            "waterfill: no flow froze in an iteration"
+                        )
+                    if rows_unique and len(ks) == 1:
+                        # One saturated link and duplicate-free rows: its
+                        # unfrozen flow list is already distinct (and sorted).
+                        newly = cand
+                    else:
+                        # Dedup via the scratch flag array (a flow can sit
+                        # on several links saturating in the same
+                        # iteration) — cheaper than a sort-based
+                        # ``np.unique`` in the hot loop.
+                        fbuf[cand] = True
+                        newly = fbuf.nonzero()[0]
+                        fbuf[newly] = False
+                js = newly.tolist()
+                nj = len(js)
+                n_frozen += nj
+                if freeze_log is not None:
+                    freeze_log.append(newly)
+                if n_frozen == nf:
+                    # Last freeze of the fill (frequently the largest —
+                    # the whole remaining set pinned at a shared rate
+                    # cap): the link-state update below would never be
+                    # read again, so skip it.
+                    frozen[newly] = True
+                    rate[newly] = level
+                    break
+                # Retire every entry of every newly frozen flow and bring
+                # only the touched links' state current.  One or two
+                # frozen flows with short rows (the common case — freezes
+                # of one or two flows make up over 40% of iterations):
+                # plain scalar arithmetic over their handful of links
+                # beats the dozen-odd vectorized dispatches below, and
+                # applying the flows one after the other is algebraically
+                # the same count-rescaling as the batched update.
+                # (The ptr span covers every row between the first and
+                # last frozen index, so it bounds their combined length
+                # from above — a cheap two-lookup eligibility test.)
+                if nj <= 2 and ptr_item(js[-1] + 1) - ptr_item(js[0]) <= 32:
+                    for j in js:
+                        frozen[j] = True
+                        rate[j] = level
+                        for gl in flat[ptr[j] : ptr[j + 1]].tolist():
+                            li = remap_item(gl)
+                            n_o = nfl_item(li)
+                            n_n = n_o - 1.0
+                            nfl[li] = n_n
+                            if n_n <= 0.0:
+                                s[li] = np.inf
+                            else:
+                                s[li] = level + (s_item(li) - level) * (n_o / n_n)
+                    continue
+                frozen[newly] = True
+                rate[newly] = level
+                # Duplicate link indices (several frozen flows sharing a
+                # link) are safe in the batched update — the fancy-index
+                # updates compute one value per link from the same
+                # gathered originals, while ``np.subtract.at`` decrements
+                # per entry.
+                if nj == 1:
+                    links = remap[flat[ptr[js[0]] : ptr[js[0] + 1]]]
+                elif nj <= 32:
+                    links = remap[concat([flat[ptr[j] : ptr[j + 1]] for j in js])]
+                else:
+                    links = remap[flat[_segment_gather(ptr, lens, newly)]]
+                s_old = s[links]
+                n_old = nfl[links]
+                sub_at(nfl, links, 1.0)
+                new_n = nfl[links]
+                # new_n == 0 (a link losing its last unfrozen flow — at
+                # least the saturated ones, every iteration) divides to
+                # inf/nan here; those entries are overwritten with the
+                # infinite price right after, and the fill-wide errstate
+                # silences the transient warnings.
+                s_new = level + (s_old - level) * (n_old / new_n)
+                s[links] = s_new
+                dead_sel = links[new_n <= 0]
+                if len(dead_sel):
+                    s[dead_sel] = np.inf
+            else:  # pragma: no cover - loop bound is nf freezes
+                raise SimulationError("waterfill did not converge")
         return rate
 
     # ------------------------------------------------------------------ run
@@ -298,10 +528,14 @@ class FlowSim:
 
         ``probe`` samples per-link rate/utilisation, per-link queue
         depth and delivered bytes on a fixed simulated-time grid inside
-        this loop (see :class:`~repro.obs.metrics.TimeSeriesProbe`);
-        ``t_base`` is this run's absolute simulated start time, used to
-        keep probe samples and recorded spans monotone when a caller
-        (the resilience executor) chains several runs on one timeline.
+        this loop (see :class:`~repro.obs.metrics.TimeSeriesProbe`); the
+        samples are fed straight from the incremental incidence state
+        (per-link counts and the active-set entry slice), so enabling
+        the probe prices one segmented ``np.add.at`` per window that
+        contains a grid tick.  ``t_base`` is this run's absolute
+        simulated start time, used to keep probe samples and recorded
+        spans monotone when a caller (the resilience executor) chains
+        several runs on one timeline.
         """
         flows = list(flows)
         if not flows:
@@ -311,9 +545,11 @@ class FlowSim:
         if probe is not None:
             probe.rebase(t_base)
         fid_to_idx = self._index_flows(flows)
-        link_index, caps, flow_links = self._compact_links(flows)
-        inv_link = {v: k for k, v in link_index.items()}
+        link_index, uniq, caps, real_flat, real_ptr, real_lens = self._compact_links(
+            flows
+        )
         n = len(flows)
+        nl = len(caps)
         events = sorted(capacity_events or ())
         for e in events:
             if not isinstance(e, CapacityEvent):
@@ -321,8 +557,11 @@ class FlowSim:
                     f"capacity_events must contain CapacityEvent records, got {e!r}"
                 )
 
-        children: list[list[int]] = [[] for _ in range(n)]
+        # Dependency DAG in CSR form: child_flat[child_ptr[j]:child_ptr[j+1]]
+        # are the flows waiting on flow j.
         dep_count = np.zeros(n, dtype=np.int64)
+        child_lens = np.zeros(n, dtype=np.int64)
+        dep_pairs: list[tuple[int, int]] = []  # (parent, child)
         for i, f in enumerate(flows):
             for dep in f.deps:
                 j = fid_to_idx.get(dep)
@@ -330,64 +569,136 @@ class FlowSim:
                     raise ConfigError(f"flow {f.fid!r} depends on unknown flow {dep!r}")
                 if j == i:
                     raise ConfigError(f"flow {f.fid!r} depends on itself")
-                children[j].append(i)
+                dep_pairs.append((j, i))
+                child_lens[j] += 1
                 dep_count[i] += 1
+        child_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(child_lens, out=child_ptr[1:])
+        child_flat = np.empty(len(dep_pairs), dtype=np.int64)
+        fill = child_ptr[:-1].copy()
+        for j, i in dep_pairs:
+            child_flat[fill[j]] = i
+            fill[j] += 1
 
-        remaining = np.array([f.size for f in flows], dtype=np.float64)
+        size_arr = np.array([f.size for f in flows], dtype=np.float64)
+        start_arr = np.array([f.start_time for f in flows], dtype=np.float64)
+        delay_arr = np.array([f.delay for f in flows], dtype=np.float64)
+        remaining = size_arr.copy()
         rate_caps_all = np.array(
             [f.rate_cap if f.rate_cap is not None else self._default_cap for f in flows]
         )
         # Global dense link space: real links, then one virtual cap link
-        # per flow.  Rows are prebuilt once; the waterfill slices them.
-        nl = len(caps)
+        # per flow.  The full incidence CSR (flat/ptr/lens_full) holds
+        # each flow's real links followed by its virtual link, so every
+        # row is non-empty.
         caps_full = np.concatenate([caps, rate_caps_all])
-        rows_all = [
-            np.concatenate([flow_links[i], np.array([nl + i], dtype=np.int64)])
-            for i in range(n)
-        ]
+        lens_full = real_lens + 1
+        ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lens_full, out=ptr[1:])
+        flat = np.empty(int(ptr[-1]), dtype=np.int64)
+        virt_pos = ptr[1:] - 1
+        real_mask = np.ones(len(flat), dtype=bool)
+        real_mask[virt_pos] = False
+        flat[real_mask] = real_flat
+        flat[virt_pos] = nl + np.arange(n, dtype=np.int64)
+        # Transpose incidence (link → flows crossing it), built once per
+        # run: the waterfill walks saturated links' flow lists through
+        # these slices instead of scanning every active entry per
+        # filling iteration.
+        t_order = np.argsort(flat, kind="stable")
+        rep_flow = np.repeat(np.arange(n, dtype=np.int64), lens_full)
+        t_flow = rep_flow[t_order]
+        t_lens = np.bincount(flat, minlength=nl + n)
+        t_ptr = np.zeros(nl + n + 1, dtype=np.int64)
+        np.cumsum(t_lens, out=t_ptr[1:])
+        # Torus routes never reuse a directed link, so incidence rows are
+        # normally duplicate-free; verify once so the waterfill can trust
+        # single-link freeze lists without a dedup pass.
+        rows_unique = len(np.unique(flat * np.int64(n) + rep_flow)) == len(flat)
+
         ready_time = np.zeros(n)  # max(dep finishes), running
         start_rec = np.full(n, np.nan)
         finish_rec = np.full(n, np.nan)
         done = np.zeros(n, dtype=bool)
-        link_bytes: dict[int, float] = {}
+        link_bytes_arr = np.zeros(nl)
 
         pending: list[tuple[float, int]] = []  # (activation time, idx)
         for i, f in enumerate(flows):
             if dep_count[i] == 0:
                 heapq.heappush(pending, (f.start_time + f.delay, i))
 
-        active: list[int] = []
+        act = _EMPTY_I64  # active flow indices, activation order
+        # Incremental per-dense-link count of active-flow entries; the
+        # waterfill's starting point and the probe's queue depths.
+        nfl_act = np.zeros(nl + n, dtype=np.float64)
         T = 0.0
         n_updates = 0
         delivered = 0.0
 
-        def complete(i: int, t: float):
+        # Active-set incidence cache, re-gathered only when `act` changes.
+        act_ent_links = _EMPTY_I64
+        act_ent_flow = _EMPTY_I64
+        act_dirty = True
+
+        def refresh_act_cache():
+            nonlocal act_ent_links, act_ent_flow, act_dirty
+            ent = _segment_gather(ptr, lens_full, act)
+            act_ent_links = flat[ent]
+            act_ent_flow = np.repeat(
+                np.arange(len(act), dtype=np.int64), lens_full[act]
+            )
+            act_dirty = False
+
+        def finish_flows(b: np.ndarray, t: float):
+            """Record completions and batch-release dependents.
+
+            Does *not* touch the active-set state — callers decrement
+            ``nfl_act`` for flows that were bandwidth-active.
+            """
             nonlocal delivered
-            done[i] = True
-            finish_rec[i] = t
-            delivered += flows[i].size
-            if np.isnan(start_rec[i]):
-                start_rec[i] = t
-            for g in flows[i].path:
-                link_bytes[g] = link_bytes.get(g, 0.0) + flows[i].size
-            for c in children[i]:
-                ready_time[c] = max(ready_time[c], t)
-                dep_count[c] -= 1
-                if dep_count[c] == 0:
-                    t_act = max(ready_time[c], flows[c].start_time) + flows[c].delay
-                    heapq.heappush(pending, (t_act, c))
+            done[b] = True
+            finish_rec[b] = t
+            delivered += float(size_arr[b].sum())
+            ns = np.isnan(start_rec[b])
+            if ns.any():
+                start_rec[b[ns]] = t
+            ent = _segment_gather(real_ptr, real_lens, b)
+            if len(ent):
+                np.add.at(
+                    link_bytes_arr, real_flat[ent], np.repeat(size_arr[b], real_lens[b])
+                )
+            ch = _segment_gather(child_ptr, child_lens, b)
+            if len(ch):
+                ch_idx = child_flat[ch]
+                np.maximum.at(ready_time, ch_idx, t)
+                np.subtract.at(dep_count, ch_idx, 1)
+                uniq_ch = np.unique(ch_idx)
+                for c in uniq_ch[dep_count[uniq_ch] == 0]:
+                    t_act = max(ready_time[c], start_arr[c]) + delay_arr[c]
+                    heapq.heappush(pending, (t_act, int(c)))
 
         def activate_due(t: float):
-            """Move pending flows whose activation time has arrived."""
+            """Move pending flows whose activation time has arrived.
+
+            Activations are batched: the active set, per-link counts and
+            incidence cache are updated once per call, not per flow.
+            """
+            nonlocal act, act_dirty
+            new_act: list[int] = []
             moved = False
             while pending and pending[0][0] <= t + 1e-18:
                 t_act, i = heapq.heappop(pending)
                 start_rec[i] = t_act
                 if remaining[i] <= _EPS_BYTES:
-                    complete(i, t_act)
+                    finish_flows(np.array([i], dtype=np.int64), t_act)
                 else:
-                    active.append(i)
+                    new_act.append(i)
                 moved = True
+            if new_act:
+                b = np.asarray(new_act, dtype=np.int64)
+                np.add.at(nfl_act, flat[_segment_gather(ptr, lens_full, b)], 1.0)
+                act = np.concatenate([act, b])
+                act_dirty = True
             return moved
 
         ep = 0  # next unapplied capacity event
@@ -405,46 +716,45 @@ class FlowSim:
                 ep += 1
             return changed
 
-        rates: "np.ndarray | None" = None  # aligned with `active`
+        rates: "np.ndarray | None" = None  # aligned with `act`
         freed_rate = 0.0
         total_rate_at_fill = 0.0
-        nl_real = len(caps)
 
-        def probe_window(t0: float, t1: float, act_arr, rate_arr) -> None:
+        def probe_window(t0: float, t1: float, have_rates: bool) -> None:
             """Feed one constant-rate window [t0, t1) to the probe.
 
             Aggregation runs once per window containing a grid tick —
             rates are frozen between events, so the samples are exact.
+            The per-link series come straight from the incremental
+            state: queue depths are ``nfl_act`` and rates one segmented
+            ``np.add.at`` over the cached active incidence slice.
             """
             if t1 <= t0 or not probe.due(t1):
                 return
-            link_rate: dict[int, float] = {}
-            link_util: dict[int, float] = {}
-            depth: dict[int, int] = {}
-            if act_arr is not None and len(act_arr):
-                agg = np.zeros(nl_real)
-                cnt = np.zeros(nl_real, dtype=np.int64)
-                for pos, i in enumerate(act_arr):
-                    row = flow_links[int(i)]
-                    np.add.at(agg, row, rate_arr[pos])
-                    np.add.at(cnt, row, 1)
-                for k in np.nonzero(cnt)[0]:
-                    g = inv_link[int(k)]
-                    cap = float(caps_full[int(k)])
-                    link_rate[g] = float(agg[k])
-                    link_util[g] = float(agg[k]) / cap if cap > 0 else 0.0
-                    depth[g] = int(cnt[k])
-            probe.record_window(
-                t0, t1, link_rate, link_util, depth,
-                0 if act_arr is None else len(act_arr), delivered,
+            if not (have_rates and len(act)):
+                probe.record_window(t0, t1, {}, {}, {}, 0, delivered)
+                return
+            if act_dirty:
+                refresh_act_cache()
+            real = act_ent_links < nl
+            agg = np.zeros(nl)
+            np.add.at(agg, act_ent_links[real], rates[act_ent_flow[real]])
+            ks = np.flatnonzero(nfl_act[:nl] > 0)
+            cap_k = caps_full[ks]
+            util = np.divide(
+                agg[ks], cap_k, out=np.zeros(len(ks)), where=cap_k > 0
+            )
+            probe.record_window_dense(
+                t0, t1, uniq[ks], agg[ks], util,
+                nfl_act[ks].astype(np.int64), len(act), delivered,
             )
 
-        while pending or active:
-            if not active:
+        while pending or len(act):
+            if not len(act):
                 # Jump to the next activation.
                 T_new = max(T, pending[0][0])
                 if probe is not None:
-                    probe_window(T, T_new, None, None)
+                    probe_window(T, T_new, False)
                 T = T_new
                 apply_events_due(T)
                 if activate_due(T):
@@ -452,17 +762,21 @@ class FlowSim:
                 continue
 
             if rates is None:
-                act = np.asarray(active, dtype=np.int64)
-                rates = self._waterfill(caps_full, [rows_all[i] for i in act])
+                frozen0 = np.ones(n, dtype=bool)
+                frozen0[act] = False
+                rates = self._waterfill(
+                    caps_full, flat, ptr, lens_full, t_flow, t_ptr, t_lens,
+                    frozen0, nfl_act, len(act), nl, rows_unique=rows_unique,
+                )[act]
                 n_updates += 1
                 if np.any(rates <= 0):
-                    bad = act[np.asarray(rates) <= 0]
+                    bad = act[rates <= 0]
                     fids = [flows[int(i)].fid for i in bad]
                     down = sorted(
                         {
-                            inv_link[int(k)]
+                            int(uniq[k])
                             for i in bad
-                            for k in flow_links[int(i)]
+                            for k in real_flat[real_ptr[i] : real_ptr[i + 1]]
                             if caps_full[int(k)] <= 0
                         }
                     )
@@ -476,8 +790,6 @@ class FlowSim:
                     raise SimulationError(f"flows starved (zero rate): {fids}")
                 total_rate_at_fill = float(rates.sum())
                 freed_rate = 0.0
-            else:
-                act = np.asarray(active, dtype=np.int64)
 
             next_evt = events[ep].time if ep < len(events) else np.inf
             ttf = remaining[act] / rates
@@ -489,7 +801,7 @@ class FlowSim:
                 # completion; drain linearly, then recompute rates.
                 dt = max(dt_int, 0.0)
                 if probe is not None:
-                    probe_window(T, T + dt, act, rates)
+                    probe_window(T, T + dt, True)
                 remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
                 T += dt
                 activate_due(T)
@@ -501,16 +813,18 @@ class FlowSim:
             if self.batch_tol > 0:
                 dt = min(dt_complete * (1 + self.batch_tol), dt_act, next_evt - T)
             if probe is not None:
-                probe_window(T, T + dt, act, rates)
+                probe_window(T, T + dt, True)
             remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
             T += dt
 
             finished_mask = remaining[act] <= _EPS_BYTES
             if not finished_mask.any():  # pragma: no cover - dt covers the min
                 raise SimulationError("no flow completed at a completion event")
-            for i in act[finished_mask]:
-                complete(int(i), T)
-            active = [int(i) for i in act[~finished_mask]]
+            fin = act[finished_mask]
+            np.subtract.at(nfl_act, flat[_segment_gather(ptr, lens_full, fin)], 1.0)
+            finish_flows(fin, T)
+            act = act[~finished_mask]
+            act_dirty = True
             # Lazy rate updates: survivors keep their (still feasible)
             # rates until enough bandwidth has been freed to matter.
             freed_rate += float(rates[finished_mask].sum())
@@ -530,6 +844,8 @@ class FlowSim:
             stuck = [flows[i].fid for i in range(n) if not done[i]]
             raise SimulationError(f"dependency cycle or stuck flows: {stuck}")
 
+        busy = np.flatnonzero(link_bytes_arr)
+        link_bytes = {int(uniq[k]): float(link_bytes_arr[k]) for k in busy}
         results = {
             f.fid: FlowResult(
                 fid=f.fid,

@@ -54,7 +54,9 @@ def summarize_links(
 
     if not result.link_bytes:
         return LinkStats(0, 0.0, 0.0, 0.0, 0.0, 1.0)
-    loads = np.array(list(result.link_bytes.values()))
+    loads = np.fromiter(
+        result.link_bytes.values(), dtype=np.float64, count=len(result.link_bytes)
+    )
     max_bytes = float(loads.max())
     # Utilisation is a max over *all* busy links (the most-loaded-by-bytes
     # link need not be the most utilised one when capacities differ).
@@ -63,10 +65,15 @@ def summarize_links(
     # than dividing by zero.
     max_util = 0.0
     if result.makespan > 0:
-        for link, nbytes in result.link_bytes.items():
-            cap = cap_of(link)
-            if cap > 0:
-                max_util = max(max_util, nbytes / (cap * result.makespan))
+        caps = np.fromiter(
+            (cap_of(link) for link in result.link_bytes),
+            dtype=np.float64,
+            count=len(result.link_bytes),
+        )
+        util = np.divide(
+            loads, caps * result.makespan, out=np.zeros_like(loads), where=caps > 0
+        )
+        max_util = float(util.max())
     mean = float(loads.mean())
     return LinkStats(
         busy_links=len(loads),

@@ -293,6 +293,42 @@ class TimeSeriesProbe:
                 )
             self._next += self.interval
 
+    def record_window_dense(
+        self,
+        t0_local: float,
+        t1_local: float,
+        link_ids,
+        rate,
+        util,
+        depth,
+        active_flows: int,
+        delivered_bytes: float,
+    ) -> None:
+        """Array-shaped variant of :meth:`record_window`.
+
+        The vectorized simulator hands its incremental per-link state
+        straight over — ``link_ids`` is an array of global link ids and
+        ``rate``/``util``/``depth`` are aligned value arrays — so the
+        dict materialisation happens here, only for windows that contain
+        a grid tick, and only for the links that pass the filter.
+        """
+        if self.links is not None:
+            keep = [j for j, g in enumerate(link_ids) if int(g) in self.links]
+        else:
+            keep = range(len(link_ids))
+        link_rate: dict[int, float] = {}
+        link_util: dict[int, float] = {}
+        queue_depth: dict[int, int] = {}
+        for j in keep:
+            g = int(link_ids[j])
+            link_rate[g] = float(rate[j])
+            link_util[g] = float(util[j])
+            queue_depth[g] = int(depth[j])
+        self.record_window(
+            t0_local, t1_local, link_rate, link_util, queue_depth,
+            active_flows, delivered_bytes,
+        )
+
     def record_final(self, t_local: float, delivered_bytes: float) -> None:
         """Close a run's series with an all-idle sample at its makespan."""
         t = self._offset + t_local

@@ -229,6 +229,7 @@ def run_resilient_transfer(
     monitor: "HealthMonitor | None" = None,
     batch_tol: float = 0.0,
     fair_tol: float = 0.0,
+    lazy_frac: float = 0.0,
     probe: "TimeSeriesProbe | None" = None,
 ) -> ResilientOutcome:
     """Execute transfers with fault detection, failover and retry.
@@ -391,6 +392,7 @@ def run_resilient_transfer(
                 comm,
                 batch_tol=batch_tol,
                 fair_tol=fair_tol,
+                lazy_frac=lazy_frac,
                 capacity_fn=round_capacity_fn(T),
                 probe=probe,
                 t_base=T,

@@ -92,12 +92,22 @@ class DimOrderRouter:
         cached = self._cache.get(key)
         if cached is None:
             cached = route(self.topology, src, dst)
+            cached.links_arr  # warm the hop→link-id array while it's hot
             self._cache[key] = cached
         return cached
 
     def paths(self, pairs: Sequence[tuple[int, int]]) -> list[Path]:
-        """Paths for a batch of (src, dst) pairs."""
-        return [self.path(s, d) for s, d in pairs]
+        """Paths for a batch of (src, dst) pairs.
+
+        Cache hits resolve in one pass over the batch; only the misses
+        (deduplicated — sweeps repeat pairs heavily) are routed.
+        """
+        cache = self._cache
+        out: list["Path | None"] = [cache.get((s, d)) for s, d in pairs]
+        for i, p in enumerate(out):
+            if p is None:
+                out[i] = self.path(*pairs[i])
+        return out
 
     def cache_size(self) -> int:
         """Number of cached routes (for tests and diagnostics)."""
