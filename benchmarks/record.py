@@ -136,8 +136,52 @@ def main(argv: "list[str] | None" = None) -> int:
         default=3,
         help="interleaved reps for the seed-relative speedup measurements",
     )
+    ap.add_argument(
+        "--resilience",
+        action="store_true",
+        help="also run the partial-progress retransmit benchmark and "
+        "record its savings under the 'resilience' key",
+    )
+    ap.add_argument(
+        "--skip-perf",
+        action="store_true",
+        help="skip the simulator microbenchmarks and seed speedups "
+        "(CI's chaos-smoke job records only the resilience numbers)",
+    )
     args = ap.parse_args(argv)
     setup_cli_logging("info")
+    if args.skip_perf and not args.resilience:
+        ap.error("--skip-perf leaves nothing to record without --resilience")
+
+    resilience = None
+    if args.resilience:
+        import bench_ext_resilience as bench_res
+
+        log.info("running partial-progress retransmit benchmark ...")
+        fig = bench_res.run_partial_progress()
+        full = fig.get("full retransmit")
+        part = fig.get("partial progress (ledger)")
+        resilience = {
+            "figure": fig.figure,
+            "sizes": list(full.x),
+            "bytes_resent_full": list(full.y),
+            "bytes_resent_partial": list(part.y),
+            **fig.notes,
+        }
+        log.info(
+            f"retransmit savings {fig.notes['retransmit_savings_frac']:.1%}, "
+            f"goodput gain {fig.notes['goodput_gain_at_big']:.2f}x"
+        )
+
+    if args.skip_perf:
+        doc = {
+            "schema": "bench-simulator/1",
+            "python": sys.version.split()[0],
+            "resilience": resilience,
+        }
+        args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        log.info(f"wrote {args.out}")
+        return 0
 
     system512 = mira_system(nnodes=512)
 
@@ -203,6 +247,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "speedup_vs_seed": speedups,
         "reps": args.reps,
     }
+    if resilience is not None:
+        doc["resilience"] = resilience
     args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     log.info(f"wrote {args.out}")
 

@@ -148,6 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tc.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
     tc.add_argument("--top-links", type=int, default=16)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign; verify resilience invariants",
+    )
+    ch.add_argument("--nodes", type=int, default=128)
+    ch.add_argument("--size", type=str, default="8MiB", help="bytes per transfer")
+    ch.add_argument("--seeds", type=int, default=1, help="number of seeds (0..N-1)")
+    ch.add_argument(
+        "--scenarios", type=str, default=None,
+        help="comma-separated scenario kinds (default: all)",
+    )
+    ch.add_argument(
+        "--geometries", type=str, default=None,
+        help="comma-separated geometries (default: all)",
+    )
+    ch.add_argument("--max-retries", type=int, default=3)
+    ch.add_argument(
+        "--budget", type=float, default=0.5,
+        help="recovery wall-clock budget per run [simulated s]",
+    )
+    ch.add_argument(
+        "--goodput-floor", type=float, default=0.02,
+        help="completed runs must reach this fraction of fault-free throughput",
+    )
+    ch.add_argument("--out", type=str, default="chaos.json", metavar="PATH")
+    ch.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
     return p
 
 
@@ -528,6 +555,75 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run a seeded chaos campaign and write its JSON report."""
+    import json
+
+    from repro.resilience.chaos import (
+        GEOMETRIES,
+        SCENARIO_KINDS,
+        CampaignConfig,
+        run_campaign,
+    )
+    from repro.util.validation import ConfigError
+
+    scenarios = (
+        tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
+        if args.scenarios
+        else SCENARIO_KINDS
+    )
+    geometries = (
+        tuple(g.strip() for g in args.geometries.split(",") if g.strip())
+        if args.geometries
+        else GEOMETRIES
+    )
+    if args.seeds < 1:
+        log.error("--seeds must be >= 1")
+        return 2
+    try:
+        config = CampaignConfig(
+            nnodes=args.nodes,
+            nbytes=parse_size(args.size),
+            seeds=tuple(range(args.seeds)),
+            scenarios=scenarios,
+            geometries=geometries,
+            max_retries=args.max_retries,
+            budget_s=args.budget,
+            goodput_floor=args.goodput_floor,
+        )
+        report = run_campaign(config)
+    except ConfigError as exc:
+        log.error(str(exc))
+        return 2
+
+    log.info(
+        f"chaos campaign: {report['n_runs']} runs "
+        f"({len(scenarios)} scenarios x {len(geometries)} geometries x "
+        f"{args.seeds} seed(s)) on {args.nodes} nodes, "
+        f"{format_bytes(config.nbytes)} per transfer"
+    )
+    for r in report["runs"]:
+        mark = "ok  " if r["passed"] else "FAIL"
+        log.info(
+            f"  [{mark}] {r['scenario']:<14} {r['geometry']:<5} seed={r['seed']} "
+            f"rounds={r['rounds']} retries={r['retries']} "
+            f"resent={format_bytes(r['bytes_resent'])} "
+            f"residue={format_bytes(r['residue_bytes'])}"
+        )
+        for f in r["failures"]:
+            log.info(f"         {f}")
+    log.info(
+        f"passed {report['n_passed']}/{report['n_runs']} "
+        f"in {report['wall_time_s']:.1f}s"
+    )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    log.info(f"campaign report written to {args.out}")
+    _dump_metrics(args)
+    return 0 if report["passed"] else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "transfer": _cmd_transfer,
@@ -536,6 +632,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "faults": _cmd_faults,
     "trace": _cmd_trace,
+    "chaos": _cmd_chaos,
 }
 
 

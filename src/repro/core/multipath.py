@@ -155,6 +155,7 @@ def build_multipath_flows_detailed(
     assignment: ProxyAssignment,
     *,
     weights: "Sequence[float] | None" = None,
+    shares: "Sequence[int] | None" = None,
     label: str = "mpath",
 ) -> tuple[FlowId, list[CarrierEmission]]:
     """Emit the two-phase multipath transfer; returns the join event id
@@ -164,13 +165,28 @@ def build_multipath_flows_detailed(
     Self-carriers (``proxy == src``) are direct single-hop shares — how
     forced plans model the paper's "source as 5th proxy" configuration.
     ``weights`` switches from the paper's equal split to a proportional
-    one (see :func:`weighted_split` / :func:`path_rate_weights`).
+    one (see :func:`weighted_split` / :func:`path_rate_weights`);
+    ``shares`` pins each carrier's byte count exactly (the resilience
+    executor re-drives *extent groups* whose sizes are fixed by the
+    ledger, so a rounded re-split would corrupt the accounting).
     """
     if (assignment.source, assignment.dest) != (spec.src, spec.dst):
         raise ConfigError("assignment endpoints do not match the transfer spec")
     if assignment.k < 1:
         raise ConfigError("assignment has no carriers")
-    if weights is not None:
+    if shares is not None:
+        if weights is not None:
+            raise ConfigError("pass weights or shares, not both")
+        if len(shares) != assignment.k:
+            raise ConfigError("one share per carrier required")
+        if any(s < 1 for s in shares):
+            raise ConfigError("explicit shares must be >= 1 byte")
+        if sum(shares) != spec.nbytes:
+            raise ConfigError(
+                f"explicit shares sum to {sum(shares)}, spec moves {spec.nbytes}"
+            )
+        shares = [int(s) for s in shares]
+    elif weights is not None:
         if len(weights) != assignment.k:
             raise ConfigError("one weight per carrier required")
         shares = weighted_split(spec.nbytes, weights)

@@ -143,6 +143,8 @@ def find_proxies_for_pair(
     max_offset: int = 3,
     exclude: "Sequence[int] | frozenset[int]" = (),
     reserved: "set[int] | None" = None,
+    avoid_links: "frozenset[int] | set[int]" = frozenset(),
+    avoid_domains: "frozenset[int] | set[int]" = frozenset(),
 ) -> ProxyAssignment:
     """Run Algorithm 1's *Find Proxies* part for one (src, dst) pair.
 
@@ -157,6 +159,13 @@ def find_proxies_for_pair(
         reserved: proxies already claimed by other sources; accepted
             proxies are added to it, keeping proxy groups disjoint across
             sources.
+        avoid_links: directed link ids a candidate's two-hop route must
+            not traverse — the resilience planner passes every link the
+            health monitor marks degraded plus the routes of surviving
+            carriers, so replacements are disjoint from both.
+        avoid_domains: midplane failure-domain indices (see
+            :func:`repro.torus.partition.link_failure_domains`) the
+            route must not touch — correlated-failure avoidance.
     """
     topo = system.topology
     if src == dst:
@@ -169,6 +178,18 @@ def find_proxies_for_pair(
     excluded.update((src, dst))
     if reserved is None:
         reserved = set()
+    if avoid_domains:
+        from repro.torus.partition import link_failure_domains
+
+        shape = topo.shape
+
+        def _touches_bad_domain(links) -> bool:
+            return any(
+                not avoid_domains.isdisjoint(link_failure_domains(l, shape))
+                for l in links
+            )
+    else:
+        _touches_bad_domain = None
 
     accepted: list[int] = []
     phase1: list[Path] = []
@@ -180,6 +201,14 @@ def find_proxies_for_pair(
             continue
         p1 = system.compute_path(src, cand)
         p2 = system.compute_path(cand, dst)
+        if avoid_links and not (
+            avoid_links.isdisjoint(p1.links) and avoid_links.isdisjoint(p2.links)
+        ):
+            continue
+        if _touches_bad_domain is not None and (
+            _touches_bad_domain(p1.links) or _touches_bad_domain(p2.links)
+        ):
+            continue
         if any(paths_overlap(p1, q) for q in phase1):
             continue
         if any(paths_overlap(p2, q) for q in phase2):

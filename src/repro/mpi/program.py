@@ -17,7 +17,7 @@ Endpoint overheads are injected automatically: every ``iput`` pays
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.mpi.comm import SimComm
 from repro.network.flow import Flow, FlowId
@@ -268,9 +268,18 @@ class FlowProgram:
     # -- execution ---------------------------------------------------------------
 
     def run(
-        self, capacity_events: "Sequence[CapacityEvent] | None" = None
+        self,
+        capacity_events: "Sequence[CapacityEvent] | None" = None,
+        *,
+        cutoffs: "Mapping[FlowId, float] | None" = None,
     ) -> FlowSimResult:
-        """Simulate the accumulated DAG (optionally under a fault schedule)."""
+        """Simulate the accumulated DAG (optionally under a fault schedule).
+
+        ``cutoffs`` maps flow ids to snapshot times passed straight to
+        :meth:`~repro.network.flowsim.FlowSim.run` — the resilience
+        executor registers carrier deadlines here to read back byte-exact
+        partial progress for cancelled carriers.
+        """
         sim = FlowSim(
             self.capacity_fn or self.system.capacity,
             self.params,
@@ -283,4 +292,5 @@ class FlowProgram:
             capacity_events=capacity_events,
             probe=self.probe,
             t_base=self.t_base,
+            cutoffs=cutoffs,
         )

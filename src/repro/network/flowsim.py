@@ -123,7 +123,14 @@ def uniform_capacities(link_bw: float) -> CapacityFn:
 
 
 class FlowSimResult:
-    """Results of one :class:`FlowSim` run."""
+    """Results of one :class:`FlowSim` run.
+
+    ``cutoff_bytes`` holds, for every flow the caller passed a *cutoff*
+    time for (see :meth:`FlowSim.run`), the bytes that flow had
+    delivered by that instant — the byte-exact partial-progress record
+    the resilience ledger credits when a carrier is cancelled at its
+    deadline.
+    """
 
     def __init__(
         self,
@@ -131,11 +138,13 @@ class FlowSimResult:
         makespan: float,
         link_bytes: dict[int, float],
         n_rate_updates: int,
+        cutoff_bytes: "dict[FlowId, float] | None" = None,
     ):
         self.results = results
         self.makespan = makespan
         self.link_bytes = link_bytes
         self.n_rate_updates = n_rate_updates
+        self.cutoff_bytes = cutoff_bytes or {}
         self._total_bytes: "float | None" = None
 
     def __len__(self) -> int:
@@ -147,6 +156,12 @@ class FlowSimResult:
     def finish(self, fid: FlowId) -> float:
         """Completion time of one flow."""
         return self.results[fid].finish
+
+    def delivered_by_cutoff(self, fid: FlowId) -> float:
+        """Bytes ``fid`` had delivered at its cutoff time (its full size
+        when no cutoff was registered for it — the flow was never cut)."""
+        got = self.cutoff_bytes.get(fid)
+        return float(self.results[fid].size) if got is None else got
 
     def total_bytes(self) -> float:
         """Sum of all flow payloads (computed once, then cached —
@@ -518,6 +533,7 @@ class FlowSim:
         *,
         probe: "TimeSeriesProbe | None" = None,
         t_base: float = 0.0,
+        cutoffs: "Mapping[FlowId, float] | None" = None,
     ) -> FlowSimResult:
         """Simulate all flows to completion and return per-flow results.
 
@@ -536,6 +552,17 @@ class FlowSim:
         simulated start time, used to keep probe samples and recorded
         spans monotone when a caller (the resilience executor) chains
         several runs on one timeline.
+
+        ``cutoffs`` maps flow ids to *cutoff* times (run-local, like
+        event times): the simulator snapshots each named flow's
+        delivered bytes at exactly that instant and reports them in
+        :attr:`FlowSimResult.cutoff_bytes`.  Rates are piecewise
+        constant, so the snapshot is exact and — unlike a capacity
+        event — triggers **no rate recomputation**: flow timings are
+        unchanged to within one linear-drain split per cutoff.  The
+        resilience executor registers each carrier's deadline here so a
+        cancelled carrier's partial progress can be credited byte-for-
+        byte instead of re-sending its entire share.
         """
         flows = list(flows)
         if not flows:
@@ -556,6 +583,24 @@ class FlowSim:
                 raise ConfigError(
                     f"capacity_events must contain CapacityEvent records, got {e!r}"
                 )
+
+        # Cutoff snapshots: per-flow delivered-bytes attribution times.
+        cut_map: dict[float, list[int]] = {}
+        cut_rec: dict[FlowId, float] = {}
+        if cutoffs:
+            for fid, t_cut in cutoffs.items():
+                i = fid_to_idx.get(fid)
+                if i is None:
+                    raise ConfigError(f"cutoff names unknown flow {fid!r}")
+                t_cut = float(t_cut)
+                if t_cut < 0:
+                    raise ConfigError(
+                        f"flow {fid!r}: cutoff time must be >= 0, got {t_cut}"
+                    )
+                if np.isfinite(t_cut):
+                    cut_map.setdefault(t_cut, []).append(i)
+        cut_times = sorted(cut_map)
+        cp = 0  # next unapplied cutoff time
 
         # Dependency DAG in CSR form: child_flat[child_ptr[j]:child_ptr[j+1]]
         # are the flows waiting on flow j.
@@ -701,6 +746,25 @@ class FlowSim:
                 act_dirty = True
             return moved
 
+        def apply_cuts_due(t: float):
+            """Snapshot delivered bytes for every cutoff whose time arrived.
+
+            Rates are piecewise constant and every caller lands here with
+            ``remaining`` drained exactly to ``t``, so ``size - remaining``
+            *is* the bytes delivered at the cut instant — no interpolation.
+            """
+            nonlocal cp
+            while cp < len(cut_times) and cut_times[cp] <= t + 1e-18:
+                for i in cut_map[cut_times[cp]]:
+                    if done[i]:
+                        got = float(size_arr[i])
+                    else:
+                        got = float(
+                            min(size_arr[i], max(size_arr[i] - remaining[i], 0.0))
+                        )
+                    cut_rec[flows[i].fid] = got
+                cp += 1
+
         ep = 0  # next unapplied capacity event
 
         def apply_events_due(t: float):
@@ -756,6 +820,7 @@ class FlowSim:
                 if probe is not None:
                     probe_window(T, T_new, False)
                 T = T_new
+                apply_cuts_due(T)
                 apply_events_due(T)
                 if activate_due(T):
                     rates = None
@@ -792,10 +857,27 @@ class FlowSim:
                 freed_rate = 0.0
 
             next_evt = events[ep].time if ep < len(events) else np.inf
+            next_cut = cut_times[cp] if cp < len(cut_times) else np.inf
             ttf = remaining[act] / rates
             dt_complete = float(ttf.min())
             dt_act = (pending[0][0] - T) if pending else np.inf
             dt_int = min(dt_act, next_evt - T)
+            if (
+                next_cut - T < dt_int * (1 - _REL_TOL)
+                and next_cut - T < dt_complete * (1 - _REL_TOL)
+            ):
+                # A cutoff snapshot strictly precedes every activation,
+                # capacity event and completion: split the linear drain
+                # at the cut instant and *keep* the rate vector — the
+                # split is invisible to flow timings, which is what makes
+                # fault-free runs byte-identical with or without cutoffs.
+                dt = max(next_cut - T, 0.0)
+                if probe is not None:
+                    probe_window(T, T + dt, True)
+                remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
+                T += dt
+                apply_cuts_due(T)
+                continue
             if dt_int < dt_complete * (1 - _REL_TOL):
                 # An activation or a capacity change interrupts before any
                 # completion; drain linearly, then recompute rates.
@@ -804,6 +886,7 @@ class FlowSim:
                     probe_window(T, T + dt, True)
                 remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
                 T += dt
+                apply_cuts_due(T)
                 activate_due(T)
                 apply_events_due(T)
                 rates = None
@@ -811,7 +894,15 @@ class FlowSim:
 
             dt = dt_complete
             if self.batch_tol > 0:
-                dt = min(dt_complete * (1 + self.batch_tol), dt_act, next_evt - T)
+                # Batched completions never overshoot a pending cutoff
+                # (but a cut inside the [dt_complete, dt) stretch must
+                # not drag dt below the earliest completion either).
+                dt = min(
+                    dt_complete * (1 + self.batch_tol),
+                    dt_act,
+                    next_evt - T,
+                    max(next_cut - T, dt_complete),
+                )
             if probe is not None:
                 probe_window(T, T + dt, True)
             remaining[act] = np.maximum(remaining[act] - rates * dt, 0.0)
@@ -823,6 +914,7 @@ class FlowSim:
             fin = act[finished_mask]
             np.subtract.at(nfl_act, flat[_segment_gather(ptr, lens_full, fin)], 1.0)
             finish_flows(fin, T)
+            apply_cuts_due(T)
             act = act[~finished_mask]
             act_dirty = True
             # Lazy rate updates: survivors keep their (still feasible)
@@ -843,6 +935,7 @@ class FlowSim:
         if not done.all():
             stuck = [flows[i].fid for i in range(n) if not done[i]]
             raise SimulationError(f"dependency cycle or stuck flows: {stuck}")
+        apply_cuts_due(np.inf)  # cuts past the makespan: flows fully delivered
 
         busy = np.flatnonzero(link_bytes_arr)
         link_bytes = {int(uniq[k]): float(link_bytes_arr[k]) for k in busy}
@@ -894,4 +987,4 @@ class FlowSim:
         reg.counter("flowsim.rate_updates").inc(n_updates)
         reg.counter("flowsim.capacity_events_applied").inc(ep)
         reg.counter("flowsim.delivered_bytes").inc(delivered)
-        return FlowSimResult(results, makespan, link_bytes, n_updates)
+        return FlowSimResult(results, makespan, link_bytes, n_updates, cut_rec)

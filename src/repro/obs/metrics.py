@@ -188,6 +188,26 @@ def use_registry(registry: MetricsRegistry):
         set_registry(prev)
 
 
+def counter_violations(
+    before: Mapping[str, float], after: Mapping[str, float]
+) -> list[str]:
+    """Counters that moved *backwards* between two snapshots.
+
+    Counters are monotone by contract (:meth:`Counter.inc` rejects
+    negative increments), so any name whose value decreased — or that
+    vanished entirely — between ``before`` and ``after`` (the
+    ``"counters"`` sections of two :meth:`MetricsRegistry.snapshot`
+    calls) marks a broken instrument or a mid-run registry reset.
+    Returns the offending names, sorted; empty means monotone.
+    """
+    bad = []
+    for name, v in before.items():
+        w = after.get(name)
+        if w is None or w < v:
+            bad.append(name)
+    return sorted(bad)
+
+
 # -- time-series probe --------------------------------------------------------
 
 

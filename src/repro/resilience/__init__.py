@@ -3,9 +3,20 @@
 Closes the loop the paper's §IV-A assumes away: fault injection
 (:mod:`repro.machine.faults`) → detection (:class:`HealthMonitor`) →
 re-planning (:class:`ResilientPlanner`) → retried execution
-(:func:`run_resilient_transfer`).
+(:func:`run_resilient_transfer`) — with an end-to-end integrity ledger
+(:class:`TransferLedger`) proving exactly-once delivery, and a seeded
+chaos-campaign harness (:func:`run_campaign`) that checks the whole
+stack against machine-verifiable invariants.
 """
 
+from repro.resilience.chaos import (
+    CampaignConfig,
+    ChaosRun,
+    ChaosScenario,
+    GEOMETRIES,
+    SCENARIO_KINDS,
+    run_campaign,
+)
 from repro.resilience.executor import (
     PathAttempt,
     ResilienceTelemetry,
@@ -14,17 +25,49 @@ from repro.resilience.executor import (
     TransferAbortedError,
     run_resilient_transfer,
 )
-from repro.resilience.health import HealthMonitor
+from repro.resilience.health import (
+    DEGRADED,
+    DOWN,
+    HEALTHY,
+    PROBATION,
+    HealthMonitor,
+)
+from repro.resilience.ledger import (
+    Extent,
+    IntegrityError,
+    LedgerReport,
+    TransferLedger,
+    extent_checksum,
+    group_extents,
+    prefix_extents,
+)
 from repro.resilience.planner import ResilientPlanner, ResilientTransfer
 
 __all__ = [
+    "CampaignConfig",
+    "ChaosRun",
+    "ChaosScenario",
+    "DEGRADED",
+    "DOWN",
+    "Extent",
+    "GEOMETRIES",
+    "HEALTHY",
     "HealthMonitor",
+    "IntegrityError",
+    "LedgerReport",
+    "PROBATION",
     "PathAttempt",
     "ResilienceTelemetry",
     "ResilientOutcome",
     "ResilientPlanner",
     "ResilientTransfer",
     "RetryPolicy",
+    "SCENARIO_KINDS",
     "TransferAbortedError",
+    "TransferLedger",
+    "extent_checksum",
+    "group_extents",
+    "prefix_extents",
+    "run_campaign",
     "run_resilient_transfer",
 ]

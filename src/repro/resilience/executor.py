@@ -1,4 +1,4 @@
-"""Resilient transfer execution: detect → re-plan → retry.
+"""Resilient transfer execution: detect → credit → re-plan → retry.
 
 :func:`run_resilient_transfer` closes the loop the planner alone cannot:
 the ground-truth :class:`~repro.machine.faults.FaultTrace` is *hidden*
@@ -15,19 +15,34 @@ per-path deadlines and collapsed observed rates.  Execution proceeds in
    delivery rate fell below ``health_threshold`` of plan — plain two-way
    max-min contention yields a 0.5 rate ratio, safely above the default
    0.4, so fair sharing alone never triggers failover;
-3. failed shares are pooled per transfer and **re-split** over the
-   carriers the :class:`~repro.resilience.health.HealthMonitor` still
-   believes healthy: ≥ ``min_healthy_paths`` survivors → proportional
-   re-split over them; 1–2 survivors → survivors plus the direct path as
-   an extra carrier; none → graceful degradation to a plain direct
-   retry;
-4. the next round starts after an exponential backoff (simulated time);
+3. a failed carrier is *cancelled at its deadline*: the simulator's
+   byte-exact cutoff snapshot says how much of its share actually
+   landed, and the :class:`~repro.resilience.ledger.TransferLedger`
+   credits those extents — including extents parked **at a
+   store-and-forward proxy** (phase 1 done, phase 2 owed), which are
+   re-driven over the second hop only;
+4. the remaining *outstanding* extents are re-split, whole extents at a
+   time, over the carriers the monitor still believes healthy, topped
+   up with failure-domain-aware **replacement proxies** from the
+   planner (never sharing a link with a degraded route or a surviving
+   carrier) and, when too few survive, the direct path;
+5. the next round starts after an exponential backoff (simulated time);
    a transfer that exhausts ``max_retries`` raises
-   :class:`TransferAbortedError` carrying the telemetry so far.
+   :class:`TransferAbortedError` — unless a wall-clock **budget** is
+   set, in which case the executor degrades to one final best-effort
+   direct round capped at the budget and returns the ledger's residue
+   instead of raising.
+
+At completion every ledger verifies **exactly-once** delivery of every
+extent; duplicates or gaps raise
+:class:`~repro.resilience.ledger.IntegrityError`.  Receivers drop
+stale-epoch arrivals (a cancelled carrier's flow finishing after its
+deadline delivers nothing), which is what makes the credit exact.
 
 With no faults at all, round 1 emits byte-for-byte the same flow program
-as :func:`~repro.core.multipath.run_transfer` and no deadline fires, so
-the outcome is identical to the fault-blind executor's (tested).
+as :func:`~repro.core.multipath.run_transfer`, registers no cutoffs, and
+no deadline fires, so the outcome is identical to the fault-blind
+executor's (tested).
 
 Hard-down links are clamped to :data:`STALL_RATE` (≈1 B/s) instead of
 zero so a flow routed across one *stalls* — exactly what a real RDMA put
@@ -54,7 +69,15 @@ from repro.mpi.program import FlowProgram
 from repro.network.flowsim import CapacityEvent, FlowSimResult
 from repro.obs.metrics import TimeSeriesProbe, get_registry
 from repro.obs.trace import get_tracer
-from repro.resilience.health import DOWN, HEALTHY, HealthMonitor
+from repro.resilience.health import DOWN, HEALTHY, PROBATION, HealthMonitor
+from repro.resilience.ledger import (
+    DEFAULT_CHUNK_BYTES,
+    Extent,
+    LedgerReport,
+    TransferLedger,
+    group_extents,
+    prefix_extents,
+)
 from repro.resilience.planner import ResilientPlanner, ResilientTransfer
 from repro.util.validation import ConfigError, SimulationError
 
@@ -74,9 +97,10 @@ class RetryPolicy:
             of its predicted time.
         backoff_base: first retry's backoff delay [s] (simulated time).
         backoff_multiplier: exponential backoff growth per retry.
-        min_healthy_paths: surviving-proxy count below which the direct
-            path joins the retry carriers (the Eq. 5 profitability floor:
-            fewer than 3 paths cannot beat direct anyway).
+        min_healthy_paths: surviving-proxy count below which replacement
+            proxies (and, failing that, the direct path) join the retry
+            carriers (the Eq. 5 profitability floor: fewer than 3 paths
+            cannot beat direct anyway).
         health_threshold: a late carrier only *fails* when its delivery
             rate fell below this fraction of plan; keep < 0.5 so fair
             two-way contention is never mistaken for a fault.
@@ -84,6 +108,29 @@ class RetryPolicy:
             of the stream ceiling when setting deadlines, so a path the
             monitor believes (almost) dead cannot "succeed" by matching
             an absurdly low expectation — it fails fast instead.
+        chunk_bytes: extent granularity of the integrity ledger (see
+            :class:`~repro.resilience.ledger.TransferLedger`).
+        partial_progress: credit a cancelled carrier's byte-exact
+            partial delivery and re-send only outstanding extents
+            (``False`` re-sends failed shares whole — the pre-ledger
+            behaviour, kept for the retransmit-volume benchmark).
+        budget_s: wall-clock ceiling [simulated s] on recovery: no retry
+            round *starts* past it, and on exhaustion (or retries
+            running out while a budget is set) the executor runs one
+            budget-capped best-effort direct round and returns the
+            ledger's residue instead of raising.  Round 0 always runs
+            to its natural end — the budget gates recovery, not the
+            initial attempt.  ``None`` keeps the raising behaviour.
+        reprobe_interval: half-open re-probe interval handed to an
+            auto-created :class:`~repro.resilience.health.HealthMonitor`
+            (ignored when a monitor is passed in); ``None`` disables.
+        use_replacements: top up surviving carriers with
+            failure-domain-aware replacement proxies (only when at
+            least one carrier survived — with none, the direct path is
+            the only believed-safe fallback).
+        avoid_failure_domains: additionally keep replacement routes out
+            of every midplane failure domain touching a link the
+            monitor believes down.
     """
 
     max_retries: int = 3
@@ -93,6 +140,12 @@ class RetryPolicy:
     min_healthy_paths: int = 3
     health_threshold: float = 0.4
     min_planned_fraction: float = 0.01
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    partial_progress: bool = True
+    budget_s: "float | None" = None
+    reprobe_interval: "float | None" = None
+    use_replacements: bool = True
+    avoid_failure_domains: bool = False
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -119,6 +172,14 @@ class RetryPolicy:
             raise ConfigError(
                 f"min_planned_fraction must be in (0, 1], got "
                 f"{self.min_planned_fraction}"
+            )
+        if self.chunk_bytes < 1:
+            raise ConfigError(f"chunk_bytes must be >= 1, got {self.chunk_bytes}")
+        if self.budget_s is not None and self.budget_s <= 0:
+            raise ConfigError(f"budget_s must be > 0, got {self.budget_s}")
+        if self.reprobe_interval is not None and self.reprobe_interval <= 0:
+            raise ConfigError(
+                f"reprobe_interval must be > 0, got {self.reprobe_interval}"
             )
 
 
@@ -160,6 +221,10 @@ class ResilienceTelemetry:
     failovers: int = 0
     bytes_resent: int = 0
     degraded_to_direct: int = 0
+    partial_credit_bytes: int = 0
+    bytes_redriven: int = 0
+    replacements: int = 0
+    budget_exhausted: bool = False
     attempts: list[PathAttempt] = field(default_factory=list)
 
     @property
@@ -174,7 +239,12 @@ class ResilientOutcome:
 
     ``makespan`` is absolute simulated completion time including retry
     rounds and backoffs; ``round_results`` keeps each round's raw
-    flow-level results (round 0 first).
+    flow-level results (round 0 first).  ``ledgers`` maps each
+    ``(src, dst)`` pair to its verified
+    :class:`~repro.resilience.ledger.TransferLedger` and ``integrity``
+    holds the per-transfer verification reports — ``complete`` is False
+    only for budget-exhausted best-effort runs, whose undelivered bytes
+    are ``residue_bytes``.
     """
 
     makespan: float
@@ -184,6 +254,10 @@ class ResilientOutcome:
     telemetry: ResilienceTelemetry
     plans: list[ResilientTransfer]
     round_results: list[FlowSimResult]
+    ledgers: dict[tuple[int, int], TransferLedger] = field(default_factory=dict)
+    integrity: list[LedgerReport] = field(default_factory=list)
+    residue_bytes: int = 0
+    complete: bool = True
 
     @property
     def throughput(self) -> float:
@@ -208,6 +282,9 @@ class _Carrier:
     planned_time: float
     deadline: float
     exit_fid: object = None
+    phase1_fid: object = None
+    redrive: bool = False  # one-hop proxy→dst re-drive of parked extents
+    extents: list = field(default_factory=list)  # ledger extents, stream order
     obs: list = field(default_factory=list)  # (links, fid) pairs to observe
 
 
@@ -238,7 +315,8 @@ def run_resilient_transfer(
         faults: *known* static faults — the planner routes around them.
         trace: *hidden* ground truth the executor only discovers through
             missed deadlines and observed rates.
-        policy: retry/deadline/backoff knobs (default :class:`RetryPolicy`).
+        policy: retry/deadline/backoff/budget knobs (default
+            :class:`RetryPolicy`).
         planner: a pre-built (possibly pre-warmed) fault-aware planner.
         monitor: a pre-built health monitor (kept across calls to carry
             link beliefs from one transfer wave to the next).
@@ -256,7 +334,10 @@ def run_resilient_transfer(
     policy = policy or RetryPolicy()
     if monitor is None:
         monitor = HealthMonitor(
-            system, faults=faults, suspect_fraction=policy.health_threshold
+            system,
+            faults=faults,
+            suspect_fraction=policy.health_threshold,
+            reprobe_interval=policy.reprobe_interval,
         )
     if planner is None:
         planner = ResilientPlanner(system, faults=faults, monitor=monitor)
@@ -268,13 +349,23 @@ def run_resilient_transfer(
     direct_links = {
         (s.src, s.dst): system.compute_path(s.src, s.dst).links for s in specs
     }
+    faulted = not (faults.is_null and trace.is_null)
+    # Fault-free runs never register cutoffs: the flow program the
+    # simulator sees is byte-identical to the fault-blind executor's.
+    track_cutoffs = faulted and policy.partial_progress
+    ledgers = {
+        idx: TransferLedger(
+            (s.src, s.dst), s.nbytes, chunk_bytes=policy.chunk_bytes
+        )
+        for idx, s in enumerate(specs)
+    }
 
     def capacity_at(link: int, t: float) -> float:
         c = system.capacity(link) * faults.link_factor(link) * trace.factor_at(link, t)
         return c if c > 0.0 else STALL_RATE
 
     def round_capacity_fn(t0: float) -> "Callable[[int], float] | None":
-        if faults.is_null and trace.is_null:
+        if not faulted:
             return None  # pristine machine: identical physics to run_transfer
         return lambda link: capacity_at(link, t0)
 
@@ -298,12 +389,14 @@ def run_resilient_transfer(
         weights: "tuple[float, ...] | None",
         rates: Sequence[float],
         label: str,
+        shares: "Sequence[int] | None" = None,
+        groups: "Sequence[Sequence[Extent]] | None" = None,
     ) -> list[_Carrier]:
         """Emit a (possibly partial) multipath group and wrap each share."""
         spec = specs[spec_idx]
         sub = TransferSpec(src=spec.src, dst=spec.dst, nbytes=nbytes)
         _, emissions = build_multipath_flows_detailed(
-            prog, sub, asg, weights=weights, label=label
+            prog, sub, asg, weights=weights, shares=shares, label=label
         )
         out = []
         for i, em in enumerate(emissions):
@@ -319,6 +412,8 @@ def run_resilient_transfer(
                 planned_time=t_pred,
                 deadline=policy.deadline_factor * t_pred,
                 exit_fid=em.exit,
+                phase1_fid=em.phase1,
+                extents=list(groups[i]) if groups is not None else [],
             )
             if two_hop:
                 car.obs = [
@@ -331,7 +426,12 @@ def run_resilient_transfer(
         return out
 
     def emit_direct(
-        prog: FlowProgram, spec_idx: int, nbytes: int, rate: float, label: str
+        prog: FlowProgram,
+        spec_idx: int,
+        nbytes: int,
+        rate: float,
+        label: str,
+        extents: "Sequence[Extent] | None" = None,
     ) -> _Carrier:
         spec = specs[spec_idx]
         sub = TransferSpec(src=spec.src, dst=spec.dst, nbytes=nbytes)
@@ -347,17 +447,51 @@ def run_resilient_transfer(
             planned_time=t_pred,
             deadline=policy.deadline_factor * t_pred,
             exit_fid=fid,
+            extents=list(extents) if extents is not None else [],
             obs=[(direct_links[(spec.src, spec.dst)], fid)],
+        )
+
+    def emit_redrive(
+        prog: FlowProgram,
+        spec_idx: int,
+        proxy: int,
+        extents: Sequence[Extent],
+        rate: float,
+        label: str,
+    ) -> _Carrier:
+        """One-hop proxy→destination re-drive of extents parked at a
+        store-and-forward proxy (phase 1 already landed them there)."""
+        spec = specs[spec_idx]
+        nbytes = sum(e.length for e in extents)
+        fid = prog.iput_nodes(
+            proxy, spec.dst, nbytes, relay=True, label=label,
+            tag=(spec.src, spec.dst),
+        )
+        rate = max(float(rate), policy.min_planned_fraction * stream)
+        t_pred = params.o_msg + params.o_fwd + nbytes / rate
+        p2_links = system.compute_path(proxy, spec.dst).links
+        return _Carrier(
+            spec_idx=spec_idx,
+            proxy=proxy,
+            share=nbytes,
+            two_hop=False,
+            planned_rate=rate,
+            planned_time=t_pred,
+            deadline=policy.deadline_factor * t_pred,
+            exit_fid=fid,
+            redrive=True,
+            extents=list(extents),
+            obs=[(p2_links, fid)],
         )
 
     telemetry = ResilienceTelemetry()
     mode_used: dict[tuple[int, int], str] = {}
     round_results: list[FlowSimResult] = []
     retries_left = [policy.max_retries] * len(specs)
-    delivered = 0.0
 
     # Round 0's work comes straight from the plan; later rounds replace
-    # this with the per-spec retry emissions built below.
+    # this with the per-spec retry emissions built below.  The ledgers
+    # are sealed here, once the round-0 share boundaries are known.
     def initial_emit(prog: FlowProgram) -> list[_Carrier]:
         out = []
         for idx, plan in enumerate(plans):
@@ -370,17 +504,213 @@ def run_resilient_transfer(
                     if plan.weights is not None
                     else [stream] * asg.k
                 )
-                out.extend(
-                    emit_carrier_group(
-                        prog, idx, asg, spec.nbytes, plan.weights, rates, "mpath"
-                    )
+                cars = emit_carrier_group(
+                    prog, idx, asg, spec.nbytes, plan.weights, rates, "mpath"
                 )
                 mode_used[key] = f"proxy:{asg.k}"
             else:
                 rate = plan.effective_direct_rate or stream
-                out.append(emit_direct(prog, idx, spec.nbytes, rate, "direct"))
+                cars = [emit_direct(prog, idx, spec.nbytes, rate, "direct")]
                 mode_used[key] = "direct"
+            # Extent boundaries = chunk grid ∪ these share boundaries,
+            # so every carrier range is a whole number of extents.
+            led = ledgers[idx]
+            cuts, lo = [], 0
+            for car in cars:
+                lo += car.share
+                cuts.append(lo)
+            led.seal(cuts[:-1])
+            lo = 0
+            for car in cars:
+                car.extents = led.extents_in_range(lo, lo + car.share)
+                lo += car.share
+            out.extend(cars)
         return out
+
+    def credit_carrier(car: _Carrier, ok: bool, result: FlowSimResult) -> None:
+        """Move the carrier's extents through the ledger.
+
+        ``ok`` carriers delivered everything.  Failed carriers are
+        cancelled at their deadline: the simulator's cutoff snapshot
+        says how many bytes landed, and only whole extents inside that
+        prefix are credited (delivered at the destination, or — for the
+        first hop of a store-and-forward carrier — parked at the
+        proxy).  The receiver drops anything arriving after the
+        cancellation, so nothing here can double-deliver.
+        """
+        led = ledgers[car.spec_idx]
+        if ok:
+            led.credit_delivered(car.extents)
+            reg.counter("resilience.extents.delivered").inc(len(car.extents))
+            return
+        if not (faulted and policy.partial_progress):
+            return
+        if car.two_hop:
+            g2 = result.delivered_by_cutoff(car.exit_fid)
+            g1 = result.delivered_by_cutoff(car.phase1_fid)
+            cov2, _ = prefix_extents(car.extents, g2)
+            cov1, _ = prefix_extents(car.extents, g1)
+            got = led.credit_delivered(cov2)
+            # Store-and-forward: phase 2 only starts once phase 1 has
+            # fully landed, so cov2 is always a prefix of cov1 — the
+            # difference sits at the proxy, owing only the second hop.
+            led.credit_at_proxy(cov1[len(cov2):], car.proxy)
+            reg.counter("resilience.extents.delivered").inc(len(cov2))
+            reg.counter("resilience.extents.at_proxy").inc(len(cov1) - len(cov2))
+        else:
+            g = result.delivered_by_cutoff(car.exit_fid)
+            cov, _ = prefix_extents(car.extents, g)
+            got = led.credit_delivered(cov)
+            reg.counter("resilience.extents.delivered").inc(len(cov))
+        if got:
+            telemetry.partial_credit_bytes += got
+            reg.counter("resilience.partial_credit_bytes").inc(got)
+
+    def settle_round(
+        carriers: list[_Carrier], result: FlowSimResult, rnd: int, T: float
+    ) -> tuple[float, dict[int, list[_Carrier]]]:
+        """Per-carrier verdicts, ledger credit, monitor feeding."""
+        round_end = 0.0
+        failed_by_spec: dict[int, list[_Carrier]] = {}
+        for car in carriers:
+            finish = result.finish(car.exit_fid)
+            ok = finish <= car.deadline
+            if not ok:
+                fixed = car.planned_time - (
+                    (2 if car.two_hop else 1) * car.share / car.planned_rate
+                )
+                elapsed = max(finish - fixed, 1e-12)
+                achieved = car.share / elapsed
+                planned_delivery = (
+                    car.planned_rate / 2 if car.two_hop else car.planned_rate
+                )
+                ok = achieved >= policy.health_threshold * planned_delivery
+            spec = specs[car.spec_idx]
+            telemetry.attempts.append(
+                PathAttempt(
+                    round=rnd,
+                    src=spec.src,
+                    dst=spec.dst,
+                    proxy=car.proxy,
+                    share=car.share,
+                    planned_time=car.planned_time,
+                    deadline=T + car.deadline,
+                    finish=T + finish,
+                    verdict="ok" if ok else "failed",
+                )
+            )
+            reg.counter(
+                "resilience.attempts.ok" if ok else "resilience.attempts.failed"
+            ).inc()
+            if math.isfinite(finish):
+                reg.histogram("resilience.attempt_time_s").observe(finish)
+            # A stalled flow's *mean* rate is its bytes diluted over the
+            # whole stall (share / ~1e6 s ≈ a few B/s), so the dead-link
+            # line must be relative to the stream ceiling, not to
+            # STALL_RATE alone — 1e-6 of nominal is still ~1000x any
+            # stall artefact and ~1e5 below any real degradation.
+            down_rate = max(2 * STALL_RATE, 1e-6 * stream)
+            for links, fid in car.obs:
+                r = result[fid]
+                rate_obs = r.mean_rate if math.isfinite(r.mean_rate) else stream
+                monitor.observe(links, rate_obs)
+                if not ok and rate_obs <= down_rate:
+                    monitor.mark_down(links)
+            credit_carrier(car, ok, result)
+            if ok:
+                round_end = max(round_end, finish)
+            else:
+                # Cancelled at the deadline: the receiver ignores the
+                # late arrival; only the credited prefix counts.
+                round_end = max(round_end, min(finish, car.deadline))
+                failed_by_spec.setdefault(car.spec_idx, []).append(car)
+        monitor.end_round()
+        monitor.advance(T + round_end)
+        return round_end, failed_by_spec
+
+    def best_effort_round(T0: float, rnd: int) -> float:
+        """Final budget-capped direct/redrive round; returns its length.
+
+        Every flow is cut off at the remaining budget and whatever
+        landed by then is credited — the outcome reports the residue.
+        """
+        t_rem = (policy.budget_s - T0) if policy.budget_s is not None else math.inf
+        if t_rem <= 0:
+            return 0.0
+        prog = FlowProgram(
+            comm,
+            batch_tol=batch_tol,
+            fair_tol=fair_tol,
+            lazy_frac=lazy_frac,
+            capacity_fn=round_capacity_fn(T0),
+            probe=probe,
+            t_base=T0,
+        )
+        carriers: list[_Carrier] = []
+        for idx, led in sorted(ledgers.items()):
+            if led.complete:
+                continue
+            spec = specs[idx]
+            for p in led.holders():
+                p2 = system.compute_path(p, spec.dst).links
+                if monitor.path_verdict(p2) != DOWN:
+                    exts = led.held_extents(p)
+                    carriers.append(
+                        emit_redrive(
+                            prog, idx, p, exts,
+                            monitor.path_rate(p2), "best-effort-redrive",
+                        )
+                    )
+                else:
+                    led.release_proxy(p)
+            outstanding = led.outstanding_extents()
+            if outstanding:
+                nb = sum(e.length for e in outstanding)
+                rate = monitor.path_rate(direct_links[(spec.src, spec.dst)])
+                carriers.append(
+                    emit_direct(
+                        prog, idx, nb, max(rate, STALL_RATE), "best-effort",
+                        extents=outstanding,
+                    )
+                )
+        if not carriers:
+            return 0.0
+        cutoffs = (
+            {car.exit_fid: t_rem for car in carriers}
+            if math.isfinite(t_rem)
+            else None
+        )
+        result = prog.run(round_events(T0), cutoffs=cutoffs)
+        round_results.append(result)
+        telemetry.rounds += 1
+        reg.counter("resilience.rounds").inc()
+        round_end = 0.0
+        for car in carriers:
+            finish = result.finish(car.exit_fid)
+            ok = finish <= t_rem
+            g = result.delivered_by_cutoff(car.exit_fid)
+            cov, _ = prefix_extents(car.extents, g)
+            got = ledgers[car.spec_idx].credit_delivered(cov)
+            reg.counter("resilience.extents.delivered").inc(len(cov))
+            if not ok and got:
+                telemetry.partial_credit_bytes += got
+                reg.counter("resilience.partial_credit_bytes").inc(got)
+            spec = specs[car.spec_idx]
+            telemetry.attempts.append(
+                PathAttempt(
+                    round=rnd,
+                    src=spec.src,
+                    dst=spec.dst,
+                    proxy=car.proxy,
+                    share=car.share,
+                    planned_time=car.planned_time,
+                    deadline=T0 + min(t_rem, car.deadline),
+                    finish=T0 + finish,
+                    verdict="ok" if ok else "failed",
+                )
+            )
+            round_end = max(round_end, min(finish, t_rem))
+        return round_end
 
     emit_round = initial_emit
     T = 0.0
@@ -398,60 +728,26 @@ def run_resilient_transfer(
                 t_base=T,
             )
             carriers = emit_round(prog)
-            result = prog.run(round_events(T))
+            if policy.budget_s is not None and rnd > 0:
+                # Retry rounds may not run past the budget: a carrier
+                # still in flight at the budget line is cancelled there
+                # (round 0 is ungated — the budget bounds *recovery*).
+                t_rem = policy.budget_s - T
+                for car in carriers:
+                    car.deadline = min(car.deadline, t_rem)
+            cutoffs = None
+            if track_cutoffs:
+                cutoffs = {}
+                for car in carriers:
+                    cutoffs[car.exit_fid] = car.deadline
+                    if car.phase1_fid is not None:
+                        cutoffs[car.phase1_fid] = car.deadline
+            result = prog.run(round_events(T), cutoffs=cutoffs)
             round_results.append(result)
             telemetry.rounds += 1
             reg.counter("resilience.rounds").inc()
 
-            round_end = 0.0
-            failed_by_spec: dict[int, list[_Carrier]] = {}
-            for car in carriers:
-                finish = result.finish(car.exit_fid)
-                ok = finish <= car.deadline
-                if not ok:
-                    fixed = car.planned_time - (
-                        (2 if car.two_hop else 1) * car.share / car.planned_rate
-                    )
-                    elapsed = max(finish - fixed, 1e-12)
-                    achieved = car.share / elapsed
-                    planned_delivery = (
-                        car.planned_rate / 2 if car.two_hop else car.planned_rate
-                    )
-                    ok = achieved >= policy.health_threshold * planned_delivery
-                spec = specs[car.spec_idx]
-                telemetry.attempts.append(
-                    PathAttempt(
-                        round=rnd,
-                        src=spec.src,
-                        dst=spec.dst,
-                        proxy=car.proxy,
-                        share=car.share,
-                        planned_time=car.planned_time,
-                        deadline=T + car.deadline,
-                        finish=T + finish,
-                        verdict="ok" if ok else "failed",
-                    )
-                )
-                reg.counter(
-                    "resilience.attempts.ok" if ok else "resilience.attempts.failed"
-                ).inc()
-                if math.isfinite(finish):
-                    reg.histogram("resilience.attempt_time_s").observe(finish)
-                for links, fid in car.obs:
-                    r = result[fid]
-                    rate_obs = r.mean_rate if math.isfinite(r.mean_rate) else stream
-                    monitor.observe(links, rate_obs)
-                    if not ok and rate_obs <= 2 * STALL_RATE:
-                        monitor.mark_down(links)
-                if ok:
-                    delivered += car.share
-                    round_end = max(round_end, finish)
-                else:
-                    # The share is re-sent in full next round; treat the
-                    # carrier as cancelled at its deadline.
-                    round_end = max(round_end, min(finish, car.deadline))
-                    failed_by_spec.setdefault(car.spec_idx, []).append(car)
-            monitor.end_round()
+            round_end, failed_by_spec = settle_round(carriers, result, rnd, T)
             rspan.set(
                 carriers=len(carriers),
                 failed=sum(len(v) for v in failed_by_spec.values()),
@@ -471,27 +767,77 @@ def run_resilient_transfer(
         if not failed_by_spec:
             break
 
+        # Recovery gate: exhausted retries abort (no budget) or divert to
+        # the final best-effort round (budget set); a retry round that
+        # would start past the budget diverts likewise.
+        exhausted = [i for i in sorted(failed_by_spec) if retries_left[i] == 0]
+        backoff = policy.backoff_base * policy.backoff_multiplier**rnd
+        T_next = T + round_end + backoff
+        over_budget = policy.budget_s is not None and T_next >= policy.budget_s
+        if exhausted and policy.budget_s is None:
+            spec = specs[exhausted[0]]
+            reg.counter("resilience.aborts").inc()
+            raise TransferAbortedError(
+                f"transfer ({spec.src}, {spec.dst}) still failing after "
+                f"{policy.max_retries} retries; giving up",
+                telemetry=telemetry,
+            )
+        if exhausted or over_budget:
+            telemetry.budget_exhausted = True
+            reg.counter("resilience.budget_exhausted").inc()
+            T_bf = (
+                min(T_next, policy.budget_s)
+                if policy.budget_s is not None
+                else T_next
+            )
+            be_end = best_effort_round(T_bf, rnd + 1)
+            if be_end > 0:
+                T, round_end = T_bf, be_end
+            # else: no budget left for a final round — the clock stops at
+            # the last real round's end, not at a phantom backoff.
+            break
+
         retry_emits: list[Callable[[FlowProgram], list[_Carrier]]] = []
         for idx, failed in sorted(failed_by_spec.items()):
             spec = specs[idx]
-            if retries_left[idx] == 0:
-                reg.counter("resilience.aborts").inc()
-                raise TransferAbortedError(
-                    f"transfer ({spec.src}, {spec.dst}) still failing after "
-                    f"{policy.max_retries} retries; giving up",
-                    telemetry=telemetry,
-                )
+            led = ledgers[idx]
+            key = (spec.src, spec.dst)
             retries_left[idx] -= 1
-            nbytes = sum(c.share for c in failed)
-            telemetry.bytes_resent += nbytes
             telemetry.failovers += len(failed)
             telemetry.retries += 1
-            reg.counter("resilience.bytes_resent").inc(nbytes)
             reg.counter("resilience.failovers").inc(len(failed))
             reg.counter("resilience.retries").inc()
+            label = f"retry{rnd + 1}"
+
+            # Extents parked at proxies ride the second hop only —
+            # unless that hop is believed dead (probation counts as
+            # alive: a flapping link gets re-probed, not abandoned).
+            for p in led.holders():
+                p2 = system.compute_path(p, spec.dst).links
+                verdict = monitor.path_verdict(p2)
+                if verdict in (HEALTHY, PROBATION):
+                    exts = led.held_extents(p)
+                    nb = sum(e.length for e in exts)
+                    telemetry.bytes_redriven += nb
+                    reg.counter("resilience.bytes_redriven").inc(nb)
+                    reg.counter("resilience.extents.redriven").inc(len(exts))
+                    retry_emits.append(
+                        lambda prog, i=idx, pp=p, ee=tuple(exts), rr=monitor.path_rate(
+                            p2
+                        ), lb=label: [emit_redrive(prog, i, pp, list(ee), rr, lb)]
+                    )
+                else:
+                    led.release_proxy(p)
+
+            outstanding = led.outstanding_extents()
+            if not outstanding:
+                continue
+            nbytes_out = sum(e.length for e in outstanding)
+            telemetry.bytes_resent += nbytes_out
+            reg.counter("resilience.bytes_resent").inc(nbytes_out)
 
             asg = plans[idx].assignment
-            d_links = direct_links[(spec.src, spec.dst)]
+            d_links = direct_links[key]
             healthy = []
             if asg is not None:
                 healthy = [
@@ -501,44 +847,88 @@ def run_resilient_transfer(
                     and monitor.path_verdict(asg.phase1[j].links + asg.phase2[j].links)
                     == HEALTHY
                 ]
-            direct_rate = monitor.path_rate(d_links)
-            use_direct = False
-            if len(healthy) >= policy.min_healthy_paths:
-                pass  # enough intact disjoint paths: re-split over them
-            elif healthy:
-                # Too few survivors for the k/2 law: add the direct path
-                # as one more carrier (unless it is believed dead too).
-                use_direct = monitor.path_verdict(d_links) != DOWN
-            else:
-                healthy = []
-                use_direct = True
-                telemetry.degraded_to_direct += 1
-                reg.counter("resilience.degraded_to_direct").inc()
-
             carriers_nodes = [asg.proxies[j] for j in healthy]
             rates = [
                 monitor.path_rate(asg.phase1[j].links + asg.phase2[j].links) / 2
                 for j in healthy
             ]
+
+            # Failure-domain-aware top-up: replacements must not share a
+            # link with anything believed degraded *or* with a surviving
+            # carrier's route.  Only with at least one verified-healthy
+            # survivor — with none, nothing is known-good to anchor on
+            # and the direct path is the fallback.
+            if (
+                policy.use_replacements
+                and healthy
+                and len(healthy) < policy.min_healthy_paths
+            ):
+                bad_links = set(monitor.suspect_links())
+                avoid = set(bad_links)
+                for j in healthy:
+                    avoid.update(asg.phase1[j].links)
+                    avoid.update(asg.phase2[j].links)
+                avoid_domains: set[int] = set()
+                if policy.avoid_failure_domains:
+                    from repro.torus.partition import link_failure_domains
+
+                    shape = system.topology.shape
+                    for l in bad_links:
+                        if monitor.effective_capacity(l) <= 0.0:
+                            avoid_domains |= link_failure_domains(l, shape)
+                repl = planner.find_replacements(
+                    spec.src,
+                    spec.dst,
+                    policy.min_healthy_paths - len(healthy),
+                    exclude=set(asg.proxies) | {spec.src, spec.dst},
+                    avoid_links=frozenset(avoid),
+                    avoid_domains=frozenset(avoid_domains),
+                )
+                for j in range(repl.k):
+                    carriers_nodes.append(repl.proxies[j])
+                    rates.append(
+                        monitor.path_rate(
+                            repl.phase1[j].links + repl.phase2[j].links
+                        )
+                        / 2
+                    )
+                if repl.k:
+                    telemetry.replacements += repl.k
+                    reg.counter("resilience.replacements").inc(repl.k)
+
+            use_direct = False
+            if len(carriers_nodes) >= policy.min_healthy_paths:
+                pass  # enough intact disjoint paths: re-split over them
+            elif carriers_nodes:
+                # Too few survivors for the k/2 law: add the direct path
+                # as one more carrier (unless it is believed dead too).
+                use_direct = monitor.path_verdict(d_links) != DOWN
+            else:
+                use_direct = True
+                telemetry.degraded_to_direct += 1
+                reg.counter("resilience.degraded_to_direct").inc()
+            direct_rate = monitor.path_rate(d_links)
             if use_direct:
                 carriers_nodes.append(spec.src)
                 rates.append(max(direct_rate, STALL_RATE))
-            # A tiny share cannot feed every carrier one positive byte.
-            if nbytes < len(carriers_nodes):
-                carriers_nodes = carriers_nodes[:nbytes]
-                rates = rates[:nbytes]
-            label = f"retry{rnd + 1}"
+
+            # Whole-extent re-split: contiguous near-equal extent groups,
+            # one per carrier — byte counts come from the groups, so the
+            # flows stay exactly aligned with the ledger.
+            k = min(len(carriers_nodes), len(outstanding))
+            groups = group_extents(outstanding, k)
+            carriers_nodes = carriers_nodes[: len(groups)]
+            rates = rates[: len(groups)]
 
             if carriers_nodes == [spec.src]:
                 retry_emits.append(
-                    lambda p, i=idx, n=nbytes, r=rates[0], lb=label: [
-                        emit_direct(p, i, n, r, lb)
-                    ]
+                    lambda p, i=idx, n=nbytes_out, r=rates[0], lb=label, ee=tuple(
+                        outstanding
+                    ): [emit_direct(p, i, n, r, lb, extents=list(ee))]
                 )
                 continue
             sub_asg = forced_assignment(system, spec.src, spec.dst, carriers_nodes)
-            equal = all(r == rates[0] for r in rates)
-            weights = None if equal else tuple(max(r, STALL_RATE) for r in rates)
+            shares = [sum(e.length for e in g) for g in groups]
             # For the deadline math a self-carrier delivers at r (one
             # hop), a proxy at r/2 — emit_carrier_group handles it via
             # the single-stream rate per carrier (2x the delivery rate
@@ -548,10 +938,18 @@ def run_resilient_transfer(
                 for node, r in zip(carriers_nodes, rates)
             ]
             retry_emits.append(
-                lambda p, i=idx, a=sub_asg, n=nbytes, w=weights, sr=tuple(
+                lambda p, i=idx, a=sub_asg, n=nbytes_out, sh=tuple(shares), sr=tuple(
                     single_rates
-                ), lb=label: emit_carrier_group(p, i, a, n, w, sr, lb)
+                ), gg=tuple(tuple(g) for g in groups), lb=label: emit_carrier_group(
+                    p, i, a, n, None, sr, lb, shares=list(sh),
+                    groups=[list(g) for g in gg],
+                )
             )
+
+        if not retry_emits:
+            # Partial credit covered everything the failed carriers owed;
+            # nothing is outstanding, so there is no round to run.
+            break
 
         def emit_retries(
             prog: FlowProgram, emits=tuple(retry_emits)
@@ -563,16 +961,31 @@ def run_resilient_transfer(
 
         emit_round = emit_retries
         rnd += 1
-        backoff = policy.backoff_base * policy.backoff_multiplier ** (rnd - 1)
-        T = T + round_end + backoff
+        T = T_next
+
+    # Every ledger must verify exactly-once delivery; a best-effort run
+    # reports residue instead of demanding completeness.
+    reports: list[LedgerReport] = []
+    for idx, led in sorted(ledgers.items()):
+        reports.append(
+            led.verify(expect_complete=not telemetry.budget_exhausted)
+        )
+    residue = sum(r.residue_bytes for r in reports)
+    delivered = float(sum(r.delivered_bytes for r in reports))
+    if residue:
+        reg.counter("resilience.residue_bytes").inc(residue)
 
     total = float(sum(s.nbytes for s in specs))
     return ResilientOutcome(
         makespan=T + round_end,
         total_bytes=total,
-        delivered_bytes=float(delivered),
+        delivered_bytes=delivered,
         mode_used=mode_used,
         telemetry=telemetry,
         plans=plans,
         round_results=round_results,
+        ledgers={(s.src, s.dst): ledgers[i] for i, s in enumerate(specs)},
+        integrity=reports,
+        residue_bytes=int(residue),
+        complete=all(r.complete for r in reports),
     )

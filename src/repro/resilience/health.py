@@ -32,6 +32,9 @@ from repro.util.validation import ConfigError
 HEALTHY = "healthy"
 DEGRADED = "degraded"
 DOWN = "down"
+#: Half-open: the link was believed dead but its re-probe interval has
+#: elapsed — a path through it may carry a *small* probing share again.
+PROBATION = "probation"
 
 
 class HealthMonitor:
@@ -46,6 +49,11 @@ class HealthMonitor:
             sits safely below the 0.5 rate ratio that plain two-way
             max-min sharing produces, so fair contention alone never
             condemns a healthy link.
+        reprobe_interval: simulated seconds after which a link believed
+            *down* enters probation (half-open): paths through it report
+            :data:`PROBATION` instead of :data:`DOWN`, so a flapping link
+            isn't excluded for the rest of the transfer.  ``None``
+            disables re-probing (down stays down until re-observed).
     """
 
     def __init__(
@@ -54,16 +62,24 @@ class HealthMonitor:
         *,
         faults: "FaultModel | None" = None,
         suspect_fraction: float = 0.4,
+        reprobe_interval: "float | None" = None,
     ):
         if not 0 < suspect_fraction < 1:
             raise ConfigError(
                 f"suspect_fraction must be in (0, 1), got {suspect_fraction}"
             )
+        if reprobe_interval is not None and reprobe_interval <= 0:
+            raise ConfigError(
+                f"reprobe_interval must be > 0, got {reprobe_interval}"
+            )
         self.system = system
         self.faults = faults or FaultModel()
         self.suspect_fraction = suspect_fraction
+        self.reprobe_interval = reprobe_interval
         self._estimates: dict[int, float] = {}
         self._pending: dict[int, float] = {}
+        self._down_since: dict[int, float] = {}
+        self._now = 0.0
 
     # -- state access ------------------------------------------------------------
 
@@ -118,11 +134,36 @@ class HealthMonitor:
         for link in links:
             self._estimates[link] = 0.0
             self._pending.pop(link, None)
+            self._down_since.setdefault(link, self._now)
+
+    def advance(self, now: float) -> None:
+        """Move the monitor's clock to simulated time ``now``.
+
+        The executor calls this as rounds progress; the clock anchors
+        :meth:`in_probation`'s elapsed-time check.  Time never rewinds.
+        """
+        if now > self._now:
+            self._now = now
+
+    def in_probation(self, link: int) -> bool:
+        """True when ``link`` is believed down but its re-probe interval
+        has elapsed — eligible to carry a probing share (half-open)."""
+        if self.reprobe_interval is None:
+            return False
+        since = self._down_since.get(link)
+        return (
+            since is not None
+            and self.effective_capacity(link) <= 0.0
+            and self._now - since >= self.reprobe_interval
+        )
 
     def end_round(self) -> None:
         """Commit this round's observations, replacing prior estimates
         for the links observed (recent evidence wins — recovery shows)."""
         self._estimates.update(self._pending)
+        for link, rate in self._pending.items():
+            if rate > 0.0:
+                self._down_since.pop(link, None)
         self._pending.clear()
 
     # -- path-level queries -------------------------------------------------------
@@ -136,12 +177,19 @@ class HealthMonitor:
         return min(rate, cap)
 
     def path_verdict(self, links: Iterable[int]) -> str:
-        """``"down"`` when any link is believed dead, ``"degraded"`` when
+        """``"down"`` when any link is believed dead, ``"probation"``
+        when every dead link has aged past the re-probe interval (the
+        path may carry a small probing share again), ``"degraded"`` when
         any link is suspect, ``"healthy"`` otherwise."""
         verdict = HEALTHY
+        saw_dead = False
         for link in links:
             if self.effective_capacity(link) <= 0.0:
-                return DOWN
-            if self.is_suspect(link):
+                if not self.in_probation(link):
+                    return DOWN
+                saw_dead = True
+            elif self.is_suspect(link):
                 verdict = DEGRADED
+        if saw_dead:
+            return PROBATION
         return verdict

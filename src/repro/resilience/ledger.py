@@ -1,0 +1,427 @@
+"""End-to-end integrity ledger for resilient transfers.
+
+Every :class:`~repro.core.multipath.TransferSpec` is decomposed into
+**extents** — contiguous byte ranges aligned to a chunk grid plus the
+round-0 carrier share boundaries — each carrying a checksum over a
+deterministic pseudo-payload.  The extent is the unit of retransmission
+and of accounting:
+
+* a carrier cancelled at its deadline credits the extents its byte-exact
+  partial progress fully covered (prefix order — carriers stream their
+  range front to back), so only the *outstanding* tail is re-sent;
+* a store-and-forward proxy that finished phase 1 but not phase 2 holds
+  its extents **at the proxy**: only the second hop needs re-driving;
+* at completion :meth:`TransferLedger.verify` asserts every extent was
+  delivered exactly once — duplicates and gaps raise
+  :class:`IntegrityError` with the offending extent ids.
+
+The ledger is pure bookkeeping: it never touches the simulator, so the
+fault-free fast path can skip it entirely (no behaviour change) while
+every faulted path gets machine-checkable exactly-once semantics.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.util.validation import ConfigError, SimulationError
+
+#: Default extent granularity: 256 KiB — small enough that a carrier
+#: killed mid-share strands at most one partial extent per carrier,
+#: large enough that extent bookkeeping stays negligible next to the
+#: shares (a 32 MiB transfer over 4 carriers is ~128 extents).
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+#: Extent lifecycle states.
+OUTSTANDING = "outstanding"
+AT_PROXY = "at-proxy"
+DELIVERED = "delivered"
+
+
+class IntegrityError(SimulationError):
+    """Exactly-once delivery was violated (or a checksum mismatched).
+
+    ``extent_ids`` carries the offending extents; ``kind`` is one of
+    ``"duplicate"``, ``"gap"`` or ``"corrupt"``.
+    """
+
+    def __init__(self, message: str, *, kind: str, extent_ids: Sequence[int]):
+        super().__init__(message)
+        self.kind = kind
+        self.extent_ids = tuple(extent_ids)
+
+
+@dataclass(frozen=True)
+class Extent:
+    """One contiguous byte range of a transfer.
+
+    ``eid`` is the extent's index in offset order (unique per transfer);
+    ``checksum`` is a CRC-32 over the extent's deterministic
+    pseudo-payload (see :func:`extent_checksum`).
+    """
+
+    eid: int
+    offset: int
+    length: int
+    checksum: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+def extent_checksum(key: tuple[int, int], offset: int, length: int) -> int:
+    """CRC-32 of the deterministic pseudo-payload of one extent.
+
+    The simulation moves no real bytes, so the "payload" of byte ``i``
+    of transfer ``(src, dst)`` is defined as a pure function of
+    ``(src, dst, i)``; hashing the extent's parameters is then
+    equivalent to hashing its payload, and an extent re-derived
+    anywhere (source, proxy, destination) checksums identically.
+    """
+    src, dst = key
+    blob = f"{src}:{dst}:{offset}:{length}".encode()
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def prefix_extents(
+    extents: Sequence[Extent], nbytes: float
+) -> tuple[list[Extent], list[Extent]]:
+    """Split an ordered extent group at a byte-exact progress mark.
+
+    A carrier streams its group front to back, so ``nbytes`` of
+    delivered payload covers a prefix of the group.  Returns
+    ``(covered, rest)`` where ``covered`` are the extents *fully*
+    inside the prefix — a partially-arrived extent is discarded and
+    re-sent whole (the extent is the retransmit granularity).
+    """
+    covered: list[Extent] = []
+    rest: list[Extent] = []
+    used = 0.0
+    for ext in extents:
+        if used + ext.length <= nbytes + 1e-9:
+            covered.append(ext)
+            used += ext.length
+        else:
+            rest.append(ext)
+    return covered, rest
+
+
+@dataclass
+class LedgerReport:
+    """Outcome of one :meth:`TransferLedger.verify` pass."""
+
+    key: tuple[int, int]
+    total_bytes: int
+    delivered_bytes: int
+    residue_bytes: int
+    n_extents: int
+    n_delivered: int
+    n_outstanding: int
+    n_at_proxy: int
+    duplicates: tuple[int, ...]
+    complete: bool
+
+
+class TransferLedger:
+    """Extent accounting for one transfer.
+
+    Build one per :class:`~repro.core.multipath.TransferSpec`, then
+    :meth:`seal` it with the round-0 share boundaries.  Extent
+    boundaries are the union of the chunk grid and the share
+    boundaries, so every round-0 carrier range is a whole number of
+    extents and partial-progress credit never splits an extent across
+    carriers.
+    """
+
+    def __init__(
+        self,
+        key: tuple[int, int],
+        nbytes: int,
+        *,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ):
+        if nbytes <= 0:
+            raise ConfigError(f"nbytes must be > 0, got {nbytes}")
+        if chunk_bytes < 1:
+            raise ConfigError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+        self.key = (int(key[0]), int(key[1]))
+        self.nbytes = int(nbytes)
+        self.chunk_bytes = int(chunk_bytes)
+        self._extents: tuple[Extent, ...] = ()
+        self._state: list[str] = []
+        self._holder: list["int | None"] = []  # proxy node per AT_PROXY extent
+        self._deliveries: list[int] = []  # delivery count per extent
+        self._duplicates: list[int] = []
+        self._sealed = False
+
+    # -- construction ------------------------------------------------------------
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def seal(self, share_boundaries: Iterable[int] = ()) -> None:
+        """Fix the extent partition: chunk grid ∪ ``share_boundaries``.
+
+        Call once, right after round-0 shares are chosen.  Boundaries
+        outside ``(0, nbytes)`` are ignored.
+        """
+        if self._sealed:
+            raise ConfigError("ledger already sealed")
+        cuts = {0, self.nbytes}
+        cuts.update(
+            range(self.chunk_bytes, self.nbytes, self.chunk_bytes)
+        )
+        for b in share_boundaries:
+            b = int(b)
+            if 0 < b < self.nbytes:
+                cuts.add(b)
+        marks = sorted(cuts)
+        exts = []
+        for i, (lo, hi) in enumerate(zip(marks, marks[1:])):
+            exts.append(
+                Extent(
+                    eid=i,
+                    offset=lo,
+                    length=hi - lo,
+                    checksum=extent_checksum(self.key, lo, hi - lo),
+                )
+            )
+        self._extents = tuple(exts)
+        n = len(exts)
+        self._state = [OUTSTANDING] * n
+        self._holder = [None] * n
+        self._deliveries = [0] * n
+        self._sealed = True
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def extents(self) -> tuple[Extent, ...]:
+        self._require_sealed()
+        return self._extents
+
+    def _require_sealed(self) -> None:
+        if not self._sealed:
+            raise ConfigError("ledger not sealed; call seal() first")
+
+    def extents_in_range(self, lo: int, hi: int) -> list[Extent]:
+        """All extents fully inside ``[lo, hi)`` (round-0 carrier ranges
+        are whole extents by construction, so this is exact for them)."""
+        self._require_sealed()
+        return [e for e in self._extents if e.offset >= lo and e.end <= hi]
+
+    def outstanding_extents(self) -> list[Extent]:
+        """Extents not yet delivered and not parked at a proxy."""
+        self._require_sealed()
+        return [
+            e for e in self._extents if self._state[e.eid] == OUTSTANDING
+        ]
+
+    def held_extents(self, proxy: "int | None" = None) -> list[Extent]:
+        """Extents parked at a store-and-forward proxy (``proxy=None``:
+        at any proxy)."""
+        self._require_sealed()
+        return [
+            e
+            for e in self._extents
+            if self._state[e.eid] == AT_PROXY
+            and (proxy is None or self._holder[e.eid] == proxy)
+        ]
+
+    def holders(self) -> list[int]:
+        """Proxies currently holding extents, ascending."""
+        self._require_sealed()
+        return sorted(
+            {
+                h
+                for st, h in zip(self._state, self._holder)
+                if st == AT_PROXY and h is not None
+            }
+        )
+
+    @property
+    def delivered_bytes(self) -> int:
+        self._require_sealed()
+        return sum(
+            e.length for e in self._extents if self._state[e.eid] == DELIVERED
+        )
+
+    @property
+    def residue_bytes(self) -> int:
+        """Bytes not yet at the destination (outstanding or at a proxy)."""
+        return self.nbytes - self.delivered_bytes
+
+    @property
+    def complete(self) -> bool:
+        self._require_sealed()
+        return all(st == DELIVERED for st in self._state)
+
+    # -- state transitions -------------------------------------------------------
+
+    def credit_at_proxy(self, extents: Iterable[Extent], proxy: int) -> None:
+        """Park extents at a proxy (phase 1 landed; phase 2 still owed).
+
+        Already-delivered extents are left alone — a stale phase-1
+        arrival after the destination got the bytes elsewhere changes
+        nothing about delivery.
+        """
+        self._require_sealed()
+        for ext in extents:
+            self._check_member(ext)
+            if self._state[ext.eid] == DELIVERED:
+                continue
+            self._state[ext.eid] = AT_PROXY
+            self._holder[ext.eid] = int(proxy)
+
+    def release_proxy(self, proxy: int) -> list[Extent]:
+        """Return a proxy's parked extents to outstanding (its phase-2
+        path is believed dead; the source re-sends them)."""
+        self._require_sealed()
+        released = []
+        for ext in self._extents:
+            if self._state[ext.eid] == AT_PROXY and self._holder[ext.eid] == proxy:
+                self._state[ext.eid] = OUTSTANDING
+                self._holder[ext.eid] = None
+                released.append(ext)
+        return released
+
+    def credit_delivered(
+        self,
+        extents: Iterable[Extent],
+        *,
+        checksums: "Sequence[int] | None" = None,
+    ) -> int:
+        """Record extents arriving at the destination; returns the bytes
+        newly credited.
+
+        A second delivery of the same extent is recorded as a duplicate
+        (it will fail :meth:`verify`) rather than raising here — the
+        executor's receiver-side dedup *prevents* duplicates, and the
+        ledger is the instrument that proves it did.
+
+        ``checksums``, when given, are end-to-end verified against the
+        sealed extent checksums; any mismatch raises
+        :class:`IntegrityError` immediately (corruption is never
+        recorded as delivery).
+        """
+        self._require_sealed()
+        extents = list(extents)
+        if checksums is not None:
+            if len(checksums) != len(extents):
+                raise ConfigError("one checksum per extent required")
+            bad = [
+                e.eid
+                for e, c in zip(extents, checksums)
+                if int(c) != e.checksum
+            ]
+            if bad:
+                raise IntegrityError(
+                    f"transfer {self.key}: checksum mismatch on extents {bad}",
+                    kind="corrupt",
+                    extent_ids=bad,
+                )
+        fresh = 0
+        for ext in extents:
+            self._check_member(ext)
+            self._deliveries[ext.eid] += 1
+            if self._state[ext.eid] == DELIVERED:
+                self._duplicates.append(ext.eid)
+                continue
+            self._state[ext.eid] = DELIVERED
+            self._holder[ext.eid] = None
+            fresh += ext.length
+        return fresh
+
+    def _check_member(self, ext: Extent) -> None:
+        if (
+            not 0 <= ext.eid < len(self._extents)
+            or self._extents[ext.eid] != ext
+        ):
+            raise ConfigError(
+                f"extent {ext!r} does not belong to transfer {self.key}"
+            )
+
+    # -- verification ------------------------------------------------------------
+
+    def verify(self, *, expect_complete: bool = True) -> LedgerReport:
+        """Assert exactly-once delivery; returns the integrity report.
+
+        Raises :class:`IntegrityError` on any duplicate delivery, and —
+        when ``expect_complete`` — on gaps (undelivered extents).  A
+        budget-exhausted best-effort run verifies with
+        ``expect_complete=False``: residue is reported, not raised.
+        """
+        self._require_sealed()
+        dupes = sorted(set(self._duplicates))
+        if dupes:
+            raise IntegrityError(
+                f"transfer {self.key}: extents delivered more than once: "
+                f"{dupes}",
+                kind="duplicate",
+                extent_ids=dupes,
+            )
+        gaps = [
+            e.eid for e in self._extents if self._state[e.eid] != DELIVERED
+        ]
+        if expect_complete and gaps:
+            raise IntegrityError(
+                f"transfer {self.key}: extents never delivered: {gaps}",
+                kind="gap",
+                extent_ids=gaps,
+            )
+        return LedgerReport(
+            key=self.key,
+            total_bytes=self.nbytes,
+            delivered_bytes=self.delivered_bytes,
+            residue_bytes=self.residue_bytes,
+            n_extents=len(self._extents),
+            n_delivered=sum(1 for s in self._state if s == DELIVERED),
+            n_outstanding=sum(1 for s in self._state if s == OUTSTANDING),
+            n_at_proxy=sum(1 for s in self._state if s == AT_PROXY),
+            duplicates=tuple(dupes),
+            complete=not gaps,
+        )
+
+
+def group_extents(
+    extents: Sequence[Extent], k: int
+) -> list[list[Extent]]:
+    """Partition ordered extents into ``k`` contiguous groups of
+    near-equal byte size (every group non-empty; ``k`` capped at the
+    extent count).
+
+    The retry path re-splits *whole extents* over carriers — byte
+    counts per carrier come out of the groups, not the other way
+    around, so no rounding can detach the flows from the ledger.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    extents = list(extents)
+    if not extents:
+        return []
+    k = min(k, len(extents))
+    remaining = sum(e.length for e in extents)
+    groups: list[list[Extent]] = []
+    acc: list[Extent] = []
+    taken = 0
+    for pos, ext in enumerate(extents):
+        acc.append(ext)
+        taken += ext.length
+        # Close the group once it reached its fair share of what's left,
+        # as long as enough extents remain to keep later groups
+        # non-empty.
+        left = len(extents) - pos - 1
+        groups_to_fill = k - len(groups) - 1
+        if groups_to_fill > 0 and (
+            left == groups_to_fill  # must close now: one extent per group left
+            or (taken >= remaining / (groups_to_fill + 1) and left > groups_to_fill)
+        ):
+            groups.append(acc)
+            remaining -= taken
+            acc, taken = [], 0
+    groups.append(acc)
+    return groups

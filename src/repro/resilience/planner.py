@@ -28,7 +28,12 @@ from typing import Iterable
 
 from repro.core.multipath import TransferSpec
 from repro.core.planner import PlannedTransfer, TransferPlanner
-from repro.core.proxy_select import ProxyAssignment, ProxyPlan, find_proxies
+from repro.core.proxy_select import (
+    ProxyAssignment,
+    ProxyPlan,
+    find_proxies,
+    find_proxies_for_pair,
+)
 from repro.machine.faults import FaultModel
 from repro.machine.system import BGQSystem
 from repro.resilience.health import HealthMonitor
@@ -126,6 +131,52 @@ class ResilientPlanner(TransferPlanner):
     def dropped_proxies(self, pair: tuple[int, int]) -> tuple[int, ...]:
         """Proxies the last search rejected for this (src, dst) pair."""
         return self._dropped.get(pair, ())
+
+    def find_replacements(
+        self,
+        src: int,
+        dst: int,
+        n: int,
+        *,
+        exclude: Iterable[int] = (),
+        avoid_links: "frozenset[int] | set[int]" = frozenset(),
+        avoid_domains: "frozenset[int] | set[int]" = frozenset(),
+        max_offset: "int | None" = None,
+    ) -> ProxyAssignment:
+        """Failure-domain-aware replacement search for evicted proxies.
+
+        Finds up to ``n`` fresh proxies for ``(src, dst)`` whose two-hop
+        routes avoid:
+
+        * ``exclude`` nodes (evicted proxies, busy endpoints) and every
+          node the static fault set cordons;
+        * ``avoid_links`` — the executor passes every link the health
+          monitor currently marks degraded or down *plus* the routes of
+          surviving carriers, so replacements share no torus link with
+          either;
+        * ``avoid_domains`` — optional midplane failure domains (see
+          :func:`repro.torus.partition.node_failure_domain`): a
+          replacement must not route through a midplane holding a
+          degraded link, protecting against correlated failures.
+
+        Returns a (possibly empty) :class:`ProxyAssignment` — the
+        executor degrades gracefully when nothing qualifies.
+        """
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        excluded = set(exclude)
+        excluded.update(self.faults.failed_nodes)
+        return find_proxies_for_pair(
+            self.system,
+            src,
+            dst,
+            max_proxies=n,
+            min_proxies=1,
+            max_offset=self.max_offset if max_offset is None else max_offset,
+            exclude=frozenset(excluded),
+            avoid_links=frozenset(avoid_links),
+            avoid_domains=frozenset(avoid_domains),
+        )
 
     # -- hook overrides -----------------------------------------------------------
 

@@ -12,10 +12,17 @@ so 2,048 cores ≡ 128 nodes, …, 131,072 cores ≡ 8,192 nodes.
 
 from __future__ import annotations
 
-from repro.torus.coords import Shape
+from repro.torus.coords import Shape, index_to_coord
+from repro.torus.links import link_id_parts, torus_link_count
 from repro.util.validation import ConfigError
 
 CORES_PER_NODE = 16
+
+#: A Blue Gene/Q *midplane* is a 4x4x4x4x2 block of nodes — the unit of
+#: service actions (a midplane drains as one when its bulk power module
+#: or clock card fails), which makes it the natural correlated-failure
+#: domain for replacement planning.
+MIDPLANE_SHAPE: Shape = (4, 4, 4, 4, 2)
 
 #: Standard Mira partition torus dimensions by node count.  128/512/2048
 #: are quoted verbatim in the paper; the others follow Mira's doubling
@@ -52,3 +59,66 @@ def nodes_for_cores(ncores: int) -> int:
     if ncores % CORES_PER_NODE:
         raise ConfigError(f"core count {ncores} is not a multiple of {CORES_PER_NODE}")
     return ncores // CORES_PER_NODE
+
+
+# -- midplane failure domains -------------------------------------------------
+
+
+def _domain_blocks(shape: Shape) -> tuple[int, ...]:
+    """Per-dimension midplane block extents for a partition ``shape``.
+
+    A dimension shorter than the midplane extent is one block; partitions
+    beyond five dimensions (test tori) treat the extra dimensions as a
+    single block each, so small shapes collapse to one domain.
+    """
+    return tuple(
+        min(s, MIDPLANE_SHAPE[d]) if d < len(MIDPLANE_SHAPE) else s
+        for d, s in enumerate(shape)
+    )
+
+
+def n_failure_domains(shape: Shape) -> int:
+    """Number of midplane failure domains a partition spans."""
+    n = 1
+    for s, b in zip(shape, _domain_blocks(shape)):
+        n *= -(-s // b)  # ceil
+    return n
+
+
+def node_failure_domain(node: int, shape: Shape) -> int:
+    """Midplane failure-domain index of ``node`` within ``shape``.
+
+    Domains are the row-major linearisation of the per-dimension block
+    coordinates — stable across calls, so domain ids are comparable
+    within one partition shape.
+    """
+    coord = index_to_coord(node, shape)
+    blocks = _domain_blocks(shape)
+    idx = 0
+    for c, s, b in zip(coord, shape, blocks):
+        idx = idx * (-(-s // b)) + c // b
+    return idx
+
+
+def link_failure_domains(link_id: int, shape: Shape) -> frozenset[int]:
+    """Failure domains a directed torus link touches (both endpoints).
+
+    A link crossing a midplane boundary belongs to both domains — it goes
+    down when *either* midplane drains.  Non-torus links (I/O links live
+    in an id space past the torus links) map to no domain.
+    """
+    ndims = len(shape)
+    nnodes = 1
+    for s in shape:
+        nnodes *= s
+    if not 0 <= link_id < torus_link_count(nnodes, ndims):
+        return frozenset()
+    node, dim, sign = link_id_parts(link_id, ndims)
+    coord = list(index_to_coord(node, shape))
+    coord[dim] = (coord[dim] + sign) % shape[dim]
+    other = 0
+    for c, s in zip(coord, shape):
+        other = other * s + c
+    return frozenset(
+        (node_failure_domain(node, shape), node_failure_domain(other, shape))
+    )

@@ -189,7 +189,7 @@ class TestWeightedSplit:
         assert len(set(w)) == 1  # all paths healthy -> equal weights
 
     def test_weights_length_checked(self, system128):
-        from repro.core.multipath import build_multipath_flows
+        from repro.core.multipath import build_multipath_flows_detailed
         from repro.core.proxy_select import find_proxies_for_pair
         from repro.mpi.comm import SimComm
         from repro.mpi.program import FlowProgram
@@ -199,6 +199,60 @@ class TestWeightedSplit:
         asg = find_proxies_for_pair(system128, 0, 127, max_proxies=3)
         prog = FlowProgram(SimComm(system128))
         with _pytest.raises(ConfigError):
-            build_multipath_flows(
+            build_multipath_flows_detailed(
                 prog, TransferSpec(0, 127, MiB), asg, weights=[1, 1]
+            )
+
+
+class TestExplicitShares:
+    def assignment(self, system128):
+        return find_proxies_for_pair(system128, 0, 127, max_proxies=4)
+
+    def test_shares_pin_carrier_bytes_exactly(self, system128):
+        from repro.core.multipath import build_multipath_flows_detailed
+        from repro.mpi.comm import SimComm
+        from repro.mpi.program import FlowProgram
+
+        asg = self.assignment(system128)
+        shares = [1 * MiB, 2 * MiB, 3 * MiB, 2 * MiB]
+        prog = FlowProgram(SimComm(system128))
+        _, carriers = build_multipath_flows_detailed(
+            prog, TransferSpec(0, 127, 8 * MiB), asg, shares=shares
+        )
+        assert [c.share for c in carriers] == shares
+
+    @pytest.mark.parametrize(
+        "shares, err",
+        [
+            ([1, 1], "one share per carrier"),
+            ([0, 1, 1, 1], ">= 1 byte"),
+            ([1, 1, 1, 1], "sum to"),
+        ],
+    )
+    def test_bad_shares_rejected(self, system128, shares, err):
+        from repro.core.multipath import build_multipath_flows_detailed
+        from repro.mpi.comm import SimComm
+        from repro.mpi.program import FlowProgram
+
+        asg = self.assignment(system128)
+        prog = FlowProgram(SimComm(system128))
+        with pytest.raises(ConfigError, match=err):
+            build_multipath_flows_detailed(
+                prog, TransferSpec(0, 127, 8 * MiB), asg, shares=shares
+            )
+
+    def test_shares_and_weights_mutually_exclusive(self, system128):
+        from repro.core.multipath import build_multipath_flows_detailed
+        from repro.mpi.comm import SimComm
+        from repro.mpi.program import FlowProgram
+
+        asg = self.assignment(system128)
+        prog = FlowProgram(SimComm(system128))
+        with pytest.raises(ConfigError, match="not both"):
+            build_multipath_flows_detailed(
+                prog,
+                TransferSpec(0, 127, 8 * MiB),
+                asg,
+                weights=[1] * asg.k,
+                shares=[2 * MiB] * 4,
             )

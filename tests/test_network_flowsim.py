@@ -407,3 +407,87 @@ class TestCapacityEvents:
             ],
         )
         assert r.finish("f") == pytest.approx(15.0)
+
+
+class TestCutoffSnapshots:
+    def test_snapshot_is_exact_under_constant_rate(self):
+        # One flow at the 80 B/s stream cap: 3 s in it has moved 240 B.
+        r = sim().run(
+            [Flow(fid="f", size=800.0, path=(0,))], cutoffs={"f": 3.0}
+        )
+        assert r.delivered_by_cutoff("f") == pytest.approx(240.0)
+        assert r.finish("f") == pytest.approx(10.0)  # timing untouched
+
+    def test_snapshot_tracks_rate_changes(self):
+        # Two flows share link 0 (50/50) until f1 finishes at 4 s, then
+        # f0 speeds to the 80 B/s cap: at t=6 it has 4*50 + 2*80 = 360.
+        r = sim().run(
+            [
+                Flow(fid="f0", size=800.0, path=(0,)),
+                Flow(fid="f1", size=200.0, path=(0,)),
+            ],
+            cutoffs={"f0": 6.0},
+        )
+        assert r.finish("f1") == pytest.approx(4.0)
+        assert r.delivered_by_cutoff("f0") == pytest.approx(360.0)
+
+    def test_cutoffs_do_not_perturb_timings(self):
+        flows = [
+            Flow(fid="a", size=800.0, path=(0, 1)),
+            Flow(fid="b", size=500.0, path=(1, 2)),
+        ]
+        plain = sim().run(flows)
+        cut = sim().run(flows, cutoffs={"a": 1.7, "b": 5.3})
+        for fid in ("a", "b"):
+            assert cut[fid].start == plain[fid].start
+            assert cut[fid].finish == plain[fid].finish
+        assert cut.n_rate_updates == plain.n_rate_updates
+
+    def test_uncut_flow_reports_full_size(self):
+        r = sim().run(
+            [
+                Flow(fid="f", size=800.0, path=(0,)),
+                Flow(fid="g", size=400.0, path=(1,)),
+            ],
+            cutoffs={"f": 1.0},
+        )
+        assert r.delivered_by_cutoff("g") == pytest.approx(400.0)
+
+    def test_cutoff_after_finish_reports_full_size(self):
+        r = sim().run(
+            [Flow(fid="f", size=800.0, path=(0,))], cutoffs={"f": 99.0}
+        )
+        assert r.delivered_by_cutoff("f") == pytest.approx(800.0)
+
+    def test_cutoff_before_activation_reports_zero(self):
+        r = sim().run(
+            [Flow(fid="f", size=800.0, path=(0,), start_time=5.0)],
+            cutoffs={"f": 2.0},
+        )
+        assert r.delivered_by_cutoff("f") == pytest.approx(0.0)
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(ConfigError, match="unknown flow"):
+            sim().run([Flow(fid="f", size=1.0, path=(0,))], cutoffs={"g": 1.0})
+
+    def test_cutoff_with_capacity_events(self):
+        # 80 B/s until the link halves at t=2 (40 B/s caps the flow):
+        # at t=4 delivered = 2*80 + 2*40 = 240.
+        r = sim().run(
+            [Flow(fid="f", size=800.0, path=(0,))],
+            capacity_events=[CapacityEvent(time=2.0, link=0, capacity=40.0)],
+            cutoffs={"f": 4.0},
+        )
+        assert r.delivered_by_cutoff("f") == pytest.approx(240.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        t_cut=st.floats(min_value=0.0, max_value=20.0),
+        size=st.floats(min_value=1.0, max_value=2000.0),
+    )
+    def test_snapshot_bounded_and_monotone_in_size(self, t_cut, size):
+        r = sim().run([Flow(fid="f", size=size, path=(0,))], cutoffs={"f": t_cut})
+        got = r.delivered_by_cutoff("f")
+        assert 0.0 <= got <= size + 1e-9
+        # Constant 80 B/s drain: the snapshot is exactly min(size, 80*t).
+        assert got == pytest.approx(min(size, 80.0 * t_cut), abs=1e-6)

@@ -474,3 +474,266 @@ class TestFaultAwareAggregation:
         # Adapted quotas keep the hit mild: nowhere near the 2x of a
         # blind plan gated by the half-speed ION.
         assert degraded.makespan < healthy.makespan * 1.5
+
+
+class TestHealthProbation:
+    def test_down_enters_probation_after_interval(self, system128):
+        m = HealthMonitor(system128, reprobe_interval=0.01)
+        m.mark_down((9,))
+        assert m.path_verdict((9,)) == "down"
+        assert not m.in_probation(9)
+        m.advance(0.02)
+        assert m.in_probation(9)
+        assert m.path_verdict((9,)) == "probation"
+        # A healthy link alongside doesn't mask the probing state.
+        assert m.path_verdict((0, 9)) == "probation"
+
+    def test_probation_disabled_by_default(self, system128):
+        m = HealthMonitor(system128)
+        m.mark_down((9,))
+        m.advance(1e9)
+        assert not m.in_probation(9)
+        assert m.path_verdict((9,)) == "down"
+
+    def test_positive_observation_clears_probation(self, system128):
+        m = HealthMonitor(system128, reprobe_interval=0.01)
+        m.mark_down((9,))
+        m.advance(0.02)
+        assert m.in_probation(9)
+        m.observe((9,), system128.capacity(9))
+        m.end_round()
+        assert not m.in_probation(9)
+        assert m.path_verdict((9,)) == "healthy"
+
+    def test_re_mark_down_restarts_from_first_failure(self, system128):
+        # mark_down while already down keeps the original down-since
+        # stamp: flapping can't dodge probation by re-failing.
+        m = HealthMonitor(system128, reprobe_interval=0.01)
+        m.mark_down((9,))
+        m.advance(0.008)
+        m.mark_down((9,))
+        m.advance(0.011)
+        assert m.in_probation(9)
+
+    def test_clock_never_rewinds(self, system128):
+        m = HealthMonitor(system128, reprobe_interval=0.01)
+        m.mark_down((9,))
+        m.advance(0.02)
+        m.advance(0.0)  # ignored
+        assert m.in_probation(9)
+
+    def test_bad_interval_rejected(self, system128):
+        with pytest.raises(ConfigError, match="reprobe"):
+            HealthMonitor(system128, reprobe_interval=0.0)
+
+
+class TestFindReplacements:
+    def test_replacements_avoid_links_and_excluded_nodes(self, system128):
+        planner = ResilientPlanner(system128, max_proxies=4)
+        base = planner.find_plan([(0, 127)])
+        asg = base.assignments[(0, 127)]
+        bad_links = frozenset(asg.phase1[0].links + asg.phase2[0].links)
+        repl = planner.find_replacements(
+            0, 127, 2, exclude=set(asg.proxies) | {0, 127}, avoid_links=bad_links
+        )
+        assert 1 <= repl.k <= 2
+        for j in range(repl.k):
+            assert repl.proxies[j] not in set(asg.proxies) | {0, 127}
+            route = set(repl.phase1[j].links + repl.phase2[j].links)
+            assert not (route & bad_links)
+
+    def test_replacements_avoid_failure_domains(self, system128):
+        from repro.torus.partition import link_failure_domains
+
+        planner = ResilientPlanner(system128, max_proxies=4)
+        base = planner.find_plan([(0, 127)])
+        asg = base.assignments[(0, 127)]
+        shape = system128.topology.shape
+        bad_domains = link_failure_domains(asg.phase1[0].links[0], shape)
+        assert bad_domains
+        repl = planner.find_replacements(
+            0, 127, 2, exclude={0, 127}, avoid_domains=bad_domains
+        )
+        for j in range(repl.k):
+            for l in repl.phase1[j].links + repl.phase2[j].links:
+                assert bad_domains.isdisjoint(link_failure_domains(l, shape))
+
+    def test_empty_result_when_nothing_qualifies(self, system128):
+        planner = ResilientPlanner(system128, max_proxies=4)
+        all_links = frozenset(range(system128.topology.nlinks))
+        repl = planner.find_replacements(0, 127, 2, avoid_links=all_links)
+        assert repl.k == 0
+
+    def test_n_must_be_positive(self, system128):
+        with pytest.raises(ConfigError):
+            ResilientPlanner(system128).find_replacements(0, 127, 0)
+
+
+class TestPartialProgress:
+    """Ledger-driven partial-progress recovery (the tentpole) plus the
+    delivered-bytes double-count regression (satellite a)."""
+
+    def hard_down_outcome(self, system128, start=0.004, **policy_kw):
+        spec = TransferSpec(src=0, dst=127, nbytes=32 * MiB)
+        plan = TransferPlanner(system128, max_proxies=4).find_plan([(0, 127)])
+        asg = plan.assignments[(0, 127)]
+        trace = degrade_paths(asg, (0, 1), 0.0, start=start)
+        return run_resilient_transfer(
+            system128,
+            [spec],
+            trace=trace,
+            planner=ResilientPlanner(system128, max_proxies=4),
+            policy=RetryPolicy(**policy_kw),
+        ), spec
+
+    def test_no_double_count_when_late_flow_completes(self, system128):
+        # Regression: a carrier misses its deadline but its flow *does*
+        # complete later in the same round.  The old executor credited
+        # those bytes at completion and again after the full-share
+        # re-send; the ledger credits each extent exactly once.
+        spec = TransferSpec(src=0, dst=127, nbytes=32 * MiB)
+        plan = TransferPlanner(system128, max_proxies=4).find_plan([(0, 127)])
+        asg = plan.assignments[(0, 127)]
+        trace = degrade_paths(asg, (0, 1), 0.01, start=0.0, end=0.05)
+        out = run_resilient_transfer(
+            system128,
+            [spec],
+            trace=trace,
+            planner=ResilientPlanner(system128, max_proxies=4),
+        )
+        assert out.telemetry.retries >= 1
+        assert out.delivered_bytes == spec.nbytes  # exactly, not >=
+        (rep,) = out.integrity
+        assert rep.complete and rep.duplicates == ()
+        assert rep.delivered_bytes == spec.nbytes
+
+    def test_outcome_carries_verified_ledger(self, system128):
+        out, spec = self.hard_down_outcome(system128)
+        assert out.complete and out.residue_bytes == 0
+        led = out.ledgers[(0, 127)]
+        rep = led.verify()
+        assert rep.complete and rep.delivered_bytes == spec.nbytes
+
+    def test_partial_progress_resends_less_than_full_retry(self, system128):
+        # The kill lands *after* phase 2 starts, so the failed carriers
+        # had already landed a prefix on the destination; only the tail
+        # is outstanding.  (An early kill parks nothing at dst and the
+        # two policies legitimately re-send the same amount.)
+        partial, spec = self.hard_down_outcome(system128, start=0.008)
+        full, _ = self.hard_down_outcome(
+            system128, start=0.008, partial_progress=False
+        )
+        assert partial.delivered_bytes == full.delivered_bytes == spec.nbytes
+        assert partial.telemetry.retries >= 1 and full.telemetry.retries >= 1
+        # The ledger re-sends only outstanding extents; the fault-blind
+        # policy re-sends every failed carrier's whole share.
+        assert 0 < partial.telemetry.bytes_resent < full.telemetry.bytes_resent
+        assert partial.telemetry.partial_credit_bytes > 0
+
+    def test_parked_bytes_redriven_from_proxy(self, system128):
+        # Kill only the *phase-2* legs mid-flight: phase 1 keeps landing
+        # data on the proxies, and... nothing moves on.  Kill *phase-1*
+        # legs instead and the store-and-forward gap parks at the proxy:
+        # those extents are redriven proxy->dst, never re-sent from src.
+        spec = TransferSpec(src=0, dst=127, nbytes=32 * MiB)
+        plan = TransferPlanner(system128, max_proxies=4).find_plan([(0, 127)])
+        asg = plan.assignments[(0, 127)]
+        links = set()
+        for j in (0, 1):
+            links.update(asg.phase1[j].links)
+        trace = FaultTrace(
+            tuple(FaultEvent(link=l, factor=0.0, start=0.004) for l in sorted(links))
+        )
+        out = run_resilient_transfer(
+            system128,
+            [spec],
+            trace=trace,
+            planner=ResilientPlanner(system128, max_proxies=4),
+        )
+        assert out.delivered_bytes == spec.nbytes
+        assert out.telemetry.bytes_redriven > 0
+        assert out.telemetry.bytes_resent < spec.nbytes
+        (rep,) = out.integrity
+        assert rep.complete and rep.duplicates == ()
+
+    def test_policy_knob_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(chunk_bytes=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(budget_s=0.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(reprobe_interval=-1.0)
+
+
+class TestDeadlineBudget:
+    def dead_world(self, system128, nbytes=1 * MiB):
+        spec = TransferSpec(src=0, dst=127, nbytes=nbytes)
+        plan = TransferPlanner(system128, max_proxies=4).find_plan([(0, 127)])
+        asg = plan.assignments[(0, 127)]
+        links = set(system128.compute_path(0, 127).links)
+        for j in range(asg.k):
+            links.update(asg.phase1[j].links)
+            links.update(asg.phase2[j].links)
+        trace = FaultTrace(tuple(FaultEvent(link=l, factor=0.0) for l in sorted(links)))
+        return spec, trace
+
+    def test_budget_degrades_to_best_effort_instead_of_raising(self, system128):
+        spec, trace = self.dead_world(system128)
+        policy = RetryPolicy(max_retries=2, budget_s=0.05)
+        out = run_resilient_transfer(
+            system128,
+            [spec],
+            trace=trace,
+            policy=policy,
+            planner=ResilientPlanner(system128, max_proxies=4),
+        )
+        assert not out.complete
+        assert out.telemetry.budget_exhausted
+        assert out.residue_bytes > 0
+        assert out.delivered_bytes + out.residue_bytes == spec.nbytes
+        (rep,) = out.integrity
+        assert not rep.complete and rep.duplicates == ()
+        # Recovery never starts past the budget; round 0's own deadline
+        # is the only part that may exceed it.
+        assert out.makespan <= 1.2 * policy.budget_s
+
+    def test_without_budget_same_scenario_raises(self, system128):
+        spec, trace = self.dead_world(system128)
+        with pytest.raises(TransferAbortedError):
+            run_resilient_transfer(
+                system128,
+                [spec],
+                trace=trace,
+                policy=RetryPolicy(max_retries=2),
+                planner=ResilientPlanner(system128, max_proxies=4),
+            )
+
+    def test_budget_is_inert_when_fault_free(self, system128):
+        specs = [TransferSpec(src=0, dst=127, nbytes=32 * MiB)]
+        base = run_transfer(system128, specs, mode="auto")
+        out = run_resilient_transfer(
+            system128, [specs[0]], policy=RetryPolicy(budget_s=10.0)
+        )
+        assert out.makespan == base.makespan
+        assert out.complete and not out.telemetry.budget_exhausted
+
+    def test_generous_budget_still_completes_recoverable_fault(self, system128):
+        spec = TransferSpec(src=0, dst=127, nbytes=32 * MiB)
+        plan = TransferPlanner(system128, max_proxies=4).find_plan([(0, 127)])
+        asg = plan.assignments[(0, 127)]
+        links = set()
+        for j in (0, 1):
+            links.update(asg.phase1[j].links)
+        trace = FaultTrace(
+            tuple(FaultEvent(link=l, factor=0.0, start=0.004) for l in sorted(links))
+        )
+        out = run_resilient_transfer(
+            system128,
+            [spec],
+            trace=trace,
+            policy=RetryPolicy(budget_s=0.25),
+            planner=ResilientPlanner(system128, max_proxies=4),
+        )
+        assert out.complete
+        assert out.delivered_bytes == spec.nbytes
+        assert out.makespan < 0.25

@@ -1,0 +1,189 @@
+"""Chaos-campaign harness: scenario generation, invariant checking,
+report schema, and the ``repro chaos`` CLI.
+
+The full default campaign runs in CI's ``chaos-smoke`` job; here a
+trimmed grid keeps the suite fast while still covering every scenario
+kind and geometry at least once.
+"""
+
+import json
+
+import pytest
+
+from repro.machine import mira_system
+from repro.resilience import ResilientPlanner
+from repro.resilience.chaos import (
+    GEOMETRIES,
+    SCENARIO_KINDS,
+    CampaignConfig,
+    build_scenario,
+    geometry_specs,
+    run_campaign,
+)
+from repro.util.validation import ConfigError
+
+MiB = 1 << 20
+
+INVARIANT_NAMES = {
+    "ledger-exactly-once",
+    "byte-conservation",
+    "complete-or-budgeted",
+    "goodput-floor",
+    "retries-bounded",
+    "budget-respected",
+    "metrics-monotone",
+}
+
+
+@pytest.fixture(scope="module")
+def plans128():
+    system = mira_system(nnodes=128)
+    specs = geometry_specs(system, "p2p", 8 * MiB)
+    return system, ResilientPlanner(system).plan(specs)
+
+
+class TestGeometries:
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_specs_are_valid(self, system128, geometry):
+        specs = geometry_specs(system128, geometry, 4 * MiB)
+        assert specs
+        assert all(s.src != s.dst for s in specs)
+        assert len({(s.src, s.dst) for s in specs}) == len(specs)
+        if geometry == "fanin":
+            assert len({s.dst for s in specs}) == 1
+            assert len(specs) > 1
+        if geometry == "group":
+            assert len({s.dst for s in specs}) == len(specs)
+
+    def test_unknown_geometry_raises(self, system128):
+        with pytest.raises(ConfigError, match="geometry"):
+            geometry_specs(system128, "ring", 4 * MiB)
+
+
+class TestScenarioGeneration:
+    @pytest.mark.parametrize("kind", SCENARIO_KINDS)
+    def test_every_kind_targets_planned_routes(self, plans128, kind):
+        system, plans = plans128
+        sc = build_scenario(kind, system, plans, geometry="p2p", seed=0)
+        assert sc.trace.events, "a scenario must inject at least one event"
+        # Faults land on links the transfer can actually cross.
+        route_links = set(system.compute_path(0, plans[0].spec.dst).links)
+        asg = plans[0].assignment
+        for j in range(asg.k):
+            route_links |= set(asg.phase1[j].links + asg.phase2[j].links)
+        assert all(e.link in route_links for e in sc.trace.events)
+        assert sc.kind == kind and sc.description
+
+    def test_same_seed_same_trace(self, plans128):
+        system, plans = plans128
+        a = build_scenario("retry-storm", system, plans, geometry="p2p", seed=7)
+        b = build_scenario("retry-storm", system, plans, geometry="p2p", seed=7)
+        assert a.trace.events == b.trace.events
+
+    def test_different_seeds_differ(self, plans128):
+        system, plans = plans128
+        a = build_scenario("hard-down", system, plans, geometry="p2p", seed=0)
+        b = build_scenario("hard-down", system, plans, geometry="p2p", seed=1)
+        assert a.trace.events != b.trace.events
+
+    def test_flapping_windows_bounded(self, plans128):
+        system, plans = plans128
+        sc = build_scenario("flapping", system, plans, geometry="p2p", seed=3)
+        assert all(e.end < float("inf") for e in sc.trace.events)
+
+    def test_unknown_kind_raises(self, plans128):
+        system, plans = plans128
+        with pytest.raises(ConfigError, match="scenario"):
+            build_scenario("meteor", system, plans, geometry="p2p", seed=0)
+
+
+class TestCampaign:
+    def test_trimmed_campaign_passes_all_invariants(self):
+        report = run_campaign(
+            CampaignConfig(
+                nbytes=4 * MiB,
+                seeds=(0,),
+                scenarios=("hard-down", "retry-storm"),
+                geometries=("p2p", "fanin"),
+            )
+        )
+        assert report["schema"] == "chaos-campaign/1"
+        assert report["n_runs"] == 4
+        assert report["passed"], [r["failures"] for r in report["runs"] if not r["passed"]]
+        for r in report["runs"]:
+            assert set(r["invariants"]) == INVARIANT_NAMES
+            assert all(r["invariants"].values())
+            assert r["delivered_bytes"] + r["residue_bytes"] == r["total_bytes"]
+
+    def test_report_is_json_ready(self):
+        report = run_campaign(
+            CampaignConfig(
+                nbytes=2 * MiB, seeds=(1,),
+                scenarios=("brownout",), geometries=("p2p",),
+            )
+        )
+        text = json.dumps(report)  # raises on anything non-serialisable
+        again = json.loads(text)
+        assert again["config"]["scenarios"] == ["brownout"]
+        assert again["baseline_throughput_Bps"]["p2p"] > 0
+        assert "wall_time_s" in again
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError, match="scenario"):
+            CampaignConfig(scenarios=("meteor",))
+        with pytest.raises(ConfigError, match="geometr"):
+            CampaignConfig(geometries=("ring",))
+        with pytest.raises(ConfigError, match="budget"):
+            CampaignConfig(budget_s=0)
+        with pytest.raises(ConfigError, match="goodput"):
+            CampaignConfig(goodput_floor=1.5)
+
+    def test_campaign_survives_route_killing_scenarios(self):
+        """correlated-dim can kill every usable route: the run must
+        still come back budget-capped with residue, not raise."""
+        report = run_campaign(
+            CampaignConfig(
+                nbytes=4 * MiB,
+                seeds=(0,),
+                scenarios=("correlated-dim",),
+                geometries=GEOMETRIES,
+            )
+        )
+        assert report["passed"]
+        for r in report["runs"]:
+            assert r["error"] is None
+
+
+class TestChaosCli:
+    def test_cli_runs_and_writes_report(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "chaos.json"
+        rc = main(
+            [
+                "chaos",
+                "--seeds", "1",
+                "--size", "2MiB",
+                "--scenarios", "hard-down,flapping",
+                "--geometries", "p2p",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "chaos-campaign/1"
+        assert report["n_runs"] == 2
+        assert report["passed"]
+        assert {r["scenario"] for r in report["runs"]} == {"hard-down", "flapping"}
+
+    def test_cli_rejects_bad_scenario(self, tmp_path):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "chaos",
+                "--scenarios", "meteor",
+                "--out", str(tmp_path / "x.json"),
+            ]
+        )
+        assert rc == 2

@@ -1,0 +1,303 @@
+"""Transfer-ledger unit and property tests: extent partitioning,
+partial-progress credit, exactly-once verification, and retry grouping.
+
+The ledger is the instrument the executor uses to *prove* exactly-once
+delivery, so these tests hammer the bookkeeping directly: every byte is
+in exactly one extent, credit moves extents through
+outstanding → at-proxy → delivered, duplicates and gaps raise
+:class:`IntegrityError` with the offending ids, and random credit
+schedules always conserve bytes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.resilience.ledger import (
+    DEFAULT_CHUNK_BYTES,
+    AT_PROXY,
+    DELIVERED,
+    OUTSTANDING,
+    Extent,
+    IntegrityError,
+    TransferLedger,
+    extent_checksum,
+    group_extents,
+    prefix_extents,
+)
+from repro.util.validation import ConfigError
+
+KiB = 1 << 10
+
+
+def sealed(nbytes=1000 * KiB, chunk=256 * KiB, boundaries=()):
+    led = TransferLedger((0, 21), nbytes, chunk_bytes=chunk)
+    led.seal(boundaries)
+    return led
+
+
+class TestExtentPartition:
+    def test_extents_tile_the_transfer_exactly(self):
+        led = sealed(nbytes=1000 * KiB, chunk=256 * KiB)
+        exts = led.extents
+        assert exts[0].offset == 0
+        assert exts[-1].end == 1000 * KiB
+        for a, b in zip(exts, exts[1:]):
+            assert a.end == b.offset
+        assert sum(e.length for e in exts) == 1000 * KiB
+        assert [e.eid for e in exts] == list(range(len(exts)))
+
+    def test_share_boundaries_become_extent_boundaries(self):
+        led = sealed(nbytes=1000 * KiB, boundaries=(333 * KiB, 666 * KiB))
+        offsets = {e.offset for e in led.extents}
+        assert 333 * KiB in offsets and 666 * KiB in offsets
+        # So a round-0 carrier range is always a whole number of extents.
+        first = led.extents_in_range(0, 333 * KiB)
+        assert sum(e.length for e in first) == 333 * KiB
+
+    def test_out_of_range_boundaries_ignored(self):
+        led = sealed(nbytes=10 * KiB, chunk=4 * KiB, boundaries=(0, 10 * KiB, 99 * KiB))
+        assert led.extents[0].offset == 0
+        assert led.extents[-1].end == 10 * KiB
+
+    def test_tiny_transfer_single_extent(self):
+        led = sealed(nbytes=100, chunk=256 * KiB)
+        assert len(led.extents) == 1
+        assert led.extents[0].length == 100
+
+    def test_checksums_deterministic_and_key_dependent(self):
+        a = extent_checksum((0, 21), 0, 1024)
+        assert a == extent_checksum((0, 21), 0, 1024)
+        assert a != extent_checksum((0, 22), 0, 1024)
+        assert a != extent_checksum((0, 21), 1024, 1024)
+        led = sealed()
+        for e in led.extents:
+            assert e.checksum == extent_checksum(led.key, e.offset, e.length)
+
+    def test_seal_twice_raises(self):
+        led = sealed()
+        with pytest.raises(ConfigError, match="sealed"):
+            led.seal()
+
+    def test_unsealed_access_raises(self):
+        led = TransferLedger((0, 1), 1024)
+        with pytest.raises(ConfigError, match="seal"):
+            led.extents_in_range(0, 1024)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            TransferLedger((0, 1), 0)
+        with pytest.raises(ConfigError):
+            TransferLedger((0, 1), 1024, chunk_bytes=0)
+
+
+class TestPrefixExtents:
+    def test_partial_extent_is_not_covered(self):
+        led = sealed(nbytes=10 * KiB, chunk=4 * KiB)  # 4K, 4K, 2K
+        cov, rest = prefix_extents(led.extents, 5 * KiB)
+        assert [e.length for e in cov] == [4 * KiB]
+        assert len(rest) == 2
+
+    def test_full_and_zero_progress(self):
+        led = sealed(nbytes=10 * KiB, chunk=4 * KiB)
+        cov, rest = prefix_extents(led.extents, 10 * KiB)
+        assert rest == [] and len(cov) == 3
+        cov, rest = prefix_extents(led.extents, 0)
+        assert cov == [] and len(rest) == 3
+
+
+class TestCreditFlow:
+    def test_proxy_park_and_release(self):
+        led = sealed(nbytes=12 * KiB, chunk=4 * KiB)
+        exts = led.extents
+        led.credit_at_proxy(exts[:2], proxy=7)
+        assert led.holders() == [7]
+        assert [e.eid for e in led.held_extents(7)] == [0, 1]
+        assert [e.eid for e in led.outstanding_extents()] == [2]
+        released = led.release_proxy(7)
+        assert [e.eid for e in released] == [0, 1]
+        assert led.holders() == []
+        assert len(led.outstanding_extents()) == 3
+
+    def test_credit_delivered_returns_fresh_bytes_once(self):
+        led = sealed(nbytes=12 * KiB, chunk=4 * KiB)
+        exts = led.extents
+        assert led.credit_delivered(exts[:2]) == 8 * KiB
+        assert led.credit_delivered(exts[2:]) == 4 * KiB
+        assert led.complete
+        rep = led.verify()
+        assert rep.complete and rep.residue_bytes == 0
+        assert rep.delivered_bytes == 12 * KiB
+
+    def test_duplicate_delivery_fails_verify(self):
+        led = sealed(nbytes=12 * KiB, chunk=4 * KiB)
+        exts = led.extents
+        led.credit_delivered(exts)
+        assert led.credit_delivered(exts[:1]) == 0  # recorded, not credited
+        with pytest.raises(IntegrityError, match="more than once") as ei:
+            led.verify()
+        assert ei.value.kind == "duplicate"
+        assert ei.value.extent_ids == (0,)
+
+    def test_gap_fails_verify_unless_budgeted(self):
+        led = sealed(nbytes=12 * KiB, chunk=4 * KiB)
+        led.credit_delivered(led.extents[:1])
+        with pytest.raises(IntegrityError, match="never delivered") as ei:
+            led.verify()
+        assert ei.value.kind == "gap"
+        assert ei.value.extent_ids == (1, 2)
+        rep = led.verify(expect_complete=False)
+        assert not rep.complete
+        assert rep.residue_bytes == 8 * KiB
+        assert rep.delivered_bytes + rep.residue_bytes == rep.total_bytes
+
+    def test_checksum_mismatch_raises_immediately(self):
+        led = sealed(nbytes=12 * KiB, chunk=4 * KiB)
+        exts = led.extents
+        good = [e.checksum for e in exts]
+        with pytest.raises(IntegrityError, match="checksum") as ei:
+            led.credit_delivered(exts, checksums=[good[0], good[1] ^ 1, good[2]])
+        assert ei.value.kind == "corrupt"
+        assert ei.value.extent_ids == (1,)
+        # Nothing was credited: corruption is never recorded as delivery.
+        assert led.delivered_bytes == 0
+
+    def test_verified_checksums_accepted(self):
+        led = sealed(nbytes=12 * KiB, chunk=4 * KiB)
+        exts = led.extents
+        led.credit_delivered(exts, checksums=[e.checksum for e in exts])
+        assert led.complete
+
+    def test_stale_phase1_after_delivery_is_ignored(self):
+        led = sealed(nbytes=12 * KiB, chunk=4 * KiB)
+        exts = led.extents
+        led.credit_delivered(exts[:2])
+        led.credit_at_proxy(exts[:2], proxy=5)  # late phase-1 arrival
+        assert led.holders() == []  # delivered stays delivered
+        assert led.delivered_bytes == 8 * KiB
+
+    def test_foreign_extent_rejected(self):
+        led = sealed(nbytes=12 * KiB, chunk=4 * KiB)
+        alien = Extent(eid=0, offset=0, length=999, checksum=1)
+        with pytest.raises(ConfigError, match="does not belong"):
+            led.credit_delivered([alien])
+
+
+class TestGroupExtents:
+    def test_partition_properties(self):
+        led = sealed(nbytes=1000 * KiB, chunk=64 * KiB)
+        groups = group_extents(led.extents, 4)
+        assert len(groups) == 4
+        flat = [e for g in groups for e in g]
+        assert flat == list(led.extents)  # order-preserving, covering
+        assert all(g for g in groups)
+
+    def test_k_capped_at_extent_count(self):
+        led = sealed(nbytes=10 * KiB, chunk=4 * KiB)  # 3 extents
+        groups = group_extents(led.extents, 10)
+        assert len(groups) == 3
+
+    def test_near_equal_sizes(self):
+        led = sealed(nbytes=1024 * KiB, chunk=64 * KiB)  # 16 equal extents
+        groups = group_extents(led.extents, 4)
+        sizes = [sum(e.length for e in g) for g in groups]
+        assert max(sizes) <= 2 * min(sizes)
+
+    def test_empty_and_bad_k(self):
+        assert group_extents([], 3) == []
+        with pytest.raises(ConfigError):
+            group_extents([], 0)
+
+
+class TestLedgerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        nbytes=st.integers(min_value=1, max_value=4 << 20),
+        chunk=st.integers(min_value=1 << 10, max_value=1 << 20),
+        nshares=st.integers(min_value=1, max_value=5),
+        data=st.data(),
+    )
+    def test_random_credit_schedules_conserve_bytes(
+        self, nbytes, chunk, nshares, data
+    ):
+        """Any interleaving of park/release/deliver keeps
+        delivered + residue == total and ends exactly-once."""
+        led = TransferLedger((3, 9), nbytes, chunk_bytes=chunk)
+        step = max(1, nbytes // nshares)
+        led.seal(range(step, nbytes, step))
+        exts = list(led.extents)
+        rounds = data.draw(st.integers(min_value=1, max_value=6))
+        for _ in range(rounds):
+            todo = led.outstanding_extents() + led.held_extents()
+            if not todo:
+                break
+            # Park a random slice at a proxy, deliver another slice.
+            n = len(exts)
+            i = data.draw(st.integers(min_value=0, max_value=n))
+            j = data.draw(st.integers(min_value=0, max_value=n))
+            led.credit_at_proxy(
+                [e for e in exts[:i] if e in led.outstanding_extents()], proxy=5
+            )
+            fresh = [e for e in exts[:j]]
+            # Deliver only not-yet-delivered ones (the executor's
+            # receiver-side dedup); duplicates are tested separately.
+            undelivered = {
+                e.eid
+                for e in led.outstanding_extents() + led.held_extents()
+            }
+            led.credit_delivered([e for e in fresh if e.eid in undelivered])
+            assert led.delivered_bytes + led.residue_bytes == nbytes
+            if data.draw(st.booleans()):
+                for p in led.holders():
+                    led.release_proxy(p)
+        led.credit_delivered(led.outstanding_extents() + led.held_extents())
+        rep = led.verify()
+        assert rep.complete
+        assert rep.delivered_bytes == nbytes
+        assert rep.duplicates == ()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        nbytes=st.integers(min_value=2, max_value=1 << 20),
+        dup_at=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_any_double_delivery_is_caught(self, nbytes, dup_at):
+        led = TransferLedger((0, 1), nbytes, chunk_bytes=4 << 10)
+        led.seal()
+        exts = list(led.extents)
+        led.credit_delivered(exts)
+        dup = exts[dup_at % len(exts)]
+        led.credit_delivered([dup])
+        with pytest.raises(IntegrityError) as ei:
+            led.verify()
+        assert ei.value.kind == "duplicate"
+        assert dup.eid in ei.value.extent_ids
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        k=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_group_extents_is_a_partition(self, n, k, seed):
+        import random
+
+        rng = random.Random(seed)
+        exts, off = [], 0
+        for i in range(n):
+            ln = rng.randint(1, 1 << 18)
+            exts.append(
+                Extent(eid=i, offset=off, length=ln, checksum=0)
+            )
+            off += ln
+        groups = group_extents(exts, k)
+        assert len(groups) == min(k, n)
+        assert [e for g in groups for e in g] == exts
+        assert all(g for g in groups)
+
+
+class TestStateConstants:
+    def test_lifecycle_states_distinct(self):
+        assert len({OUTSTANDING, AT_PROXY, DELIVERED}) == 3
+
+    def test_default_chunk_sane(self):
+        assert DEFAULT_CHUNK_BYTES == 256 * 1024

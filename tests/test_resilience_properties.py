@@ -160,3 +160,68 @@ class TestTraceInvariants:
         for lo, mid in probes:
             for link in trace.affected_links:
                 assert trace.factor_at(link, lo) == trace.factor_at(link, mid)
+
+
+class TestLedgerExactlyOnce:
+    @settings(max_examples=20, deadline=None)
+    @given(events=fault_events, nbytes=st.integers(min_value=1, max_value=8 * MiB))
+    def test_random_traces_deliver_exactly_once(self, events, nbytes):
+        """Whatever the hidden schedule does, a completing run's ledger
+        verifies: no extent delivered twice, no gap, and the per-extent
+        accounting reproduces the delivered byte count exactly."""
+        trace = FaultTrace(tuple(events))
+        spec = TransferSpec(src=0, dst=127, nbytes=nbytes)
+        try:
+            out = run_resilient_transfer(
+                SYSTEM,
+                [spec],
+                trace=trace,
+                planner=ResilientPlanner(SYSTEM, max_proxies=4),
+            )
+        except TransferAbortedError:
+            return
+        (rep,) = out.integrity
+        assert rep.complete and rep.duplicates == ()
+        assert rep.delivered_bytes == nbytes
+        led = out.ledgers[(0, 127)]
+        assert led.verify().complete
+        assert led.outstanding_extents() == [] and led.holders() == []
+
+
+class TestBudgetInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        events=fault_events,
+        budget=st.floats(min_value=0.01, max_value=0.3),
+        nbytes=st.integers(min_value=1, max_value=8 * MiB),
+    )
+    def test_budgeted_runs_never_raise_and_conserve_bytes(
+        self, events, budget, nbytes
+    ):
+        """With a wall-clock budget set the executor NEVER raises: it
+        returns a report whose delivered + residue == total, and any
+        recovery work stays inside the budget (round 0's own deadline is
+        the only part allowed to overrun it)."""
+        trace = FaultTrace(tuple(events))
+        policy = RetryPolicy(max_retries=3, budget_s=budget)
+        spec = TransferSpec(src=0, dst=127, nbytes=nbytes)
+        out = run_resilient_transfer(
+            SYSTEM,
+            [spec],
+            trace=trace,
+            policy=policy,
+            planner=ResilientPlanner(SYSTEM, max_proxies=4),
+        )
+        assert out.delivered_bytes + out.residue_bytes == nbytes
+        if out.complete:
+            assert out.residue_bytes == 0
+        else:
+            assert out.telemetry.budget_exhausted
+        (rep,) = out.integrity
+        assert rep.duplicates == ()
+        r0_deadline = max(
+            (a.deadline for a in out.telemetry.attempts if a.round == 0),
+            default=0.0,
+        )
+        horizon = max(budget, r0_deadline)
+        assert out.makespan <= horizon * (1 + 1e-9) + 1e-9

@@ -44,3 +44,60 @@ class TestCores:
     def test_non_multiple(self):
         with pytest.raises(ConfigError):
             nodes_for_cores(100)
+
+
+class TestFailureDomains:
+    def test_midplane_shape(self):
+        from repro.torus.partition import MIDPLANE_SHAPE
+
+        assert MIDPLANE_SHAPE == (4, 4, 4, 4, 2)
+
+    def test_small_partition_is_one_domain(self):
+        from repro.torus.partition import n_failure_domains, node_failure_domain
+
+        # 128 nodes = (2,2,4,4,2) fits inside a single midplane.
+        shape = (2, 2, 4, 4, 2)
+        assert n_failure_domains(shape) == 1
+        assert {node_failure_domain(n, shape) for n in range(128)} == {0}
+
+    def test_2048_splits_into_midplanes(self):
+        from repro.torus.partition import n_failure_domains, node_failure_domain
+
+        shape = (4, 4, 4, 16, 2)  # paper's 2048-node partition
+        assert n_failure_domains(shape) == 4  # 16/4 along D
+        domains = {node_failure_domain(n, shape) for n in range(2048)}
+        assert domains == {0, 1, 2, 3}
+
+    def test_domain_ids_in_range_and_balanced(self):
+        from repro.torus.partition import n_failure_domains, node_failure_domain
+
+        shape = (8, 4, 4, 4, 2)
+        ndom = n_failure_domains(shape)
+        assert ndom == 2
+        counts = [0] * ndom
+        for n in range(int(np.prod(shape))):
+            d = node_failure_domain(n, shape)
+            assert 0 <= d < ndom
+            counts[d] += 1
+        assert len(set(counts)) == 1  # equal-size blocks
+
+    def test_link_domains_cover_both_endpoints(self):
+        from repro.torus.partition import link_failure_domains, node_failure_domain
+        from repro.torus.links import link_id_parts, torus_link_count
+
+        shape = (8, 4, 4, 4, 2)
+        nnodes = int(np.prod(shape))
+        ndims = len(shape)
+        crossing = 0
+        for link in range(torus_link_count(nnodes, ndims)):
+            doms = link_failure_domains(link, shape)
+            node, _, _ = link_id_parts(link, ndims)
+            assert node_failure_domain(node, shape) in doms
+            assert 1 <= len(doms) <= 2
+            crossing += len(doms) == 2
+        assert crossing > 0  # some links do cross the midplane boundary
+
+    def test_non_torus_link_maps_nowhere(self):
+        from repro.torus.partition import link_failure_domains
+
+        assert link_failure_domains(10**9, (4, 4, 4, 4, 2)) == frozenset()
