@@ -36,6 +36,7 @@ from repro.machine import mira_system  # noqa: E402
 from repro.network.flowsim import FlowSim  # noqa: E402
 from repro.network.params import MIRA_PARAMS  # noqa: E402
 from repro.obs import get_registry  # noqa: E402
+from repro.util.atomicio import atomic_write_text  # noqa: E402
 from repro.util.log import get_logger, setup_cli_logging  # noqa: E402
 
 log = get_logger(__name__)
@@ -179,7 +180,7 @@ def main(argv: "list[str] | None" = None) -> int:
             "python": sys.version.split()[0],
             "resilience": resilience,
         }
-        args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n")
         log.info(f"wrote {args.out}")
         return 0
 
@@ -249,7 +250,7 @@ def main(argv: "list[str] | None" = None) -> int:
     }
     if resilience is not None:
         doc["resilience"] = resilience
-    args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n")
     log.info(f"wrote {args.out}")
 
     headline = speedups["eventloop_1k_exact"]["speedup_mean"]

@@ -9,7 +9,12 @@
 * ``analyze``   — graph-theoretic bounds and proxy-plan efficiency;
 * ``faults``    — inject faults and compare fault-blind vs resilient runs;
 * ``trace``     — run a scenario under the observability layer and export
-  a Chrome/Perfetto trace with per-link time series (``docs/OBSERVABILITY.md``).
+  a Chrome/Perfetto trace with per-link time series (``docs/OBSERVABILITY.md``);
+* ``chaos``     — run a seeded fault-injection campaign (``docs/RESILIENCE.md``);
+* ``serve``     — long-lived scenario service: JSONL requests on stdin,
+  terminal results on stdout, overload-safe (``docs/SERVICE.md``);
+* ``batch``     — run a scenario campaign with a crash-safe write-ahead
+  journal; ``--resume`` after any crash converges on byte-identical results.
 
 All output goes through the ``repro`` logging hierarchy; ``--log-level``
 makes any run quiet (``warning``) or chatty (``debug``) on demand, and
@@ -175,6 +180,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument("--out", type=str, default="chaos.json", metavar="PATH")
     ch.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
+
+    def _service_args(sp) -> None:
+        sp.add_argument("--workers", type=int, default=2, help="worker processes")
+        sp.add_argument(
+            "--queue-cap", type=int, default=32,
+            help="bounded admission-queue depth (load shedding beyond it)",
+        )
+        sp.add_argument(
+            "--deadline", type=float, default=None, metavar="S",
+            help="default per-request deadline [s] (none if omitted)",
+        )
+        sp.add_argument(
+            "--max-attempts", type=int, default=3,
+            help="worker crashes tolerated before a request is quarantined",
+        )
+        sp.add_argument(
+            "--hang-timeout", type=float, default=60.0, metavar="S",
+            help="hard-kill limit for requests without a deadline",
+        )
+        sp.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
+
+    sv = sub.add_parser(
+        "serve",
+        help="long-lived scenario service: JSONL requests on stdin, "
+        "JSONL results on stdout",
+    )
+    _service_args(sv)
+
+    ba = sub.add_parser(
+        "batch",
+        help="run a resumable scenario campaign with a crash-safe journal",
+    )
+    ba.add_argument("--campaign", type=str, required=True, metavar="PATH")
+    ba.add_argument("--out", type=str, default="results.json", metavar="PATH")
+    ba.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help="write-ahead journal path (default: <out>.journal)",
+    )
+    ba.add_argument(
+        "--resume", action="store_true",
+        help="reuse intact journaled results; rerun only the remainder",
+    )
+    ba.add_argument(
+        "--make-demo", type=int, default=None, metavar="N",
+        help="write an N-scenario demo campaign to --campaign and exit",
+    )
+    ba.add_argument(
+        "--demo-nodes", type=int, default=32,
+        help="partition size used by --make-demo scenarios",
+    )
+    _service_args(ba)
     return p
 
 
@@ -184,9 +240,9 @@ def _dump_metrics(args) -> None:
     if not path:
         return
     from repro.obs import get_registry
+    from repro.util.atomicio import atomic_write_text
 
-    with open(path, "w") as fh:
-        fh.write(get_registry().to_json() + "\n")
+    atomic_write_text(path, get_registry().to_json() + "\n", durable=False)
     log.info(f"metrics written to {path}")
 
 
@@ -547,8 +603,9 @@ def _cmd_trace(args) -> int:
         export_jsonl(tracer, args.out)
     log.info(f"trace ({args.format}) written to {args.out}")
     if args.metrics_out:
-        with open(args.metrics_out, "w") as fh:
-            fh.write(registry.to_json() + "\n")
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(args.metrics_out, registry.to_json() + "\n", durable=False)
         log.info(f"metrics written to {args.metrics_out}")
     log.info("")
     log.info(render_report(tracer=tracer, registry=registry, probe=probe))
@@ -616,12 +673,111 @@ def _cmd_chaos(args) -> int:
         f"passed {report['n_passed']}/{report['n_runs']} "
         f"in {report['wall_time_s']:.1f}s"
     )
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    from repro.util.atomicio import atomic_write_text
+
+    # Atomic replace: a campaign killed mid-dump can never tear an
+    # existing report (CI archives these as artifacts).
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
     log.info(f"campaign report written to {args.out}")
     _dump_metrics(args)
     return 0 if report["passed"] else 1
+
+
+def _service_config(args):
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+        default_deadline_s=args.deadline,
+        max_attempts=args.max_attempts,
+        hang_timeout_s=args.hang_timeout,
+    )
+
+
+def _cmd_serve(args) -> int:
+    """Long-lived scenario service over stdin/stdout JSONL.
+
+    One request object per input line; one terminal result record per
+    output line (order follows completion, not submission).  Admission
+    rejections are answered immediately with ``"status": "rejected"``
+    plus the typed error code and its ``retriable`` flag.  EOF on stdin
+    drains in-flight work and exits.
+    """
+    import json
+    import threading
+
+    from repro.service import ScenarioRequest, ScenarioService, ServiceError
+    from repro.util.validation import ConfigError
+
+    emit_lock = threading.Lock()
+
+    def emit(doc: dict) -> None:
+        with emit_lock:
+            sys.stdout.write(json.dumps(doc, sort_keys=True) + "\n")
+            sys.stdout.flush()
+
+    config = _service_config(args)
+    log.info(
+        f"serving with {config.workers} worker(s), queue cap {config.queue_cap}; "
+        "reading JSONL requests from stdin"
+    )
+    with ScenarioService(config, on_result=lambda r: emit(r.record())) as svc:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            rid = None
+            try:
+                doc = json.loads(line)
+                rid = doc.get("id") if isinstance(doc, dict) else None
+                svc.submit(ScenarioRequest.from_dict(doc))
+            except json.JSONDecodeError as exc:
+                emit({"id": rid, "status": "rejected", "retriable": False,
+                      "error": f"bad-json: {exc}"})
+            except ServiceError as exc:
+                emit({"id": rid, "status": "rejected", "retriable": exc.retriable,
+                      "error": f"{exc.code}: {exc}"})
+            except ConfigError as exc:
+                emit({"id": rid, "status": "rejected", "retriable": False,
+                      "error": f"bad-request: {exc}"})
+        svc.wait_all()
+    _dump_metrics(args)
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    """Run (or resume) a campaign file; see docs/SERVICE.md."""
+    import json
+
+    from repro.service import make_demo_campaign, run_batch
+    from repro.util.atomicio import atomic_write_json
+
+    if args.make_demo is not None:
+        doc = make_demo_campaign(
+            args.make_demo, nnodes=args.demo_nodes, deadline_s=args.deadline
+        )
+        atomic_write_json(args.campaign, doc)
+        log.info(
+            f"wrote {args.make_demo}-scenario demo campaign to {args.campaign}"
+        )
+        return 0
+    summary = run_batch(
+        args.campaign,
+        args.out,
+        journal_path=args.journal,
+        resume=args.resume,
+        config=_service_config(args),
+        progress=log.info,
+    )
+    _dump_metrics(args)
+    counts = summary["counts"]
+    log.info(
+        f"campaign done: {counts['completed']} completed, "
+        f"{counts['failed']} failed, {counts['shed']} shed "
+        f"({summary['resumed']} reused from journal)"
+    )
+    return 0 if counts["completed"] == summary["total"] else 1
 
 
 _COMMANDS = {
@@ -633,14 +789,36 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
+    "batch": _cmd_batch,
 }
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 success, 1 the run itself failed (e.g. campaign
+    scenarios failed, chaos invariants violated), 2 invalid input —
+    argparse errors and any :class:`ConfigError` raised by a command
+    both land on 2 with a one-line message, never a traceback.
+    """
+    from repro.util.validation import ConfigError, ReproError
+
     args = build_parser().parse_args(argv)
     setup_cli_logging(args.log_level)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ConfigError, ValueError) as exc:
+        # Invalid input (bad sizes, unknown partition, malformed
+        # campaign, ...): one line on the argparse exit code, no traceback.
+        log.error(f"{args.command}: {exc}")
+        return 2
+    except ReproError as exc:
+        log.error(f"{args.command}: {type(exc).__name__}: {exc}")
+        return 1
+    except KeyboardInterrupt:
+        log.error(f"{args.command}: interrupted")
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI shim

@@ -60,7 +60,13 @@ from repro.network.flow import Flow, FlowId, FlowResult
 from repro.network.params import MIRA_PARAMS, NetworkParams
 from repro.obs.metrics import TimeSeriesProbe, get_registry
 from repro.obs.trace import get_tracer
-from repro.util.validation import ConfigError, LinkDownError, SimulationError
+from repro.util.cancel import current_scope
+from repro.util.validation import (
+    ConfigError,
+    LinkDownError,
+    SimulationCancelled,
+    SimulationError,
+)
 
 _EPS_BYTES = 1e-3  # sub-byte residue counts as complete (float rounding guard)
 _REL_TOL = 1e-12
@@ -534,6 +540,8 @@ class FlowSim:
         probe: "TimeSeriesProbe | None" = None,
         t_base: float = 0.0,
         cutoffs: "Mapping[FlowId, float] | None" = None,
+        cancel_check: "Callable[[], object] | None" = None,
+        cancel_every: int = 64,
     ) -> FlowSimResult:
         """Simulate all flows to completion and return per-flow results.
 
@@ -563,12 +571,33 @@ class FlowSim:
         resilience executor registers each carrier's deadline here so a
         cancelled carrier's partial progress can be credited byte-for-
         byte instead of re-sending its entire share.
+
+        ``cancel_check`` is the **cooperative cancellation hook**: a
+        callable polled once every ``cancel_every`` event-loop
+        iterations.  It either raises
+        :class:`~repro.util.validation.SimulationCancelled` itself (the
+        :meth:`repro.util.cancel.CancelScope.check` idiom) or returns a
+        truthy value, in which case the simulator raises on its behalf —
+        so a deadline installed by the scenario service cuts a stuck or
+        oversized run off mid-simulation instead of hanging a worker.
+        When ``None``, the ambient :func:`repro.util.cancel.cancel_scope`
+        (if one is installed) is polled instead; with neither, the hook
+        costs nothing.  The check never mutates simulator state, so a
+        hook that is installed but never fires leaves results
+        byte-identical to an unhooked run.
         """
         flows = list(flows)
         if not flows:
             return FlowSimResult({}, 0.0, {}, 0)
         if t_base < 0:
             raise ConfigError(f"t_base must be >= 0, got {t_base}")
+        if cancel_every < 1:
+            raise ConfigError(f"cancel_every must be >= 1, got {cancel_every}")
+        if cancel_check is None:
+            scope = current_scope()
+            if scope is not None:
+                cancel_check = scope.check
+        n_since_check = 0
         if probe is not None:
             probe.rebase(t_base)
         fid_to_idx = self._index_flows(flows)
@@ -814,6 +843,21 @@ class FlowSim:
             )
 
         while pending or len(act):
+            if cancel_check is not None:
+                n_since_check += 1
+                if n_since_check >= cancel_every:
+                    n_since_check = 0
+                    try:
+                        hit = cancel_check()
+                    except SimulationCancelled:
+                        get_registry().counter("flowsim.cancelled").inc()
+                        raise
+                    if hit:
+                        get_registry().counter("flowsim.cancelled").inc()
+                        raise SimulationCancelled(
+                            f"simulation cancelled by hook at T={T:.6g}s "
+                            f"({n_updates} rate updates)"
+                        )
             if not len(act):
                 # Jump to the next activation.
                 T_new = max(T, pending[0][0])

@@ -394,8 +394,11 @@ def _write_out(out, text: str) -> None:
     if hasattr(out, "write"):
         out.write(text)
     else:
-        with open(out, "w") as fh:
-            fh.write(text)
+        # Atomic replace: a run killed mid-export never leaves a torn
+        # trace file behind (see repro.util.atomicio).
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(out, text, durable=False)
 
 
 def export_chrome(

@@ -1,0 +1,166 @@
+"""Circuit breakers for the service's planner and simulator stages.
+
+The state machine is the classic closed → open → half-open cycle, and
+the half-open step deliberately reuses the **probation idiom** from
+:mod:`repro.resilience.health`: a link believed down re-enters service
+through a limited probing share after ``reprobe_interval`` elapses, and
+a breaker believed broken re-enters service through a limited number of
+probe requests after ``recovery_s`` elapses.  Success closes it;
+failure re-opens it and restarts the clock.
+
+State is exported to :mod:`repro.obs.metrics` as a gauge
+(``service.breaker.<name>.state``: 0 closed, 1 half-open, 2 open) plus
+transition counters, so dashboards can see a stage browning out.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.metrics import get_registry
+from repro.util.validation import ConfigError
+
+#: Breaker states (values chosen so the exported gauge orders severity).
+CLOSED = "closed"
+HALF_OPEN = "half_open"
+OPEN = "open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure-counting breaker around one service stage.
+
+    Args:
+        name: stage name (metrics are ``service.breaker.<name>.*``).
+        failure_threshold: consecutive failures that trip the breaker.
+        recovery_s: seconds the breaker stays open before probation
+            (half-open) admits probe traffic.
+        half_open_probes: concurrent probes allowed while half-open.
+        clock: monotonic time source (overridable for tests).
+
+    Thread-safe: the service's dispatcher and collector threads call
+    :meth:`allow` / :meth:`record_success` / :meth:`record_failure`
+    concurrently.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        recovery_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_s <= 0:
+            raise ConfigError(f"recovery_s must be > 0, got {recovery_s}")
+        if half_open_probes < 1:
+            raise ConfigError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0  # consecutive, while closed
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._publish(CLOSED)
+
+    # -- state ---------------------------------------------------------------
+
+    def _publish(self, state: str) -> None:
+        get_registry().gauge(f"service.breaker.{self.name}.state").set(
+            _STATE_GAUGE[state]
+        )
+
+    def _transition(self, state: str) -> None:
+        """Caller holds the lock."""
+        if state == self._state:
+            return
+        get_registry().counter(
+            f"service.breaker.{self.name}.to_{state}"
+        ).inc()
+        self._state = state
+        self._publish(state)
+        if state == OPEN:
+            self._opened_at = self._clock()
+            self._probes_inflight = 0
+        elif state == CLOSED:
+            self._failures = 0
+            self._probes_inflight = 0
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the recovery interval has elapsed
+        (the probation re-probe idiom).  Caller holds the lock."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_s
+        ):
+            self._transition(HALF_OPEN)
+
+    @property
+    def state(self) -> str:
+        """Current state (``open`` lazily decays to ``half_open``)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    # -- flow control --------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request enter this stage right now?
+
+        Closed: always.  Open: never (fail fast / degrade).  Half-open:
+        up to ``half_open_probes`` probes at a time; the probe's
+        :meth:`record_success` / :meth:`record_failure` decides whether
+        the breaker closes or re-opens.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probes_inflight < self.half_open_probes:
+                self._probes_inflight += 1
+                return True
+            return False
+
+    def release(self) -> None:
+        """Return a half-open probe slot without a verdict (the probing
+        request was abandoned: worker crash, deadline kill, or the
+        dispatcher degraded after reserving the slot).  No-op unless a
+        probe is actually outstanding."""
+        with self._lock:
+            if self._probes_inflight > 0:
+                self._probes_inflight -= 1
+
+    def record_success(self) -> None:
+        """The stage succeeded: close (and reset the failure count)."""
+        with self._lock:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """The stage failed: count toward the trip threshold, or —
+        when probing half-open — re-open immediately."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+                return
+            if self._state == OPEN:
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._transition(OPEN)

@@ -1,0 +1,172 @@
+"""Request/result model of the scenario service.
+
+A :class:`ScenarioRequest` names a scenario *kind* plus its parameters;
+a :class:`ScenarioResult` is the request's single **terminal** record —
+every admitted request ends in exactly one of :data:`TERMINAL_STATUSES`:
+
+* ``completed`` — the scenario ran and produced a payload;
+* ``shed``      — never attempted: admission rejected it (queue full,
+  circuit open) or its deadline expired while still queued.  Retriable.
+* ``failed``    — attempted and lost: scenario error, mid-run deadline,
+  or poison quarantine after repeated worker crashes.
+
+Payloads are **deterministic** JSON documents (no wall-clock fields), so
+the same seeded campaign yields byte-identical results across runs and
+resumes; :func:`payload_checksum` is the sha256 of the canonical JSON
+form, journaled by :mod:`repro.service.journal` and re-verified on
+``repro batch --resume``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.util.validation import ConfigError
+
+#: Every admitted request ends in exactly one of these.
+COMPLETED = "completed"
+SHED = "shed"
+FAILED = "failed"
+TERMINAL_STATUSES = (COMPLETED, SHED, FAILED)
+
+#: Scenario kinds the service executes (see repro.service.scenarios).
+SCENARIO_KINDS = ("p2p", "group", "fanin", "io", "chaos", "spin")
+
+#: Fault-injection hooks for tests and soak campaigns, handled by the
+#: worker *before* the scenario runs: ``crash`` hard-exits the worker
+#: process (exercises the watchdog's restart + poison quarantine),
+#: ``hang`` spins forever ignoring cooperative cancellation (exercises
+#: the watchdog's deadline hard-kill).
+INJECT_KINDS = ("crash", "hang")
+
+
+def canonical_json(doc: Any) -> str:
+    """Canonical JSON form: sorted keys, compact separators."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def payload_checksum(payload: Any) -> str:
+    """sha256 hex digest of a payload's canonical JSON form."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """One scenario-execution request.
+
+    Args:
+        id: caller-chosen unique id (journal/result key).
+        kind: one of :data:`SCENARIO_KINDS`.
+        params: kind-specific parameters (JSON-able).
+        deadline_s: wall-clock budget from *admission*; ``None`` uses
+            the service default (which may also be ``None`` = no
+            deadline).
+        inject: optional fault injection (:data:`INJECT_KINDS`).
+    """
+
+    id: str
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    deadline_s: "float | None" = None
+    inject: "str | None" = None
+
+    def __post_init__(self):
+        if not isinstance(self.id, str) or not self.id:
+            raise ConfigError(f"request id must be a non-empty string, got {self.id!r}")
+        if self.kind not in SCENARIO_KINDS:
+            raise ConfigError(
+                f"unknown scenario kind {self.kind!r}; known: {SCENARIO_KINDS}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.inject is not None and self.inject not in INJECT_KINDS:
+            raise ConfigError(
+                f"unknown inject {self.inject!r}; known: {INJECT_KINDS}"
+            )
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "ScenarioRequest":
+        """Build a request from a JSON document (``repro serve`` lines,
+        campaign scenario entries)."""
+        if not isinstance(doc, Mapping):
+            raise ConfigError(f"request must be a JSON object, got {type(doc).__name__}")
+        unknown = set(doc) - {"id", "kind", "params", "deadline_s", "inject"}
+        if unknown:
+            raise ConfigError(f"unknown request fields: {sorted(unknown)}")
+        params = doc.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ConfigError("request params must be a JSON object")
+        return cls(
+            id=doc.get("id", ""),
+            kind=doc.get("kind", ""),
+            params=dict(params),
+            deadline_s=doc.get("deadline_s"),
+            inject=doc.get("inject"),
+        )
+
+    def to_dict(self) -> dict:
+        """Serialise back to the wire/journal dict form (inverse of from_dict)."""
+        doc: dict = {"id": self.id, "kind": self.kind, "params": dict(self.params)}
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        if self.inject is not None:
+            doc["inject"] = self.inject
+        return doc
+
+
+@dataclass
+class ScenarioResult:
+    """The terminal record of one request.
+
+    ``payload``/``checksum`` are set for ``completed`` results;
+    ``error`` carries ``"<code>: <message>"`` otherwise, with ``code``
+    from :mod:`repro.service.errors` (or the exception type name).
+    ``attempts``/``worker``/``stage_s``/``degraded`` are execution
+    telemetry and deliberately excluded from :meth:`record` — the
+    journaled record must be identical across resumes.
+    """
+
+    id: str
+    kind: str
+    status: str
+    payload: "dict | None" = None
+    checksum: "str | None" = None
+    error: "str | None" = None
+    attempts: int = 1
+    worker: "int | None" = None
+    degraded: bool = False
+    stage_s: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.status not in TERMINAL_STATUSES:
+            raise ConfigError(
+                f"status must be one of {TERMINAL_STATUSES}, got {self.status!r}"
+            )
+        if self.status == COMPLETED and self.checksum is None and self.payload is not None:
+            self.checksum = payload_checksum(self.payload)
+
+    def record(self) -> dict:
+        """The deterministic, journal/results-file form of this result."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "payload": self.payload,
+            "checksum": self.checksum,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_record(cls, rec: Mapping[str, Any]) -> "ScenarioResult":
+        """Rehydrate a terminal result from a journal record."""
+        return cls(
+            id=str(rec["id"]),
+            kind=str(rec.get("kind", "")),
+            status=str(rec["status"]),
+            payload=rec.get("payload"),
+            checksum=rec.get("checksum"),
+            error=rec.get("error"),
+        )

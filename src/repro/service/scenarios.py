@@ -1,0 +1,257 @@
+"""Scenario runners the service's workers execute.
+
+Each kind maps to a deterministic, JSON-able payload — no wall-clock
+fields ever land in a payload, so a seeded campaign's results are
+byte-identical across runs and resumes (the property ``repro batch
+--resume`` is verified against).
+
+Transfer kinds split into the two guarded stages the circuit breakers
+watch:
+
+* **plan** — the multipath proxy search (:class:`TransferPlanner`);
+* **simulate** — the fluid-simulator execution of the planned flows.
+
+When the planner's breaker is open, or the remaining deadline is below
+the planning-cost estimate, the runner serves the **degraded-mode
+fallback**: a direct single-path plan (``mode="direct"``), skipping the
+proxy search entirely — slower data movement, but an answer within the
+deadline instead of a rejection.  A failure raises :class:`StageError`
+naming the stage, which the service feeds back into the right breaker.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Mapping
+
+from repro.core.multipath import TransferSpec, run_transfer
+from repro.core.planner import TransferPlanner
+from repro.obs.trace import get_tracer
+from repro.util.cancel import check_cancelled, current_scope
+from repro.util.validation import ConfigError, ReproError, SimulationCancelled
+
+#: Fields a transfer payload records per (src, dst) pair.
+_MiB = 1 << 20
+
+
+class StageError(ReproError):
+    """A scenario stage failed; ``stage`` is ``"plan"`` or ``"simulate"``.
+
+    Wraps the original error so the service can route the failure into
+    the matching circuit breaker while callers still see the cause.
+    """
+
+    def __init__(self, stage: str, cause: BaseException):
+        super().__init__(f"{stage} stage failed: {type(cause).__name__}: {cause}")
+        self.stage = stage
+        self.cause = cause
+
+
+@functools.lru_cache(maxsize=8)
+def _system(nnodes: "int | None" = None, ncores: "int | None" = None):
+    from repro.machine import mira_system
+
+    return mira_system(nnodes=nnodes, ncores=ncores)
+
+
+def _far_node(n: int) -> int:
+    """An off-axis far destination (same shape the chaos harness uses)."""
+    return (n // 2 + n // 8 + 1) % n
+
+
+def _transfer_specs(kind: str, params: Mapping[str, Any], system) -> list[TransferSpec]:
+    nbytes = int(params.get("nbytes", _MiB))
+    n = system.nnodes
+    if kind == "p2p":
+        src = int(params.get("src", 0))
+        dst = int(params.get("dst", _far_node(n)))
+        return [TransferSpec(src=src, dst=dst, nbytes=nbytes)]
+    from repro.resilience.chaos import geometry_specs
+
+    return geometry_specs(system, kind, nbytes)
+
+
+def _mode_used_payload(mode_used: Mapping[tuple, str]) -> dict:
+    return {f"{s}->{d}": m for (s, d), m in sorted(mode_used.items())}
+
+
+def _run_transfer_kind(
+    kind: str, params: Mapping[str, Any], *, degraded: bool, stage_s: dict
+) -> dict:
+    system = _system(nnodes=int(params.get("nnodes", 64)))
+    specs = _transfer_specs(kind, params, system)
+    tracer = get_tracer()
+    assignments = None
+    if not degraded:
+        t0 = time.perf_counter()
+        try:
+            with tracer.span("service.plan", cat="service", kind=kind):
+                planner = TransferPlanner(
+                    system, max_proxies=params.get("max_proxies")
+                )
+                assignments = planner.find_plan(
+                    [(s.src, s.dst) for s in specs]
+                ).assignments
+        except SimulationCancelled:
+            raise
+        except Exception as exc:
+            raise StageError("plan", exc) from exc
+        finally:
+            stage_s["plan_s"] = time.perf_counter() - t0
+    check_cancelled()
+    t0 = time.perf_counter()
+    try:
+        with tracer.span("service.simulate", cat="service", kind=kind):
+            out = run_transfer(
+                system,
+                specs,
+                mode="direct" if degraded else "auto",
+                assignments=assignments,
+                batch_tol=float(params.get("batch_tol", 0.0)),
+            )
+    except SimulationCancelled:
+        raise
+    except Exception as exc:
+        raise StageError("simulate", exc) from exc
+    finally:
+        stage_s["simulate_s"] = time.perf_counter() - t0
+    return {
+        "kind": kind,
+        "nnodes": system.nnodes,
+        "total_bytes": out.total_bytes,
+        "makespan_s": out.makespan,
+        "throughput_Bps": out.throughput,
+        "mode_used": _mode_used_payload(out.mode_used),
+        "degraded": degraded,
+    }
+
+
+def _run_io(params: Mapping[str, Any], *, degraded: bool, stage_s: dict) -> dict:
+    from repro.core import run_io_movement
+    from repro.torus.mapping import RankMapping
+    from repro.torus.partition import CORES_PER_NODE
+    from repro.workloads import hacc_io_sizes, pareto_pattern, uniform_pattern
+
+    system = _system(ncores=int(params.get("ncores", 1024)))
+    mapping = RankMapping(system.topology, ranks_per_node=CORES_PER_NODE)
+    pattern = str(params.get("pattern", "1"))
+    seed = int(params.get("seed", 2014))
+    if pattern == "1":
+        sizes = uniform_pattern(mapping.nranks, seed=seed)
+    elif pattern == "2":
+        sizes = pareto_pattern(mapping.nranks, seed=seed)
+    elif pattern == "hacc":
+        sizes = hacc_io_sizes(mapping.nranks)
+    else:
+        raise ConfigError(f"unknown io pattern {pattern!r}; use 1, 2 or hacc")
+    # Degraded mode: skip the topology-aware aggregation planning and
+    # serve the baseline collective path.
+    method = "collective" if degraded else str(params.get("method", "topology_aware"))
+    t0 = time.perf_counter()
+    try:
+        with get_tracer().span("service.simulate", cat="service", kind="io"):
+            out = run_io_movement(
+                system, sizes, method=method, mapping=mapping,
+                batch_tol=float(params.get("batch_tol", 0.05)),
+                fair_tol=float(params.get("fair_tol", 0.02)),
+            )
+    except SimulationCancelled:
+        raise
+    except Exception as exc:
+        raise StageError("simulate", exc) from exc
+    finally:
+        stage_s["simulate_s"] = time.perf_counter() - t0
+    return {
+        "kind": "io",
+        "ncores": int(params.get("ncores", 1024)),
+        "pattern": pattern,
+        "method": method,
+        "total_bytes": float(sizes.sum()),
+        "makespan_s": out.makespan,
+        "throughput_Bps": out.throughput,
+        "active_ions": out.active_ions,
+        "ion_imbalance": out.ion_imbalance,
+        "degraded": degraded,
+    }
+
+
+def _run_chaos(params: Mapping[str, Any], *, stage_s: dict) -> dict:
+    from repro.resilience.chaos import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        nnodes=int(params.get("nnodes", 128)),
+        nbytes=int(params.get("nbytes", 8 * _MiB)),
+        seeds=tuple(params.get("seeds", (0,))),
+        scenarios=tuple(params.get("scenarios", ("hard-down",))),
+        geometries=tuple(params.get("geometries", ("p2p",))),
+        max_retries=int(params.get("max_retries", 3)),
+        budget_s=float(params.get("budget_s", 0.5)),
+    )
+    t0 = time.perf_counter()
+    try:
+        with get_tracer().span("service.simulate", cat="service", kind="chaos"):
+            report = run_campaign(config)
+    except SimulationCancelled:
+        raise
+    except Exception as exc:
+        raise StageError("simulate", exc) from exc
+    finally:
+        stage_s["simulate_s"] = time.perf_counter() - t0
+    # Wall time is nondeterministic; payloads must be byte-stable.
+    report.pop("wall_time_s", None)
+    return {"kind": "chaos", "report": report}
+
+
+def _run_spin(params: Mapping[str, Any], *, stage_s: dict) -> dict:
+    """A cooperative busy-wait: spins for ``duration_s`` wall seconds,
+    checking the ambient cancel scope each tick.  Used by soak tests
+    and demo campaigns to apply deadline pressure deterministically."""
+    duration_s = float(params.get("duration_s", 0.01))
+    if duration_s < 0:
+        raise ConfigError(f"duration_s must be >= 0, got {duration_s}")
+    t0 = time.perf_counter()
+    try:
+        while time.perf_counter() - t0 < duration_s:
+            check_cancelled()
+            time.sleep(min(0.002, duration_s / 10 + 1e-6))
+    finally:
+        stage_s["simulate_s"] = time.perf_counter() - t0
+    return {"kind": "spin", "duration_s": duration_s, "spun": True}
+
+
+def execute_request(
+    kind: str,
+    params: Mapping[str, Any],
+    *,
+    degraded: bool = False,
+    plan_cost_est_s: float = 0.0,
+    plan_cost_safety: float = 2.0,
+) -> tuple[dict, dict, bool]:
+    """Run one scenario; returns ``(payload, stage_s, degraded_used)``.
+
+    ``degraded`` is the dispatcher's verdict (planner breaker open);
+    additionally, when the remaining deadline is below
+    ``plan_cost_safety * plan_cost_est_s``, the runner degrades on its
+    own — spending the whole budget planning would guarantee a miss.
+    """
+    stage_s: dict = {}
+    scope = current_scope()
+    if not degraded and scope is not None and plan_cost_est_s > 0:
+        remaining = scope.remaining()
+        if remaining is not None and remaining < plan_cost_safety * plan_cost_est_s:
+            degraded = True
+    check_cancelled()
+    if kind in ("p2p", "group", "fanin"):
+        payload = _run_transfer_kind(kind, params, degraded=degraded, stage_s=stage_s)
+    elif kind == "io":
+        payload = _run_io(params, degraded=degraded, stage_s=stage_s)
+    elif kind == "chaos":
+        degraded = False  # no planner stage to skip
+        payload = _run_chaos(params, stage_s=stage_s)
+    elif kind == "spin":
+        degraded = False
+        payload = _run_spin(params, stage_s=stage_s)
+    else:
+        raise ConfigError(f"unknown scenario kind {kind!r}")
+    return payload, stage_s, degraded

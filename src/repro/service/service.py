@@ -1,0 +1,623 @@
+"""The overload-safe scenario-execution service.
+
+A :class:`ScenarioService` owns a small pool of **spawned** worker
+processes and a bounded admission queue, and guarantees that every
+admitted request reaches exactly one terminal state (``completed`` /
+``shed`` / ``failed``) no matter what the scenario does — crash, hang,
+deadline blow-through, or planner meltdown.
+
+Architecture (all supervision in **one** parent thread, so the
+bookkeeping has no cross-thread races to reason about):
+
+* ``submit`` (caller thread) — admission control.  Rejects fast with a
+  typed, ``retriable`` error when the bounded queue is full
+  (:class:`QueueFullError` — that rejection *is* the load shedding) or
+  the simulator's circuit breaker is open (:class:`CircuitOpenError`).
+  ``block=True`` turns rejection into backpressure for batch drivers.
+* supervisor thread — drains per-worker result queues, detects crashed
+  workers (restart; re-queue the victim request until
+  ``max_attempts``, then quarantine it as **poison**), hard-kills
+  workers that blow past their deadline or hang limit, and dispatches
+  queued requests to free workers (shedding any whose deadline already
+  expired while queued).
+* workers — see :mod:`repro.service.worker`.  One request in flight
+  per worker over private queues, so a killed worker can never corrupt
+  a queue another worker is using, and the parent always knows which
+  request died with it.
+
+Two circuit breakers (:mod:`repro.service.breaker`) watch the planner
+and simulator stages.  A tripped planner breaker — or a remaining
+deadline smaller than ``plan_cost_safety ×`` the observed planning-cost
+EWMA — flips the dispatch to **degraded mode**: direct single-path
+transfers with no proxy search, trading bandwidth for an answer inside
+the deadline.  A tripped simulator breaker sheds at admission.
+
+Everything observable is exported through :mod:`repro.obs.metrics`
+(``service.queue_depth``, ``service.shed.*``, ``service.deadline_misses``,
+``service.worker_restarts``, ``service.poison_quarantined``, breaker
+states) and spans (``service.admit`` / ``service.dispatch``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.service.breaker import OPEN, CircuitBreaker
+from repro.service.errors import (
+    CircuitOpenError,
+    QueueFullError,
+    ServiceClosedError,
+    UnknownRequestError,
+)
+from repro.service.request import (
+    COMPLETED,
+    FAILED,
+    SHED,
+    ScenarioRequest,
+    ScenarioResult,
+)
+from repro.service.worker import worker_main
+from repro.util.validation import ConfigError
+
+#: Scenario kinds with a separate planner stage (degraded mode applies).
+_PLANNED_KINDS = ("p2p", "group", "fanin")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of the scenario service.
+
+    Args:
+        workers: worker-process pool size.
+        queue_cap: bounded admission queue depth; beyond it,
+            ``submit`` sheds (or blocks, for batch backpressure).
+        default_deadline_s: deadline applied to requests that do not
+            carry their own (``None`` = no default deadline).
+        max_attempts: worker crashes tolerated per request before it is
+            quarantined as poison.
+        hang_timeout_s: hard-kill limit for requests with *no*
+            deadline (``None`` disables; a deadline always wins).
+        kill_grace_s: slack past the deadline before the watchdog
+            hard-kills, giving cooperative cancellation first refusal.
+        breaker_failure_threshold / breaker_recovery_s: see
+            :class:`repro.service.breaker.CircuitBreaker`.
+        plan_cost_safety: degrade when remaining deadline is below
+            ``plan_cost_safety ×`` the planning-cost EWMA.
+        poll_interval_s: supervisor wake-up period.
+    """
+
+    workers: int = 2
+    queue_cap: int = 32
+    default_deadline_s: "float | None" = None
+    max_attempts: int = 3
+    hang_timeout_s: "float | None" = 60.0
+    kill_grace_s: float = 0.25
+    breaker_failure_threshold: int = 3
+    breaker_recovery_s: float = 1.0
+    plan_cost_safety: float = 2.0
+    poll_interval_s: float = 0.005
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_cap < 1:
+            raise ConfigError(f"queue_cap must be >= 1, got {self.queue_cap}")
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ConfigError(
+                f"default_deadline_s must be > 0, got {self.default_deadline_s}"
+            )
+        if self.kill_grace_s < 0:
+            raise ConfigError(f"kill_grace_s must be >= 0, got {self.kill_grace_s}")
+
+
+@dataclass
+class _Tracked:
+    """Parent-side lifecycle record of one admitted request."""
+
+    req: ScenarioRequest
+    deadline_at: "float | None"  # absolute monotonic, None = no deadline
+    attempts: int = 0
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class _Worker:
+    """One worker slot: process + its private dispatch/result queues."""
+
+    __slots__ = ("wid", "proc", "req_q", "res_q", "busy", "dispatched_at", "degraded")
+
+    def __init__(self, wid: int, ctx):
+        self.wid = wid
+        self.req_q = ctx.Queue()
+        self.res_q = ctx.Queue()
+        self.proc = ctx.Process(
+            target=worker_main,
+            args=(wid, self.req_q, self.res_q),
+            name=f"repro-worker-{wid}",
+            daemon=True,
+        )
+        self.proc.start()
+        self.busy: "Optional[_Tracked]" = None
+        self.dispatched_at = 0.0
+        self.degraded = False
+
+    def discard_queues(self) -> None:
+        """Detach queue feeder threads so parent exit never blocks on a
+        queue whose consumer was hard-killed."""
+        for q in (self.req_q, self.res_q):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):
+                pass
+
+
+class ScenarioService:
+    """Overload-safe scenario executor.  See the module docstring.
+
+    Use as a context manager; ``__exit__`` drains and shuts down::
+
+        with ScenarioService(ServiceConfig(workers=4)) as svc:
+            svc.submit(ScenarioRequest(id="a", kind="p2p"))
+            result = svc.result("a", timeout=30)
+    """
+
+    def __init__(
+        self,
+        config: "ServiceConfig | None" = None,
+        *,
+        on_result: "Callable[[ScenarioResult], None] | None" = None,
+    ):
+        self.config = config or ServiceConfig()
+        self._on_result = on_result
+        self._ctx = mp.get_context("spawn")
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)  # queue_cap backpressure
+        self._pending: "deque[_Tracked]" = deque()
+        self._tracked: "dict[str, _Tracked]" = {}
+        self._results: "dict[str, ScenarioResult]" = {}
+        self._plan_cost_est: "dict[str, float]" = {}
+        self._closing = False
+        self._stop = False
+        self.planner_breaker = CircuitBreaker(
+            "planner",
+            failure_threshold=self.config.breaker_failure_threshold,
+            recovery_s=self.config.breaker_recovery_s,
+        )
+        self.simulator_breaker = CircuitBreaker(
+            "simulator",
+            failure_threshold=self.config.breaker_failure_threshold,
+            recovery_s=self.config.breaker_recovery_s,
+        )
+        self._workers = [_Worker(i, self._ctx) for i in range(self.config.workers)]
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-service-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(
+        self,
+        req: ScenarioRequest,
+        *,
+        block: bool = False,
+        timeout: "float | None" = None,
+    ) -> str:
+        """Admit one request; returns its id.
+
+        Raises:
+            ServiceClosedError: the service is shutting down.
+            QueueFullError: bounded queue at capacity (``block=False``);
+                retriable — back off and resubmit.
+            CircuitOpenError: the simulator breaker is open; retriable
+                after its recovery interval.
+            ConfigError: duplicate request id.
+        """
+        with get_tracer().span("service.admit", cat="service", kind=req.kind):
+            if not self.simulator_breaker.allow():
+                get_registry().counter("service.shed.circuit_open").inc()
+                raise CircuitOpenError(
+                    f"simulator circuit open; request {req.id!r} shed (retriable)"
+                )
+            with self._space:
+                if self._closing:
+                    raise ServiceClosedError("service is closed to new requests")
+                if req.id in self._tracked:
+                    raise ConfigError(f"duplicate request id {req.id!r}")
+                if len(self._pending) >= self.config.queue_cap:
+                    if not block:
+                        get_registry().counter("service.shed.queue_full").inc()
+                        raise QueueFullError(
+                            f"queue full ({self.config.queue_cap}); request "
+                            f"{req.id!r} shed (retriable)"
+                        )
+                    deadline = None if timeout is None else time.monotonic() + timeout
+                    while len(self._pending) >= self.config.queue_cap:
+                        if self._closing:
+                            raise ServiceClosedError(
+                                "service closed while waiting for queue space"
+                            )
+                        remaining = (
+                            None if deadline is None else deadline - time.monotonic()
+                        )
+                        if remaining is not None and remaining <= 0:
+                            get_registry().counter("service.shed.queue_full").inc()
+                            raise QueueFullError(
+                                f"queue still full after {timeout:.3g}s; request "
+                                f"{req.id!r} shed (retriable)"
+                            )
+                        self._space.wait(timeout=remaining)
+                deadline_s = (
+                    req.deadline_s
+                    if req.deadline_s is not None
+                    else self.config.default_deadline_s
+                )
+                t = _Tracked(
+                    req=req,
+                    deadline_at=(
+                        None if deadline_s is None else time.monotonic() + deadline_s
+                    ),
+                )
+                self._tracked[req.id] = t
+                self._pending.append(t)
+                get_registry().counter("service.admitted").inc()
+                self._set_depth_locked()
+        return req.id
+
+    def result(self, request_id: str, timeout: "float | None" = None) -> ScenarioResult:
+        """Block until ``request_id`` is terminal and return its result.
+
+        Raises :class:`UnknownRequestError` for ids never admitted and
+        ``TimeoutError`` if the wait expires.
+        """
+        with self._lock:
+            t = self._tracked.get(request_id)
+        if t is None:
+            raise UnknownRequestError(f"no such request: {request_id!r}")
+        if not t.done.wait(timeout=timeout):
+            raise TimeoutError(f"request {request_id!r} not terminal after {timeout}s")
+        with self._lock:
+            return self._results[request_id]
+
+    def wait_all(self, timeout: "float | None" = None) -> bool:
+        """Wait until every admitted request is terminal."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            tracked = list(self._tracked.values())
+        for t in tracked:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            if not t.done.wait(timeout=remaining):
+                return False
+        return True
+
+    def stats(self) -> dict:
+        """Snapshot of service health (also exported as metrics)."""
+        with self._lock:
+            statuses = [r.status for r in self._results.values()]
+            return {
+                "queue_depth": len(self._pending),
+                "inflight": sum(1 for w in self._workers if w.busy is not None),
+                "admitted": len(self._tracked),
+                "completed": statuses.count(COMPLETED),
+                "failed": statuses.count(FAILED),
+                "shed": statuses.count(SHED),
+                "planner_breaker": self.planner_breaker.state,
+                "simulator_breaker": self.simulator_breaker.state,
+                "plan_cost_est_s": dict(self._plan_cost_est),
+            }
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self, *, drain: bool = True, timeout: "float | None" = 60.0) -> None:
+        """Stop admitting; optionally drain, then stop the pool.
+
+        With ``drain=False``, still-queued requests are shed terminally
+        (``service-closed``) and in-flight ones are hard-killed to a
+        ``failed`` terminal state — nothing is left dangling.
+        """
+        with self._space:
+            if self._stop:
+                return
+            self._closing = True
+            if not drain:
+                while self._pending:
+                    t = self._pending.popleft()
+                    self.simulator_breaker.release()
+                    self._finish_locked(
+                        t, SHED, error="service-closed: shut down before dispatch"
+                    )
+                self._set_depth_locked()
+            self._space.notify_all()
+        if drain:
+            self.wait_all(timeout=timeout)
+        with self._lock:
+            for w in self._workers:
+                t = w.busy
+                if t is not None and not drain:
+                    self._hard_kill_locked(
+                        w, FAILED, "service-closed: hard-killed at shutdown"
+                    )
+            self._stop = True
+        self._supervisor.join(timeout=10.0)
+        for w in self._workers:
+            try:
+                w.req_q.put_nowait(None)
+            except (OSError, ValueError):
+                pass
+        for w in self._workers:
+            w.proc.join(timeout=2.0)
+            if w.proc.is_alive():
+                w.proc.kill()
+                w.proc.join(timeout=2.0)
+            w.discard_queues()
+
+    def __enter__(self) -> "ScenarioService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # -- supervisor ----------------------------------------------------------
+
+    def _supervise(self) -> None:
+        while True:
+            with self._lock:
+                if self._stop:
+                    return
+            try:
+                self._drain_results()
+                self._check_workers()
+                self._dispatch()
+            except Exception:  # pragma: no cover - supervisor must survive
+                get_registry().counter("service.supervisor_errors").inc()
+            time.sleep(self.config.poll_interval_s)
+
+    def _set_depth_locked(self) -> None:
+        get_registry().gauge("service.queue_depth").set(len(self._pending))
+
+    def _finish_locked(
+        self,
+        t: _Tracked,
+        status: str,
+        *,
+        payload: "dict | None" = None,
+        error: "str | None" = None,
+        worker: "int | None" = None,
+        degraded: bool = False,
+        stage_s: "dict | None" = None,
+    ) -> None:
+        """Record the single terminal state of a request.  Idempotent:
+        late results from a restarted worker are ignored."""
+        if t.done.is_set():
+            return
+        res = ScenarioResult(
+            id=t.req.id,
+            kind=t.req.kind,
+            status=status,
+            payload=payload,
+            error=error,
+            attempts=max(t.attempts, 1),
+            worker=worker,
+            degraded=degraded,
+            stage_s=stage_s or {},
+        )
+        self._results[t.req.id] = res
+        get_registry().counter(f"service.terminal.{status}").inc()
+        t.done.set()
+        if self._on_result is not None:
+            try:
+                self._on_result(res)
+            except Exception:  # pragma: no cover - observer must not kill us
+                get_registry().counter("service.on_result_errors").inc()
+
+    def _drain_results(self) -> None:
+        for w in self._workers:
+            while True:
+                try:
+                    msg = w.res_q.get_nowait()
+                except Exception:
+                    break
+                with self._lock:
+                    t = w.busy
+                    if t is None or t.req.id != msg.get("id"):
+                        continue  # stale result from before a restart
+                    w.busy = None
+                    self._record_outcome(t, msg)
+
+    def _record_outcome(self, t: _Tracked, msg: dict) -> None:
+        """Apply a worker's verdict: terminal state + breaker updates.
+        Caller holds the lock."""
+        status = msg.get("status")
+        error = msg.get("error")
+        failed_stage = msg.get("failed_stage")
+        stage_s = msg.get("stage_s") or {}
+        degraded = bool(msg.get("degraded"))
+        planned = t.req.kind in _PLANNED_KINDS and not degraded
+        if status == COMPLETED:
+            if planned:
+                self.planner_breaker.record_success()
+                plan_s = stage_s.get("plan_s")
+                if plan_s is not None:
+                    prev = self._plan_cost_est.get(t.req.kind, plan_s)
+                    self._plan_cost_est[t.req.kind] = 0.7 * prev + 0.3 * plan_s
+            if "simulate_s" in stage_s:
+                self.simulator_breaker.record_success()
+            self._finish_locked(
+                t,
+                COMPLETED,
+                payload=msg.get("payload"),
+                worker=msg.get("worker"),
+                degraded=degraded,
+                stage_s=stage_s,
+            )
+            return
+        if error and error.startswith("deadline:"):
+            get_registry().counter("service.deadline_misses").inc()
+        if failed_stage == "plan":
+            self.planner_breaker.record_failure()
+        elif failed_stage == "simulate":
+            self.simulator_breaker.record_failure()
+        # Return any half-open probe slots the verdict above did not
+        # settle, so an abandoned probe can never wedge a breaker.
+        if planned and failed_stage != "plan":
+            self.planner_breaker.release()
+        if failed_stage != "simulate":
+            self.simulator_breaker.release()
+        self._finish_locked(
+            t,
+            FAILED,
+            error=error or "worker reported failure",
+            worker=msg.get("worker"),
+            degraded=degraded,
+            stage_s=stage_s,
+        )
+
+    def _check_workers(self) -> None:
+        now = time.monotonic()
+        for i, w in enumerate(self._workers):
+            if not w.proc.is_alive():
+                self._on_worker_crash(i, w)
+                continue
+            with self._lock:
+                t = w.busy
+                if t is None:
+                    continue
+                over_deadline = (
+                    t.deadline_at is not None
+                    and now > t.deadline_at + self.config.kill_grace_s
+                )
+                hung = (
+                    t.deadline_at is None
+                    and self.config.hang_timeout_s is not None
+                    and now - w.dispatched_at > self.config.hang_timeout_s
+                )
+            if over_deadline:
+                get_registry().counter("service.deadline_misses").inc()
+                self._restart_worker(
+                    i, w, FAILED,
+                    "deadline: exceeded; worker hard-killed by watchdog",
+                )
+            elif hung:
+                self._restart_worker(
+                    i, w, FAILED,
+                    f"hang: no result after {self.config.hang_timeout_s:.3g}s; "
+                    "worker hard-killed by watchdog",
+                )
+
+    def _on_worker_crash(self, i: int, w: _Worker) -> None:
+        """A worker died on its own (e.g. ``os._exit`` mid-request):
+        requeue the victim for another attempt, or quarantine it."""
+        with self._lock:
+            t = w.busy
+            w.busy = None
+            if t is not None and not t.done.is_set():
+                if t.req.kind in _PLANNED_KINDS and not w.degraded:
+                    self.planner_breaker.release()
+                self.simulator_breaker.release()
+                if t.attempts >= self.config.max_attempts:
+                    get_registry().counter("service.poison_quarantined").inc()
+                    self._finish_locked(
+                        t,
+                        FAILED,
+                        error=(
+                            f"poison: worker crashed {t.attempts} times running "
+                            "this request; quarantined"
+                        ),
+                        worker=w.wid,
+                    )
+                else:
+                    self._pending.appendleft(t)
+                    self._set_depth_locked()
+        self._replace_worker(i, w)
+
+    def _hard_kill_locked(self, w: _Worker, status: str, error: str) -> None:
+        """Kill a worker's process and finish its request.  Caller holds
+        the lock; the slot is NOT replaced (shutdown path)."""
+        t = w.busy
+        w.busy = None
+        if t is not None:
+            self._finish_locked(t, status, error=error, worker=w.wid)
+        w.proc.kill()
+
+    def _restart_worker(self, i: int, w: _Worker, status: str, error: str) -> None:
+        with self._lock:
+            t = w.busy
+            w.busy = None
+            if t is not None:
+                if t.req.kind in _PLANNED_KINDS and not w.degraded:
+                    self.planner_breaker.release()
+                self.simulator_breaker.release()
+                self._finish_locked(t, status, error=error, worker=w.wid)
+        w.proc.kill()
+        self._replace_worker(i, w)
+
+    def _replace_worker(self, i: int, w: _Worker) -> None:
+        w.proc.join(timeout=5.0)
+        w.discard_queues()
+        get_registry().counter("service.worker_restarts").inc()
+        self._workers[i] = _Worker(w.wid, self._ctx)
+
+    def _dispatch(self) -> None:
+        now = time.monotonic()
+        for w in self._workers:
+            if not w.proc.is_alive():
+                continue  # replaced on the next _check_workers pass
+            with self._space:
+                if w.busy is not None or not self._pending:
+                    continue
+                t = self._pending.popleft()
+                self._set_depth_locked()
+                self._space.notify()
+                if t.deadline_at is not None and now >= t.deadline_at:
+                    get_registry().counter("service.shed.deadline").inc()
+                    get_registry().counter("service.deadline_misses").inc()
+                    self.simulator_breaker.release()
+                    self._finish_locked(
+                        t, SHED,
+                        error="deadline: expired while queued, never dispatched",
+                    )
+                    continue
+                degraded = False
+                if t.req.kind in _PLANNED_KINDS:
+                    est = self._plan_cost_est.get(t.req.kind, 0.0)
+                    remaining = (
+                        None if t.deadline_at is None else t.deadline_at - now
+                    )
+                    if not self.planner_breaker.allow():
+                        degraded = True
+                    elif (
+                        remaining is not None
+                        and est > 0
+                        and remaining < self.config.plan_cost_safety * est
+                    ):
+                        degraded = True
+                        self.planner_breaker.release()
+                    if degraded:
+                        get_registry().counter("service.degraded").inc()
+                t.attempts += 1
+                w.busy = t
+                w.dispatched_at = now
+                w.degraded = degraded
+                msg = {
+                    "req": t.req.to_dict(),
+                    "degraded": degraded,
+                    "remaining_s": (
+                        None if t.deadline_at is None else max(0.001, t.deadline_at - now)
+                    ),
+                    "plan_cost_est_s": self._plan_cost_est.get(t.req.kind, 0.0),
+                }
+            with get_tracer().span(
+                "service.dispatch", cat="service", kind=t.req.kind, worker=w.wid
+            ):
+                w.req_q.put(msg)

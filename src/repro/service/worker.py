@@ -1,0 +1,97 @@
+"""Worker-process entrypoint of the scenario service.
+
+Workers are spawned (never forked — the parent runs dispatcher /
+collector / watchdog threads, and forking a multi-threaded parent can
+clone a held lock into the child) and loop over a private depth-1
+dispatch queue: one message in flight per worker, so the parent always
+knows exactly which request dies with a crashed worker.
+
+The protocol is plain picklable dicts:
+
+* dispatch ``{"req": <ScenarioRequest dict>, "degraded": bool,
+  "remaining_s": float | None, "plan_cost_est_s": float}``;
+  ``None`` is the shutdown sentinel.
+* result ``{"id", "worker", "status", "payload", "error", "stage_s",
+  "failed_stage", "degraded"}`` — ``status`` is ``completed`` or
+  ``failed``; shed/poison verdicts are the *parent's* to make.
+
+Fault injection (``inject`` on the request) happens here, before the
+scenario runs: ``crash`` hard-exits the process (``os._exit``) so the
+watchdog's restart + poison-quarantine path is exercised for real, and
+``hang`` sleeps forever ignoring cooperative cancellation so the
+watchdog's deadline hard-kill path is.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+
+from repro.service.scenarios import StageError, execute_request
+from repro.util.cancel import cancel_scope
+from repro.util.validation import ReproError, SimulationCancelled
+
+#: Exit code of an injected crash (distinguishable from interpreter
+#: faults in the watchdog's restart log).
+CRASH_EXIT_CODE = 23
+
+
+def _run_one(worker_id: int, msg: dict) -> dict:
+    req = msg["req"]
+    rid = req["id"]
+    inject = req.get("inject")
+    if inject == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if inject == "hang":
+        while True:  # ignores cancellation by design; watchdog kills us
+            time.sleep(0.05)
+    out: dict = {
+        "id": rid,
+        "worker": worker_id,
+        "status": "failed",
+        "payload": None,
+        "error": None,
+        "stage_s": {},
+        "failed_stage": None,
+        "degraded": bool(msg.get("degraded", False)),
+    }
+    try:
+        with cancel_scope(deadline_s=msg.get("remaining_s")):
+            payload, stage_s, degraded = execute_request(
+                req["kind"],
+                req.get("params", {}),
+                degraded=bool(msg.get("degraded", False)),
+                plan_cost_est_s=float(msg.get("plan_cost_est_s", 0.0)),
+            )
+        out.update(status="completed", payload=payload, stage_s=stage_s,
+                   degraded=degraded)
+    except SimulationCancelled as exc:
+        out.update(error=f"deadline: {exc}", failed_stage=None)
+    except StageError as exc:
+        out.update(error=f"{exc.stage}-error: {exc.cause}", failed_stage=exc.stage,
+                   stage_s=getattr(exc, "stage_s", out["stage_s"]))
+    except ReproError as exc:
+        out.update(error=f"{type(exc).__name__}: {exc}")
+    except Exception as exc:  # pragma: no cover - defensive
+        out.update(error=f"{type(exc).__name__}: {exc}")
+    return out
+
+
+def worker_main(worker_id: int, req_q, res_q) -> None:
+    """Loop: take one dispatch, run it, report one result.  Exits on the
+    ``None`` sentinel — or when orphaned (the parent was SIGKILLed and
+    will never send one; without this check a killed ``repro batch``
+    would leave workers blocked on their queues forever).  Top-level so
+    it pickles under spawn."""
+    parent = os.getppid()
+    while True:
+        try:
+            msg = req_q.get(timeout=1.0)
+        except queue.Empty:
+            if os.getppid() != parent:
+                return
+            continue
+        if msg is None:
+            return
+        res_q.put(_run_one(worker_id, msg))

@@ -1,0 +1,99 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+A process killed mid-write (SIGKILL, OOM, power loss) must never leave a
+torn results file: readers either see the *complete old* content or the
+*complete new* content, nothing in between.  The recipe is the standard
+one — write to a temp file in the same directory, ``fsync`` it, then
+``os.replace`` over the destination (atomic on POSIX within one
+filesystem), and finally ``fsync`` the directory so the rename itself is
+durable.
+
+Used by the campaign journal and results writer
+(:mod:`repro.service.journal`, :mod:`repro.service.batch`), the
+benchmark recorder (``benchmarks/record.py``) and the CLI's JSON report
+writers (chaos campaigns, traces, metrics snapshots).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+
+def fsync_dir(path: "str | os.PathLike") -> None:
+    """Flush a directory entry table to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_write(
+    path: "str | os.PathLike",
+    *,
+    mode: str = "w",
+    encoding: "str | None" = "utf-8",
+    durable: bool = True,
+) -> Iterator[Any]:
+    """Context manager yielding a temp file that replaces ``path`` on success.
+
+    On a clean exit the temp file is fsynced (when ``durable``) and
+    atomically renamed over ``path``; on *any* exception — including the
+    process dying inside the block — the destination keeps its previous
+    content and the temp file is removed (or left as ``.<name>.<rand>.tmp``
+    debris after a hard kill, never as a torn destination).
+    """
+    path = Path(path)
+    if encoding is not None and "b" in mode:
+        encoding = None
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as fh:
+            yield fh
+            fh.flush()
+            if durable:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        if durable:
+            fsync_dir(path.parent or ".")
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+
+
+def atomic_write_text(
+    path: "str | os.PathLike", text: str, *, durable: bool = True
+) -> None:
+    """Atomically replace ``path`` with ``text`` (see :func:`atomic_write`)."""
+    with atomic_write(path, durable=durable) as fh:
+        fh.write(text)
+
+
+def atomic_write_json(
+    path: "str | os.PathLike",
+    doc: Any,
+    *,
+    indent: "int | None" = 2,
+    sort_keys: bool = True,
+    durable: bool = True,
+) -> None:
+    """Atomically replace ``path`` with ``doc`` serialized as JSON + newline."""
+    atomic_write_text(
+        path, json.dumps(doc, indent=indent, sort_keys=sort_keys) + "\n",
+        durable=durable,
+    )

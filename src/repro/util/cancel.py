@@ -1,0 +1,139 @@
+"""Cooperative cancellation and deadlines.
+
+The scenario service (:mod:`repro.service`) runs simulations under
+wall-clock deadlines; a stuck or oversized run must be cut off
+*mid-simulation* rather than hanging a worker until a watchdog kills the
+whole process.  This module provides the plumbing:
+
+* :class:`CancelScope` — a cancellation token with an optional relative
+  wall-clock deadline.  :meth:`CancelScope.check` raises
+  :class:`~repro.util.validation.SimulationCancelled` once the scope was
+  cancelled or its deadline passed; until then it is a cheap no-op.
+* :func:`cancel_scope` — a context manager installing a scope as the
+  *ambient* scope (a :class:`contextvars.ContextVar`), so deep layers —
+  most importantly :meth:`repro.network.flowsim.FlowSim.run`, which
+  polls the ambient scope every ``cancel_every`` events — honour the
+  deadline without a ``cancel`` argument threaded through every call.
+
+The ambient-scope pattern mirrors :func:`repro.obs.trace.get_tracer`:
+the disabled path (no scope installed) costs one context-var read per
+run, not per event.  Checks never mutate simulator state, so a scope
+that is installed but never fires leaves results byte-identical
+(enforced by ``tests/test_flowsim_cancel.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Callable, Iterator
+
+from repro.util.validation import ConfigError, SimulationCancelled
+
+Clock = Callable[[], float]
+
+
+class CancelScope:
+    """A cooperative cancellation token with an optional deadline.
+
+    Args:
+        deadline_s: relative wall-clock budget in seconds, measured from
+            scope construction; ``None`` means no deadline (the scope
+            fires only on an explicit :meth:`cancel`).
+        clock: monotonic time source (overridable for tests).
+    """
+
+    __slots__ = ("_clock", "_t0", "deadline_s", "_reason")
+
+    def __init__(
+        self,
+        *,
+        deadline_s: "float | None" = None,
+        clock: Clock = time.monotonic,
+    ):
+        if deadline_s is not None and deadline_s < 0:
+            raise ConfigError(f"deadline_s must be >= 0, got {deadline_s}")
+        self._clock = clock
+        self._t0 = clock()
+        self.deadline_s = deadline_s
+        self._reason: "str | None" = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation; the next :meth:`check` raises."""
+        if self._reason is None:
+            self._reason = str(reason)
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` was called (deadline not counted)."""
+        return self._reason is not None
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the scope was created."""
+        return self._clock() - self._t0
+
+    def remaining(self) -> "float | None":
+        """Seconds left before the deadline (``None`` = no deadline)."""
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - self.elapsed()
+
+    def expired(self) -> bool:
+        """True once the deadline has passed."""
+        rem = self.remaining()
+        return rem is not None and rem <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`SimulationCancelled` if cancelled or expired."""
+        if self._reason is not None:
+            raise SimulationCancelled(
+                f"cancelled: {self._reason}", reason=self._reason
+            )
+        if self.expired():
+            raise SimulationCancelled(
+                f"deadline of {self.deadline_s:.6g}s exceeded "
+                f"(elapsed {self.elapsed():.6g}s)",
+                reason="deadline",
+            )
+
+
+#: Ambient scope; ``None`` means cancellation is disabled (the default).
+_CURRENT: "contextvars.ContextVar[CancelScope | None]" = contextvars.ContextVar(
+    "repro_cancel_scope", default=None
+)
+
+
+def current_scope() -> "CancelScope | None":
+    """The ambient :class:`CancelScope`, or ``None`` when not installed."""
+    return _CURRENT.get()
+
+
+def check_cancelled() -> None:
+    """Check the ambient scope (no-op when none is installed).
+
+    Long-running *non-simulator* loops (e.g. a service worker's spin
+    scenario, campaign drivers) call this at natural yield points.
+    """
+    scope = _CURRENT.get()
+    if scope is not None:
+        scope.check()
+
+
+@contextlib.contextmanager
+def cancel_scope(
+    deadline_s: "float | None" = None,
+    *,
+    clock: Clock = time.monotonic,
+) -> Iterator[CancelScope]:
+    """Install a :class:`CancelScope` as the ambient scope.
+
+    Scopes nest: the innermost wins for the duration of the ``with``
+    block, and the previous scope is restored on exit.
+    """
+    scope = CancelScope(deadline_s=deadline_s, clock=clock)
+    token = _CURRENT.set(scope)
+    try:
+        yield scope
+    finally:
+        _CURRENT.reset(token)

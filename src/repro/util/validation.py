@@ -17,6 +17,22 @@ class SimulationError(ReproError, RuntimeError):
     """Inconsistent state detected while running a simulation."""
 
 
+class SimulationCancelled(ReproError):
+    """A run was cut off cooperatively (deadline or explicit cancel).
+
+    Deliberately *not* a :class:`SimulationError`: cancellation is a
+    scheduling decision by the caller (the scenario service's deadline,
+    a user abort), not an inconsistency in the simulated machine, so
+    resilience layers that treat simulator faults as retriable must not
+    confuse the two.  ``reason`` is a short machine-readable cause
+    (``"deadline"``, ``"shutdown"``, ...).
+    """
+
+    def __init__(self, message: str, *, reason: str = "cancelled"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class LinkDownError(SimulationError):
     """A flow's route crosses a link with zero effective capacity.
 

@@ -2,15 +2,66 @@
 
 Session-scoped because the objects are immutable-by-convention (tests
 never mutate a system) and topology construction at 2K nodes is not free.
+
+Also provides a minimal stand-in for the ``pytest-timeout`` plugin when
+it is not installed (CI installs the real one from the ``test`` extras;
+hermetic environments may not have it): ``@pytest.mark.timeout(N)`` and
+the ``timeout`` ini default are honoured via SIGALRM, which is enough to
+keep a hung service test from wedging the whole suite.
 """
 
 from __future__ import annotations
+
+import importlib.util
+import signal
 
 import pytest
 
 from repro.machine import BGQSystem, mira_system
 from repro.network.params import MIRA_PARAMS
 from repro.torus.topology import TorusTopology
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    def pytest_addoption(parser):
+        parser.addini(
+            "timeout",
+            "default per-test timeout in seconds (SIGALRM fallback)",
+            default="0",
+        )
+
+    def pytest_configure(config):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer than this",
+        )
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            seconds = float(marker.args[0])
+        else:
+            seconds = float(item.config.getini("timeout") or 0)
+        if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+            yield
+            return
+
+        def on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded {seconds:.0f}s timeout (conftest SIGALRM fallback)"
+            )
+
+        old = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, old)
 
 
 @pytest.fixture(scope="session")

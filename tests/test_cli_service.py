@@ -1,0 +1,121 @@
+"""CLI: ``serve`` / ``batch`` subcommands and hardened error handling.
+
+Every subcommand must answer invalid input with exit code 2 and a
+one-line message — never a traceback.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.util.atomicio import atomic_write_json
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def rc_of(argv):
+    """Exit code of a CLI invocation, whether returned or raised."""
+    try:
+        return main(argv)
+    except SystemExit as exc:  # argparse errors raise
+        return exc.code
+
+
+class TestBadInputExitsTwo:
+    """One bad-input probe per subcommand: rc 2, one line, no traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["info", "--nodes", "33"],  # not a Mira partition size
+            ["transfer", "--size", "garbage"],  # unparseable byte size
+            ["io", "--cores", "512", "--pattern", "9"],  # unknown pattern
+            ["figure", "fig99"],  # unknown figure (argparse choices)
+            ["analyze", "--nodes", "33"],  # bad partition size
+            ["faults", "--nodes", "33"],  # bad partition size
+            ["trace", "--scenario", "warp"],  # unknown scenario (choices)
+            ["chaos", "--seeds", "0"],  # must run at least one seed
+            ["serve", "--workers", "0"],  # pool must have workers
+            ["batch", "--campaign", "/no/such/campaign.json"],
+            ["batch", "--campaign", "x.json", "--make-demo", "0"],
+        ],
+    )
+    def test_rc2_one_line_no_traceback(self, argv, capsys):
+        assert rc_of(argv) == 2
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.out + captured.err
+
+    def test_valid_nodes_still_accepted(self, capsys):
+        assert rc_of(["info", "--nodes", "32"]) == 0
+
+
+class TestServe:
+    def _serve(self, monkeypatch, capsys, lines, argv=()):
+        monkeypatch.setattr("sys.stdin", io.StringIO("".join(l + "\n" for l in lines)))
+        rc = main(["serve", "--workers", "1", *argv])
+        out = capsys.readouterr().out
+        docs = [json.loads(l) for l in out.splitlines() if l.startswith("{")]
+        return rc, docs
+
+    def test_requests_answered_and_bad_lines_rejected(self, monkeypatch, capsys):
+        rc, docs = self._serve(
+            monkeypatch,
+            capsys,
+            [
+                json.dumps({"id": "ok", "kind": "spin",
+                            "params": {"duration_s": 0.005}}),
+                json.dumps({"id": "bad", "kind": "warp"}),
+                "this is not json",
+            ],
+        )
+        assert rc == 0
+        by_id = {d.get("id"): d for d in docs}
+        assert by_id["ok"]["status"] == "completed"
+        assert by_id["ok"]["checksum"]
+        assert by_id["bad"]["status"] == "rejected"
+        assert by_id["bad"]["retriable"] is False
+        assert any(d["status"] == "rejected" and d["id"] is None for d in docs)
+
+
+class TestBatchCli:
+    def test_make_demo_then_run_then_resume(self, tmp_path, capsys):
+        camp = tmp_path / "c.json"
+        out = tmp_path / "r.json"
+        assert rc_of(["batch", "--campaign", str(camp), "--make-demo", "6"]) == 0
+        assert rc_of([
+            "batch", "--campaign", str(camp), "--out", str(out), "--workers", "2",
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["counts"]["completed"] == 6
+        # Resume over the finished journal runs nothing and rewrites
+        # byte-identical results.
+        before = out.read_bytes()
+        assert rc_of([
+            "batch", "--campaign", str(camp), "--out", str(out),
+            "--workers", "2", "--resume",
+        ]) == 0
+        assert out.read_bytes() == before
+        assert "6 scenarios, 6 journaled, 0 to run" in capsys.readouterr().out
+
+    def test_campaign_with_failures_exits_one(self, tmp_path):
+        camp = tmp_path / "c.json"
+        atomic_write_json(camp, {
+            "campaign": "campaign/1",
+            "name": "sour",
+            "scenarios": [
+                {"id": "good", "kind": "spin", "params": {"duration_s": 0.005}},
+                {"id": "boom", "kind": "spin", "inject": "crash"},
+            ],
+        })
+        rc = rc_of([
+            "batch", "--campaign", str(camp), "--out", str(tmp_path / "r.json"),
+            "--workers", "1", "--max-attempts", "2",
+        ])
+        assert rc == 1
+        doc = json.loads((tmp_path / "r.json").read_text())
+        by_id = {r["id"]: r for r in doc["results"]}
+        assert by_id["good"]["status"] == "completed"
+        assert by_id["boom"]["status"] == "failed"
+        assert by_id["boom"]["error"].startswith("poison:")

@@ -1,0 +1,142 @@
+"""Cooperative cancellation hook in :meth:`FlowSim.run`.
+
+The scenario service installs a wall-clock deadline around simulations;
+these tests pin the hook's two contractual properties: a hook that never
+fires leaves results *byte-identical* (zero drift), and a firing hook
+cuts the run off with a typed :class:`SimulationCancelled`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.flow import Flow
+from repro.network.flowsim import FlowSim, uniform_capacities
+from repro.network.params import NetworkParams
+from repro.util.cancel import CancelScope, cancel_scope, check_cancelled, current_scope
+from repro.util.validation import ConfigError, SimulationCancelled
+
+P = NetworkParams(
+    link_bw=100.0,
+    stream_cap=80.0,
+    io_link_bw=100.0,
+    ion_storage_bw=1000.0,
+    o_msg=0.0,
+    o_fwd=0.0,
+    mem_bw=1000.0,
+)
+
+
+def _many_flows(n=300, seed=7):
+    """Enough staggered, contending flows for several hundred events."""
+    rng = np.random.default_rng(seed)
+    flows = []
+    for i in range(n):
+        path = tuple(int(l) for l in rng.choice(16, size=rng.integers(1, 5), replace=False))
+        flows.append(
+            Flow(
+                fid=f"f{i}",
+                size=float(rng.integers(50, 500)),
+                path=path,
+                start_time=float(rng.uniform(0, 2.0)),
+            )
+        )
+    return flows
+
+
+def _results_tuple(r):
+    return (
+        r.makespan,
+        r.n_rate_updates,
+        sorted(r.link_bytes.items()),
+        sorted((fid, fr.start, fr.finish) for fid, fr in r.results.items()),
+    )
+
+
+class TestZeroDrift:
+    def test_installed_but_never_firing_hook_changes_nothing(self):
+        flows = _many_flows()
+        base = FlowSim(uniform_capacities(P.link_bw), P).run(flows)
+        calls = []
+        hooked = FlowSim(uniform_capacities(P.link_bw), P).run(
+            flows, cancel_check=lambda: calls.append(1), cancel_every=1
+        )
+        assert calls, "hook was never polled"
+        assert _results_tuple(hooked) == _results_tuple(base)
+
+    def test_ambient_scope_without_deadline_changes_nothing(self):
+        flows = _many_flows()
+        base = FlowSim(uniform_capacities(P.link_bw), P).run(flows)
+        with cancel_scope() as scope:
+            hooked = FlowSim(uniform_capacities(P.link_bw), P).run(flows)
+        assert not scope.cancelled
+        assert _results_tuple(hooked) == _results_tuple(base)
+
+
+class TestFiring:
+    def test_hook_raising_cancels_run(self):
+        flows = _many_flows()
+        calls = {"n": 0}
+
+        def hook():
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                raise SimulationCancelled("test cut", reason="test")
+
+        with pytest.raises(SimulationCancelled):
+            FlowSim(uniform_capacities(P.link_bw), P).run(
+                flows, cancel_check=hook, cancel_every=8
+            )
+
+    def test_truthy_return_cancels_run(self):
+        flows = _many_flows()
+        with pytest.raises(SimulationCancelled):
+            FlowSim(uniform_capacities(P.link_bw), P).run(
+                flows, cancel_check=lambda: True, cancel_every=1
+            )
+
+    def test_ambient_expired_deadline_cancels(self):
+        flows = _many_flows()
+        with cancel_scope(deadline_s=0.0):
+            with pytest.raises(SimulationCancelled) as ei:
+                FlowSim(uniform_capacities(P.link_bw), P).run(flows, cancel_every=1)
+        assert ei.value.reason == "deadline"
+
+    def test_explicit_cancel_wins_over_deadline(self):
+        scope = CancelScope(deadline_s=1000.0)
+        scope.cancel("shutdown")
+        with pytest.raises(SimulationCancelled) as ei:
+            scope.check()
+        assert ei.value.reason == "shutdown"
+
+    def test_cancel_every_validated(self):
+        with pytest.raises(ConfigError):
+            FlowSim(uniform_capacities(P.link_bw), P).run(
+                [Flow(fid="f", size=10.0, path=(0,))], cancel_every=0
+            )
+
+
+class TestScopePlumbing:
+    def test_check_cancelled_is_noop_without_scope(self):
+        assert current_scope() is None
+        check_cancelled()  # must not raise
+
+    def test_scopes_nest_and_restore(self):
+        with cancel_scope(deadline_s=5.0) as outer:
+            assert current_scope() is outer
+            with cancel_scope() as inner:
+                assert current_scope() is inner
+            assert current_scope() is outer
+        assert current_scope() is None
+
+    def test_remaining_and_expired(self):
+        t = {"now": 0.0}
+        scope = CancelScope(deadline_s=2.0, clock=lambda: t["now"])
+        assert scope.remaining() == pytest.approx(2.0)
+        t["now"] = 3.0
+        assert scope.expired()
+        with pytest.raises(SimulationCancelled):
+            scope.check()
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ConfigError):
+            CancelScope(deadline_s=-1.0)

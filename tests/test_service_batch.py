@@ -1,0 +1,222 @@
+"""Batch campaigns: WAL journal, crash-safe resume, byte-identical results."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    Journal,
+    ScenarioRequest,
+    ServiceConfig,
+    campaign_sha,
+    load_journal,
+    make_demo_campaign,
+    parse_campaign,
+    payload_checksum,
+    run_batch,
+)
+from repro.service.journal import JournalMismatchError
+from repro.util.atomicio import atomic_write_json
+from repro.util.validation import ConfigError
+
+pytestmark = pytest.mark.timeout(300)
+
+CFG = ServiceConfig(workers=2, queue_cap=16)
+
+
+class TestCampaignParsing:
+    def test_demo_campaign_is_valid_and_deterministic(self):
+        doc1, doc2 = make_demo_campaign(10), make_demo_campaign(10)
+        assert doc1 == doc2
+        assert campaign_sha(doc1) == campaign_sha(doc2)
+        _, reqs, _ = parse_campaign(doc1)
+        assert len(reqs) == 10
+        assert all(isinstance(r, ScenarioRequest) for r in reqs)
+
+    def test_defaults_deadline_applies_to_entries_without_one(self):
+        doc = make_demo_campaign(4, deadline_s=9.0)
+        doc["scenarios"][0]["deadline_s"] = 1.5
+        _, reqs, _ = parse_campaign(doc)
+        assert reqs[0].deadline_s == 1.5
+        assert all(r.deadline_s == 9.0 for r in reqs[1:])
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda d: d.pop("campaign"), "campaign/1"),
+            (lambda d: d.update(scenarios=[]), "non-empty"),
+            (lambda d: d["scenarios"].append(dict(d["scenarios"][0])), "duplicate"),
+            (lambda d: d["scenarios"][0].update(kind="warp"), "unknown scenario kind"),
+            (lambda d: d["scenarios"][0].update(surprise=1), "unknown request fields"),
+        ],
+    )
+    def test_invalid_campaigns_rejected(self, mutate, match):
+        doc = make_demo_campaign(3)
+        mutate(doc)
+        with pytest.raises(ConfigError, match=match):
+            parse_campaign(doc)
+
+    def test_missing_and_malformed_files(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            run_batch(tmp_path / "ghost.json", tmp_path / "out.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            run_batch(bad, tmp_path / "out.json")
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with Journal.create(path, "sha-abc") as j:
+            j.append({"id": "a", "status": "completed", "payload": {"x": 1},
+                      "checksum": payload_checksum({"x": 1}), "kind": "spin",
+                      "error": None})
+        sha, records = load_journal(path)
+        assert sha == "sha-abc"
+        assert records["a"]["payload"] == {"x": 1}
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with Journal.create(path, "s") as j:
+            j.append({"id": "a", "status": "failed", "error": "x"})
+            j.append({"id": "b", "status": "failed", "error": "y"})
+        with open(path, "a") as fh:
+            fh.write('{"record": {"id": "c", "stat')  # killed mid-append
+        _, records = load_journal(path)
+        assert set(records) == {"a", "b"}
+
+    def test_checksum_mismatch_drops_record(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with Journal.create(path, "s") as j:
+            j.append({"id": "a", "status": "failed", "error": "x"})
+        lines = path.read_text().splitlines()
+        tampered = lines[1].replace('"status":"failed"', '"status":"completed"')
+        path.write_text("\n".join([lines[0], tampered]) + "\n")
+        _, records = load_journal(path)
+        assert records == {}
+
+    def test_open_for_append_rejects_foreign_journal(self, tmp_path):
+        path = tmp_path / "j.journal"
+        Journal.create(path, "campaign-one").close()
+        with pytest.raises(JournalMismatchError):
+            Journal.open_for_append(path, "campaign-two")
+
+
+class TestBatchDeterminism:
+    def test_two_fresh_runs_are_byte_identical(self, tmp_path):
+        camp = tmp_path / "c.json"
+        atomic_write_json(camp, make_demo_campaign(8))
+        run_batch(camp, tmp_path / "r1.json", config=CFG)
+        run_batch(camp, tmp_path / "r2.json", config=CFG)
+        b1 = (tmp_path / "r1.json").read_bytes()
+        assert b1 == (tmp_path / "r2.json").read_bytes()
+        doc = json.loads(b1)
+        assert doc["format"] == "campaign-results/1"
+        assert doc["counts"]["completed"] == 8
+        ids = [r["id"] for r in doc["results"]]
+        assert ids == sorted(ids)
+        for r in doc["results"]:
+            assert r["checksum"] == payload_checksum(r["payload"])
+
+    def test_resume_with_complete_journal_runs_nothing(self, tmp_path):
+        camp = tmp_path / "c.json"
+        atomic_write_json(camp, make_demo_campaign(6))
+        run_batch(camp, tmp_path / "r1.json", config=CFG)
+        summary = run_batch(
+            camp, tmp_path / "r2.json",
+            journal_path=tmp_path / "r1.json.journal",
+            resume=True, config=CFG,
+        )
+        assert summary["ran"] == 0 and summary["resumed"] == 6
+        assert (tmp_path / "r1.json").read_bytes() == (tmp_path / "r2.json").read_bytes()
+
+    def test_resume_refuses_foreign_journal(self, tmp_path):
+        camp_a, camp_b = tmp_path / "a.json", tmp_path / "b.json"
+        atomic_write_json(camp_a, make_demo_campaign(3, name="a"))
+        atomic_write_json(camp_b, make_demo_campaign(3, name="b"))
+        run_batch(camp_a, tmp_path / "ra.json", config=CFG)
+        with pytest.raises(ConfigError, match="different campaign"):
+            run_batch(
+                camp_b, tmp_path / "rb.json",
+                journal_path=tmp_path / "ra.json.journal",
+                resume=True, config=CFG,
+            )
+
+    def test_tampered_journal_record_is_rerun_not_trusted(self, tmp_path):
+        camp = tmp_path / "c.json"
+        atomic_write_json(camp, make_demo_campaign(4))
+        run_batch(camp, tmp_path / "r1.json", config=CFG)
+        journal = tmp_path / "r1.json.journal"
+        lines = journal.read_text().splitlines()
+        # Corrupt one journaled payload (keep the line-level JSON valid).
+        lines[1] = lines[1].replace('"spun":true', '"spun":false').replace(
+            '"nnodes":32', '"nnodes":31'
+        )
+        journal.write_text("\n".join(lines) + "\n")
+        summary = run_batch(
+            camp, tmp_path / "r2.json", journal_path=journal,
+            resume=True, config=CFG,
+        )
+        assert summary["ran"] == 1  # the corrupted record was re-executed
+        assert (tmp_path / "r1.json").read_bytes() == (tmp_path / "r2.json").read_bytes()
+
+
+class TestSigkillResume:
+    """The acceptance scenario: SIGKILL a batch mid-campaign, resume,
+    and get results byte-identical to an uninterrupted run."""
+
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        camp = tmp_path / "c.json"
+        atomic_write_json(camp, make_demo_campaign(16))
+        # Reference: an uninterrupted run.
+        run_batch(camp, tmp_path / "ref.json", config=CFG)
+        ref = (tmp_path / "ref.json").read_bytes()
+
+        out = tmp_path / "killed.json"
+        journal = tmp_path / "killed.journal"
+        driver = tmp_path / "driver.py"
+        driver.write_text(
+            "import sys\n"
+            "from repro.service import run_batch, ServiceConfig\n"
+            "def main():\n"
+            f"    run_batch({str(camp)!r}, {str(out)!r},\n"
+            f"              journal_path={str(journal)!r},\n"
+            "              config=ServiceConfig(workers=2))\n"
+            "if __name__ == '__main__':\n"
+            "    main()\n"
+        )
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(
+            os.environ,
+            PYTHONPATH=f"{src}{os.pathsep}" + os.environ.get("PYTHONPATH", ""),
+        )
+        proc = subprocess.Popen([sys.executable, str(driver)], env=env)
+        try:
+            # Wait until some results are durably journaled, then SIGKILL.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if journal.exists() and len(journal.read_bytes().splitlines()) >= 4:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("batch driver exited before it could be killed")
+                time.sleep(0.01)
+            else:
+                pytest.fail("journal never accumulated records")
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        summary = run_batch(
+            camp, out, journal_path=journal, resume=True, config=CFG
+        )
+        assert summary["resumed"] >= 3, "journaled work was not reused"
+        assert summary["ran"] >= 1, "the kill landed after completion"
+        assert summary["resumed"] + summary["ran"] == 16
+        assert out.read_bytes() == ref

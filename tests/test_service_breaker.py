@@ -1,0 +1,132 @@
+"""Circuit breaker state machine: closed → open → half-open → closed."""
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.util.validation import ConfigError
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make(name="t", **kw):
+    clock = FakeClock()
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("recovery_s", 10.0)
+    b = CircuitBreaker(name, clock=clock, **kw)
+    return b, clock
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        b, _ = make("a")
+        assert b.state == CLOSED
+        assert all(b.allow() for _ in range(20))
+
+    def test_subthreshold_failures_stay_closed(self):
+        b, _ = make("b")
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED and b.allow()
+
+    def test_success_resets_failure_count(self):
+        b, _ = make("c")
+        for _ in range(5):
+            b.record_failure()
+            b.record_failure()
+            b.record_success()  # never reaches 3 consecutive
+        assert b.state == CLOSED
+
+
+class TestOpen:
+    def test_trips_at_threshold_and_rejects(self):
+        b, _ = make("d")
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()
+
+    def test_failures_while_open_are_absorbed(self):
+        b, clock = make("e")
+        for _ in range(3):
+            b.record_failure()
+        b.record_failure()
+        assert b.state == OPEN
+        clock.advance(5.0)  # less than recovery_s
+        assert b.state == OPEN and not b.allow()
+
+
+class TestHalfOpen:
+    def trip(self, name, **kw):
+        b, clock = make(name, **kw)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        return b, clock
+
+    def test_recovery_interval_admits_limited_probes(self):
+        b, _ = self.trip("f", half_open_probes=1)
+        assert b.state == HALF_OPEN
+        assert b.allow()  # the probe
+        assert not b.allow()  # second concurrent probe denied
+
+    def test_probe_success_closes(self):
+        b, _ = self.trip("g")
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED and b.allow()
+
+    def test_probe_failure_reopens_and_reprobes_later(self):
+        b, clock = self.trip("h")
+        assert b.allow()
+        b.record_failure()
+        assert b.state == OPEN and not b.allow()
+        clock.advance(10.0)  # probation again, same idiom as health.py
+        assert b.state == HALF_OPEN and b.allow()
+
+    def test_release_returns_probe_slot_without_verdict(self):
+        b, _ = self.trip("i", half_open_probes=1)
+        assert b.allow()
+        b.release()  # probe abandoned (e.g. worker crashed)
+        assert b.state == HALF_OPEN
+        assert b.allow()  # slot is free again
+
+    def test_release_is_noop_when_closed(self):
+        b, _ = make("j")
+        b.release()
+        assert b.state == CLOSED and b.allow()
+
+
+class TestMetricsAndValidation:
+    def test_state_gauge_and_transition_counters(self):
+        b, clock = make("metrics")
+        reg = get_registry()
+        assert reg.gauge("service.breaker.metrics.state").value == 0
+        for _ in range(3):
+            b.record_failure()
+        assert reg.gauge("service.breaker.metrics.state").value == 2
+        clock.advance(10.0)
+        assert b.state == HALF_OPEN
+        assert reg.gauge("service.breaker.metrics.state").value == 1
+        assert reg.counter("service.breaker.metrics.to_open").value >= 1
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"failure_threshold": 0},
+            {"recovery_s": 0.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            make("bad", **kw)

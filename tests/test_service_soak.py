@@ -1,0 +1,143 @@
+"""Soak: hundreds of requests through a small pool under injected
+crashes, hangs, and deadline pressure — every request must reach a
+terminal state and the pool must end healthy.
+
+This is the PR's acceptance scenario: >= 200 scenarios, 4 workers,
+injected worker crashes plus deadline pressure, 100% terminal states.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.service import (
+    COMPLETED,
+    FAILED,
+    SHED,
+    TERMINAL_STATUSES,
+    QueueFullError,
+    ScenarioRequest,
+    ScenarioService,
+    ServiceConfig,
+)
+
+pytestmark = pytest.mark.timeout(300)
+
+N_REQUESTS = 220
+
+
+def _soak_requests(n=N_REQUESTS, seed=2014):
+    """A seeded adversarial mix: mostly quick spins, some real transfers,
+    plus crash injects, hang injects, and undersized deadlines."""
+    rng = random.Random(seed)
+    reqs = []
+    for i in range(n):
+        rid = f"soak-{i:03d}"
+        if i % 37 == 5:  # worker crashes (-> restart, retry, poison)
+            reqs.append(ScenarioRequest(id=rid, kind="spin", inject="crash"))
+        elif i % 53 == 7:  # hangs ignoring cancellation (-> watchdog kill)
+            reqs.append(
+                ScenarioRequest(id=rid, kind="spin", deadline_s=0.3, inject="hang")
+            )
+        elif i % 11 == 3:  # deadline far below the work -> cancelled or shed
+            reqs.append(
+                ScenarioRequest(
+                    id=rid, kind="spin",
+                    params={"duration_s": 0.5},
+                    deadline_s=0.03 + rng.random() * 0.1,
+                )
+            )
+        elif i % 17 == 1:  # real transfers keep the planner/simulator hot
+            reqs.append(
+                ScenarioRequest(
+                    id=rid,
+                    kind=rng.choice(("p2p", "group")),
+                    params={"nnodes": 32, "nbytes": 1 << 20},
+                )
+            )
+        else:
+            reqs.append(
+                ScenarioRequest(
+                    id=rid, kind="spin",
+                    params={"duration_s": 0.001 + rng.random() * 0.008},
+                )
+            )
+    return reqs
+
+
+class TestSoak:
+    def test_all_requests_terminal_under_fault_pressure(self):
+        reqs = _soak_requests()
+        assert len(reqs) >= 200
+        reg = get_registry()
+        restarts0 = reg.counter("service.worker_restarts").value
+        cfg = ServiceConfig(
+            workers=4,
+            queue_cap=16,
+            max_attempts=2,
+            kill_grace_s=0.1,
+            hang_timeout_s=20.0,
+        )
+        rejected = 0
+        with ScenarioService(cfg) as svc:
+            for req in reqs:
+                try:
+                    svc.submit(req, block=True, timeout=60.0)
+                except QueueFullError:
+                    rejected += 1  # still a terminal answer, just immediate
+            assert svc.wait_all(timeout=240), svc.stats()
+            results = {}
+            for req in reqs:
+                try:
+                    results[req.id] = svc.result(req.id, timeout=1.0)
+                except Exception:
+                    pass
+            stats = svc.stats()
+
+        # Every admitted request reached exactly one terminal state.
+        assert len(results) + rejected == len(reqs)
+        assert all(r.status in TERMINAL_STATUSES for r in results.values())
+        assert stats["queue_depth"] == 0 and stats["inflight"] == 0
+
+        by_status = {s: [r for r in results.values() if r.status == s]
+                     for s in TERMINAL_STATUSES}
+        # The healthy majority completed...
+        assert len(by_status[COMPLETED]) >= 150
+        # ...and the fault paths were actually exercised.
+        poisons = [r for r in by_status[FAILED] if r.error.startswith("poison:")]
+        deadline_failures = [
+            r for r in by_status[FAILED] if r.error.startswith("deadline:")
+        ]
+        assert poisons, "no crash-inject request was quarantined"
+        assert all(r.attempts == cfg.max_attempts for r in poisons)
+        assert deadline_failures or by_status[SHED], "deadline pressure missing"
+        assert reg.counter("service.worker_restarts").value > restarts0
+
+        # Completed payloads carry verifiable checksums.
+        for r in by_status[COMPLETED]:
+            assert r.checksum and r.payload is not None
+
+    def test_pool_survives_and_serves_after_the_storm(self):
+        """Back-to-back mini-soak: after a burst of crashes the same
+        service still completes ordinary work (no leaked slots)."""
+        cfg = ServiceConfig(workers=2, queue_cap=8, max_attempts=2,
+                            kill_grace_s=0.1)
+        with ScenarioService(cfg) as svc:
+            for i in range(4):
+                svc.submit(
+                    ScenarioRequest(id=f"storm-{i}", kind="spin", inject="crash"),
+                    block=True, timeout=30.0,
+                )
+            svc.wait_all(timeout=120)
+            for i in range(10):
+                svc.submit(
+                    ScenarioRequest(
+                        id=f"calm-{i}", kind="spin",
+                        params={"duration_s": 0.002},
+                    ),
+                    block=True, timeout=30.0,
+                )
+            assert svc.wait_all(timeout=120), svc.stats()
+            for i in range(10):
+                assert svc.result(f"calm-{i}").status == COMPLETED

@@ -1,0 +1,77 @@
+"""Atomic temp+rename writes: a killed writer can never tear a file."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.util.atomicio import (
+    atomic_write,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+class TestBasics:
+    def test_creates_and_replaces(self, tmp_path):
+        p = tmp_path / "out.txt"
+        atomic_write_text(p, "one")
+        assert p.read_text() == "one"
+        atomic_write_text(p, "two")
+        assert p.read_text() == "two"
+
+    def test_json_canonical(self, tmp_path):
+        p = tmp_path / "doc.json"
+        atomic_write_json(p, {"b": 1, "a": [1, 2]})
+        doc = json.loads(p.read_text())
+        assert doc == {"a": [1, 2], "b": 1}
+        assert p.read_text().endswith("\n")
+
+    def test_no_temp_debris_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "x", "payload")
+        assert [f.name for f in tmp_path.iterdir()] == ["x"]
+
+
+class TestFailureMidWrite:
+    def test_exception_inside_block_preserves_old_content(self, tmp_path):
+        p = tmp_path / "results.json"
+        atomic_write_text(p, "OLD COMPLETE CONTENT")
+        with pytest.raises(RuntimeError):
+            with atomic_write(p) as fh:
+                fh.write("NEW PART")  # partial write, then the crash
+                raise RuntimeError("writer died")
+        assert p.read_text() == "OLD COMPLETE CONTENT"
+        # The failed attempt's temp file was cleaned up.
+        assert [f.name for f in tmp_path.iterdir()] == ["results.json"]
+
+    def test_sigkill_mid_write_leaves_complete_file(self, tmp_path):
+        """Kill a subprocess that atomically rewrites one file in a loop;
+        whatever survives must be a *complete* payload, old or new."""
+        target = tmp_path / "campaign.json"
+        atomic_write_json(target, {"gen": -1, "blob": "seed", "complete": True})
+        src = Path(__file__).resolve().parents[1] / "src"
+        child_code = (
+            "import json, itertools\n"
+            "from repro.util.atomicio import atomic_write_json\n"
+            f"path = {str(target)!r}\n"
+            "for gen in itertools.count():\n"
+            "    atomic_write_json(\n"
+            "        path, {'gen': gen, 'blob': 'x' * 200_000, 'complete': True},\n"
+            "        durable=False,\n"
+            "    )\n"
+        )
+        env = dict(os.environ, PYTHONPATH=f"{src}{os.pathsep}" + os.environ.get("PYTHONPATH", ""))
+        proc = subprocess.Popen([sys.executable, "-c", child_code], env=env)
+        try:
+            time.sleep(1.0)  # let it cycle through many rewrites
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+        doc = json.loads(target.read_text())  # parses => not torn
+        assert doc["complete"] is True
+        assert doc["blob"] == "seed" or len(doc["blob"]) == 200_000
