@@ -8,6 +8,12 @@ retained seed implementation *within the same process with interleaved
 repetitions* (so machine-load drift hits both sides equally), and dumps
 everything as ``BENCH_simulator.json`` at the repository root.
 
+``--service`` additionally runs the adaptive-vs-static service overload
+soak (:func:`repro.loadgen.bench.service_benchmark`) and writes its
+``bench-service/1`` report to ``BENCH_service.json`` — CI's
+``load-smoke`` job records only that (``--skip-perf --service``);
+``docs/LOAD_TESTING.md`` explains how to read it.
+
 Usage (no pytest required)::
 
     python benchmarks/record.py [--out PATH] [--reps N]
@@ -149,10 +155,55 @@ def main(argv: "list[str] | None" = None) -> int:
         help="skip the simulator microbenchmarks and seed speedups "
         "(CI's chaos-smoke job records only the resilience numbers)",
     )
+    ap.add_argument(
+        "--service",
+        action="store_true",
+        help="also run the adaptive-vs-static service overload soak and "
+        "write its bench-service/1 report to --service-out",
+    )
+    ap.add_argument(
+        "--service-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="destination of the --service report",
+    )
+    ap.add_argument(
+        "--service-duration",
+        type=float,
+        default=8.0,
+        help="ramp length [s] of each --service run",
+    )
     args = ap.parse_args(argv)
     setup_cli_logging("info")
-    if args.skip_perf and not args.resilience:
-        ap.error("--skip-perf leaves nothing to record without --resilience")
+    if args.skip_perf and not (args.resilience or args.service):
+        ap.error(
+            "--skip-perf leaves nothing to record without --resilience/--service"
+        )
+
+    service_ok = True
+    if args.service:
+        from repro.loadgen import service_benchmark
+
+        log.info("running adaptive-vs-static service overload soak ...")
+        svc_doc = service_benchmark(
+            duration_s=args.service_duration, progress=log.info
+        )
+        atomic_write_text(
+            args.service_out, json.dumps(svc_doc, indent=2, sort_keys=True) + "\n"
+        )
+        verdict = svc_doc["comparison"]
+        log.info(
+            f"wrote {args.service_out}: goodput gain "
+            f"{verdict['goodput_gain']:+.1%}, CI separated: "
+            f"{verdict['goodput_ci_separated']}"
+        )
+        service_ok = (
+            verdict["goodput_gain"] >= 0 and verdict["goodput_ci_separated"]
+        )
+        if not service_ok:
+            log.warning("adaptive admission did not separate from static")
+        if args.skip_perf and not args.resilience:
+            return 0 if service_ok else 1
 
     resilience = None
     if args.resilience:
@@ -182,7 +233,7 @@ def main(argv: "list[str] | None" = None) -> int:
         }
         atomic_write_text(args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n")
         log.info(f"wrote {args.out}")
-        return 0
+        return 0 if service_ok else 1
 
     system512 = mira_system(nnodes=512)
 
@@ -257,7 +308,7 @@ def main(argv: "list[str] | None" = None) -> int:
     if headline < 1.0:
         log.warning(f"vectorized event loop slower than seed ({headline:.2f}x)")
         return 1
-    return 0
+    return 0 if service_ok else 1
 
 
 if __name__ == "__main__":

@@ -199,6 +199,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--hang-timeout", type=float, default=60.0, metavar="S",
             help="hard-kill limit for requests without a deadline",
         )
+        sp.add_argument(
+            "--admission", choices=["static", "adaptive"], default="static",
+            help="admission control: static queue bound, or the AIMD "
+            "concurrency limiter + degradation ladder",
+        )
+        sp.add_argument(
+            "--latency-target", type=float, default=None, metavar="S",
+            help="adaptive limiter latency target [s] (default: derived "
+            "from the observed service time)",
+        )
+        sp.add_argument(
+            "--ladder-k", type=int, default=2,
+            help="proxy-search cap at the ladder's reduced tier",
+        )
         sp.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
 
     sv = sub.add_parser(
@@ -231,6 +245,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition size used by --make-demo scenarios",
     )
     _service_args(ba)
+
+    ld = sub.add_parser(
+        "load",
+        help="drive the service with a seeded synthetic load and report "
+        "goodput/latency statistics (see docs/LOAD_TESTING.md)",
+    )
+    ld.add_argument(
+        "--arrival", choices=["uniform", "poisson", "burst"], default="poisson",
+        help="arrival process",
+    )
+    ld.add_argument(
+        "--profile", choices=["constant", "ramp", "step"], default="constant",
+        help="offered-rate profile over the run",
+    )
+    ld.add_argument("--rate", type=float, default=20.0, help="offered rate [req/s]")
+    ld.add_argument(
+        "--rate-end", type=float, default=None,
+        help="final rate of a ramp profile [req/s]",
+    )
+    ld.add_argument(
+        "--step", action="append", default=None, metavar="DUR:RATE",
+        help="one step of a step profile (repeatable), e.g. --step 5:10",
+    )
+    ld.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="run duration [s] (default 10; 8 in --compare mode)",
+    )
+    ld.add_argument(
+        "--mix", choices=["mixed", "spin", "transfer"], default="spin",
+        help="request mix (see repro.loadgen.mix)",
+    )
+    ld.add_argument("--seed", type=int, default=2014)
+    ld.add_argument(
+        "--mode", choices=["open", "closed"], default="open",
+        help="open loop paces by the schedule; closed loop keeps "
+        "--concurrency requests in flight",
+    )
+    ld.add_argument("--concurrency", type=int, default=8,
+                    help="closed-loop client workers")
+    ld.add_argument("--burst-size", type=int, default=8)
+    ld.add_argument(
+        "--client-retries", type=int, default=3, metavar="N",
+        help="max client attempts per request (budgeted, full-jitter backoff)",
+    )
+    ld.add_argument(
+        "--transport", choices=["inproc", "serve"], default="inproc",
+        help="drive an in-process service or a repro serve subprocess",
+    )
+    ld.add_argument(
+        "--compare", action="store_true",
+        help="run the canned adaptive-vs-static overload benchmark and "
+        "write the bench-service/1 report to --out",
+    )
+    ld.add_argument("--out", type=str, default=None, metavar="PATH",
+                    help="write the JSON report here")
+    ld.add_argument(
+        "--outcomes", action="store_true",
+        help="include per-request outcomes in the report",
+    )
+    _service_args(ld)
     return p
 
 
@@ -692,6 +766,9 @@ def _service_config(args):
         default_deadline_s=args.deadline,
         max_attempts=args.max_attempts,
         hang_timeout_s=args.hang_timeout,
+        admission=getattr(args, "admission", "static"),
+        latency_target_s=getattr(args, "latency_target", None),
+        ladder_reduced_k=getattr(args, "ladder_k", 2),
     )
 
 
@@ -722,7 +799,12 @@ def _cmd_serve(args) -> int:
         f"serving with {config.workers} worker(s), queue cap {config.queue_cap}; "
         "reading JSONL requests from stdin"
     )
-    with ScenarioService(config, on_result=lambda r: emit(r.record())) as svc:
+    def emit_result(r) -> None:
+        # record() is the journal-stable core; degraded/tier are
+        # execution telemetry the load generator reads off the wire.
+        emit({**r.record(), "degraded": r.degraded, "tier": r.tier})
+
+    with ScenarioService(config, on_result=emit_result) as svc:
         for line in sys.stdin:
             line = line.strip()
             if not line:
@@ -780,6 +862,113 @@ def _cmd_batch(args) -> int:
     return 0 if counts["completed"] == summary["total"] else 1
 
 
+def _cmd_load(args) -> int:
+    """Synthetic load against the service; see docs/LOAD_TESTING.md."""
+    import json
+
+    from repro.loadgen import (
+        InProcessTransport,
+        LoadConfig,
+        ServeTransport,
+        run_load,
+        service_benchmark,
+    )
+    from repro.util.atomicio import atomic_write_json
+    from repro.util.validation import ConfigError
+
+    # argparse default is None so "user typed 10" and "left it alone"
+    # stay distinguishable: each mode resolves its own default.
+    duration = (
+        args.duration
+        if args.duration is not None
+        else (8.0 if args.compare else 10.0)
+    )
+    if args.compare:
+        out = args.out or "BENCH_service.json"
+        doc = service_benchmark(
+            seed=args.seed,
+            duration_s=duration,
+            workers=args.workers,
+            queue_cap=args.queue_cap,
+            progress=log.info,
+        )
+        atomic_write_json(out, doc)
+        verdict = doc["comparison"]
+        log.info(
+            f"wrote {out}: goodput gain "
+            f"{verdict['goodput_gain']:+.1%}, CI separated: "
+            f"{verdict['goodput_ci_separated']}"
+        )
+        return 0
+
+    steps = ()
+    if args.step:
+        try:
+            steps = tuple(
+                (float(s.split(":")[0]), float(s.split(":")[1])) for s in args.step
+            )
+        except (ValueError, IndexError):
+            raise ConfigError(
+                f"--step wants DUR:RATE pairs, got {args.step!r}"
+            ) from None
+    cfg = LoadConfig(
+        arrival=args.arrival,
+        profile=args.profile,
+        rate=args.rate,
+        rate_end=args.rate_end,
+        steps=steps,
+        duration_s=duration,
+        mix=args.mix,
+        seed=args.seed,
+        mode=args.mode,
+        closed_concurrency=args.concurrency,
+        burst_size=args.burst_size,
+        deadline_s=args.deadline,
+        max_attempts=args.client_retries,
+    )
+    log.info(
+        f"load: {args.arrival}/{args.profile} {args.rate} req/s for "
+        f"{duration}s, mix {args.mix}, seed {args.seed}, "
+        f"{args.transport} transport, {args.admission} admission"
+    )
+    if args.transport == "serve":
+        with ServeTransport(
+            workers=args.workers,
+            queue_cap=args.queue_cap,
+            deadline_s=args.deadline,
+            admission=args.admission,
+        ) as transport:
+            report = run_load(cfg, transport)
+    else:
+        from repro.service import ScenarioService
+
+        with ScenarioService(_service_config(args)) as svc:
+            report = run_load(cfg, InProcessTransport(svc))
+            svc.wait_all()
+    summary = report.summary(seed=args.seed)
+    counts = summary["counts"]
+    lat = summary["latency"]
+    log.info(
+        f"done: {summary['requests']} requests {json.dumps(counts, sort_keys=True)}; "
+        f"goodput {summary['goodput_rps']:.1f} req/s, "
+        f"shed rate {summary['shed_rate']:.2f}"
+    )
+    if lat["p50_s"] is not None:
+        log.info(
+            f"latency p50 {lat['p50_s'] * 1e3:.0f} ms, "
+            f"p95 {lat['p95_s'] * 1e3:.0f} ms, p99 {lat['p99_s'] * 1e3:.0f} ms "
+            f"(n={lat['n']})"
+        )
+    if args.out:
+        atomic_write_json(
+            args.out,
+            report.to_dict(include_outcomes=args.outcomes, seed=args.seed),
+        )
+        log.info(f"wrote report to {args.out}")
+    _dump_metrics(args)
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "transfer": _cmd_transfer,
@@ -791,6 +980,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "batch": _cmd_batch,
+    "load": _cmd_load,
 }
 
 

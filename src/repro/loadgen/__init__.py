@@ -1,0 +1,81 @@
+"""Sustained-load generator for the scenario service.
+
+Deterministic arrival schedules (:mod:`repro.loadgen.arrivals`),
+weighted request mixes (:mod:`repro.loadgen.mix`), an open/closed-loop
+runner with budgeted, jittered client retries
+(:mod:`repro.loadgen.runner`), bootstrap-CI statistics
+(:mod:`repro.loadgen.stats`) and the canned adaptive-vs-static
+overload benchmark (:mod:`repro.loadgen.bench`).
+
+See ``docs/LOAD_TESTING.md`` for the operational guide.
+"""
+
+from repro.loadgen.arrivals import (
+    ARRIVAL_PROCESSES,
+    ConstantProfile,
+    RampProfile,
+    RateProfile,
+    Schedule,
+    ScheduledRequest,
+    StepProfile,
+    arrival_times,
+    build_schedule,
+    make_profile,
+)
+from repro.loadgen.bench import SCHEMA as BENCH_SCHEMA
+from repro.loadgen.bench import service_benchmark
+from repro.loadgen.mix import MIX_NAMES, MIXES, RequestMix, get_mix
+from repro.loadgen.retry import RetryBudget, full_jitter_backoff
+from repro.loadgen.runner import (
+    OUTCOME_STATUSES,
+    InProcessTransport,
+    LoadConfig,
+    LoadReport,
+    RequestOutcome,
+    ServeTransport,
+    run_load,
+    run_schedule,
+)
+from repro.loadgen.stats import (
+    PERCENTILES,
+    bootstrap_ci,
+    cliffs_delta,
+    compare,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "BENCH_SCHEMA",
+    "MIXES",
+    "MIX_NAMES",
+    "OUTCOME_STATUSES",
+    "PERCENTILES",
+    "ConstantProfile",
+    "InProcessTransport",
+    "LoadConfig",
+    "LoadReport",
+    "RampProfile",
+    "RateProfile",
+    "RequestMix",
+    "RequestOutcome",
+    "RetryBudget",
+    "Schedule",
+    "ScheduledRequest",
+    "ServeTransport",
+    "StepProfile",
+    "arrival_times",
+    "bootstrap_ci",
+    "build_schedule",
+    "cliffs_delta",
+    "compare",
+    "full_jitter_backoff",
+    "get_mix",
+    "make_profile",
+    "percentile",
+    "run_load",
+    "run_schedule",
+    "service_benchmark",
+    "summarize",
+]

@@ -1,0 +1,354 @@
+"""Arrival processes and rate profiles of the load generator.
+
+A **rate profile** is the intended offered load over time — a function
+``rate_at(t)`` [requests/s] over a finite horizon, with its integral
+``cumulative(t)`` (the expected request count by time ``t``) available
+in closed form.  An **arrival process** turns a profile into concrete
+arrival instants:
+
+* ``uniform`` — deterministically paced: the k-th request arrives when
+  the cumulative expected count crosses ``k`` (no RNG at all);
+* ``poisson`` — a non-homogeneous Poisson process by inversion: unit
+  exponential gaps are mapped through the inverse cumulative rate, so
+  the instantaneous intensity tracks the profile exactly;
+* ``burst`` — arrivals land in clusters of ``burst_size`` at the
+  instants where the cumulative count crosses multiples of the burst
+  size: the same mean load as ``uniform``, maximally bunched.
+
+Everything is driven by a seeded :func:`numpy.random.default_rng`
+stream, so the same ``(profile, process, seed)`` triple always yields
+the byte-identical schedule — the property the determinism tests and
+the static-vs-adaptive benchmark (identical offered load per mode)
+depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.service.request import ScenarioRequest, canonical_json, payload_checksum
+from repro.util.validation import ConfigError
+
+#: Known arrival processes (see module docstring).
+ARRIVAL_PROCESSES = ("uniform", "poisson", "burst")
+
+
+class RateProfile:
+    """Base class: offered-load rate over a finite horizon.
+
+    Subclasses provide ``rate_at`` and a closed-form ``cumulative``
+    (monotone non-decreasing; inverted by bisection in
+    :func:`arrival_times`).
+    """
+
+    duration_s: float
+
+    def rate_at(self, t: float) -> float:  # pragma: no cover - interface
+        """Instantaneous offered rate [req/s] at time ``t``."""
+        raise NotImplementedError
+
+    def cumulative(self, t: float) -> float:  # pragma: no cover - interface
+        """Expected request count by time ``t`` (closed form)."""
+        raise NotImplementedError
+
+    def total(self) -> float:
+        """Expected request count over the whole horizon."""
+        return self.cumulative(self.duration_s)
+
+    def to_dict(self) -> dict:  # pragma: no cover - interface
+        """JSON-able description (recorded in the schedule provenance)."""
+        raise NotImplementedError
+
+
+def _check_duration(duration_s: float) -> float:
+    if duration_s <= 0:
+        raise ConfigError(f"profile duration_s must be > 0, got {duration_s}")
+    return float(duration_s)
+
+
+@dataclass(frozen=True)
+class ConstantProfile(RateProfile):
+    """Flat rate for the whole horizon."""
+
+    rate: float
+    duration_s: float
+
+    def __post_init__(self):
+        _check_duration(self.duration_s)
+        if self.rate <= 0:
+            raise ConfigError(f"rate must be > 0, got {self.rate}")
+
+    def rate_at(self, t: float) -> float:
+        """The flat rate inside the horizon, 0 outside."""
+        return self.rate if 0 <= t <= self.duration_s else 0.0
+
+    def cumulative(self, t: float) -> float:
+        """``rate * t``, clamped to the horizon."""
+        return self.rate * min(max(t, 0.0), self.duration_s)
+
+    def to_dict(self) -> dict:
+        """JSON-able description (recorded in the schedule provenance)."""
+        return {"profile": "constant", "rate": self.rate, "duration_s": self.duration_s}
+
+
+@dataclass(frozen=True)
+class RampProfile(RateProfile):
+    """Linear ramp from ``start_rate`` to ``end_rate`` over the horizon.
+
+    The overload soak ramps from well under service capacity to ~10x
+    over it, so one run covers the whole uncontended -> saturated ->
+    overloaded regime.
+    """
+
+    start_rate: float
+    end_rate: float
+    duration_s: float
+
+    def __post_init__(self):
+        _check_duration(self.duration_s)
+        if self.start_rate < 0 or self.end_rate < 0:
+            raise ConfigError(
+                f"ramp rates must be >= 0, got {self.start_rate}..{self.end_rate}"
+            )
+        if self.start_rate == 0 and self.end_rate == 0:
+            raise ConfigError("ramp cannot be 0 -> 0")
+
+    def rate_at(self, t: float) -> float:
+        """Linear interpolation between the endpoint rates."""
+        if not 0 <= t <= self.duration_s:
+            return 0.0
+        frac = t / self.duration_s
+        return self.start_rate + (self.end_rate - self.start_rate) * frac
+
+    def cumulative(self, t: float) -> float:
+        """Exact integral of the linear rate (quadratic in ``t``)."""
+        t = min(max(t, 0.0), self.duration_s)
+        slope = (self.end_rate - self.start_rate) / self.duration_s
+        return self.start_rate * t + 0.5 * slope * t * t
+
+    def to_dict(self) -> dict:
+        """JSON-able description (recorded in the schedule provenance)."""
+        return {
+            "profile": "ramp",
+            "start_rate": self.start_rate,
+            "end_rate": self.end_rate,
+            "duration_s": self.duration_s,
+        }
+
+
+@dataclass(frozen=True)
+class StepProfile(RateProfile):
+    """Piecewise-constant rate: ``steps`` is ``((duration_s, rate), ...)``."""
+
+    steps: "tuple[tuple[float, float], ...]"
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ConfigError("step profile needs at least one step")
+        for dur, rate in self.steps:
+            if dur <= 0:
+                raise ConfigError(f"step duration must be > 0, got {dur}")
+            if rate < 0:
+                raise ConfigError(f"step rate must be >= 0, got {rate}")
+        if all(rate == 0 for _, rate in self.steps):
+            raise ConfigError("step profile cannot be all-zero rate")
+        object.__setattr__(
+            self, "duration_s", float(sum(dur for dur, _ in self.steps))
+        )
+
+    def rate_at(self, t: float) -> float:
+        """The rate of the step segment containing ``t``."""
+        if t < 0 or t > self.duration_s:
+            return 0.0
+        edge = 0.0
+        for dur, rate in self.steps:
+            edge += dur
+            if t < edge:
+                return rate
+        return self.steps[-1][1]
+
+    def cumulative(self, t: float) -> float:
+        """Sum of completed segments plus the partial current one."""
+        t = min(max(t, 0.0), self.duration_s)
+        total, edge = 0.0, 0.0
+        for dur, rate in self.steps:
+            seg = min(t - edge, dur)
+            if seg <= 0:
+                break
+            total += rate * seg
+            edge += dur
+        return total
+
+    def to_dict(self) -> dict:
+        """JSON-able description (recorded in the schedule provenance)."""
+        return {"profile": "step", "steps": [list(s) for s in self.steps]}
+
+
+def make_profile(
+    name: str,
+    *,
+    rate: float,
+    duration_s: float,
+    rate_end: "float | None" = None,
+    steps: "Sequence[tuple[float, float]] | None" = None,
+) -> RateProfile:
+    """Build a profile from CLI-ish knobs (``constant``/``ramp``/``step``)."""
+    if name == "constant":
+        return ConstantProfile(rate=rate, duration_s=duration_s)
+    if name == "ramp":
+        if rate_end is None:
+            raise ConfigError("ramp profile needs rate_end")
+        return RampProfile(start_rate=rate, end_rate=rate_end, duration_s=duration_s)
+    if name == "step":
+        if not steps:
+            raise ConfigError("step profile needs steps")
+        return StepProfile(steps=tuple((float(d), float(r)) for d, r in steps))
+    raise ConfigError(f"unknown profile {name!r}; use constant, ramp or step")
+
+
+def _invert_cumulative(profile: RateProfile, target: float) -> float:
+    """``t`` with ``cumulative(t) == target``, by bisection (monotone)."""
+    lo, hi = 0.0, profile.duration_s
+    for _ in range(60):  # ~1e-18 relative precision; bitwise-stable
+        mid = 0.5 * (lo + hi)
+        if profile.cumulative(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def arrival_times(
+    process: str,
+    profile: RateProfile,
+    *,
+    seed: int,
+    burst_size: int = 8,
+) -> np.ndarray:
+    """Arrival instants [s from run start] over the profile horizon."""
+    if process not in ARRIVAL_PROCESSES:
+        raise ConfigError(
+            f"unknown arrival process {process!r}; known: {ARRIVAL_PROCESSES}"
+        )
+    if burst_size < 1:
+        raise ConfigError(f"burst_size must be >= 1, got {burst_size}")
+    total = profile.total()
+    if process == "uniform":
+        n = int(total)
+        return np.array(
+            [_invert_cumulative(profile, k + 1.0) for k in range(n)]
+        )
+    if process == "burst":
+        times: list[float] = []
+        k = burst_size
+        while k <= total:
+            at = _invert_cumulative(profile, float(k))
+            times.extend([at] * burst_size)
+            k += burst_size
+        return np.array(times)
+    # poisson: inversion of unit-exponential cumulative gaps.
+    rng = np.random.default_rng(seed)
+    times = []
+    expected = 0.0
+    while True:
+        expected += float(rng.exponential(1.0))
+        if expected > total:
+            break
+        times.append(_invert_cumulative(profile, expected))
+    return np.array(times)
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One schedule entry: fire ``request`` at ``at_s`` from run start."""
+
+    at_s: float
+    request: ScenarioRequest
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A deterministic request schedule plus its provenance.
+
+    ``checksum()`` covers the canonical JSON of every (time, request)
+    pair — two schedules with the same checksum carry the byte-identical
+    offered load, which is how the benchmark proves static and adaptive
+    runs saw the same traffic.
+    """
+
+    items: "tuple[ScheduledRequest, ...]"
+    profile: dict
+    process: str
+    mix: str
+    seed: int
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.profile.get("duration_s") or (
+            sum(d for d, _ in self.profile.get("steps", [])) or 0.0
+        ))
+
+    def to_jsonable(self) -> dict:
+        """The whole schedule as a canonical-JSON-ready document."""
+        return {
+            "process": self.process,
+            "mix": self.mix,
+            "seed": self.seed,
+            "profile": self.profile,
+            "items": [
+                {"at_s": round(it.at_s, 9), "request": it.request.to_dict()}
+                for it in self.items
+            ],
+        }
+
+    def checksum(self) -> str:
+        """sha256 over the canonical JSON of the whole schedule."""
+        return payload_checksum(self.to_jsonable())
+
+    def canonical(self) -> str:
+        """The canonical JSON string itself (byte-identity checks)."""
+        return canonical_json(self.to_jsonable())
+
+
+def build_schedule(
+    *,
+    process: str,
+    profile: RateProfile,
+    mix,
+    seed: int,
+    run_id: str = "load",
+    burst_size: int = 8,
+    deadline_s: "float | None" = None,
+    params_override: "Mapping | None" = None,
+) -> Schedule:
+    """Materialise the full request schedule for one load run.
+
+    Arrival times and request-kind draws use two decorrelated child
+    streams of the same seed, so changing the mix never perturbs the
+    arrival pattern (and vice versa).
+    """
+    at = arrival_times(process, profile, seed=seed, burst_size=burst_size)
+    kind_rng = np.random.default_rng([seed, 1])
+    items = tuple(
+        ScheduledRequest(
+            at_s=float(t),
+            request=mix.make_request(
+                i,
+                kind_rng,
+                run_id=run_id,
+                deadline_s=deadline_s,
+                params_override=params_override,
+            ),
+        )
+        for i, t in enumerate(at)
+    )
+    return Schedule(
+        items=items,
+        profile=profile.to_dict(),
+        process=process,
+        mix=mix.name,
+        seed=seed,
+    )

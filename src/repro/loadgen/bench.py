@@ -1,0 +1,145 @@
+"""The canned adaptive-vs-static overload benchmark.
+
+One seeded schedule — a Poisson ramp from half the worker pool's
+capacity to ~10x over it, all ``spin`` requests with a known constant
+service time and a tight deadline — replayed twice against two fresh
+services that differ *only* in admission mode:
+
+* ``static``   — PR 5 behaviour: a bounded queue admits until full.
+  Under overload the queue fills, every admitted request ages toward
+  its deadline while queued, and workers burn time on requests that
+  are cancelled mid-run — goodput collapses below capacity.
+* ``adaptive`` — the AIMD limiter + degradation ladder keep the
+  outstanding window near pool capacity, so admitted requests finish
+  inside their deadline and the excess is turned away at the door.
+
+The identical offered load is *proved*, not assumed: both runs carry
+the same schedule checksum.  The report (``bench-service/1``) stores
+each run's :func:`~repro.loadgen.stats.summarize` document plus the
+:func:`~repro.loadgen.stats.compare` verdict — bootstrap CIs on
+goodput, CI separation, and Cliff's delta on completed-request
+latencies.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.loadgen.runner import InProcessTransport, LoadConfig, run_schedule
+from repro.loadgen.stats import compare
+from repro.obs.metrics import get_registry
+from repro.service import ScenarioRequest, ScenarioService, ServiceConfig
+
+SCHEMA = "bench-service/1"
+
+#: Admission modes the benchmark contrasts.
+MODES = ("static", "adaptive")
+
+
+def _warm_service(svc: ScenarioService, workers: int) -> None:
+    """Run one trivial spin per worker so process spawn + import cost
+    lands before the measured window (it would otherwise bias the
+    first seconds of *both* runs and the limiter's first estimates)."""
+    for i in range(workers):
+        svc.submit(
+            ScenarioRequest(
+                id=f"warmup-{i}", kind="spin", params={"duration_s": 0.001}
+            ),
+            block=True,
+        )
+    svc.wait_all(timeout=60.0)
+
+
+def service_benchmark(
+    *,
+    seed: int = 2014,
+    duration_s: float = 8.0,
+    workers: int = 2,
+    queue_cap: int = 32,
+    spin_s: float = 0.1,
+    deadline_s: float = 0.25,
+    overload_factor: float = 10.0,
+    n_boot: int = 400,
+    progress=None,
+) -> dict:
+    """Run the adaptive-vs-static soak; returns the ``bench-service/1``
+    document (see module docstring)."""
+    say = progress or (lambda msg: None)
+    capacity_rps = workers / spin_s
+    cfg = LoadConfig(
+        arrival="poisson",
+        profile="ramp",
+        rate=0.5 * capacity_rps,
+        rate_end=overload_factor * capacity_rps,
+        duration_s=duration_s,
+        mix="spin",
+        seed=seed,
+        deadline_s=deadline_s,
+        params_override={"duration_s": spin_s},
+        max_attempts=2,
+        retry_budget=20.0,
+        retry_refill_per_s=5.0,
+    )
+    schedule = cfg.build_schedule(run_id="bench")
+    say(
+        f"schedule: {len(schedule.items)} requests, ramp "
+        f"{cfg.rate:.0f}->{cfg.rate_end:.0f} rps over {duration_s}s "
+        f"(pool capacity ~{capacity_rps:.0f} rps)"
+    )
+    runs: dict = {}
+    latencies: dict = {}
+    for mode in MODES:
+        get_registry().reset()
+        svc_cfg = ServiceConfig(
+            workers=workers,
+            queue_cap=queue_cap,
+            admission=mode,
+        )
+        t0 = time.monotonic()
+        with ScenarioService(svc_cfg) as svc:
+            _warm_service(svc, workers)
+            report = run_schedule(schedule, InProcessTransport(svc), cfg)
+            svc.wait_all(timeout=60.0)
+            stats = svc.stats()
+        summary = report.summary(seed=seed, n_boot=n_boot)
+        summary["service"] = {
+            "admission": stats.get("admission"),
+            "admission_limit": stats.get("admission_limit"),
+            "degrade_tier": stats.get("degrade_tier"),
+            "completed": stats.get("completed"),
+            "failed": stats.get("failed"),
+            "shed": stats.get("shed"),
+        }
+        runs[mode] = summary
+        latencies[mode] = report.latencies()
+        say(
+            f"{mode}: goodput {summary['goodput_rps']:.1f} rps, "
+            f"shed rate {summary['shed_rate']:.2f}, "
+            f"p99 {summary['latency']['p99_s']} "
+            f"({time.monotonic() - t0:.1f}s wall)"
+        )
+    verdict = compare(
+        runs["static"],
+        runs["adaptive"],
+        baseline_latencies=latencies["static"],
+        candidate_latencies=latencies["adaptive"],
+    )
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "seed": seed,
+            "duration_s": duration_s,
+            "workers": workers,
+            "queue_cap": queue_cap,
+            "spin_s": spin_s,
+            "deadline_s": deadline_s,
+            "overload_factor": overload_factor,
+            "capacity_rps": capacity_rps,
+            "n_boot": n_boot,
+            "load": cfg.to_dict(),
+        },
+        "schedule_checksum": schedule.checksum(),
+        "requests": len(schedule.items),
+        "runs": runs,
+        "comparison": verdict,
+    }

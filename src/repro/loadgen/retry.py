@@ -1,0 +1,94 @@
+"""Client-side retry discipline of the load generator.
+
+Two pieces keep retries from amplifying an overload into a storm:
+
+* :func:`full_jitter_backoff` — the AWS-style *full jitter* schedule:
+  the sleep is drawn uniformly from ``[0, min(cap, base * mult**n)]``
+  rather than being the deterministic exponential value, so a cohort of
+  clients rejected together does not retry together.
+* :class:`RetryBudget` — a token bucket shared by every client thread
+  of a run: each retry spends one token, tokens refill at a bounded
+  rate, and when the bucket is dry the rejection becomes terminal.
+  Under sustained overload the retry traffic therefore converges to the
+  refill rate — a small, fixed tax — instead of doubling the offered
+  load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.util.validation import ConfigError
+
+
+def full_jitter_backoff(
+    attempt: int,
+    *,
+    base_s: float,
+    cap_s: float,
+    rng,
+    multiplier: float = 2.0,
+) -> float:
+    """Sleep before retry ``attempt`` (0-based): uniform on
+    ``[0, min(cap_s, base_s * multiplier**attempt)]``."""
+    if base_s < 0 or cap_s < 0:
+        raise ConfigError(f"backoff base/cap must be >= 0, got {base_s}/{cap_s}")
+    if multiplier < 1.0:
+        raise ConfigError(f"backoff multiplier must be >= 1, got {multiplier}")
+    ceiling = min(cap_s, base_s * multiplier**attempt)
+    return float(rng.uniform(0.0, ceiling))
+
+
+class RetryBudget:
+    """Token-bucket retry throttle (thread-safe).
+
+    Args:
+        capacity: bucket size — the largest retry burst ever allowed.
+        refill_per_s: sustained retry rate ceiling [tokens/s].
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: float = 20.0,
+        refill_per_s: float = 5.0,
+        *,
+        clock=time.monotonic,
+    ):
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be > 0, got {capacity}")
+        if refill_per_s < 0:
+            raise ConfigError(f"refill_per_s must be >= 0, got {refill_per_s}")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(capacity)
+        self._last = clock()
+        self.denied = 0
+        self.spent = 0
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.capacity, self._tokens + (now - self._last) * self.refill_per_s
+        )
+        self._last = now
+
+    def try_spend(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; ``False`` means *don't retry*."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                self.spent += 1
+                return True
+            self.denied += 1
+            return False
+
+    def available(self) -> float:
+        """Current token count (after refill)."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens

@@ -56,6 +56,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.core.multipath import (
     TransferSpec,
     build_direct_flows,
@@ -97,6 +99,19 @@ class RetryPolicy:
             of its predicted time.
         backoff_base: first retry's backoff delay [s] (simulated time).
         backoff_multiplier: exponential backoff growth per retry.
+        backoff_jitter: fraction of each backoff delay that is
+            randomised (AWS *full jitter* at 1.0): round ``n``'s delay
+            is drawn uniformly from ``[(1 - j) * b, b]``, where ``b``
+            is the deterministic exponential value — so simultaneous
+            retries against a shared resource decorrelate instead of
+            colliding again in lockstep.  0 keeps the legacy
+            deterministic schedule.
+        jitter_seed: seed of the jitter stream (only read when
+            ``backoff_jitter > 0``).  The stream is derived from this
+            seed *plus* the transfer set (src/dst/size of every spec),
+            so concurrent transfers sharing one policy decorrelate
+            instead of retrying in lockstep, while the same seed and
+            specs always reproduce the same delays.
         min_healthy_paths: surviving-proxy count below which replacement
             proxies (and, failing that, the direct path) join the retry
             carriers (the Eq. 5 profitability floor: fewer than 3 paths
@@ -137,6 +152,8 @@ class RetryPolicy:
     deadline_factor: float = 1.5
     backoff_base: float = 1e-4
     backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.0
+    jitter_seed: int = 2014
     min_healthy_paths: int = 3
     health_threshold: float = 0.4
     min_planned_fraction: float = 0.01
@@ -159,6 +176,10 @@ class RetryPolicy:
         if self.backoff_multiplier < 1.0:
             raise ConfigError(
                 f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0 <= self.backoff_jitter <= 1:
+            raise ConfigError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
             )
         if self.min_healthy_paths < 1:
             raise ConfigError(
@@ -286,6 +307,22 @@ class _Carrier:
     redrive: bool = False  # one-hop proxy→dst re-drive of parked extents
     extents: list = field(default_factory=list)  # ledger extents, stream order
     obs: list = field(default_factory=list)  # (links, fid) pairs to observe
+
+
+def _jitter_stream(policy: "RetryPolicy", specs) -> "np.random.Generator | None":
+    """Backoff-jitter RNG for one transfer execution.
+
+    The stream is keyed by ``jitter_seed`` *and* the transfer set
+    (src/dst/size of every spec), so concurrent transfers that share a
+    policy draw decorrelated jitter — the whole point of jitter — while
+    any single transfer stays byte-reproducible from its seed.
+    """
+    if policy.backoff_jitter <= 0:
+        return None
+    key = [policy.jitter_seed]
+    for s in specs:
+        key.extend((s.src, s.dst, s.nbytes))
+    return np.random.default_rng(key)
 
 
 def _predicted_time(params, share: int, rate: float, two_hop: bool) -> float:
@@ -715,6 +752,7 @@ def run_resilient_transfer(
     emit_round = initial_emit
     T = 0.0
     rnd = 0
+    jitter_rng = _jitter_stream(policy, specs)
     while True:
         rspan_cm = tracer.span("transfer-round", cat="resilience", round=rnd)
         with rspan_cm as rspan:
@@ -772,6 +810,11 @@ def run_resilient_transfer(
         # would start past the budget diverts likewise.
         exhausted = [i for i in sorted(failed_by_spec) if retries_left[i] == 0]
         backoff = policy.backoff_base * policy.backoff_multiplier**rnd
+        if jitter_rng is not None:
+            # Full jitter (AWS style) at backoff_jitter=1: uniform on
+            # [0, backoff]; partial jitter keeps a deterministic floor.
+            u = float(jitter_rng.uniform(0.0, 1.0))
+            backoff *= (1.0 - policy.backoff_jitter) + policy.backoff_jitter * u
         T_next = T + round_end + backoff
         over_budget = policy.budget_s is not None and T_next >= policy.budget_s
         if exhausted and policy.budget_s is None:

@@ -17,10 +17,21 @@ from repro.service.batch import (
     parse_campaign,
     run_batch,
 )
+from repro.service.adaptive import AdaptiveLimiter
 from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.degrade import (
+    TIER_DIRECT,
+    TIER_FULL,
+    TIER_NAMES,
+    TIER_REDUCED,
+    TIER_SHED,
+    DegradationLadder,
+    tier_name,
+)
 from repro.service.errors import (
     CircuitOpenError,
     DeadlineExceededError,
+    OverloadShedError,
     PoisonRequestError,
     QueueFullError,
     ServiceClosedError,
@@ -55,8 +66,16 @@ __all__ = [
     "SCENARIO_KINDS",
     "SHED",
     "TERMINAL_STATUSES",
+    "TIER_DIRECT",
+    "TIER_FULL",
+    "TIER_NAMES",
+    "TIER_REDUCED",
+    "TIER_SHED",
+    "AdaptiveLimiter",
     "CircuitBreaker",
     "CircuitOpenError",
+    "DegradationLadder",
+    "OverloadShedError",
     "DeadlineExceededError",
     "Journal",
     "PoisonRequestError",
@@ -78,4 +97,5 @@ __all__ = [
     "parse_campaign",
     "payload_checksum",
     "run_batch",
+    "tier_name",
 ]

@@ -34,6 +34,18 @@ class QueueFullError(ServiceError):
     code = "queue-full"
 
 
+class OverloadShedError(QueueFullError):
+    """Admission control rejected the request before it could queue:
+    the adaptive concurrency limiter is at its limit, or the
+    degradation ladder reached its shed tier.  Subclasses
+    :class:`QueueFullError` so callers that already back off on
+    queue-full handle it unchanged, while the ``code`` tells operators
+    *which* mechanism turned the request away."""
+
+    retriable = True
+    code = "overload-shed"
+
+
 class ServiceClosedError(ServiceError):
     """The service is shutting down and no longer admits requests."""
 

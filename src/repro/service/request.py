@@ -124,9 +124,13 @@ class ScenarioResult:
     ``payload``/``checksum`` are set for ``completed`` results;
     ``error`` carries ``"<code>: <message>"`` otherwise, with ``code``
     from :mod:`repro.service.errors` (or the exception type name).
-    ``attempts``/``worker``/``stage_s``/``degraded`` are execution
-    telemetry and deliberately excluded from :meth:`record` — the
-    journaled record must be identical across resumes.
+    ``attempts``/``worker``/``stage_s``/``degraded``/``tier`` are
+    execution telemetry and deliberately excluded from :meth:`record` —
+    the journaled record must be identical across resumes.
+
+    ``tier`` is the degradation-ladder tier the request executed at
+    (:data:`repro.service.degrade.TIER_NAMES` index); ``degraded`` stays
+    the PR 5 boolean view of it (``tier >= 2``).
     """
 
     id: str
@@ -138,6 +142,7 @@ class ScenarioResult:
     attempts: int = 1
     worker: "int | None" = None
     degraded: bool = False
+    tier: int = 0
     stage_s: dict = field(default_factory=dict)
 
     def __post_init__(self):

@@ -76,8 +76,26 @@ def _mode_used_payload(mode_used: Mapping[tuple, str]) -> dict:
     return {f"{s}->{d}": m for (s, d), m in sorted(mode_used.items())}
 
 
+def _effective_max_proxies(
+    params: Mapping[str, Any], max_proxies_cap: "int | None"
+) -> "int | None":
+    """The request's own proxy-count bound, clipped by the ladder's
+    reduced-k cap when one is in force."""
+    own = params.get("max_proxies")
+    if max_proxies_cap is None:
+        return own
+    if own is None:
+        return max_proxies_cap
+    return min(int(own), max_proxies_cap)
+
+
 def _run_transfer_kind(
-    kind: str, params: Mapping[str, Any], *, degraded: bool, stage_s: dict
+    kind: str,
+    params: Mapping[str, Any],
+    *,
+    degraded: bool,
+    stage_s: dict,
+    max_proxies_cap: "int | None" = None,
 ) -> dict:
     system = _system(nnodes=int(params.get("nnodes", 64)))
     specs = _transfer_specs(kind, params, system)
@@ -88,7 +106,8 @@ def _run_transfer_kind(
         try:
             with tracer.span("service.plan", cat="service", kind=kind):
                 planner = TransferPlanner(
-                    system, max_proxies=params.get("max_proxies")
+                    system,
+                    max_proxies=_effective_max_proxies(params, max_proxies_cap),
                 )
                 assignments = planner.find_plan(
                     [(s.src, s.dst) for s in specs]
@@ -227,13 +246,16 @@ def execute_request(
     degraded: bool = False,
     plan_cost_est_s: float = 0.0,
     plan_cost_safety: float = 2.0,
+    max_proxies_cap: "int | None" = None,
 ) -> tuple[dict, dict, bool]:
     """Run one scenario; returns ``(payload, stage_s, degraded_used)``.
 
-    ``degraded`` is the dispatcher's verdict (planner breaker open);
-    additionally, when the remaining deadline is below
-    ``plan_cost_safety * plan_cost_est_s``, the runner degrades on its
-    own — spending the whole budget planning would guarantee a miss.
+    ``degraded`` is the dispatcher's verdict (planner breaker open or
+    degradation ladder at its direct tier); ``max_proxies_cap`` is the
+    ladder's reduced-k cap on the proxy search (tier 1).  Additionally,
+    when the remaining deadline is below ``plan_cost_safety *
+    plan_cost_est_s``, the runner degrades on its own — spending the
+    whole budget planning would guarantee a miss.
     """
     stage_s: dict = {}
     scope = current_scope()
@@ -243,7 +265,10 @@ def execute_request(
             degraded = True
     check_cancelled()
     if kind in ("p2p", "group", "fanin"):
-        payload = _run_transfer_kind(kind, params, degraded=degraded, stage_s=stage_s)
+        payload = _run_transfer_kind(
+            kind, params, degraded=degraded, stage_s=stage_s,
+            max_proxies_cap=max_proxies_cap,
+        )
     elif kind == "io":
         payload = _run_io(params, degraded=degraded, stage_s=stage_s)
     elif kind == "chaos":

@@ -32,8 +32,25 @@ EWMA — flips the dispatch to **degraded mode**: direct single-path
 transfers with no proxy search, trading bandwidth for an answer inside
 the deadline.  A tripped simulator breaker sheds at admission.
 
+With ``admission="adaptive"`` two further control loops engage (see
+:mod:`repro.service.adaptive` and :mod:`repro.service.degrade`):
+
+* an **AIMD concurrency limiter** replaces the static queue bound at
+  admission — ``pending + in-flight`` beyond the learned limit sheds
+  with the retriable :class:`OverloadShedError` — and converges to the
+  worker pool's actual capacity from observed latencies;
+* a **degradation ladder** walks planning effort down under queue
+  pressure (full multipath → reduced-k proxy search → direct path →
+  shed at admission) with hysteresis, instead of PR 5's binary
+  breaker-open degrade.  Breaker state remains an override: an open
+  planner breaker forces at least the direct tier for that dispatch.
+
+``admission="static"`` keeps the PR 5 behaviour exactly.
+
 Everything observable is exported through :mod:`repro.obs.metrics`
-(``service.queue_depth``, ``service.shed.*``, ``service.deadline_misses``,
+(``service.queue_depth``, ``service.inflight``,
+``service.admission_limit``, ``service.degrade_tier``,
+``service.shed_rate``, ``service.shed.*``, ``service.deadline_misses``,
 ``service.worker_restarts``, ``service.poison_quarantined``, breaker
 states) and spans (``service.admit`` / ``service.dispatch``).
 """
@@ -49,9 +66,18 @@ from typing import Callable, Optional
 
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
+from repro.service.adaptive import AdaptiveLimiter
 from repro.service.breaker import OPEN, CircuitBreaker
+from repro.service.degrade import (
+    TIER_DIRECT,
+    TIER_FULL,
+    TIER_REDUCED,
+    TIER_SHED,
+    DegradationLadder,
+)
 from repro.service.errors import (
     CircuitOpenError,
+    OverloadShedError,
     QueueFullError,
     ServiceClosedError,
     UnknownRequestError,
@@ -91,6 +117,14 @@ class ServiceConfig:
         plan_cost_safety: degrade when remaining deadline is below
             ``plan_cost_safety ×`` the planning-cost EWMA.
         poll_interval_s: supervisor wake-up period.
+        admission: ``"static"`` (PR 5 behaviour: the bounded queue is
+            the only admission bound) or ``"adaptive"`` (AIMD
+            concurrency limiter + pressure degradation ladder; the
+            bounded queue remains as a hard memory cap).
+        latency_target_s: adaptive-mode latency target; ``None``
+            derives it from the observed service-time EWMA (see
+            :class:`repro.service.adaptive.AdaptiveLimiter`).
+        ladder_reduced_k: proxy-count cap at the ladder's reduced tier.
     """
 
     workers: int = 2
@@ -103,6 +137,9 @@ class ServiceConfig:
     breaker_recovery_s: float = 1.0
     plan_cost_safety: float = 2.0
     poll_interval_s: float = 0.005
+    admission: str = "static"
+    latency_target_s: "float | None" = None
+    ladder_reduced_k: int = 2
 
     def __post_init__(self):
         if self.workers < 1:
@@ -117,6 +154,18 @@ class ServiceConfig:
             )
         if self.kill_grace_s < 0:
             raise ConfigError(f"kill_grace_s must be >= 0, got {self.kill_grace_s}")
+        if self.admission not in ("static", "adaptive"):
+            raise ConfigError(
+                f"admission must be 'static' or 'adaptive', got {self.admission!r}"
+            )
+        if self.latency_target_s is not None and self.latency_target_s <= 0:
+            raise ConfigError(
+                f"latency_target_s must be > 0, got {self.latency_target_s}"
+            )
+        if self.ladder_reduced_k < 1:
+            raise ConfigError(
+                f"ladder_reduced_k must be >= 1, got {self.ladder_reduced_k}"
+            )
 
 
 @dataclass
@@ -125,6 +174,8 @@ class _Tracked:
 
     req: ScenarioRequest
     deadline_at: "float | None"  # absolute monotonic, None = no deadline
+    admitted_at: float = 0.0
+    dispatched_at: "float | None" = None  # last dispatch (None = never ran)
     attempts: int = 0
     done: threading.Event = field(default_factory=threading.Event)
 
@@ -132,7 +183,9 @@ class _Tracked:
 class _Worker:
     """One worker slot: process + its private dispatch/result queues."""
 
-    __slots__ = ("wid", "proc", "req_q", "res_q", "busy", "dispatched_at", "degraded")
+    __slots__ = (
+        "wid", "proc", "req_q", "res_q", "busy", "dispatched_at", "degraded", "tier"
+    )
 
     def __init__(self, wid: int, ctx):
         self.wid = wid
@@ -148,6 +201,7 @@ class _Worker:
         self.busy: "Optional[_Tracked]" = None
         self.dispatched_at = 0.0
         self.degraded = False
+        self.tier = TIER_FULL
 
     def discard_queues(self) -> None:
         """Detach queue feeder threads so parent exit never blocks on a
@@ -187,6 +241,19 @@ class ScenarioService:
         self._plan_cost_est: "dict[str, float]" = {}
         self._closing = False
         self._stop = False
+        self._shed_times: "deque[float]" = deque()  # sliding shed-rate window
+        self.limiter: "AdaptiveLimiter | None" = None
+        self.ladder: "DegradationLadder | None" = None
+        if self.config.admission == "adaptive":
+            self.limiter = AdaptiveLimiter(
+                min_limit=self.config.workers,
+                max_limit=self.config.queue_cap + self.config.workers,
+                initial=2 * self.config.workers,
+                latency_target_s=self.config.latency_target_s,
+            )
+            self.ladder = DegradationLadder(
+                reduced_k=self.config.ladder_reduced_k
+            )
         self.planner_breaker = CircuitBreaker(
             "planner",
             failure_threshold=self.config.breaker_failure_threshold,
@@ -218,6 +285,9 @@ class ScenarioService:
             ServiceClosedError: the service is shutting down.
             QueueFullError: bounded queue at capacity (``block=False``);
                 retriable — back off and resubmit.
+            OverloadShedError: adaptive admission turned the request
+                away (concurrency limit reached, or the degradation
+                ladder is at its shed tier); retriable.
             CircuitOpenError: the simulator breaker is open; retriable
                 after its recovery interval.
             ConfigError: duplicate request id.
@@ -225,6 +295,7 @@ class ScenarioService:
         with get_tracer().span("service.admit", cat="service", kind=req.kind):
             if not self.simulator_breaker.allow():
                 get_registry().counter("service.shed.circuit_open").inc()
+                self._shed_times.append(time.monotonic())
                 raise CircuitOpenError(
                     f"simulator circuit open; request {req.id!r} shed (retriable)"
                 )
@@ -233,15 +304,12 @@ class ScenarioService:
                     raise ServiceClosedError("service is closed to new requests")
                 if req.id in self._tracked:
                     raise ConfigError(f"duplicate request id {req.id!r}")
-                if len(self._pending) >= self.config.queue_cap:
+                blocked = self._admission_block_locked(req)
+                if blocked is not None:
                     if not block:
-                        get_registry().counter("service.shed.queue_full").inc()
-                        raise QueueFullError(
-                            f"queue full ({self.config.queue_cap}); request "
-                            f"{req.id!r} shed (retriable)"
-                        )
+                        self._raise_shed_locked(req, blocked)
                     deadline = None if timeout is None else time.monotonic() + timeout
-                    while len(self._pending) >= self.config.queue_cap:
+                    while blocked is not None:
                         if self._closing:
                             raise ServiceClosedError(
                                 "service closed while waiting for queue space"
@@ -250,12 +318,19 @@ class ScenarioService:
                             None if deadline is None else deadline - time.monotonic()
                         )
                         if remaining is not None and remaining <= 0:
-                            get_registry().counter("service.shed.queue_full").inc()
-                            raise QueueFullError(
-                                f"queue still full after {timeout:.3g}s; request "
-                                f"{req.id!r} shed (retriable)"
-                            )
-                        self._space.wait(timeout=remaining)
+                            self._raise_shed_locked(req, blocked, timeout=timeout)
+                        # Adaptive admission loosens on the supervisor
+                        # tick (ladder de-escalation, limiter growth),
+                        # not only on notified queue/terminal events —
+                        # bound the wait by the tick period so a
+                        # blocked submitter re-checks instead of
+                        # sleeping forever on a notify that never comes.
+                        wait_s = self.config.poll_interval_s
+                        if remaining is not None:
+                            wait_s = min(wait_s, remaining)
+                        self._space.wait(timeout=wait_s)
+                        blocked = self._admission_block_locked(req)
+                now = time.monotonic()
                 deadline_s = (
                     req.deadline_s
                     if req.deadline_s is not None
@@ -263,15 +338,55 @@ class ScenarioService:
                 )
                 t = _Tracked(
                     req=req,
-                    deadline_at=(
-                        None if deadline_s is None else time.monotonic() + deadline_s
-                    ),
+                    deadline_at=(None if deadline_s is None else now + deadline_s),
+                    admitted_at=now,
                 )
                 self._tracked[req.id] = t
                 self._pending.append(t)
                 get_registry().counter("service.admitted").inc()
                 self._set_depth_locked()
         return req.id
+
+    def _inflight_locked(self) -> int:
+        return sum(1 for w in self._workers if w.busy is not None)
+
+    def _admission_block_locked(self, req: ScenarioRequest):
+        """Why admission is blocked right now, or ``None`` if admissible.
+
+        Returns ``(exc_class, counter_name, reason)``.  Checked mildest
+        bound last: the bounded queue stays a hard memory cap even in
+        adaptive mode, but the adaptive limit normally bites first.
+        """
+        if self.ladder is not None and self.ladder.tier >= TIER_SHED:
+            return (
+                OverloadShedError,
+                "service.shed.ladder",
+                "degradation ladder at shed tier",
+            )
+        if self.limiter is not None:
+            outstanding = len(self._pending) + self._inflight_locked()
+            if not self.limiter.would_admit(outstanding):
+                return (
+                    OverloadShedError,
+                    "service.shed.adaptive",
+                    f"adaptive concurrency limit {self.limiter.limit} reached",
+                )
+        if len(self._pending) >= self.config.queue_cap:
+            return (
+                QueueFullError,
+                "service.shed.queue_full",
+                f"queue full ({self.config.queue_cap})",
+            )
+        return None
+
+    def _raise_shed_locked(
+        self, req: ScenarioRequest, blocked, *, timeout: "float | None" = None
+    ) -> None:
+        exc_cls, counter_name, reason = blocked
+        get_registry().counter(counter_name).inc()
+        self._shed_times.append(time.monotonic())
+        waited = "" if timeout is None else f" after {timeout:.3g}s"
+        raise exc_cls(f"{reason}{waited}; request {req.id!r} shed (retriable)")
 
     def result(self, request_id: str, timeout: "float | None" = None) -> ScenarioResult:
         """Block until ``request_id`` is terminal and return its result.
@@ -305,9 +420,9 @@ class ScenarioService:
         """Snapshot of service health (also exported as metrics)."""
         with self._lock:
             statuses = [r.status for r in self._results.values()]
-            return {
+            out = {
                 "queue_depth": len(self._pending),
-                "inflight": sum(1 for w in self._workers if w.busy is not None),
+                "inflight": self._inflight_locked(),
                 "admitted": len(self._tracked),
                 "completed": statuses.count(COMPLETED),
                 "failed": statuses.count(FAILED),
@@ -315,7 +430,15 @@ class ScenarioService:
                 "planner_breaker": self.planner_breaker.state,
                 "simulator_breaker": self.simulator_breaker.state,
                 "plan_cost_est_s": dict(self._plan_cost_est),
+                "admission": self.config.admission,
             }
+            if self.limiter is not None:
+                out["admission_limit"] = self.limiter.limit
+                out["service_time_ewma_s"] = self.limiter.service_time_ewma
+            if self.ladder is not None:
+                out["degrade_tier"] = self.ladder.tier
+                out["pressure"] = self.ladder.pressure
+            return out
 
     # -- shutdown ------------------------------------------------------------
 
@@ -379,9 +502,42 @@ class ScenarioService:
                 self._drain_results()
                 self._check_workers()
                 self._dispatch()
+                self._observe_pressure()
             except Exception:  # pragma: no cover - supervisor must survive
                 get_registry().counter("service.supervisor_errors").inc()
             time.sleep(self.config.poll_interval_s)
+
+    #: Sliding window of the exported shed-rate gauge [s].
+    _SHED_RATE_WINDOW_S = 5.0
+
+    def _observe_pressure(self) -> None:
+        """One supervisor-tick heartbeat of the overload-control loops:
+        feed the degradation ladder its occupancy sample and refresh the
+        load-visibility gauges (in-flight, shed rate)."""
+        reg = get_registry()
+        with self._lock:
+            inflight = self._inflight_locked()
+            outstanding = len(self._pending) + inflight
+            if self.limiter is not None:
+                capacity = max(self.limiter.limit, 1)
+            else:
+                capacity = self.config.queue_cap + self.config.workers
+        reg.gauge("service.inflight").set(inflight)
+        if self.ladder is not None:
+            tier_before = self.ladder.tier
+            self.ladder.observe(outstanding / capacity)
+            if self.ladder.tier < tier_before:
+                # De-escalation happens here, not on a queue event:
+                # wake blocked submitters promptly rather than leaving
+                # them to their bounded-wait re-check.
+                with self._space:
+                    self._space.notify_all()
+        now = time.monotonic()
+        while self._shed_times and now - self._shed_times[0] > self._SHED_RATE_WINDOW_S:
+            self._shed_times.popleft()
+        reg.gauge("service.shed_rate").set(
+            len(self._shed_times) / self._SHED_RATE_WINDOW_S
+        )
 
     def _set_depth_locked(self) -> None:
         get_registry().gauge("service.queue_depth").set(len(self._pending))
@@ -395,12 +551,26 @@ class ScenarioService:
         error: "str | None" = None,
         worker: "int | None" = None,
         degraded: bool = False,
+        tier: int = 0,
         stage_s: "dict | None" = None,
     ) -> None:
         """Record the single terminal state of a request.  Idempotent:
         late results from a restarted worker are ignored."""
         if t.done.is_set():
             return
+        now = time.monotonic()
+        if self.limiter is not None and not self._closing:
+            if status == COMPLETED:
+                service_s = (
+                    None if t.dispatched_at is None else now - t.dispatched_at
+                )
+                self.limiter.on_completion(now - t.admitted_at, service_s)
+            elif error is not None and error.startswith("deadline:"):
+                # A deadline miss is latency's terminal form: the
+                # admission window was too wide for the pool.
+                self.limiter.on_overload()
+        if status == SHED:
+            self._shed_times.append(now)
         res = ScenarioResult(
             id=t.req.id,
             kind=t.req.kind,
@@ -410,11 +580,15 @@ class ScenarioService:
             attempts=max(t.attempts, 1),
             worker=worker,
             degraded=degraded,
+            tier=tier,
             stage_s=stage_s or {},
         )
         self._results[t.req.id] = res
         get_registry().counter(f"service.terminal.{status}").inc()
         t.done.set()
+        # Terminal states free adaptive-admission headroom, not just
+        # queue slots — wake any blocked submitters either way.
+        self._space.notify_all()
         if self._on_result is not None:
             try:
                 self._on_result(res)
@@ -459,6 +633,7 @@ class ScenarioService:
                 payload=msg.get("payload"),
                 worker=msg.get("worker"),
                 degraded=degraded,
+                tier=int(msg.get("tier", 2 if degraded else 0)),
                 stage_s=stage_s,
             )
             return
@@ -480,6 +655,7 @@ class ScenarioService:
             error=error or "worker reported failure",
             worker=msg.get("worker"),
             degraded=degraded,
+            tier=int(msg.get("tier", 2 if degraded else 0)),
             stage_s=stage_s,
         )
 
@@ -588,30 +764,53 @@ class ScenarioService:
                         error="deadline: expired while queued, never dispatched",
                     )
                     continue
-                degraded = False
+                # Degradation tier: the ladder's pressure verdict first
+                # (shed never applies here — an admitted request is
+                # served, at most at the direct tier), then the PR 5
+                # overrides: an open planner breaker or a deadline too
+                # small for the planning-cost EWMA force direct.
+                tier = TIER_FULL
+                if self.ladder is not None and (
+                    t.req.kind in _PLANNED_KINDS or t.req.kind == "io"
+                ):
+                    tier = min(self.ladder.tier, TIER_DIRECT)
                 if t.req.kind in _PLANNED_KINDS:
                     est = self._plan_cost_est.get(t.req.kind, 0.0)
                     remaining = (
                         None if t.deadline_at is None else t.deadline_at - now
                     )
-                    if not self.planner_breaker.allow():
-                        degraded = True
-                    elif (
-                        remaining is not None
-                        and est > 0
-                        and remaining < self.config.plan_cost_safety * est
-                    ):
-                        degraded = True
-                        self.planner_breaker.release()
-                    if degraded:
-                        get_registry().counter("service.degraded").inc()
+                    if tier < TIER_DIRECT:
+                        if not self.planner_breaker.allow():
+                            tier = TIER_DIRECT
+                        elif (
+                            remaining is not None
+                            and est > 0
+                            and remaining < self.config.plan_cost_safety * est
+                        ):
+                            tier = TIER_DIRECT
+                            self.planner_breaker.release()
+                elif tier == TIER_REDUCED:
+                    tier = TIER_FULL  # io has no proxy search to cap
+                degraded = tier >= TIER_DIRECT
+                if degraded:
+                    get_registry().counter("service.degraded").inc()
+                elif tier == TIER_REDUCED:
+                    get_registry().counter("service.reduced_k").inc()
                 t.attempts += 1
+                t.dispatched_at = now
                 w.busy = t
                 w.dispatched_at = now
                 w.degraded = degraded
+                w.tier = tier
                 msg = {
                     "req": t.req.to_dict(),
                     "degraded": degraded,
+                    "tier": tier,
+                    "max_proxies_cap": (
+                        self.ladder.reduced_k
+                        if self.ladder is not None and tier == TIER_REDUCED
+                        else None
+                    ),
                     "remaining_s": (
                         None if t.deadline_at is None else max(0.001, t.deadline_at - now)
                     ),

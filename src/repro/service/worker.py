@@ -9,11 +9,18 @@ knows exactly which request dies with a crashed worker.
 The protocol is plain picklable dicts:
 
 * dispatch ``{"req": <ScenarioRequest dict>, "degraded": bool,
+  "tier": int, "max_proxies_cap": int | None,
   "remaining_s": float | None, "plan_cost_est_s": float}``;
   ``None`` is the shutdown sentinel.
 * result ``{"id", "worker", "status", "payload", "error", "stage_s",
-  "failed_stage", "degraded"}`` — ``status`` is ``completed`` or
-  ``failed``; shed/poison verdicts are the *parent's* to make.
+  "failed_stage", "degraded", "tier"}`` — ``status`` is ``completed``
+  or ``failed``; shed/poison verdicts are the *parent's* to make.
+
+``tier`` is the degradation-ladder tier the dispatcher chose
+(:mod:`repro.service.degrade`): tier 1 caps the proxy search at
+``max_proxies_cap`` paths, tier >= 2 sets ``degraded`` (direct path).
+The worker echoes the tier back, promoted to at least 2 when the
+scenario degraded itself on deadline pressure mid-run.
 
 Fault injection (``inject`` on the request) happens here, before the
 scenario runs: ``crash`` hard-exits the process (``os._exit``) so the
@@ -46,6 +53,7 @@ def _run_one(worker_id: int, msg: dict) -> dict:
     if inject == "hang":
         while True:  # ignores cancellation by design; watchdog kills us
             time.sleep(0.05)
+    tier = int(msg.get("tier", 0))
     out: dict = {
         "id": rid,
         "worker": worker_id,
@@ -55,6 +63,7 @@ def _run_one(worker_id: int, msg: dict) -> dict:
         "stage_s": {},
         "failed_stage": None,
         "degraded": bool(msg.get("degraded", False)),
+        "tier": tier,
     }
     try:
         with cancel_scope(deadline_s=msg.get("remaining_s")):
@@ -63,9 +72,10 @@ def _run_one(worker_id: int, msg: dict) -> dict:
                 req.get("params", {}),
                 degraded=bool(msg.get("degraded", False)),
                 plan_cost_est_s=float(msg.get("plan_cost_est_s", 0.0)),
+                max_proxies_cap=msg.get("max_proxies_cap"),
             )
         out.update(status="completed", payload=payload, stage_s=stage_s,
-                   degraded=degraded)
+                   degraded=degraded, tier=max(tier, 2) if degraded else tier)
     except SimulationCancelled as exc:
         out.update(error=f"deadline: {exc}", failed_stage=None)
     except StageError as exc:
