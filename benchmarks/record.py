@@ -5,8 +5,10 @@ small stand-in for the pytest-benchmark fixture (fixed warmup + reps,
 ``stats.stats.mean``/``.stddev`` attributes), harvests the ``bench.*``
 gauges they record, measures the vectorized simulator against the
 retained seed implementation *within the same process with interleaved
-repetitions* (so machine-load drift hits both sides equally), and dumps
-everything as ``BENCH_simulator.json`` at the repository root.
+repetitions* (so machine-load drift hits both sides equally), measures
+campaign throughput (scenarios/sec) serial vs batched
+(:class:`~repro.network.batchsim.BatchFlowSim`), and dumps everything
+as ``BENCH_simulator.json`` at the repository root.
 
 ``--service`` additionally runs the adaptive-vs-static service overload
 soak (:func:`repro.loadgen.bench.service_benchmark`) and writes its
@@ -101,6 +103,85 @@ def _torus_thousand_flows(n_flows: int = 1000, seed: int = 0):
         size = float(rng.integers(1, 8) * 1024 * 1024)
         flows.append(Flow(fid=f"f{i}", size=size, path=path.links))
     return flows
+
+
+def _campaign_scenarios(n: int = 200, seed: int = 0):
+    """``n`` small independent transfer scenarios (campaign-shaped).
+
+    Mirrors what ``repro batch`` / the loadgen transfer mix feed the
+    simulator: 3-9 flows each on a small torus, with staggered starts,
+    delays and a few cross-flow dependencies.
+    """
+    import numpy as np
+
+    from repro.network.flow import Flow
+    from repro.routing.deterministic import DimOrderRouter
+    from repro.torus.topology import TorusTopology
+
+    topo = TorusTopology((4, 4, 4))
+    router = DimOrderRouter(topo)
+    cap = 2.0e9
+    scenarios = []
+    for s in range(n):
+        rng = np.random.default_rng([seed, s])
+        flows = []
+        for i in range(3 + s % 7):
+            src, dst = rng.choice(topo.nnodes, size=2, replace=False)
+            path = router.path(int(src), int(dst))
+            size = float(rng.integers(1, 64)) * 65536.0
+            deps = (f"f{i - 2}",) if i >= 2 and rng.random() < 0.3 else ()
+            flows.append(
+                Flow(
+                    fid=f"f{i}", size=size, path=path.links,
+                    start_time=float(rng.uniform(0, 0.002)),
+                    delay=float(rng.uniform(0, 1e-4)), deps=deps,
+                )
+            )
+        scenarios.append(((lambda link: cap), flows))
+    return scenarios
+
+
+def _campaign_throughput(n_scenarios: int, reps: int) -> dict:
+    """Scenarios/sec, serial loop vs one batched pass, reps interleaved.
+
+    Serial runs each scenario through its own :class:`FlowSim` (the
+    pre-PR-8 campaign execution model); batched stacks all of them into
+    one :class:`~repro.network.batchsim.BatchFlowSim` block-diagonal
+    solve.  Results are byte-identical either way, so this is a pure
+    dispatch-overhead measurement.
+    """
+    from repro.network.batchsim import BatchFlowSim
+
+    scenarios = _campaign_scenarios(n_scenarios)
+    batcher = BatchFlowSim(MIRA_PARAMS)
+
+    def run_batched():
+        return batcher.simulate_many(scenarios)
+
+    def run_serial():
+        return [FlowSim(c, MIRA_PARAMS).run(f) for c, f in scenarios]
+
+    run_batched()  # warm both out of the measurement
+    run_serial()
+    t_b, t_s = [], []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        run_batched()
+        t_b.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_serial()
+        t_s.append(time.perf_counter() - t0)
+    b_mean, s_mean = statistics.fmean(t_b), statistics.fmean(t_s)
+    return {
+        "scenarios": n_scenarios,
+        "serial_mean_s": s_mean,
+        "batched_mean_s": b_mean,
+        "serial_scen_per_s": n_scenarios / s_mean,
+        "batched_scen_per_s": n_scenarios / b_mean,
+        "speedup_mean": s_mean / b_mean,
+        "speedup_best": min(t_s) / min(t_b),
+        "reps": reps,
+    }
 
 
 def _interleaved_speedup(make_new, make_seed, run, reps: int) -> dict:
@@ -281,6 +362,15 @@ def main(argv: "list[str] | None" = None) -> int:
             f"-> {rec['speedup_mean']:.2f}x mean ({rec['speedup_best']:.2f}x best)"
         )
 
+    log.info("measuring campaign throughput (serial vs batched) ...")
+    campaign = _campaign_throughput(200, max(args.seed_reps, 3))
+    log.info(
+        f"campaign_throughput: batched {campaign['batched_scen_per_s']:.0f} "
+        f"scen/s vs serial {campaign['serial_scen_per_s']:.0f} scen/s "
+        f"-> {campaign['speedup_mean']:.2f}x mean "
+        f"({campaign['speedup_best']:.2f}x best)"
+    )
+
     # Fold the bench.* gauges into {benchmark: {mean_s, stddev_s, ...}}.
     gauges = get_registry().snapshot()["gauges"]
     benchmarks: dict[str, dict] = {}
@@ -297,6 +387,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "python": sys.version.split()[0],
         "benchmarks": benchmarks,
         "speedup_vs_seed": speedups,
+        "campaign_throughput": campaign,
         "reps": args.reps,
     }
     if resilience is not None:
@@ -307,6 +398,12 @@ def main(argv: "list[str] | None" = None) -> int:
     headline = speedups["eventloop_1k_exact"]["speedup_mean"]
     if headline < 1.0:
         log.warning(f"vectorized event loop slower than seed ({headline:.2f}x)")
+        return 1
+    if campaign["speedup_mean"] < 1.0:
+        log.warning(
+            f"batched campaign simulation slower than serial "
+            f"({campaign['speedup_mean']:.2f}x)"
+        )
         return 1
     return 0 if service_ok else 1
 

@@ -53,6 +53,7 @@ from repro.core import (
     run_io_movement,
     run_pipelined_transfer,
     run_transfer,
+    run_transfer_many,
 )
 from repro.mpi import CollectiveIOConfig, FlowProgram, SimComm
 from repro.resilience import (
@@ -102,6 +103,7 @@ __all__ = [
     "run_io_movement",
     "run_pipelined_transfer",
     "run_transfer",
+    "run_transfer_many",
     "CollectiveIOConfig",
     "FlowProgram",
     "SimComm",

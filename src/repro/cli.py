@@ -237,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse intact journaled results; rerun only the remainder",
     )
     ba.add_argument(
+        "--serial", action="store_true",
+        help="disable the batched-simulate fast path for transfer "
+        "scenarios (every request goes through the service)",
+    )
+    ba.add_argument(
         "--make-demo", type=int, default=None, metavar="N",
         help="write an N-scenario demo campaign to --campaign and exit",
     )
@@ -851,6 +856,7 @@ def _cmd_batch(args) -> int:
         resume=args.resume,
         config=_service_config(args),
         progress=log.info,
+        batched=not args.serial,
     )
     _dump_metrics(args)
     counts = summary["counts"]

@@ -32,6 +32,7 @@ from repro.core.multipath import (
     build_direct_flows,
     build_multipath_flows,
     run_transfer,
+    run_transfer_many,
 )
 from repro.core.pipeline import (
     build_pipelined_flows,
@@ -67,6 +68,7 @@ __all__ = [
     "build_direct_flows",
     "build_multipath_flows",
     "run_transfer",
+    "run_transfer_many",
     "build_pipelined_flows",
     "optimal_chunk_bytes",
     "predicted_pipeline_time",

@@ -236,6 +236,30 @@ def build_multipath_flows(
     return done
 
 
+def _emit_spec(
+    prog: FlowProgram,
+    spec: TransferSpec,
+    asg: "ProxyAssignment | None",
+    mode: str,
+    min_proxies: int,
+    model: TransferModel,
+) -> str:
+    """Emit one spec's flows per the mode policy; returns the mode tag."""
+    if mode == "direct" or asg is None or asg.k < 1:
+        use_proxy = False
+    elif mode == "proxy":
+        use_proxy = asg.k >= min_proxies
+    else:  # auto: Algorithm 1's size gate
+        use_proxy = asg.k >= min_proxies and model.use_proxies(spec.nbytes, asg.k)
+    if use_proxy and spec.nbytes < asg.k:
+        use_proxy = False  # degenerate tiny message
+    if use_proxy:
+        build_multipath_flows(prog, spec, asg)
+        return f"proxy:{asg.k}"
+    build_direct_flows(prog, spec)
+    return "direct"
+
+
 def run_transfer(
     system: BGQSystem,
     specs: Sequence[TransferSpec],
@@ -307,21 +331,7 @@ def run_transfer(
         for spec in specs:
             key = (spec.src, spec.dst)
             asg = assignments.get(key) if assignments else None
-            use_proxy = False
-            if mode == "direct" or asg is None or asg.k < 1:
-                use_proxy = False
-            elif mode == "proxy":
-                use_proxy = asg.k >= min_proxies
-            else:  # auto: Algorithm 1's size gate
-                use_proxy = asg.k >= min_proxies and model.use_proxies(spec.nbytes, asg.k)
-            if use_proxy and spec.nbytes < asg.k:
-                use_proxy = False  # degenerate tiny message
-            if use_proxy:
-                build_multipath_flows(prog, spec, asg)
-                mode_used[key] = f"proxy:{asg.k}"
-            else:
-                build_direct_flows(prog, spec)
-                mode_used[key] = "direct"
+            mode_used[key] = _emit_spec(prog, spec, asg, mode, min_proxies, model)
 
         result = prog.run(events)
         span.set(makespan=result.makespan, n_flows=len(prog.flows))
@@ -342,3 +352,123 @@ def run_transfer(
         result=result,
         plan=plan,
     )
+
+
+def run_transfer_many(
+    system: BGQSystem,
+    spec_sets: "Sequence[Sequence[TransferSpec]]",
+    *,
+    mode: str = "auto",
+    assignments: (
+        "Sequence[Mapping[tuple[int, int], ProxyAssignment] | None] | None"
+    ) = None,
+    max_proxies: "int | None" = None,
+    min_proxies: int = TransferModel.MIN_BENEFICIAL_PROXIES,
+    max_offset: int = 3,
+    capacity_fn=None,
+) -> list[TransferOutcome]:
+    """Execute many *independent* transfer scenarios in one batched pass.
+
+    Each element of ``spec_sets`` is one scenario — the specs
+    :func:`run_transfer` would receive.  Flows are emitted per scenario
+    exactly as :func:`run_transfer` emits them, then every scenario is
+    simulated together through
+    :class:`~repro.network.batchsim.BatchFlowSim`, amortizing the numpy
+    dispatch overhead that dominates small runs.  Results match
+    per-scenario exact-mode full re-solves byte-for-byte (see
+    :mod:`repro.network.batchsim`), so outcomes are interchangeable with
+    serial :func:`run_transfer` calls for scenarios below the
+    incremental-engine threshold.
+
+    The proxy search is memoised across scenarios with the same pair
+    list — a campaign repeating one geometry plans it once.
+
+    Scope: exact mode only — no ``batch_tol``/``fair_tol``, no
+    mid-run capacity events, no probes.  Faulted scenarios go through
+    the resilience executor's serial runs instead.
+
+    Args:
+        assignments: optional per-scenario pre-built proxy assignments
+            (aligned with ``spec_sets``; ``None`` entries plan normally).
+    """
+    from repro.network.batchsim import BatchFlowSim
+
+    if mode not in ("direct", "proxy", "auto"):
+        raise ConfigError(f"unknown mode {mode!r}")
+    spec_sets = [list(s) for s in spec_sets]
+    if not spec_sets:
+        return []
+    for i, specs in enumerate(spec_sets):
+        if not specs:
+            raise ConfigError(f"scenario #{i}: specs must be non-empty")
+    if assignments is not None and len(assignments) != len(spec_sets):
+        raise ConfigError(
+            f"assignments must align with spec_sets "
+            f"({len(assignments)} != {len(spec_sets)})"
+        )
+
+    tracer = get_tracer()
+    comm = SimComm(system)
+    model = TransferModel(system.params)
+    cap = capacity_fn if capacity_fn is not None else system.capacity
+    plan_cache: "dict[tuple, ProxyPlan]" = {}
+    built: "list[tuple[FlowProgram, dict, ProxyPlan | None, float]]" = []
+    with tracer.span(
+        "transfer-batch", cat="transfer", mode=mode, n_scenarios=len(spec_sets)
+    ) as span:
+        for i, specs in enumerate(spec_sets):
+            plan: "ProxyPlan | None" = None
+            asg_map = assignments[i] if assignments is not None else None
+            if asg_map is None and mode in ("proxy", "auto"):
+                pairs = tuple((s.src, s.dst) for s in specs)
+                plan = plan_cache.get(pairs)
+                if plan is None:
+                    with tracer.span("proxy-select", cat="plan", n_pairs=len(pairs)):
+                        plan = find_proxies(
+                            system,
+                            list(pairs),
+                            max_proxies=max_proxies,
+                            min_proxies=min_proxies,
+                            max_offset=max_offset,
+                        )
+                    plan_cache[pairs] = plan
+                asg_map = plan.assignments
+            prog = FlowProgram(comm, capacity_fn=capacity_fn)
+            mode_used: "dict[tuple[int, int], str]" = {}
+            for spec in specs:
+                key = (spec.src, spec.dst)
+                asg = asg_map.get(key) if asg_map else None
+                mode_used[key] = _emit_spec(prog, spec, asg, mode, min_proxies, model)
+            built.append(
+                (prog, mode_used, plan, float(sum(s.nbytes for s in specs)))
+            )
+        results = BatchFlowSim(system.params).simulate_many(
+            [(cap, prog.flows) for prog, _, _, _ in built]
+        )
+        span.set(makespan=max(r.makespan for r in results))
+
+    reg = get_registry()
+    reg.counter("transfer.batch_runs").inc()
+    reg.counter("transfer.runs").inc(len(built))
+    reg.counter("transfer.bytes_requested").inc(sum(t for _, _, _, t in built))
+    reg.counter("transfer.carriers.proxy").inc(
+        sum(
+            1
+            for _, mu, _, _ in built
+            for m in mu.values()
+            if m.startswith("proxy")
+        )
+    )
+    reg.counter("transfer.carriers.direct").inc(
+        sum(1 for _, mu, _, _ in built for m in mu.values() if m == "direct")
+    )
+    return [
+        TransferOutcome(
+            makespan=res.makespan,
+            total_bytes=total,
+            mode_used=mu,
+            result=res,
+            plan=plan,
+        )
+        for (_, mu, plan, total), res in zip(built, results)
+    ]

@@ -24,7 +24,7 @@ from repro.loadgen.arrivals import (
 )
 from repro.loadgen.bench import SCHEMA as BENCH_SCHEMA
 from repro.loadgen.bench import service_benchmark
-from repro.loadgen.mix import MIX_NAMES, MIXES, RequestMix, get_mix
+from repro.loadgen.mix import MIX_NAMES, MIXES, RequestMix, get_mix, mix_reference
 from repro.loadgen.retry import RetryBudget, full_jitter_backoff
 from repro.loadgen.runner import (
     OUTCOME_STATUSES,
@@ -72,6 +72,7 @@ __all__ = [
     "compare",
     "full_jitter_backoff",
     "get_mix",
+    "mix_reference",
     "make_profile",
     "percentile",
     "run_load",

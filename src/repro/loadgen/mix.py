@@ -118,3 +118,40 @@ def get_mix(name: str) -> RequestMix:
         return MIXES[name]
     except KeyError:
         raise ConfigError(f"unknown mix {name!r}; known: {MIX_NAMES}") from None
+
+
+def mix_reference(
+    mix: "RequestMix | str",
+    *,
+    params_override: "Mapping[str, Any] | None" = None,
+) -> dict:
+    """Unloaded reference payloads for a mix's transfer kinds.
+
+    Every transfer kind the mix can draw (with the exact params a
+    request would carry) is simulated once, together, through the
+    batched simulate pass
+    (:func:`repro.service.scenarios.run_transfer_kinds_batched`) — the
+    per-kind payload an *unloaded* worker would produce.  Load reports
+    embed this so completed-request payloads can be read against the
+    no-contention reference (a degraded-tier run diverges from it).
+    Kinds with no transfer physics (``spin``, ``io``, ``chaos``) and
+    non-exact overrides (``batch_tol != 0``) are skipped.
+    """
+    from repro.service.scenarios import run_transfer_kinds_batched
+
+    if isinstance(mix, str):
+        mix = get_mix(mix)
+    items = []
+    for kind in mix.kinds:
+        if kind not in ("p2p", "group", "fanin"):
+            continue
+        params = dict(mix.params.get(kind, {}))
+        if params_override:
+            params.update(params_override)
+        if float(params.get("batch_tol", 0.0) or 0.0) != 0.0:
+            continue
+        items.append((kind, params))
+    if not items:
+        return {}
+    payloads = run_transfer_kinds_batched(items)
+    return {kind: payload for (kind, _), payload in zip(items, payloads)}

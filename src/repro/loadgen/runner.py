@@ -49,7 +49,7 @@ from repro.loadgen.arrivals import (
     build_schedule,
     make_profile,
 )
-from repro.loadgen.mix import get_mix
+from repro.loadgen.mix import get_mix, mix_reference
 from repro.loadgen.retry import RetryBudget, full_jitter_backoff
 from repro.loadgen.stats import summarize
 from repro.service.errors import ServiceError
@@ -337,6 +337,7 @@ class LoadReport:
     schedule_checksum: str
     wall_s: float
     config: dict = field(default_factory=dict)
+    mix_reference: "dict | None" = None
 
     def latencies(self) -> "list[float]":
         """Completed requests' schedule-to-terminal latencies."""
@@ -352,6 +353,8 @@ class LoadReport:
     def to_dict(self, *, include_outcomes: bool = False, seed: int = 0) -> dict:
         """The report file body (config + summary [+ outcomes])."""
         doc = {"config": self.config, "summary": self.summary(seed=seed)}
+        if self.mix_reference:
+            doc["mix_reference"] = self.mix_reference
         if include_outcomes:
             doc["outcomes"] = [o.to_dict() for o in self.outcomes]
         return doc
@@ -446,6 +449,19 @@ def run_load(
     clock=time.monotonic,
     sleep=time.sleep,
 ) -> LoadReport:
-    """Build ``cfg``'s schedule and replay it through ``transport``."""
+    """Build ``cfg``'s schedule and replay it through ``transport``.
+
+    After the run (so the extra simulation cannot perturb its timing),
+    the mix's unloaded per-kind reference payloads are computed in one
+    batched pass (:func:`repro.loadgen.mix.mix_reference`) and attached
+    to the report as ``mix_reference``.
+    """
     schedule = cfg.build_schedule(run_id)
-    return run_schedule(schedule, transport, cfg, clock=clock, sleep=sleep)
+    report = run_schedule(schedule, transport, cfg, clock=clock, sleep=sleep)
+    try:
+        report.mix_reference = mix_reference(
+            cfg.mix, params_override=cfg.params_override
+        )
+    except Exception:  # advisory context; never fail a finished load run
+        report.mix_reference = None
+    return report

@@ -1,0 +1,580 @@
+"""Cross-scenario batched FlowSim: many independent runs, one kernel.
+
+Campaigns, sweeps and the load harness execute thousands of *small*,
+*independent* :class:`~repro.network.flowsim.FlowSim` runs — a few flows
+on a few dozen links each.  Run serially, each one pays the fixed numpy
+dispatch cost of a full event loop (array setup, waterfill calls on
+single-digit active sets), and that overhead, not arithmetic, dominates.
+
+:class:`BatchFlowSim` amortizes it by **stacking the scenarios'
+link×flow incidence matrices block-diagonally** into one global CSR:
+scenario ``i``'s real links occupy a private dense-id block, every flow
+gets its private virtual rate-cap link after all real blocks, and one
+:func:`_waterfill_blocks` pass per lockstep round solves *every* live
+scenario's active set at once (per-scenario water levels, one global
+segment-min per iteration).  Because the blocks
+share no links, the stacked system decomposes into per-scenario
+components and the progressive filling's per-link arithmetic only ever
+mixes values from one scenario — each scenario's rates are **bit-equal**
+to what its own full re-solve would produce (asserted by
+``tests/test_batchsim.py``).
+
+Clocks stay **per scenario**: each round, every live scenario advances
+to *its own* next event (activation or completion) and drains its flows
+over exactly the same time segments a solo run would use, so results are
+byte-identical to per-scenario ``FlowSim(..., incremental=False)`` runs
+(and within the usual ≤1e-12 of the default incremental engine — see
+``docs/PERFORMANCE.md``).
+
+Scope: exact mode only (no ``batch_tol``/``fair_tol``/``lazy_frac``),
+no capacity events, no cutoffs, no probes — the batchable call sites
+(service transfer scenarios, chaos fault-free baselines, the loadgen
+transfer mix) use none of these; anything faulted goes through the
+resilience executor's solo runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.network.flow import Flow, FlowResult
+from repro.network.flowsim import (
+    _EMPTY_I64,
+    _EPS_BYTES,
+    _REL_TOL,
+    CapacityFn,
+    FlowSim,
+    FlowSimResult,
+    _segment_gather,
+)
+from repro.network.params import MIRA_PARAMS, NetworkParams
+from repro.obs.metrics import get_registry
+from repro.util.validation import ConfigError, SimulationError
+
+
+def _waterfill_blocks(
+    caps_full: np.ndarray,
+    flat: np.ndarray,
+    ptr: np.ndarray,
+    lens: np.ndarray,
+    t_flow: np.ndarray,
+    t_ptr: np.ndarray,
+    t_lens: np.ndarray,
+    frozen: np.ndarray,
+    nfl0: np.ndarray,
+    unfrozen_c: np.ndarray,
+    comp_flow: np.ndarray,
+    comp_dense: np.ndarray,
+    n_real: int,
+) -> np.ndarray:
+    """Component-parallel progressive filling over stacked scenarios.
+
+    Equivalent to one :func:`~repro.network.flowsim.waterfill_csr` call
+    per scenario — **bit-equal**, every per-link float op sees exactly
+    the operands its solo counterpart would — but each iteration freezes
+    the bottleneck of *every* live scenario at that scenario's own water
+    level (``level_c``) instead of only the globally lowest one, so the
+    iteration count is the *maximum* of the per-scenario filling depths
+    rather than their sum.  That collapse is where batching wins: the
+    O(links) bottleneck scans and transpose gathers are shared across
+    scenarios per iteration instead of dispatched once per scenario per
+    freeze.
+
+    ``comp_flow[f]``/``comp_dense[l]`` give the scenario ordinal of each
+    global flow / dense link; ``unfrozen_c`` holds the per-scenario
+    unfrozen counts (consumed).  Blocks share no links, so per-scenario
+    saturation levels evolve independently; the freeze-retirement update
+    preserves :func:`waterfill_csr`'s two code shapes (scalar sequential
+    for 1–2 short rows, batched rescale otherwise — chosen per scenario
+    with the same eligibility test) so even the float *rounding* matches
+    the solo kernel's.
+    """
+    live_idx = (nfl0 > 0).nonzero()[0]
+    remap = np.empty(len(caps_full), dtype=np.int64)
+    remap[live_idx] = np.arange(len(live_idx), dtype=np.int64)
+    nfl = nfl0[live_idx]
+    s = caps_full[live_idx] / nfl
+    comp_live = comp_dense[live_idx]
+    n = len(ptr) - 1
+    rate = np.zeros(n)
+    fbuf = np.zeros(n, dtype=bool)  # per-iteration freeze dedup scratch
+    level_c = np.zeros(len(unfrozen_c))
+    m = np.empty(len(unfrozen_c))
+    todo = int(unfrozen_c.sum())
+    sub_at = np.subtract.at
+    ptr_item = ptr.item
+    remap_item = remap.item
+    nfl_item = nfl.item
+    s_item = s.item
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for _ in range(n + 1):
+            if todo == 0:
+                break
+            alive = unfrozen_c > 0
+            m[:] = np.inf
+            np.minimum.at(m, comp_live, s)
+            if not np.isfinite(m[alive]).all():  # pragma: no cover
+                raise SimulationError(
+                    "waterfill: no live links but unfrozen flows remain"
+                )
+            np.maximum(level_c, m, out=level_c, where=alive)
+            # Each live scenario's minimum-level links saturate this
+            # iteration (exact equality, as in the solo kernel; dead
+            # scenarios are masked so their inf == inf never matches).
+            sat = alive[comp_live] & (s == m[comp_live])
+            sat_orig = live_idx[sat.nonzero()[0]]
+            if len(sat_orig) and sat_orig[0] >= n_real:
+                # Every saturated link is a private virtual cap link
+                # (dense ids ascend, so checking the smallest suffices):
+                # the freeze set is the id offset, no gather, no dedup.
+                newly = sat_orig - n_real
+            else:
+                cand = t_flow[_segment_gather(t_ptr, t_lens, sat_orig)]
+                cand = cand[~frozen[cand]]
+                fbuf[cand] = True
+                newly = fbuf.nonzero()[0]
+                fbuf[newly] = False
+            if not len(newly):  # pragma: no cover - filling invariant
+                raise SimulationError("waterfill: no flow froze in an iteration")
+            cf = comp_flow[newly]
+            frozen[newly] = True
+            rate[newly] = level_c[cf]
+            sub_at(unfrozen_c, cf, 1)
+            todo -= len(newly)
+            # Retire the frozen rows scenario by scenario.  ``newly``
+            # ascends and flows are laid out per scenario, so the
+            # groups are contiguous slices.
+            bounds = np.flatnonzero(cf[1:] != cf[:-1]) + 1
+            seg = [0, *bounds.tolist(), len(newly)]
+            big: "list[np.ndarray] | None" = None
+            for a, b in zip(seg[:-1], seg[1:]):
+                c = int(cf[a])
+                if unfrozen_c[c] == 0:
+                    continue  # scenario finished; its links are never read again
+                js = newly[a:b]
+                if b - a <= 2 and (
+                    ptr_item(int(js[-1]) + 1) - ptr_item(int(js[0])) <= 32
+                ):
+                    # Solo kernel's scalar fast path, same eligibility
+                    # test (the global ptr span of a scenario's rows
+                    # equals its solo span — blocks are contiguous).
+                    lvl = level_c.item(c)
+                    for j in js.tolist():
+                        for gl in flat[ptr[j] : ptr[j + 1]].tolist():
+                            li = remap_item(gl)
+                            n_o = nfl_item(li)
+                            n_n = n_o - 1.0
+                            nfl[li] = n_n
+                            if n_n <= 0.0:
+                                s[li] = np.inf
+                            else:
+                                s[li] = lvl + (s_item(li) - lvl) * (n_o / n_n)
+                elif big is None:
+                    big = [js]
+                else:
+                    big.append(js)
+            if big is not None:
+                # One batched rescale for every scenario that took the
+                # vectorized path — per-entry levels keep each link's
+                # arithmetic inside its own scenario, so stacking the
+                # scenarios' updates changes nothing elementwise.
+                rows = big[0] if len(big) == 1 else np.concatenate(big)
+                links = remap[flat[_segment_gather(ptr, lens, rows)]]
+                s_old = s[links]
+                n_old = nfl[links]
+                sub_at(nfl, links, 1.0)
+                new_n = nfl[links]
+                lvl_e = level_c[comp_live[links]]
+                s[links] = lvl_e + (s_old - lvl_e) * (n_old / new_n)
+                dead_sel = links[new_n <= 0]
+                if len(dead_sel):
+                    s[dead_sel] = np.inf
+        else:  # pragma: no cover - loop bound is n freezes
+            raise SimulationError("waterfill did not converge")
+    return rate
+
+
+class _ScenarioState:
+    """Mutable per-scenario bookkeeping inside one ``simulate_many``."""
+
+    __slots__ = (
+        "index", "comp", "flows", "fid_to_idx", "uniq", "nl", "link_off",
+        "flow_off", "T", "act", "pending", "n_updates",
+    )
+
+    def __init__(self, index, comp, flows, fid_to_idx, uniq, nl, link_off,
+                 flow_off):
+        self.index = index
+        self.comp = comp  # scenario ordinal among non-empty scenarios
+        self.flows = flows
+        self.fid_to_idx = fid_to_idx
+        self.uniq = uniq
+        self.nl = nl
+        self.link_off = link_off
+        self.flow_off = flow_off
+        self.T = 0.0
+        self.act = _EMPTY_I64  # global flow ids, activation order
+        self.pending: list[tuple[float, int]] = []
+        self.n_updates = 0
+
+
+class BatchFlowSim:
+    """Batched executor for many independent exact-mode FlowSim runs.
+
+    Args:
+        params: machine constants, as for :class:`FlowSim` (the per-flow
+            default rate cap is ``min(stream_cap, mem_bw)``).
+    """
+
+    def __init__(self, params: NetworkParams = MIRA_PARAMS):
+        self.params = params
+        self._default_cap = min(params.stream_cap, params.mem_bw)
+
+    def simulate_many(
+        self,
+        scenarios: Sequence[
+            tuple["Mapping[int, float] | CapacityFn", Sequence[Flow]]
+        ],
+    ) -> list[FlowSimResult]:
+        """Run every ``(capacities, flows)`` scenario; one result each.
+
+        Scenarios are mutually independent — link ids are scoped *per
+        scenario* (the same id in two scenarios means two different
+        links, as it would across two separate :meth:`FlowSim.run`
+        calls).  Results are returned in submission order and match
+        per-scenario runs byte-for-byte (see module docstring).
+        """
+        scenarios = list(scenarios)
+        if not scenarios:
+            return []
+
+        # ---- per-scenario structural build (validation + compaction) --
+        states: list[_ScenarioState] = []
+        results: list["FlowSimResult | None"] = [None] * len(scenarios)
+        caps_blocks: list[np.ndarray] = []
+        real_flat_parts: list[np.ndarray] = []
+        real_lens_parts: list[np.ndarray] = []
+        flows_all: list[Flow] = []
+        dep_pairs: list[tuple[int, int]] = []  # (parent, child), global ids
+        link_off = 0
+        for si, item in enumerate(scenarios):
+            try:
+                capacities, flows = item
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    "each scenario must be a (capacities, flows) pair"
+                ) from None
+            sim = FlowSim(capacities, self.params)  # validates capacities
+            flows = list(flows)
+            if not flows:
+                results[si] = FlowSimResult({}, 0.0, {}, 0)
+                continue
+            fid_to_idx = sim._index_flows(flows)
+            _, uniq, caps, real_flat, real_ptr, real_lens = sim._compact_links(
+                flows
+            )
+            flow_off = len(flows_all)
+            st = _ScenarioState(
+                si, len(states), flows, fid_to_idx, uniq, len(caps),
+                link_off, flow_off,
+            )
+            for i, f in enumerate(flows):
+                for dep in f.deps:
+                    j = fid_to_idx.get(dep)
+                    if j is None:
+                        raise ConfigError(
+                            f"flow {f.fid!r} depends on unknown flow {dep!r}"
+                        )
+                    if j == i:
+                        raise ConfigError(f"flow {f.fid!r} depends on itself")
+                    dep_pairs.append((flow_off + j, flow_off + i))
+            caps_blocks.append(caps)
+            real_flat_parts.append(real_flat + link_off)
+            real_lens_parts.append(real_lens)
+            flows_all.extend(flows)
+            link_off += len(caps)
+            states.append(st)
+
+        if not states:
+            return [r if r is not None else FlowSimResult({}, 0.0, {}, 0)
+                    for r in results]
+
+        # ---- global block-diagonal incidence ---------------------------
+        nf = len(flows_all)
+        nl = link_off
+        caps = np.concatenate(caps_blocks)
+        real_flat = np.concatenate(real_flat_parts)
+        real_lens = np.concatenate(real_lens_parts)
+        real_ptr = np.zeros(nf + 1, dtype=np.int64)
+        np.cumsum(real_lens, out=real_ptr[1:])
+
+        size_arr = np.array([f.size for f in flows_all], dtype=np.float64)
+        start_arr = np.array([f.start_time for f in flows_all])
+        delay_arr = np.array([f.delay for f in flows_all])
+        remaining = size_arr.copy()
+        rate_caps_all = np.array(
+            [
+                f.rate_cap if f.rate_cap is not None else self._default_cap
+                for f in flows_all
+            ]
+        )
+        caps_full = np.concatenate([caps, rate_caps_all])
+        lens_full = real_lens + 1
+        ptr = np.zeros(nf + 1, dtype=np.int64)
+        np.cumsum(lens_full, out=ptr[1:])
+        flat = np.empty(int(ptr[-1]), dtype=np.int64)
+        virt_pos = ptr[1:] - 1
+        real_mask = np.ones(len(flat), dtype=bool)
+        real_mask[virt_pos] = False
+        flat[real_mask] = real_flat
+        flat[virt_pos] = nl + np.arange(nf, dtype=np.int64)
+        t_order = np.argsort(flat, kind="stable")
+        rep_flow = np.repeat(np.arange(nf, dtype=np.int64), lens_full)
+        t_flow = rep_flow[t_order]
+        t_lens = np.bincount(flat, minlength=nl + nf)
+        t_ptr = np.zeros(nl + nf + 1, dtype=np.int64)
+        np.cumsum(t_lens, out=t_ptr[1:])
+
+        # Dependency DAG (CSR over global flow ids).
+        dep_count = np.zeros(nf, dtype=np.int64)
+        child_lens = np.zeros(nf, dtype=np.int64)
+        for j, i in dep_pairs:
+            child_lens[j] += 1
+            dep_count[i] += 1
+        child_ptr = np.zeros(nf + 1, dtype=np.int64)
+        np.cumsum(child_lens, out=child_ptr[1:])
+        child_flat = np.empty(len(dep_pairs), dtype=np.int64)
+        fill = child_ptr[:-1].copy()
+        for j, i in dep_pairs:
+            child_flat[fill[j]] = i
+            fill[j] += 1
+
+        # Scenario ordinal of every global flow and dense link (real
+        # blocks first, then the per-flow virtual cap links) — the
+        # component labels `_waterfill_blocks` freezes in parallel.
+        comp_flow = np.repeat(
+            np.arange(len(states), dtype=np.int64),
+            [len(st.flows) for st in states],
+        )
+        comp_dense = np.concatenate([
+            np.repeat(
+                np.arange(len(states), dtype=np.int64),
+                [st.nl for st in states],
+            ),
+            comp_flow,
+        ])
+
+        ready_time = np.zeros(nf)
+        start_rec = np.full(nf, np.nan)
+        finish_rec = np.full(nf, np.nan)
+        done = np.zeros(nf, dtype=bool)
+        link_bytes_arr = np.zeros(nl)
+        nfl_act = np.zeros(nl + nf, dtype=np.float64)
+
+        for st in states:
+            for li, f in enumerate(st.flows):
+                gi = st.flow_off + li
+                if dep_count[gi] == 0:
+                    heapq.heappush(st.pending, (f.start_time + f.delay, gi))
+
+        have_deps = bool(dep_pairs)
+
+        def release_deps(st: _ScenarioState, b: np.ndarray, t: float):
+            ch = _segment_gather(child_ptr, child_lens, b)
+            if len(ch):
+                ch_idx = child_flat[ch]
+                np.maximum.at(ready_time, ch_idx, t)
+                np.subtract.at(dep_count, ch_idx, 1)
+                uniq_ch = np.unique(ch_idx)
+                for c in uniq_ch[dep_count[uniq_ch] == 0]:
+                    t_act = max(ready_time[c], start_arr[c]) + delay_arr[c]
+                    heapq.heappush(st.pending, (t_act, int(c)))
+
+        def finish_flows(st: _ScenarioState, b: np.ndarray, t: float):
+            done[b] = True
+            finish_rec[b] = t
+            ns = np.isnan(start_rec[b])
+            if ns.any():
+                start_rec[b[ns]] = t
+            if have_deps:
+                release_deps(st, b, t)
+
+        def activate_due(st: _ScenarioState, t: float):
+            new_act: list[int] = []
+            while st.pending and st.pending[0][0] <= t + 1e-18:
+                t_act, i = heapq.heappop(st.pending)
+                start_rec[i] = t_act
+                if remaining[i] <= _EPS_BYTES:
+                    finish_flows(st, np.array([i], dtype=np.int64), t_act)
+                else:
+                    new_act.append(i)
+            if new_act:
+                b = np.asarray(new_act, dtype=np.int64)
+                np.add.at(nfl_act, flat[_segment_gather(ptr, lens_full, b)], 1.0)
+                st.act = np.concatenate([st.act, b])
+
+        # ---- lockstep rounds ------------------------------------------
+        live = list(states)
+        n_rounds = 0
+        K = len(states)
+        dt_c = np.empty(K)  # this round's per-scenario time step
+        t_c = np.empty(K)  # per-scenario clock after the step
+        tmin = np.empty(K)  # per-scenario earliest completion dt
+        while live:
+            n_rounds += 1
+            # One stacked waterfill covers every live scenario's active
+            # set — blocks share no links, so each block's rates equal
+            # its own solo full re-solve, bit for bit.
+            need = [st for st in live if len(st.act)]
+            if need:
+                sel = (
+                    need[0].act
+                    if len(need) == 1
+                    else np.concatenate([st.act for st in need])
+                )
+                frozen = np.ones(nf, dtype=bool)
+                frozen[sel] = False
+                unfrozen_c = np.bincount(comp_flow[sel], minlength=K)
+                r = _waterfill_blocks(
+                    caps_full, flat, ptr, lens_full, t_flow, t_ptr, t_lens,
+                    frozen, nfl_act, unfrozen_c, comp_flow, comp_dense, nl,
+                )
+                r_sel = r[sel]
+                if np.any(r_sel <= 0):  # pragma: no cover - caps validated
+                    bad = sel[r_sel <= 0]
+                    raise SimulationError(
+                        f"flows starved (zero rate): {sorted(int(i) for i in bad)}"
+                    )
+                cf_sel = comp_flow[sel]
+                for st in need:
+                    st.n_updates += 1
+                tmin[:] = np.inf
+                np.minimum.at(tmin, cf_sel, remaining[sel] / r_sel)
+
+            # Pass 1 — per-scenario branching on Python scalars: pick
+            # this round's time step (next completion vs. interrupting
+            # activation), exactly as a solo run would.  Scenarios whose
+            # activations interrupt handle them here (activations never
+            # touch the draining flows captured in ``sel``); completion
+            # scenarios defer theirs until after their acts are pruned,
+            # preserving the solo event order.
+            advancing: list[_ScenarioState] = []
+            completing: list[_ScenarioState] = []
+            cbr = np.zeros(K, dtype=bool)  # took the completion branch
+            for st in live:
+                if not len(st.act):
+                    if not st.pending:
+                        continue  # scenario finished
+                    # Jump to the next activation.
+                    st.T = max(st.T, st.pending[0][0])
+                    activate_due(st, st.T)
+                    advancing.append(st)
+                    continue
+                c = st.comp
+                dt_complete = tmin.item(c)
+                dt_act = (st.pending[0][0] - st.T) if st.pending else np.inf
+                if dt_act < dt_complete * (1 - _REL_TOL):
+                    # An activation interrupts before any completion.
+                    dt = max(dt_act, 0.0)
+                else:
+                    dt = dt_complete
+                    cbr[c] = True
+                    completing.append(st)
+                dt_c[c] = dt
+                st.T += dt
+                t_c[c] = st.T
+                if not cbr[c]:
+                    activate_due(st, st.T)
+                advancing.append(st)
+
+            if need:
+                # Pass 2 — one vectorized drain over every active flow
+                # (each flow advances by its own scenario's step).
+                remaining[sel] = np.maximum(
+                    remaining[sel] - r_sel * dt_c[cf_sel], 0.0
+                )
+            if completing:
+                # Pass 3 — bulk completion bookkeeping across scenarios.
+                fin_mask = (remaining[sel] <= _EPS_BYTES) & cbr[cf_sel]
+                fin = sel[fin_mask]
+                cf_fin = cf_sel[fin_mask]
+                fin_cnt = np.bincount(cf_fin, minlength=K)
+                if np.any(fin_cnt[cbr] == 0):  # pragma: no cover
+                    raise SimulationError(
+                        "no flow completed at a completion event"
+                    )
+                np.subtract.at(
+                    nfl_act, flat[_segment_gather(ptr, lens_full, fin)], 1.0
+                )
+                done[fin] = True
+                t_fin = t_c[cf_fin]
+                finish_rec[fin] = t_fin
+                ns = np.isnan(start_rec[fin])
+                if ns.any():
+                    start_rec[fin[ns]] = t_fin[ns]
+                # Pass 4 — per-scenario act pruning, dependency release
+                # and due activations (solo order: finish, release,
+                # prune, activate).
+                for st in completing:
+                    m_fin = done[st.act]
+                    if have_deps:
+                        release_deps(st, st.act[m_fin], st.T)
+                    st.act = st.act[~m_fin]
+                    activate_due(st, st.T)
+            live = [st for st in advancing if st.pending or len(st.act)]
+
+        # ---- per-scenario results -------------------------------------
+        if not done.all():
+            for st in states:
+                lo, hi = st.flow_off, st.flow_off + len(st.flows)
+                if not done[lo:hi].all():
+                    stuck = [
+                        st.flows[i].fid
+                        for i in range(len(st.flows))
+                        if not done[lo + i]
+                    ]
+                    raise SimulationError(
+                        f"dependency cycle or stuck flows: {stuck}"
+                    )
+        # Every flow completed: account link bytes once, in bulk — the
+        # per-event accumulation a solo run does is order-independent.
+        np.add.at(link_bytes_arr, real_flat, np.repeat(size_arr, real_lens))
+        for st in states:
+            lo, hi = st.flow_off, st.flow_off + len(st.flows)
+            lb = link_bytes_arr[st.link_off : st.link_off + st.nl]
+            busy = np.flatnonzero(lb)
+            link_bytes = {int(st.uniq[k]): float(lb[k]) for k in busy}
+            res = {
+                f.fid: FlowResult(
+                    fid=f.fid,
+                    size=f.size,
+                    start=float(start_rec[lo + i]),
+                    finish=float(finish_rec[lo + i]),
+                    tag=f.tag,
+                )
+                for i, f in enumerate(st.flows)
+            }
+            makespan = float(np.max(finish_rec[lo:hi]))
+            results[st.index] = FlowSimResult(
+                res, makespan, link_bytes, st.n_updates
+            )
+
+        reg = get_registry()
+        reg.counter("flowsim.batch_runs").inc()
+        reg.counter("flowsim.batch_scenarios").inc(len(states))
+        reg.counter("flowsim.batch_rounds").inc(n_rounds)
+        reg.counter("flowsim.flows_completed").inc(nf)
+        return results  # type: ignore[return-value]  # every slot filled above
+
+
+def simulate_many(
+    scenarios: Sequence[
+        tuple["Mapping[int, float] | CapacityFn", Sequence[Flow]]
+    ],
+    params: NetworkParams = MIRA_PARAMS,
+) -> list[FlowSimResult]:
+    """Module-level convenience: ``BatchFlowSim(params).simulate_many(...)``."""
+    return BatchFlowSim(params).simulate_many(scenarios)

@@ -297,21 +297,25 @@ class TimeSeriesProbe:
             link_rate = {g: v for g, v in link_rate.items() if g in self.links}
             link_util = {g: v for g, v in link_util.items() if g in self.links}
             queue_depth = {g: v for g, v in queue_depth.items() if g in self.links}
-        while self._next < t1 - 1e-18:
-            if len(self.samples) >= self.max_samples:
-                self.n_dropped += 1
-            else:
-                self.samples.append(
-                    ProbeSample(
-                        t=self._next,
-                        active_flows=active_flows,
-                        delivered_bytes=delivered_bytes,
-                        link_rate=dict(link_rate),
-                        link_util=dict(link_util),
-                        queue_depth=dict(queue_depth),
-                    )
+        while self._next < t1 - 1e-18 and len(self.samples) < self.max_samples:
+            self.samples.append(
+                ProbeSample(
+                    t=self._next,
+                    active_flows=active_flows,
+                    delivered_bytes=delivered_bytes,
+                    link_rate=dict(link_rate),
+                    link_util=dict(link_util),
+                    queue_depth=dict(queue_depth),
                 )
+            )
             self._next += self.interval
+        if self._next < t1 - 1e-18:
+            # Saturated: count the remaining ticks arithmetically instead
+            # of looping — a stalled flow (STALL_RATE clamp) can stretch a
+            # single window across ~1e10 grid ticks.
+            n = math.ceil((t1 - 1e-18 - self._next) / self.interval)
+            self.n_dropped += n
+            self._next += n * self.interval
 
     def record_window_dense(
         self,

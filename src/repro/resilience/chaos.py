@@ -51,7 +51,7 @@ import random
 import time
 from dataclasses import dataclass
 
-from repro.core.multipath import TransferSpec
+from repro.core.multipath import TransferSpec, run_transfer_many
 from repro.machine import mira_system
 from repro.machine.faults import FaultEvent, FaultTrace
 from repro.machine.system import BGQSystem
@@ -413,6 +413,20 @@ def run_campaign(config: "CampaignConfig | None" = None) -> dict:
             )
         baselines[geometry] = base.throughput
 
+    # One batched fault-free pass over the whole geometry grid: the
+    # *ideal* transfer throughput per geometry (raw multipath flows, no
+    # executor rounds/chunking), simulated together through
+    # :class:`~repro.network.batchsim.BatchFlowSim`.  Reported next to
+    # the executor baselines so a cell's goodput can be read against
+    # both the executor's fault-free floor and the physics ceiling.
+    ideal_outs = run_transfer_many(
+        system,
+        [geometry_specs(system, g, config.nbytes) for g in config.geometries],
+    )
+    ideal = {
+        g: out.throughput for g, out in zip(config.geometries, ideal_outs)
+    }
+
     runs: list[ChaosRun] = []
     for seed in config.seeds:
         for geometry in config.geometries:
@@ -502,6 +516,7 @@ def run_campaign(config: "CampaignConfig | None" = None) -> dict:
             "goodput_floor": config.goodput_floor,
         },
         "baseline_throughput_Bps": baselines,
+        "transfer_ideal_throughput_Bps": ideal,
         "runs": [r.to_dict() for r in runs],
         "n_runs": len(runs),
         "n_passed": n_passed,

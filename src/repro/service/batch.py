@@ -39,6 +39,7 @@ from repro.service.request import (
     COMPLETED,
     TERMINAL_STATUSES,
     ScenarioRequest,
+    ScenarioResult,
     canonical_json,
     payload_checksum,
 )
@@ -159,6 +160,22 @@ def _verified(record: Mapping[str, Any]) -> bool:
     return True
 
 
+def _batchable(req: ScenarioRequest) -> bool:
+    """Can this request take the batched-simulate fast path?
+
+    Exact-mode transfer kinds with no deadline qualify: their payloads
+    are byte-identical batched or serial, and there is no wall-clock
+    budget the batch could blow for a neighbour.  Everything else (io,
+    chaos, spin, deadline-bearing or approximate-mode requests) keeps
+    the full service treatment — admission, breakers, cancellation.
+    """
+    return (
+        req.kind in ("p2p", "group", "fanin")
+        and req.deadline_s is None
+        and float(req.params.get("batch_tol", 0.0) or 0.0) == 0.0
+    )
+
+
 def run_batch(
     campaign_path: "Path | str",
     out_path: "Path | str",
@@ -167,12 +184,22 @@ def run_batch(
     resume: bool = False,
     config: "ServiceConfig | None" = None,
     progress: "Callable[[str], None] | None" = None,
+    batched: bool = True,
 ) -> dict:
     """Run (or resume) a campaign; returns a summary dict.
 
     The journal defaults to ``<out>.journal`` next to the results file.
     Without ``resume``, any existing journal is truncated and the whole
     campaign runs; with it, intact journaled results are reused.
+
+    With ``batched`` (the default), deadline-free exact-mode transfer
+    scenarios are simulated together through
+    :func:`repro.service.scenarios.run_transfer_kinds_batched` — one
+    block-diagonal :class:`~repro.network.batchsim.BatchFlowSim` pass
+    per machine size — instead of one service request each; payloads
+    (and hence journal records and the results file) are byte-identical
+    to the serial path's.  If the batched stage fails for any reason,
+    every affected scenario falls back to the service.
     """
     out_path = Path(out_path)
     doc, requests, sha = load_campaign(campaign_path)
@@ -206,11 +233,37 @@ def run_batch(
         )
     merged: "dict[str, dict]" = dict(done)
     try:
-        if todo:
+        fast = [r for r in todo if batched and _batchable(r)]
+        if fast:
+            from repro.service.scenarios import run_transfer_kinds_batched
+
+            sink = _JournalSink(journal)
+            try:
+                payloads = run_transfer_kinds_batched(
+                    [(r.kind, r.params) for r in fast]
+                )
+            except Exception:
+                # Any failure (bad params, planner error) sends the whole
+                # group down the serial path, which reports it per request.
+                get_registry().counter("service.batch.fast_path_fallback").inc(
+                    len(fast)
+                )
+                fast = []
+            else:
+                get_registry().counter("service.batch.fast_path").inc(len(fast))
+                for req, payload in zip(fast, payloads):
+                    result = ScenarioResult(
+                        id=req.id, kind=req.kind, status=COMPLETED,
+                        payload=payload,
+                    )
+                    sink(result)
+                    merged[req.id] = result.record()
+        serial = [r for r in todo if r.id not in merged]
+        if serial:
             with ScenarioService(config, on_result=_JournalSink(journal)) as svc:
-                for req in todo:
+                for req in serial:
                     svc.submit(req, block=True)
-                for req in todo:
+                for req in serial:
                     merged[req.id] = svc.result(req.id).record()
     finally:
         journal.close()

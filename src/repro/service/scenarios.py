@@ -146,6 +146,62 @@ def _run_transfer_kind(
     }
 
 
+def run_transfer_kinds_batched(
+    items: "list[tuple[str, Mapping[str, Any]]]",
+) -> list[dict]:
+    """Execute many transfer-kind scenarios in one batched simulate pass.
+
+    ``items`` are ``(kind, params)`` pairs as a worker would receive
+    them; the returned payload dicts are byte-identical to what
+    :func:`_run_transfer_kind` produces un-degraded (planning runs per
+    scenario through the same :class:`TransferPlanner`; only the
+    simulate stage is batched, through
+    :func:`repro.core.multipath.run_transfer_many`).  Exact mode only —
+    a scenario requesting ``batch_tol != 0`` is rejected, callers
+    filter those to the serial path.
+    """
+    from repro.core.multipath import run_transfer_many
+
+    prepared = []  # (system, specs, assignments, kind, params)
+    for kind, params in items:
+        if kind not in ("p2p", "group", "fanin"):
+            raise ConfigError(f"kind {kind!r} is not a transfer scenario")
+        if float(params.get("batch_tol", 0.0)) != 0.0:
+            raise ConfigError("batched transfer execution is exact-mode only")
+        system = _system(nnodes=int(params.get("nnodes", 64)))
+        specs = _transfer_specs(kind, params, system)
+        planner = TransferPlanner(system, max_proxies=params.get("max_proxies"))
+        assignments = planner.find_plan(
+            [(s.src, s.dst) for s in specs]
+        ).assignments
+        prepared.append((system, specs, assignments, kind, params))
+
+    # One batched pass per distinct system (scenarios may differ in nnodes).
+    payloads: "list[dict | None]" = [None] * len(items)
+    by_system: "dict[int, list[int]]" = {}
+    for i, (system, _, _, _, _) in enumerate(prepared):
+        by_system.setdefault(id(system), []).append(i)
+    for idxs in by_system.values():
+        system = prepared[idxs[0]][0]
+        outs = run_transfer_many(
+            system,
+            [prepared[i][1] for i in idxs],
+            mode="auto",
+            assignments=[prepared[i][2] for i in idxs],
+        )
+        for i, out in zip(idxs, outs):
+            payloads[i] = {
+                "kind": prepared[i][3],
+                "nnodes": system.nnodes,
+                "total_bytes": out.total_bytes,
+                "makespan_s": out.makespan,
+                "throughput_Bps": out.throughput,
+                "mode_used": _mode_used_payload(out.mode_used),
+                "degraded": False,
+            }
+    return payloads  # type: ignore[return-value]  # every slot filled above
+
+
 def _run_io(params: Mapping[str, Any], *, degraded: bool, stage_s: dict) -> dict:
     from repro.core import run_io_movement
     from repro.torus.mapping import RankMapping

@@ -1,0 +1,174 @@
+"""Cross-scenario batching: byte-identical to per-scenario runs.
+
+:class:`~repro.network.batchsim.BatchFlowSim` stacks independent
+scenarios block-diagonally and solves them in lockstep; because blocks
+share no links, every scenario's rates are bit-equal to its own
+exact-mode full re-solve.  These tests assert **exact** equality (``==``
+on floats, not approx) against serial ``FlowSim(..., incremental=False)``
+runs, and ≤1e-12 agreement with the default (auto) engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.batchsim import BatchFlowSim, simulate_many
+from repro.network.flow import Flow
+from repro.network.flowsim import FlowSim, uniform_capacities
+from repro.network.params import NetworkParams
+from repro.obs.metrics import get_registry
+from repro.util.validation import ConfigError
+
+P = NetworkParams(
+    link_bw=100.0,
+    stream_cap=80.0,
+    io_link_bw=100.0,
+    ion_storage_bw=1000.0,
+    o_msg=0.0,
+    o_fwd=0.0,
+    mem_bw=1000.0,
+)
+
+
+def mk_scenario(seed, n_flows):
+    """One random scenario: flows over 5 links with starts/delays/deps."""
+    rng = np.random.default_rng(seed)
+    flows = []
+    for i in range(n_flows):
+        mask = int(rng.integers(1, 32))
+        deps = (f"f{i - 2}",) if i >= 2 and rng.random() < 0.3 else ()
+        flows.append(
+            Flow(
+                fid=f"f{i}",
+                size=float(rng.integers(1, 5000)),
+                path=tuple(l for l in range(5) if mask >> l & 1),
+                start_time=float(rng.uniform(0, 20.0)) if rng.random() < 0.5 else 0.0,
+                delay=float(rng.uniform(0, 0.5)),
+                deps=deps,
+            )
+        )
+    return uniform_capacities(P.link_bw), flows
+
+
+def assert_byte_identical(batch_res, solo_res):
+    assert batch_res.results == solo_res.results  # exact dataclass equality
+    assert batch_res.makespan == solo_res.makespan
+    assert batch_res.link_bytes == solo_res.link_bytes
+    assert batch_res.n_rate_updates == solo_res.n_rate_updates
+
+
+class TestByteIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=1, max_value=9),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_batched_equals_serial_full_resolve(self, scenario_specs):
+        """Random batches match serial full re-solves bit-for-bit."""
+        scenarios = [mk_scenario(seed, nf) for seed, nf in scenario_specs]
+        batch = BatchFlowSim(P).simulate_many(scenarios)
+        for (caps, flows), res in zip(scenarios, batch):
+            solo = FlowSim(caps, P, incremental=False).run(flows)
+            assert_byte_identical(res, solo)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=1, max_value=9),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_batched_close_to_default_engine(self, scenario_specs):
+        """≤1e-12 relative agreement with the default (auto) engine."""
+        scenarios = [mk_scenario(seed, nf) for seed, nf in scenario_specs]
+        batch = BatchFlowSim(P).simulate_many(scenarios)
+        for (caps, flows), res in zip(scenarios, batch):
+            solo = FlowSim(caps, P).run(flows)
+            for fid, fa in res.results.items():
+                fb = solo.results[fid]
+                assert fa.start == pytest.approx(fb.start, rel=1e-12, abs=1e-12)
+                assert fa.finish == pytest.approx(fb.finish, rel=1e-12, abs=1e-12)
+            assert res.makespan == pytest.approx(
+                solo.makespan, rel=1e-12, abs=1e-12
+            )
+
+    def test_order_and_isolation(self):
+        """Results come back in submission order, and scenarios sharing
+        link *ids* don't share link *bandwidth* (ids are scenario-scoped)."""
+        one = (uniform_capacities(P.link_bw), [Flow(fid="a", size=800.0, path=(0,))])
+        scenarios = [one, one, one]
+        batch = BatchFlowSim(P).simulate_many(scenarios)
+        solo = FlowSim(one[0], P, incremental=False).run(one[1])
+        for res in batch:
+            assert_byte_identical(res, solo)
+        # Three co-scheduled copies of the same flow would take 3x as long
+        # if they truly shared link 0; each must finish at the solo time
+        # (stream cap 80 binds): 800 / 80 = 10.
+        assert batch[0].results["a"].finish == pytest.approx(10.0)
+
+
+class TestEdgesAndErrors:
+    def test_empty_batch(self):
+        assert BatchFlowSim(P).simulate_many([]) == []
+
+    def test_empty_scenario_among_full_ones(self):
+        caps, flows = mk_scenario(7, 4)
+        batch = BatchFlowSim(P).simulate_many([(caps, []), (caps, flows)])
+        assert batch[0].results == {} and batch[0].makespan == 0.0
+        solo = FlowSim(caps, P, incremental=False).run(flows)
+        assert_byte_identical(batch[1], solo)
+
+    def test_all_empty_scenarios(self):
+        caps = uniform_capacities(P.link_bw)
+        batch = BatchFlowSim(P).simulate_many([(caps, []), (caps, [])])
+        assert all(r.results == {} for r in batch)
+
+    def test_malformed_scenario_rejected(self):
+        with pytest.raises(ConfigError):
+            BatchFlowSim(P).simulate_many([42])
+
+    def test_unknown_dep_rejected(self):
+        caps = uniform_capacities(P.link_bw)
+        flows = [Flow(fid="a", size=10.0, path=(0,), deps=("ghost",))]
+        with pytest.raises(ConfigError):
+            BatchFlowSim(P).simulate_many([(caps, flows)])
+
+    def test_self_dep_rejected(self):
+        caps = uniform_capacities(P.link_bw)
+        flows = [Flow(fid="a", size=10.0, path=(0,), deps=("a",))]
+        with pytest.raises(ConfigError):
+            BatchFlowSim(P).simulate_many([(caps, flows)])
+
+    def test_nonpositive_capacity_rejected(self):
+        flows = [Flow(fid="a", size=10.0, path=(0,))]
+        with pytest.raises(ConfigError):
+            BatchFlowSim(P).simulate_many([({0: 0.0}, flows)])
+
+    def test_module_level_convenience(self):
+        caps, flows = mk_scenario(3, 5)
+        a = simulate_many([(caps, flows)], P)
+        solo = FlowSim(caps, P, incremental=False).run(flows)
+        assert_byte_identical(a[0], solo)
+
+    def test_counters(self):
+        caps, flows = mk_scenario(11, 3)
+        before = get_registry().snapshot()["counters"]
+        BatchFlowSim(P).simulate_many([(caps, flows), (caps, flows)])
+        after = get_registry().snapshot()["counters"]
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("flowsim.batch_runs") == 1
+        assert delta("flowsim.batch_scenarios") == 2
+        assert delta("flowsim.flows_completed") == 6
