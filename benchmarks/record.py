@@ -184,6 +184,104 @@ def _campaign_throughput(n_scenarios: int, reps: int) -> dict:
     }
 
 
+def _faulted_campaign_throughput(
+    n_scenarios: int,
+    reps: int,
+    *,
+    nnodes: int = 64,
+    nbytes: int = 1 << 20,
+    fault_frac: float = 0.10,
+    seed: int = 0,
+) -> dict:
+    """Fault-tolerant campaign throughput, batched vs forced-serial.
+
+    ``fault_frac`` of the scenarios carry a seeded link-fault trace
+    (capacity drops and hard link-down events mid-transfer); all run
+    through the resilience executor.  Forced-serial executes one
+    :func:`run_resilient_transfer` per scenario (the pre-PR-9 model);
+    batched hands the whole campaign to
+    :func:`run_resilient_transfer_many`, which solves each wave's flow
+    simulations in one block-diagonal pass.  Outcomes are required to
+    be byte-identical, the batched path must stay engaged (zero
+    ``resilience.batch.fallback`` growth), and the recorded speedup is
+    CI's regression gate.
+    """
+    import numpy as np
+
+    from repro.machine.faults import random_fault_trace
+    from repro.resilience import run_resilient_transfer
+    from repro.resilience.chaos import geometry_specs
+    from repro.resilience.executor import run_resilient_transfer_many
+
+    system = mira_system(nnodes=nnodes)
+    geometries = ("p2p", "group", "fanin")
+    spec_sets, traces = [], []
+    for i in range(n_scenarios):
+        rng = np.random.default_rng([seed, i])
+        geometry = geometries[i % len(geometries)]
+        size = float(nbytes) * float(rng.integers(1, 4))
+        spec_sets.append(geometry_specs(system, geometry, size))
+        traces.append(
+            random_fault_trace(
+                system.topology, 3, hard_fraction=0.5, seed=[seed, i]
+            )
+            if rng.random() < fault_frac
+            else None
+        )
+
+    def run_batched():
+        return run_resilient_transfer_many(system, spec_sets, traces=traces)
+
+    def run_serial():
+        return [
+            run_resilient_transfer(system, specs, trace=trace)
+            for specs, trace in zip(spec_sets, traces)
+        ]
+
+    fallback_before = (
+        get_registry().snapshot()["counters"].get("resilience.batch.fallback", 0)
+    )
+    batched_out = run_batched()  # warm both out of the measurement
+    serial_out = run_serial()
+    fallback_after = (
+        get_registry().snapshot()["counters"].get("resilience.batch.fallback", 0)
+    )
+
+    parity = 0.0
+    for b, s in zip(batched_out, serial_out):
+        parity = max(
+            parity,
+            abs(b.makespan - s.makespan),
+            abs(b.delivered_bytes - s.delivered_bytes),
+            abs(b.residue_bytes - s.residue_bytes),
+        )
+
+    t_b, t_s = [], []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        run_batched()
+        t_b.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_serial()
+        t_s.append(time.perf_counter() - t0)
+    b_mean, s_mean = statistics.fmean(t_b), statistics.fmean(t_s)
+    return {
+        "scenarios": n_scenarios,
+        "nnodes": nnodes,
+        "fault_frac": fault_frac,
+        "n_faulted": sum(1 for t in traces if t is not None),
+        "serial_mean_s": s_mean,
+        "batched_mean_s": b_mean,
+        "serial_scen_per_s": n_scenarios / s_mean,
+        "batched_scen_per_s": n_scenarios / b_mean,
+        "speedup_mean": s_mean / b_mean,
+        "speedup_best": min(t_s) / min(t_b),
+        "parity_max_abs": parity,
+        "batched_fallbacks": fallback_after - fallback_before,
+        "reps": reps,
+    }
+
+
 def _interleaved_speedup(make_new, make_seed, run, reps: int) -> dict:
     """Mean times and speedup of ``new`` vs ``seed``, reps interleaved.
 
@@ -254,12 +352,104 @@ def main(argv: "list[str] | None" = None) -> int:
         default=8.0,
         help="ramp length [s] of each --service run",
     )
+    ap.add_argument(
+        "--chaos-service",
+        action="store_true",
+        help="also measure faulted-campaign throughput (batched vs "
+        "forced-serial under link-fault traces) and run a seeded "
+        "service chaos campaign; writes a bench-resilience/1 report "
+        "to --resilience-out",
+    )
+    ap.add_argument(
+        "--resilience-out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_resilience.json",
+        help="destination of the --chaos-service report",
+    )
+    ap.add_argument(
+        "--chaos-requests",
+        type=int,
+        default=200,
+        help="requests in the --chaos-service campaign",
+    )
     args = ap.parse_args(argv)
     setup_cli_logging("info")
-    if args.skip_perf and not (args.resilience or args.service):
+    if args.skip_perf and not (
+        args.resilience or args.service or args.chaos_service
+    ):
         ap.error(
-            "--skip-perf leaves nothing to record without --resilience/--service"
+            "--skip-perf leaves nothing to record without "
+            "--resilience/--service/--chaos-service"
         )
+
+    resilience_ok = True
+    if args.chaos_service:
+        import tempfile
+
+        from repro.resilience.service_chaos import (
+            ServiceCampaignConfig,
+            run_service_campaign,
+        )
+
+        log.info(
+            "measuring faulted campaign throughput (batched vs forced-serial) ..."
+        )
+        faulted = _faulted_campaign_throughput(128, max(args.seed_reps, 3))
+        log.info(
+            f"faulted_campaign: batched {faulted['batched_scen_per_s']:.0f} "
+            f"scen/s vs serial {faulted['serial_scen_per_s']:.0f} scen/s -> "
+            f"{faulted['speedup_mean']:.2f}x mean "
+            f"({faulted['speedup_best']:.2f}x best), parity "
+            f"{faulted['parity_max_abs']:.1e}, "
+            f"fallbacks {faulted['batched_fallbacks']}"
+        )
+        log.info(
+            f"running seeded service chaos campaign "
+            f"({args.chaos_requests} requests) ..."
+        )
+        with tempfile.TemporaryDirectory() as td:
+            chaos_summary = run_service_campaign(
+                ServiceCampaignConfig(n_requests=args.chaos_requests),
+                out_path=Path(td) / "campaign.json",
+                progress=log.info,
+            )
+        res_doc = {
+            "schema": "bench-resilience/1",
+            "python": sys.version.split()[0],
+            "faulted_campaign": faulted,
+            "chaos_service": chaos_summary,
+        }
+        atomic_write_text(
+            args.resilience_out,
+            json.dumps(res_doc, indent=2, sort_keys=True) + "\n",
+        )
+        log.info(f"wrote {args.resilience_out}")
+        if faulted["parity_max_abs"] > 1e-12:
+            log.warning(
+                f"batched/serial outcome parity violated "
+                f"({faulted['parity_max_abs']:.3e} > 1e-12)"
+            )
+            resilience_ok = False
+        if faulted["batched_fallbacks"] != 0:
+            log.warning(
+                f"batched path fell back to serial "
+                f"{faulted['batched_fallbacks']} time(s) during the campaign"
+            )
+            resilience_ok = False
+        if faulted["speedup_mean"] < 2.0:
+            log.warning(
+                f"faulted campaign speedup below the 2x gate "
+                f"({faulted['speedup_mean']:.2f}x)"
+            )
+            resilience_ok = False
+        if not chaos_summary["passed"]:
+            log.warning(
+                f"service chaos campaign failed its invariants: "
+                f"{chaos_summary['failures']}"
+            )
+            resilience_ok = False
+        if args.skip_perf and not (args.resilience or args.service):
+            return 0 if resilience_ok else 1
 
     service_ok = True
     if args.service:
@@ -284,7 +474,7 @@ def main(argv: "list[str] | None" = None) -> int:
         if not service_ok:
             log.warning("adaptive admission did not separate from static")
         if args.skip_perf and not args.resilience:
-            return 0 if service_ok else 1
+            return 0 if (service_ok and resilience_ok) else 1
 
     resilience = None
     if args.resilience:
@@ -314,7 +504,7 @@ def main(argv: "list[str] | None" = None) -> int:
         }
         atomic_write_text(args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n")
         log.info(f"wrote {args.out}")
-        return 0 if service_ok else 1
+        return 0 if (service_ok and resilience_ok) else 1
 
     system512 = mira_system(nnodes=512)
 
@@ -405,7 +595,7 @@ def main(argv: "list[str] | None" = None) -> int:
             f"({campaign['speedup_mean']:.2f}x)"
         )
         return 1
-    return 0 if service_ok else 1
+    return 0 if (service_ok and resilience_ok) else 1
 
 
 if __name__ == "__main__":

@@ -180,6 +180,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument("--out", type=str, default="chaos.json", metavar="PATH")
     ch.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
+    ch.add_argument(
+        "--service", action="store_true",
+        help="live-service campaign: boot a real ScenarioService, drive "
+        "it with the load generator while injecting worker crashes, "
+        "hangs, link-fault traces and an overload burst; verify "
+        "terminal/exactly-once/replay invariants",
+    )
+    ch.add_argument(
+        "--requests", type=int, default=200,
+        help="[--service] scheduled requests in the campaign",
+    )
+    ch.add_argument(
+        "--seed", type=int, default=2014,
+        help="[--service] campaign seed (schedule + injections)",
+    )
+    ch.add_argument(
+        "--workers", type=int, default=2, help="[--service] worker processes"
+    )
+    ch.add_argument(
+        "--rate", type=float, default=60.0,
+        help="[--service] base offered load [req/s]",
+    )
+    ch.add_argument(
+        "--overload-factor", type=float, default=8.0,
+        help="[--service] burst-window multiplier on the base rate",
+    )
+    ch.add_argument(
+        "--fault-frac", type=float, default=0.10,
+        help="[--service] fraction of transfers carrying a fault trace",
+    )
+    ch.add_argument(
+        "--crash-frac", type=float, default=0.02,
+        help="[--service] fraction of requests injected as worker crashes",
+    )
+    ch.add_argument(
+        "--hang-frac", type=float, default=0.01,
+        help="[--service] fraction of requests injected as worker hangs",
+    )
+    ch.add_argument(
+        "--hang-timeout", type=float, default=1.5, metavar="S",
+        help="[--service] watchdog hard-kill limit for hung workers",
+    )
+    ch.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help="[--service] write-ahead journal path (default: <out>.journal)",
+    )
+    ch.add_argument(
+        "--resume", action="store_true",
+        help="[--service] reuse intact journaled records from a killed run",
+    )
+    ch.add_argument(
+        "--summary-out", type=str, default=None, metavar="PATH",
+        help="[--service] also write the live summary (goodput, "
+        "trajectories) — unlike --out, not byte-stable across runs",
+    )
 
     def _service_args(sp) -> None:
         sp.add_argument("--workers", type=int, default=2, help="worker processes")
@@ -691,9 +746,60 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos_service(args) -> int:
+    """Live-service chaos campaign (``repro chaos --service``)."""
+    import json
+
+    from repro.resilience.service_chaos import (
+        ServiceCampaignConfig,
+        run_service_campaign,
+    )
+    from repro.util.validation import ConfigError
+
+    try:
+        config = ServiceCampaignConfig(
+            n_requests=args.requests,
+            seed=args.seed,
+            workers=args.workers,
+            rate=args.rate,
+            overload_factor=args.overload_factor,
+            fault_frac=args.fault_frac,
+            crash_frac=args.crash_frac,
+            hang_frac=args.hang_frac,
+            hang_timeout_s=args.hang_timeout,
+            nnodes=args.nodes,
+            nbytes=parse_size(args.size),
+        )
+        summary = run_service_campaign(
+            config,
+            out_path=args.out,
+            journal_path=args.journal,
+            resume=args.resume,
+            progress=log.info,
+        )
+    except ConfigError as exc:
+        log.error(str(exc))
+        return 2
+    for failure in summary["failures"]:
+        log.info(f"  FAIL {failure}")
+    if args.summary_out:
+        from repro.util.atomicio import atomic_write_text
+
+        atomic_write_text(
+            args.summary_out, json.dumps(summary, indent=2) + "\n"
+        )
+        log.info(f"campaign summary written to {args.summary_out}")
+    log.info(f"campaign results written to {args.out}")
+    _dump_metrics(args)
+    return 0 if summary["passed"] else 1
+
+
 def _cmd_chaos(args) -> int:
     """Run a seeded chaos campaign and write its JSON report."""
     import json
+
+    if args.service:
+        return _cmd_chaos_service(args)
 
     from repro.resilience.chaos import (
         GEOMETRIES,

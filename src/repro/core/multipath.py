@@ -48,8 +48,12 @@ class TransferOutcome:
         makespan: completion time of the slowest transfer [s].
         total_bytes: payload moved.
         mode_used: per-(src, dst) record: ``"direct"`` or ``"proxy:k"``.
-        result: the raw flow-level results.
+        result: the raw flow-level results (round 0 for resilient runs).
         plan: the proxy plan, when one was computed.
+        resilience: the full
+            :class:`~repro.resilience.executor.ResilientOutcome` when the
+            transfer ran through the fault-tolerant executor (retry
+            telemetry, ledgers, residue); ``None`` for plain exact runs.
     """
 
     makespan: float
@@ -57,6 +61,7 @@ class TransferOutcome:
     mode_used: dict[tuple[int, int], str]
     result: FlowSimResult
     plan: "ProxyPlan | None" = None
+    resilience: "object | None" = None
 
     @property
     def throughput(self) -> float:
@@ -366,6 +371,11 @@ def run_transfer_many(
     min_proxies: int = TransferModel.MIN_BENEFICIAL_PROXIES,
     max_offset: int = 3,
     capacity_fn=None,
+    events: "Sequence[Sequence | None] | None" = None,
+    faults=None,
+    traces=None,
+    policy=None,
+    on_error: str = "raise",
 ) -> list[TransferOutcome]:
     """Execute many *independent* transfer scenarios in one batched pass.
 
@@ -383,18 +393,42 @@ def run_transfer_many(
     The proxy search is memoised across scenarios with the same pair
     list — a campaign repeating one geometry plans it once.
 
-    Scope: exact mode only — no ``batch_tol``/``fair_tol``, no
-    mid-run capacity events, no probes.  Faulted scenarios go through
-    the resilience executor's serial runs instead.
+    Faulted scenarios stay batched: per-scenario ``events`` (mid-run
+    :class:`~repro.network.flowsim.CapacityEvent` interrupts) are applied
+    to that scenario's own block inside the batched waterfill, and
+    ``faults``/``traces``/``policy`` route the whole batch through
+    :func:`repro.resilience.executor.run_resilient_transfer_many`, which
+    batches the retry rounds of all scenarios wave-by-wave — a faulted
+    scenario retries only its outstanding ledger extents without forcing
+    the rest serial.  Scope: exact mode only — no
+    ``batch_tol``/``fair_tol``, no probes.
 
     Args:
         assignments: optional per-scenario pre-built proxy assignments
             (aligned with ``spec_sets``; ``None`` entries plan normally).
+        events: optional per-scenario capacity-event sequences (aligned
+            with ``spec_sets``; ``None`` entries run undisturbed).
+            Mutually exclusive with ``traces``.
+        faults / traces: per-scenario
+            :class:`~repro.machine.faults.FaultModel` /
+            :class:`~repro.machine.faults.FaultTrace` sequences (or one
+            instance shared by all); when any is set the batch runs
+            through the resilience executor with ledger-based
+            partial-progress retries and each outcome carries its
+            :class:`~repro.resilience.executor.ResilientOutcome` in
+            ``.resilience``.
+        policy: :class:`~repro.resilience.executor.RetryPolicy` for the
+            resilient path (implies it even without faults).
+        on_error: ``"raise"`` propagates the first scenario failure;
+            ``"capture"`` stores the exception in that scenario's result
+            slot and lets the rest finish.
     """
     from repro.network.batchsim import BatchFlowSim
 
     if mode not in ("direct", "proxy", "auto"):
         raise ConfigError(f"unknown mode {mode!r}")
+    if on_error not in ("raise", "capture"):
+        raise ConfigError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
     spec_sets = [list(s) for s in spec_sets]
     if not spec_sets:
         return []
@@ -405,6 +439,48 @@ def run_transfer_many(
         raise ConfigError(
             f"assignments must align with spec_sets "
             f"({len(assignments)} != {len(spec_sets)})"
+        )
+
+    if faults is not None or traces is not None or policy is not None:
+        if events is not None:
+            raise ConfigError("events and traces are mutually exclusive")
+        if assignments is not None or capacity_fn is not None:
+            raise ConfigError(
+                "faults/traces/policy route through the resilience "
+                "executor, which plans its own paths — assignments and "
+                "capacity_fn are not supported there"
+            )
+        from repro.resilience.executor import run_resilient_transfer_many
+
+        outcomes = run_resilient_transfer_many(
+            system,
+            spec_sets,
+            faults=faults,
+            traces=traces,
+            policy=policy,
+            on_error=on_error,
+        )
+        wrapped: "list[TransferOutcome]" = []
+        for o in outcomes:
+            if isinstance(o, Exception):
+                wrapped.append(o)
+                continue
+            wrapped.append(
+                TransferOutcome(
+                    makespan=o.makespan,
+                    total_bytes=o.total_bytes,
+                    mode_used=o.mode_used,
+                    result=o.result,
+                    plan=None,
+                    resilience=o,
+                )
+            )
+        return wrapped
+
+    if events is not None and len(events) != len(spec_sets):
+        raise ConfigError(
+            f"events must align with spec_sets "
+            f"({len(events)} != {len(spec_sets)})"
         )
 
     tracer = get_tracer()
@@ -443,9 +519,12 @@ def run_transfer_many(
                 (prog, mode_used, plan, float(sum(s.nbytes for s in specs)))
             )
         results = BatchFlowSim(system.params).simulate_many(
-            [(cap, prog.flows) for prog, _, _, _ in built]
+            [(cap, prog.flows) for prog, _, _, _ in built],
+            events=events,
+            on_error=on_error,
         )
-        span.set(makespan=max(r.makespan for r in results))
+        ok = [r for r in results if not isinstance(r, Exception)]
+        span.set(makespan=max((r.makespan for r in ok), default=0.0))
 
     reg = get_registry()
     reg.counter("transfer.batch_runs").inc()
@@ -463,7 +542,9 @@ def run_transfer_many(
         sum(1 for _, mu, _, _ in built for m in mu.values() if m == "direct")
     )
     return [
-        TransferOutcome(
+        res
+        if isinstance(res, Exception)
+        else TransferOutcome(
             makespan=res.makespan,
             total_bytes=total,
             mode_used=mu,

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+from weakref import WeakKeyDictionary
 
 from repro.core.model import TransferModel
 from repro.routing.order import routing_dim_order
@@ -37,6 +38,15 @@ from repro.routing.paths import Path, paths_overlap
 from repro.torus.topology import TorusTopology
 from repro.machine.system import BGQSystem
 from repro.util.validation import ConfigError
+
+#: Per-system memo of completed pair searches, keyed by the *full*
+#: search context (pair, bounds, exclusions, reservations, avoid sets).
+#: Campaign workloads re-plan a handful of geometries thousands of
+#: times; the search is a pure function of system + context, so a hit
+#: returns the identical (frozen) assignment.  Keyed weakly so a
+#: discarded system releases its entries.
+_PAIR_CACHE: "WeakKeyDictionary[BGQSystem, dict]" = WeakKeyDictionary()
+_PAIR_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -178,6 +188,18 @@ def find_proxies_for_pair(
     excluded.update((src, dst))
     if reserved is None:
         reserved = set()
+    cache = _PAIR_CACHE.setdefault(system, {})
+    cache_key = (
+        src, dst, max_proxies, min_proxies, max_offset,
+        frozenset(excluded), frozenset(reserved),
+        frozenset(avoid_links), frozenset(avoid_domains),
+    )
+    hit = cache.get(cache_key)
+    if hit is not None:
+        # Replay the search's only side effect: accepted proxies claim
+        # their slots in the caller's shared reservation set.
+        reserved.update(hit.proxies)
+        return hit
     if avoid_domains:
         from repro.torus.partition import link_failure_domains
 
@@ -218,13 +240,16 @@ def find_proxies_for_pair(
         phase2.append(p2)
         reserved.add(cand)
 
-    return ProxyAssignment(
+    assignment = ProxyAssignment(
         source=src,
         dest=dst,
         proxies=tuple(accepted),
         phase1=tuple(phase1),
         phase2=tuple(phase2),
     )
+    if len(cache) < _PAIR_CACHE_MAX:
+        cache[cache_key] = assignment
+    return assignment
 
 
 def find_proxies(

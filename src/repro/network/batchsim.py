@@ -20,23 +20,28 @@ to what its own full re-solve would produce (asserted by
 ``tests/test_batchsim.py``).
 
 Clocks stay **per scenario**: each round, every live scenario advances
-to *its own* next event (activation or completion) and drains its flows
-over exactly the same time segments a solo run would use, so results are
-byte-identical to per-scenario ``FlowSim(..., incremental=False)`` runs
-(and within the usual ≤1e-12 of the default incremental engine — see
-``docs/PERFORMANCE.md``).
+to *its own* next event (activation, capacity change, cutoff snapshot
+or completion) and drains its flows over exactly the same time segments
+a solo run would use, so results are byte-identical to per-scenario
+``FlowSim(..., incremental=False)`` runs (and within the usual ≤1e-12
+of the default incremental engine — see ``docs/PERFORMANCE.md``).
 
-Scope: exact mode only (no ``batch_tol``/``fair_tol``/``lazy_frac``),
-no capacity events, no cutoffs, no probes — the batchable call sites
-(service transfer scenarios, chaos fault-free baselines, the loadgen
-transfer mix) use none of these; anything faulted goes through the
-resilience executor's solo runs.
+Scope: exact mode only (no ``batch_tol``/``fair_tol``/``lazy_frac``)
+and no probes.  Per-scenario **capacity events** (mid-run link
+degradation/failure/recovery, including hard-down links that surface as
+per-scenario :class:`~repro.util.validation.LinkDownError`), per-flow
+**cutoff snapshots** and cooperative **cancellation** are first-class:
+a faulted scenario re-solves only its own block and its failure — with
+``on_error="capture"`` — kills only that scenario, never its batch
+neighbours.  That is what lets the resilience executor keep faulted
+retry rounds on the batched path instead of dropping whole campaigns
+serial (see :func:`repro.resilience.executor.run_resilient_transfer_many`).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -45,6 +50,7 @@ from repro.network.flowsim import (
     _EMPTY_I64,
     _EPS_BYTES,
     _REL_TOL,
+    CapacityEvent,
     CapacityFn,
     FlowSim,
     FlowSimResult,
@@ -52,7 +58,13 @@ from repro.network.flowsim import (
 )
 from repro.network.params import MIRA_PARAMS, NetworkParams
 from repro.obs.metrics import get_registry
-from repro.util.validation import ConfigError, SimulationError
+from repro.util.cancel import current_scope
+from repro.util.validation import (
+    ConfigError,
+    LinkDownError,
+    SimulationCancelled,
+    SimulationError,
+)
 
 
 def _waterfill_blocks(
@@ -91,6 +103,11 @@ def _waterfill_blocks(
     for 1–2 short rows, batched rescale otherwise — chosen per scenario
     with the same eligibility test) so even the float *rounding* matches
     the solo kernel's.
+
+    A zero-capacity link (a capacity event took it hard down) pins its
+    scenario's water level at 0, freezing that scenario's flows at rate
+    0 — exactly as the solo kernel does; the caller turns those zero
+    rates into a per-scenario :class:`LinkDownError`.
     """
     live_idx = (nfl0 > 0).nonzero()[0]
     remap = np.empty(len(caps_full), dtype=np.int64)
@@ -197,21 +214,31 @@ def _waterfill_blocks(
     return rate
 
 
+# Pass-1 branch tags (one per lockstep round, per scenario) — the same
+# event precedence the solo event loop resolves per iteration.
+_B_CUT = 0  # a cutoff snapshot splits the drain; rates stay valid
+_B_INT = 1  # an activation or capacity event interrupts; rates recompute
+_B_COMPLETE = 2  # the earliest completion lands
+
+
 class _ScenarioState:
     """Mutable per-scenario bookkeeping inside one ``simulate_many``."""
 
     __slots__ = (
-        "index", "comp", "flows", "fid_to_idx", "uniq", "nl", "link_off",
-        "flow_off", "T", "act", "pending", "n_updates",
+        "index", "comp", "flows", "fid_to_idx", "uniq", "link_index", "nl",
+        "link_off", "flow_off", "T", "act", "pending", "n_updates",
+        "events", "ep", "cut_times", "cut_map", "cut_rec", "cp",
+        "rates_valid", "dead",
     )
 
-    def __init__(self, index, comp, flows, fid_to_idx, uniq, nl, link_off,
-                 flow_off):
+    def __init__(self, index, comp, flows, fid_to_idx, uniq, link_index, nl,
+                 link_off, flow_off):
         self.index = index
         self.comp = comp  # scenario ordinal among non-empty scenarios
         self.flows = flows
         self.fid_to_idx = fid_to_idx
         self.uniq = uniq
+        self.link_index = link_index  # original link id -> local dense id
         self.nl = nl
         self.link_off = link_off
         self.flow_off = flow_off
@@ -219,6 +246,18 @@ class _ScenarioState:
         self.act = _EMPTY_I64  # global flow ids, activation order
         self.pending: list[tuple[float, int]] = []
         self.n_updates = 0
+        self.events: list[CapacityEvent] = []
+        self.ep = 0  # next unapplied capacity event
+        self.cut_times: list[float] = []
+        self.cut_map: dict[float, list[int]] = {}  # time -> global flow ids
+        self.cut_rec: dict = {}
+        self.cp = 0  # next unapplied cutoff time
+        # Mirrors the solo loop's ``rates is None``: True while the last
+        # computed rate vector is still current (only a cutoff split
+        # preserves it) — drives ``n_updates`` parity, since the global
+        # waterfill runs every round regardless.
+        self.rates_valid = False
+        self.dead = False  # killed by a captured per-scenario error
 
 
 class BatchFlowSim:
@@ -238,6 +277,12 @@ class BatchFlowSim:
         scenarios: Sequence[
             tuple["Mapping[int, float] | CapacityFn", Sequence[Flow]]
         ],
+        *,
+        events: "Sequence[Sequence[CapacityEvent] | None] | None" = None,
+        cutoffs: "Sequence[Mapping | None] | None" = None,
+        cancel_check: "Callable[[], object] | None" = None,
+        cancel_every: int = 64,
+        on_error: str = "raise",
     ) -> list[FlowSimResult]:
         """Run every ``(capacities, flows)`` scenario; one result each.
 
@@ -246,14 +291,58 @@ class BatchFlowSim:
         links, as it would across two separate :meth:`FlowSim.run`
         calls).  Results are returned in submission order and match
         per-scenario runs byte-for-byte (see module docstring).
+
+        ``events`` and ``cutoffs`` are optional per-scenario sequences
+        aligned with ``scenarios`` (``None`` entries mean none): each
+        scenario's capacity events and per-flow cutoff snapshots carry
+        exactly the semantics of :meth:`FlowSim.run`'s same-named
+        arguments, applied to that scenario's own clock and block only.
+
+        ``cancel_check``/``cancel_every`` poll the cooperative
+        cancellation hook once per lockstep round (the batched analogue
+        of the solo event-loop iteration); with ``cancel_check=None``
+        the ambient :func:`repro.util.cancel.current_scope` is polled
+        instead.  A hook that never fires leaves results byte-identical
+        to an unhooked run.
+
+        ``on_error`` chooses what a *per-scenario* simulation failure
+        (a :class:`LinkDownError` after a capacity event took a link
+        hard down, or a starvation :class:`SimulationError`) does:
+        ``"raise"`` (default) propagates the first failure, as a solo
+        run would; ``"capture"`` kills only the failing scenario — its
+        result slot holds the exception object (message byte-identical
+        to the solo run's) while every other scenario runs to
+        completion.  Configuration errors always raise.
         """
         scenarios = list(scenarios)
         if not scenarios:
             return []
+        if on_error not in ("raise", "capture"):
+            raise ConfigError(
+                f"on_error must be 'raise' or 'capture', got {on_error!r}"
+            )
+        if cancel_every < 1:
+            raise ConfigError(f"cancel_every must be >= 1, got {cancel_every}")
+        if cancel_check is None:
+            scope = current_scope()
+            if scope is not None:
+                cancel_check = scope.check
+        n_since_check = 0
+        if events is not None and len(events) != len(scenarios):
+            raise ConfigError(
+                f"events must align with scenarios "
+                f"({len(events)} != {len(scenarios)})"
+            )
+        if cutoffs is not None and len(cutoffs) != len(scenarios):
+            raise ConfigError(
+                f"cutoffs must align with scenarios "
+                f"({len(cutoffs)} != {len(scenarios)})"
+            )
 
         # ---- per-scenario structural build (validation + compaction) --
         states: list[_ScenarioState] = []
         results: list["FlowSimResult | None"] = [None] * len(scenarios)
+        errors: list["Exception | None"] = [None] * len(scenarios)
         caps_blocks: list[np.ndarray] = []
         real_flat_parts: list[np.ndarray] = []
         real_lens_parts: list[np.ndarray] = []
@@ -273,14 +362,37 @@ class BatchFlowSim:
                 results[si] = FlowSimResult({}, 0.0, {}, 0)
                 continue
             fid_to_idx = sim._index_flows(flows)
-            _, uniq, caps, real_flat, real_ptr, real_lens = sim._compact_links(
-                flows
+            link_index, uniq, caps, real_flat, real_ptr, real_lens = (
+                sim._compact_links(flows)
             )
             flow_off = len(flows_all)
             st = _ScenarioState(
-                si, len(states), flows, fid_to_idx, uniq, len(caps),
-                link_off, flow_off,
+                si, len(states), flows, fid_to_idx, uniq, link_index,
+                len(caps), link_off, flow_off,
             )
+            scen_events = events[si] if events is not None else None
+            st.events = sorted(scen_events or ())
+            for e in st.events:
+                if not isinstance(e, CapacityEvent):
+                    raise ConfigError(
+                        f"capacity_events must contain CapacityEvent "
+                        f"records, got {e!r}"
+                    )
+            scen_cuts = cutoffs[si] if cutoffs is not None else None
+            if scen_cuts:
+                for fid, t_cut in scen_cuts.items():
+                    i = fid_to_idx.get(fid)
+                    if i is None:
+                        raise ConfigError(f"cutoff names unknown flow {fid!r}")
+                    t_cut = float(t_cut)
+                    if t_cut < 0:
+                        raise ConfigError(
+                            f"flow {fid!r}: cutoff time must be >= 0, "
+                            f"got {t_cut}"
+                        )
+                    if np.isfinite(t_cut):
+                        st.cut_map.setdefault(t_cut, []).append(flow_off + i)
+                st.cut_times = sorted(st.cut_map)
             for i, f in enumerate(flows):
                 for dep in f.deps:
                     j = fid_to_idx.get(dep)
@@ -383,15 +495,20 @@ class BatchFlowSim:
         have_deps = bool(dep_pairs)
 
         def release_deps(st: _ScenarioState, b: np.ndarray, t: float):
-            ch = _segment_gather(child_ptr, child_lens, b)
-            if len(ch):
-                ch_idx = child_flat[ch]
-                np.maximum.at(ready_time, ch_idx, t)
-                np.subtract.at(dep_count, ch_idx, 1)
-                uniq_ch = np.unique(ch_idx)
-                for c in uniq_ch[dep_count[uniq_ch] == 0]:
-                    t_act = max(ready_time[c], start_arr[c]) + delay_arr[c]
-                    heapq.heappush(st.pending, (t_act, int(c)))
+            # Scalar loop: waves finish a handful of flows, where the
+            # ufunc.at/unique route costs more than it saves.  A child
+            # reaches zero exactly once, so push order can't affect the
+            # (t_act, id)-keyed heap.
+            for j in b:
+                lo = child_ptr[j]
+                for c in child_flat[lo : lo + child_lens[j]]:
+                    c = int(c)
+                    if ready_time[c] < t:
+                        ready_time[c] = t
+                    dep_count[c] -= 1
+                    if dep_count[c] == 0:
+                        t_act = max(ready_time[c], start_arr[c]) + delay_arr[c]
+                        heapq.heappush(st.pending, (t_act, c))
 
         def finish_flows(st: _ScenarioState, b: np.ndarray, t: float):
             done[b] = True
@@ -412,9 +529,73 @@ class BatchFlowSim:
                 else:
                     new_act.append(i)
             if new_act:
-                b = np.asarray(new_act, dtype=np.int64)
-                np.add.at(nfl_act, flat[_segment_gather(ptr, lens_full, b)], 1.0)
-                st.act = np.concatenate([st.act, b])
+                for i in new_act:
+                    lo = ptr[i]
+                    for k in flat[lo : lo + lens_full[i]]:
+                        nfl_act[k] += 1.0
+                st.act = np.concatenate(
+                    [st.act, np.asarray(new_act, dtype=np.int64)]
+                )
+
+        def apply_cuts_due(st: _ScenarioState, t: float):
+            # Same arithmetic as the solo loop: callers land here with
+            # ``remaining`` drained exactly to ``t``, so size - remaining
+            # *is* the bytes delivered at the cut instant.
+            while st.cp < len(st.cut_times) and st.cut_times[st.cp] <= t + 1e-18:
+                for gi in st.cut_map[st.cut_times[st.cp]]:
+                    if done[gi]:
+                        got = float(size_arr[gi])
+                    else:
+                        got = float(
+                            min(
+                                size_arr[gi],
+                                max(size_arr[gi] - remaining[gi], 0.0),
+                            )
+                        )
+                    st.cut_rec[flows_all[gi].fid] = got
+                st.cp += 1
+
+        def apply_events_due(st: _ScenarioState, t: float):
+            while st.ep < len(st.events) and st.events[st.ep].time <= t + 1e-18:
+                e = st.events[st.ep]
+                k = st.link_index.get(e.link)
+                if k is not None:
+                    caps_full[st.link_off + k] = e.capacity
+                st.ep += 1
+
+        def stall_error(st: _ScenarioState, bad: np.ndarray) -> SimulationError:
+            """The solo run's LinkDownError/starvation error, verbatim.
+
+            ``bad`` holds this scenario's zero-rate global flow ids in
+            activation order (the order the solo check would see them).
+            """
+            fids = [flows_all[int(g)].fid for g in bad]
+            down = sorted(
+                {
+                    int(st.uniq[int(k) - st.link_off])
+                    for g in bad
+                    for k in real_flat[real_ptr[g] : real_ptr[g + 1]]
+                    if caps_full[int(k)] <= 0
+                }
+            )
+            if down:
+                return LinkDownError(
+                    f"flows {fids} stalled: their routes cross "
+                    f"zero-capacity link(s) {down} (link down); the "
+                    f"transfers can never complete",
+                    links=tuple(down),
+                )
+            return SimulationError(f"flows starved (zero rate): {fids}")
+
+        def kill_scenario(st: _ScenarioState, err: Exception):
+            errors[st.index] = err
+            st.dead = True
+            if len(st.act):
+                np.subtract.at(
+                    nfl_act, flat[_segment_gather(ptr, lens_full, st.act)], 1.0
+                )
+                st.act = _EMPTY_I64
+            st.pending = []
 
         # ---- lockstep rounds ------------------------------------------
         live = list(states)
@@ -425,6 +606,21 @@ class BatchFlowSim:
         tmin = np.empty(K)  # per-scenario earliest completion dt
         while live:
             n_rounds += 1
+            if cancel_check is not None:
+                n_since_check += 1
+                if n_since_check >= cancel_every:
+                    n_since_check = 0
+                    try:
+                        hit = cancel_check()
+                    except SimulationCancelled:
+                        get_registry().counter("flowsim.cancelled").inc()
+                        raise
+                    if hit:
+                        get_registry().counter("flowsim.cancelled").inc()
+                        raise SimulationCancelled(
+                            f"batched simulation cancelled by hook after "
+                            f"{n_rounds} rounds ({len(live)} scenarios live)"
+                        )
             # One stacked waterfill covers every live scenario's active
             # set — blocks share no links, so each block's rates equal
             # its own solo full re-solve, bit for bit.
@@ -443,54 +639,93 @@ class BatchFlowSim:
                     frozen, nfl_act, unfrozen_c, comp_flow, comp_dense, nl,
                 )
                 r_sel = r[sel]
-                if np.any(r_sel <= 0):  # pragma: no cover - caps validated
-                    bad = sel[r_sel <= 0]
-                    raise SimulationError(
-                        f"flows starved (zero rate): {sorted(int(i) for i in bad)}"
-                    )
                 cf_sel = comp_flow[sel]
+                if np.any(r_sel <= 0):
+                    # A capacity event took some scenario's link hard
+                    # down (or a rate starved): fail *that scenario
+                    # only*, with the solo run's exact error.
+                    bad_mask = r_sel <= 0
+                    for c in np.unique(cf_sel[bad_mask]):
+                        st = need[0] if len(need) == 1 else next(
+                            s for s in need if s.comp == int(c)
+                        )
+                        err = stall_error(st, sel[bad_mask & (cf_sel == c)])
+                        if on_error == "raise":
+                            raise err
+                        kill_scenario(st, err)
+                    live = [st for st in live if not st.dead]
+                    need = [st for st in need if not st.dead]
+                    if not need:
+                        continue
+                    keep = np.isin(cf_sel, np.asarray([s.comp for s in need]))
+                    sel = sel[keep]
+                    r_sel = r_sel[keep]
+                    cf_sel = cf_sel[keep]
                 for st in need:
-                    st.n_updates += 1
+                    if not st.rates_valid:
+                        st.n_updates += 1
+                        st.rates_valid = True
                 tmin[:] = np.inf
                 np.minimum.at(tmin, cf_sel, remaining[sel] / r_sel)
 
-            # Pass 1 — per-scenario branching on Python scalars: pick
-            # this round's time step (next completion vs. interrupting
-            # activation), exactly as a solo run would.  Scenarios whose
-            # activations interrupt handle them here (activations never
-            # touch the draining flows captured in ``sel``); completion
-            # scenarios defer theirs until after their acts are pruned,
-            # preserving the solo event order.
+            # Pass 1 — per-scenario branching on Python scalars: resolve
+            # this round's event precedence (cutoff split vs. activation
+            # or capacity-event interrupt vs. completion), exactly as a
+            # solo run would, and advance each scenario's clock.  All
+            # post-drain processing waits for pass 4 so cutoff snapshots
+            # read the drained ``remaining``.
             advancing: list[_ScenarioState] = []
             completing: list[_ScenarioState] = []
+            stepped: list[tuple[_ScenarioState, int]] = []
             cbr = np.zeros(K, dtype=bool)  # took the completion branch
             for st in live:
                 if not len(st.act):
                     if not st.pending:
                         continue  # scenario finished
-                    # Jump to the next activation.
+                    # Jump to the next activation (solo order: cuts,
+                    # events, then activations at the new clock).
                     st.T = max(st.T, st.pending[0][0])
+                    apply_cuts_due(st, st.T)
+                    apply_events_due(st, st.T)
                     activate_due(st, st.T)
+                    st.rates_valid = False
                     advancing.append(st)
                     continue
                 c = st.comp
                 dt_complete = tmin.item(c)
+                next_evt = (
+                    st.events[st.ep].time if st.ep < len(st.events) else np.inf
+                )
+                next_cut = (
+                    st.cut_times[st.cp] if st.cp < len(st.cut_times) else np.inf
+                )
                 dt_act = (st.pending[0][0] - st.T) if st.pending else np.inf
-                if dt_act < dt_complete * (1 - _REL_TOL):
-                    # An activation interrupts before any completion.
-                    dt = max(dt_act, 0.0)
+                dt_int = min(dt_act, next_evt - st.T)
+                if (
+                    next_cut - st.T < dt_int * (1 - _REL_TOL)
+                    and next_cut - st.T < dt_complete * (1 - _REL_TOL)
+                ):
+                    # A cutoff snapshot strictly precedes everything:
+                    # split the linear drain and *keep* the rate vector.
+                    dt = max(next_cut - st.T, 0.0)
+                    tag = _B_CUT
+                elif dt_int < dt_complete * (1 - _REL_TOL):
+                    # An activation or a capacity change interrupts
+                    # before any completion.
+                    dt = max(dt_int, 0.0)
+                    tag = _B_INT
                 else:
                     dt = dt_complete
+                    tag = _B_COMPLETE
                     cbr[c] = True
                     completing.append(st)
                 dt_c[c] = dt
                 st.T += dt
                 t_c[c] = st.T
-                if not cbr[c]:
-                    activate_due(st, st.T)
+                stepped.append((st, tag))
                 advancing.append(st)
 
-            if need:
+            if need and stepped:
                 # Pass 2 — one vectorized drain over every active flow
                 # (each flow advances by its own scenario's step).
                 remaining[sel] = np.maximum(
@@ -515,20 +750,36 @@ class BatchFlowSim:
                 ns = np.isnan(start_rec[fin])
                 if ns.any():
                     start_rec[fin[ns]] = t_fin[ns]
-                # Pass 4 — per-scenario act pruning, dependency release
-                # and due activations (solo order: finish, release,
-                # prune, activate).
-                for st in completing:
-                    m_fin = done[st.act]
-                    if have_deps:
-                        release_deps(st, st.act[m_fin], st.T)
-                    st.act = st.act[~m_fin]
+            # Pass 4 — per-scenario post-drain processing, in each
+            # branch's solo order:
+            #   CUT       cuts only (rates stay valid)
+            #   INT       cuts, activations, capacity events
+            #   COMPLETE  dependency release, cuts, act prune,
+            #             activations, capacity events
+            for st, tag in stepped:
+                if tag == _B_CUT:
+                    apply_cuts_due(st, st.T)
+                    continue
+                if tag == _B_INT:
+                    apply_cuts_due(st, st.T)
                     activate_due(st, st.T)
+                    apply_events_due(st, st.T)
+                    st.rates_valid = False
+                    continue
+                m_fin = done[st.act]
+                if have_deps:
+                    release_deps(st, st.act[m_fin], st.T)
+                apply_cuts_due(st, st.T)
+                st.act = st.act[~m_fin]
+                activate_due(st, st.T)
+                apply_events_due(st, st.T)
+                st.rates_valid = False
             live = [st for st in advancing if st.pending or len(st.act)]
 
         # ---- per-scenario results -------------------------------------
+        alive = [st for st in states if not st.dead]
         if not done.all():
-            for st in states:
+            for st in alive:
                 lo, hi = st.flow_off, st.flow_off + len(st.flows)
                 if not done[lo:hi].all():
                     stuck = [
@@ -539,10 +790,14 @@ class BatchFlowSim:
                     raise SimulationError(
                         f"dependency cycle or stuck flows: {stuck}"
                     )
-        # Every flow completed: account link bytes once, in bulk — the
-        # per-event accumulation a solo run does is order-independent.
+        # Every surviving flow completed: account link bytes once, in
+        # bulk — the per-event accumulation a solo run does is
+        # order-independent, and dead scenarios' blocks are disjoint
+        # from every surviving scenario's, so adding their (never-read)
+        # contributions is harmless.
         np.add.at(link_bytes_arr, real_flat, np.repeat(size_arr, real_lens))
-        for st in states:
+        for st in alive:
+            apply_cuts_due(st, np.inf)  # cuts past the makespan
             lo, hi = st.flow_off, st.flow_off + len(st.flows)
             lb = link_bytes_arr[st.link_off : st.link_off + st.nl]
             busy = np.flatnonzero(lb)
@@ -559,15 +814,21 @@ class BatchFlowSim:
             }
             makespan = float(np.max(finish_rec[lo:hi]))
             results[st.index] = FlowSimResult(
-                res, makespan, link_bytes, st.n_updates
+                res, makespan, link_bytes, st.n_updates, st.cut_rec
             )
 
         reg = get_registry()
         reg.counter("flowsim.batch_runs").inc()
         reg.counter("flowsim.batch_scenarios").inc(len(states))
         reg.counter("flowsim.batch_rounds").inc(n_rounds)
-        reg.counter("flowsim.flows_completed").inc(nf)
-        return results  # type: ignore[return-value]  # every slot filled above
+        reg.counter("flowsim.flows_completed").inc(int(done.sum()))
+        n_dead = len(states) - len(alive)
+        if n_dead:
+            reg.counter("flowsim.batch_scenarios_failed").inc(n_dead)
+        return [
+            res if err is None else err  # type: ignore[misc]
+            for res, err in zip(results, errors)
+        ]
 
 
 def simulate_many(
@@ -575,6 +836,7 @@ def simulate_many(
         tuple["Mapping[int, float] | CapacityFn", Sequence[Flow]]
     ],
     params: NetworkParams = MIRA_PARAMS,
+    **kwargs,
 ) -> list[FlowSimResult]:
     """Module-level convenience: ``BatchFlowSim(params).simulate_many(...)``."""
-    return BatchFlowSim(params).simulate_many(scenarios)
+    return BatchFlowSim(params).simulate_many(scenarios, **kwargs)

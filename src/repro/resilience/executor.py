@@ -72,6 +72,7 @@ from repro.network.flowsim import CapacityEvent, FlowSimResult
 from repro.obs.metrics import TimeSeriesProbe, get_registry
 from repro.obs.trace import get_tracer
 from repro.resilience.health import DOWN, HEALTHY, PROBATION, HealthMonitor
+from repro.util.cancel import check_cancelled
 from repro.resilience.ledger import (
     DEFAULT_CHUNK_BYTES,
     Extent,
@@ -332,7 +333,7 @@ def _predicted_time(params, share: int, rate: float, two_hop: bool) -> float:
     return params.o_msg + share / rate
 
 
-def run_resilient_transfer(
+def _resilient_execution(
     system: BGQSystem,
     specs: Sequence[TransferSpec],
     *,
@@ -345,21 +346,24 @@ def run_resilient_transfer(
     fair_tol: float = 0.0,
     lazy_frac: float = 0.0,
     probe: "TimeSeriesProbe | None" = None,
-) -> ResilientOutcome:
-    """Execute transfers with fault detection, failover and retry.
+):
+    """Generator core of the resilient executor (detect → credit → retry).
 
-    Args:
-        faults: *known* static faults — the planner routes around them.
-        trace: *hidden* ground truth the executor only discovers through
-            missed deadlines and observed rates.
-        policy: retry/deadline/backoff/budget knobs (default
-            :class:`RetryPolicy`).
-        planner: a pre-built (possibly pre-warmed) fault-aware planner.
-        monitor: a pre-built health monitor (kept across calls to carry
-            link beliefs from one transfer wave to the next).
-        probe: a :class:`~repro.obs.metrics.TimeSeriesProbe`; each round
-            runs with its absolute start time as the probe base, so the
-            sampled series is monotone across rounds and backoffs.
+    Holds *all* of the executor's logic — round emission, deadlines,
+    ledger credit, health feeding, re-planning, budgets — but performs
+    **no simulation itself**: at each point where a round must run it
+    yields ``(prog, capacity_events, cutoffs)`` and receives the
+    :class:`~repro.network.flowsim.FlowSimResult` back via ``send()``.
+    :func:`run_resilient_transfer` drives it with serial
+    ``prog.run(...)`` calls (identical behaviour to the pre-generator
+    executor); :func:`run_resilient_transfer_many` drives many of these
+    generators in lockstep *waves*, one batched
+    :class:`~repro.network.batchsim.BatchFlowSim` pass per wave, so a
+    faulted scenario in a batch retries only its own outstanding
+    extents without forcing its batch neighbours serial.  A driver
+    ``throw()``s simulation errors in, which propagate exactly as they
+    would from an inline ``prog.run``.  Returns (via ``StopIteration``)
+    the :class:`ResilientOutcome`.
     """
     specs = list(specs)
     if not specs:
@@ -717,7 +721,7 @@ def run_resilient_transfer(
             if math.isfinite(t_rem)
             else None
         )
-        result = prog.run(round_events(T0), cutoffs=cutoffs)
+        result = yield (prog, round_events(T0), cutoffs)
         round_results.append(result)
         telemetry.rounds += 1
         reg.counter("resilience.rounds").inc()
@@ -780,7 +784,7 @@ def run_resilient_transfer(
                     cutoffs[car.exit_fid] = car.deadline
                     if car.phase1_fid is not None:
                         cutoffs[car.phase1_fid] = car.deadline
-            result = prog.run(round_events(T), cutoffs=cutoffs)
+            result = yield (prog, round_events(T), cutoffs)
             round_results.append(result)
             telemetry.rounds += 1
             reg.counter("resilience.rounds").inc()
@@ -833,7 +837,7 @@ def run_resilient_transfer(
                 if policy.budget_s is not None
                 else T_next
             )
-            be_end = best_effort_round(T_bf, rnd + 1)
+            be_end = yield from best_effort_round(T_bf, rnd + 1)
             if be_end > 0:
                 T, round_end = T_bf, be_end
             # else: no budget left for a final round — the clock stops at
@@ -1032,3 +1036,226 @@ def run_resilient_transfer(
         residue_bytes=int(residue),
         complete=all(r.complete for r in reports),
     )
+
+
+def run_resilient_transfer(
+    system: BGQSystem,
+    specs: Sequence[TransferSpec],
+    *,
+    faults: "FaultModel | None" = None,
+    trace: "FaultTrace | None" = None,
+    policy: "RetryPolicy | None" = None,
+    planner: "ResilientPlanner | None" = None,
+    monitor: "HealthMonitor | None" = None,
+    batch_tol: float = 0.0,
+    fair_tol: float = 0.0,
+    lazy_frac: float = 0.0,
+    probe: "TimeSeriesProbe | None" = None,
+) -> ResilientOutcome:
+    """Execute transfers with fault detection, failover and retry.
+
+    The serial driver of :func:`_resilient_execution`: each yielded
+    round runs through its own ``prog.run`` call, exactly as the
+    pre-generator executor did.
+
+    Args:
+        faults: *known* static faults — the planner routes around them.
+        trace: *hidden* ground truth the executor only discovers through
+            missed deadlines and observed rates.
+        policy: retry/deadline/backoff/budget knobs (default
+            :class:`RetryPolicy`).
+        planner: a pre-built (possibly pre-warmed) fault-aware planner.
+        monitor: a pre-built health monitor (kept across calls to carry
+            link beliefs from one transfer wave to the next).
+        probe: a :class:`~repro.obs.metrics.TimeSeriesProbe`; each round
+            runs with its absolute start time as the probe base, so the
+            sampled series is monotone across rounds and backoffs.
+    """
+    gen = _resilient_execution(
+        system, specs, faults=faults, trace=trace, policy=policy,
+        planner=planner, monitor=monitor, batch_tol=batch_tol,
+        fair_tol=fair_tol, lazy_frac=lazy_frac, probe=probe,
+    )
+    result: "FlowSimResult | None" = None
+    try:
+        while True:
+            # Round boundary = natural cancellation yield point (tiny
+            # round programs never reach the simulator's own poll).
+            check_cancelled()
+            prog, events, cutoffs = gen.send(result)
+            result = prog.run(events, cutoffs=cutoffs)
+    except StopIteration as stop:
+        return stop.value
+
+
+def run_resilient_transfer_many(
+    system: BGQSystem,
+    spec_sets: "Sequence[Sequence[TransferSpec]]",
+    *,
+    faults: "Sequence[FaultModel | None] | FaultModel | None" = None,
+    traces: "Sequence[FaultTrace | None] | FaultTrace | None" = None,
+    policy: "RetryPolicy | None" = None,
+    monitors: "Sequence[HealthMonitor | None] | None" = None,
+    batch_tol: float = 0.0,
+    fair_tol: float = 0.0,
+    lazy_frac: float = 0.0,
+    probes: "Sequence[TimeSeriesProbe | None] | None" = None,
+    on_error: str = "raise",
+) -> "list[ResilientOutcome]":
+    """Execute many *independent* resilient transfers, batching rounds.
+
+    Each element of ``spec_sets`` is one transfer scenario, executed
+    with exactly the logic of :func:`run_resilient_transfer` — its own
+    ledgers, health monitor, planner, jitter stream and retry state —
+    but the per-round flow simulations of all scenarios run together:
+    every *wave* gathers each live scenario's next pending round and
+    solves them in one block-diagonal
+    :meth:`~repro.network.batchsim.BatchFlowSim.simulate_many` pass,
+    with that scenario's capacity events and cutoff snapshots applied
+    to its own block only.  Scenarios whose state diverges (one retries
+    while another is done) simply drop out of later waves; nothing
+    forces the survivors serial.  Per-scenario outcomes are
+    byte-identical to serial :func:`run_resilient_transfer` calls for
+    round programs below the incremental auto-gate (the executor's
+    rounds are well under it; asserted by
+    ``tests/test_resilience_batched.py``).
+
+    A scenario that cannot batch falls back to a serial ``prog.run``
+    **for that wave only**, and the downgrade is surfaced, not silent:
+    the ``resilience.batch.fallback`` counter (plus a per-reason
+    ``resilience.batch.fallback.<reason>`` counter: ``probe-set``,
+    ``non-exact``) and a one-line log warning record why.
+
+    Args:
+        faults / traces: per-scenario sequences aligned with
+            ``spec_sets`` (a single instance is shared by all).
+        monitors: optional per-scenario pre-built health monitors.
+        probes: optional per-scenario probes (a probed scenario runs
+            its rounds serially — surfaced as above).
+        on_error: ``"raise"`` propagates the first scenario's
+            simulation failure (:class:`TransferAbortedError` etc.);
+            ``"capture"`` stores the exception in that scenario's
+            outcome slot and lets the rest finish.
+    """
+    from repro.network.batchsim import BatchFlowSim
+    from repro.util.log import get_logger
+
+    if on_error not in ("raise", "capture"):
+        raise ConfigError(
+            f"on_error must be 'raise' or 'capture', got {on_error!r}"
+        )
+    spec_sets = [list(s) for s in spec_sets]
+    if not spec_sets:
+        return []
+    n = len(spec_sets)
+
+    def _aligned(arg, name):
+        if arg is None:
+            return [None] * n
+        if isinstance(arg, (FaultModel, FaultTrace)):
+            return [arg] * n
+        arg = list(arg)
+        if len(arg) != n:
+            raise ConfigError(
+                f"{name} must align with spec_sets ({len(arg)} != {n})"
+            )
+        return arg
+
+    faults_l = _aligned(faults, "faults")
+    traces_l = _aligned(traces, "traces")
+    monitors_l = _aligned(monitors, "monitors")
+    probes_l = _aligned(probes, "probes")
+
+    reg = get_registry()
+    log = get_logger(__name__)
+    exact = batch_tol == 0.0 and fair_tol == 0.0 and lazy_frac == 0.0
+
+    gens = [
+        _resilient_execution(
+            system, spec_sets[i], faults=faults_l[i], trace=traces_l[i],
+            policy=policy, monitor=monitors_l[i], batch_tol=batch_tol,
+            fair_tol=fair_tol, lazy_frac=lazy_frac, probe=probes_l[i],
+        )
+        for i in range(n)
+    ]
+    outcomes: "list[ResilientOutcome | Exception | None]" = [None] * n
+    # i -> (gen, prog, events, cutoffs): each live scenario's next round.
+    pending: "dict[int, tuple]" = {}
+
+    def advance(i: int, gen, payload, *, throw: bool):
+        """Feed one simulation result (or error) back into scenario i."""
+        try:
+            nxt = gen.throw(payload) if throw else gen.send(payload)
+        except StopIteration as stop:
+            outcomes[i] = stop.value
+            pending.pop(i, None)
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            reg.counter("resilience.batch.scenario_errors").inc()
+            outcomes[i] = exc
+            pending.pop(i, None)
+        else:
+            pending[i] = (gen, *nxt)
+
+    for i, gen in enumerate(gens):
+        advance(i, gen, None, throw=False)
+
+    n_waves = 0
+    while pending:
+        n_waves += 1
+        # Wave boundaries are the campaign's natural yield points: the
+        # simulators only poll every ``cancel_every`` lockstep rounds,
+        # so small round programs would otherwise outlive a cancelled
+        # ambient scope.
+        check_cancelled()
+        idxs = sorted(pending)
+        batchable: "list[int]" = []
+        fallback: "list[tuple[int, str]]" = []
+        for i in idxs:
+            _, prog, _, _ = pending[i]
+            if prog.probe is not None:
+                fallback.append((i, "probe-set"))
+            elif not exact:
+                fallback.append((i, "non-exact"))
+            else:
+                batchable.append(i)
+        results: "dict[int, object]" = {}
+        if batchable:
+            batch = BatchFlowSim(system.params).simulate_many(
+                [
+                    (
+                        pending[i][1].capacity_fn or system.capacity,
+                        pending[i][1].flows,
+                    )
+                    for i in batchable
+                ],
+                events=[pending[i][2] for i in batchable],
+                cutoffs=[pending[i][3] for i in batchable],
+                on_error="capture",
+            )
+            results.update(zip(batchable, batch))
+        if fallback:
+            reasons = sorted({r for _, r in fallback})
+            log.warning(
+                "resilient batch: %d/%d scenario round(s) fell back to "
+                "serial simulation (%s)",
+                len(fallback), len(idxs), ", ".join(reasons),
+            )
+            reg.counter("resilience.batch.fallback").inc(len(fallback))
+            for _, reason in fallback:
+                reg.counter(f"resilience.batch.fallback.{reason}").inc()
+            for i, _ in fallback:
+                _, prog, events, cutoffs = pending[i]
+                try:
+                    results[i] = prog.run(events, cutoffs=cutoffs)
+                except Exception as exc:
+                    results[i] = exc
+        for i in idxs:
+            gen = pending[i][0]
+            res = results[i]
+            advance(i, gen, res, throw=isinstance(res, Exception))
+
+    reg.counter("resilience.batch.transfers").inc(n)
+    reg.counter("resilience.batch.waves").inc(n_waves)
+    return outcomes  # type: ignore[return-value]  # every slot filled

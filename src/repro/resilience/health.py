@@ -100,8 +100,21 @@ class HealthMonitor:
 
     def link_fraction(self, link: int) -> float:
         """Effective capacity as a fraction of nominal (0.0 = down)."""
+        est = self._estimates.get(link)
+        if est is None:
+            # Without an observation the belief is nominal × static
+            # factor, so the fraction is the factor itself — no need to
+            # look the capacity up just to divide it back out.
+            return self.faults.link_factor(link)
         nom = self.nominal(link)
-        return self.effective_capacity(link) / nom if nom > 0 else 0.0
+        return est / nom if nom > 0 else 0.0
+
+    @property
+    def is_pristine(self) -> bool:
+        """True while nothing degrades any link: no observation-backed
+        estimate recorded and an empty static fault set.  Planners use
+        this to skip per-link belief queries on healthy systems."""
+        return not self._estimates and self.faults.is_null
 
     def is_suspect(self, link: int) -> bool:
         """True when the link's estimate falls below the suspect line."""

@@ -112,7 +112,17 @@ class ResilientPlanner(TransferPlanner):
 
     def path_fraction(self, links: Iterable[int]) -> float:
         """Worst link fraction along a route (1.0 when empty)."""
-        return min((self.link_fraction(l) for l in links), default=1.0)
+        mon = self.monitor
+        if self.faults.is_null and (mon is None or mon.is_pristine):
+            return 1.0
+        frac = 1.0
+        for l in links:
+            f = self.link_fraction(l)
+            if f < frac:
+                frac = f
+                if frac <= 0.0:
+                    break
+        return frac
 
     def _carrier_fraction(self, asg: ProxyAssignment, i: int) -> float:
         return min(

@@ -45,7 +45,10 @@ from repro.service.request import (
 )
 from repro.service.service import ScenarioService, ServiceConfig
 from repro.util.atomicio import atomic_write_json
+from repro.util.log import get_logger
 from repro.util.validation import ConfigError
+
+log = get_logger(__name__)
 
 #: Campaign / results format tags.
 CAMPAIGN_FORMAT = "campaign/1"
@@ -160,20 +163,34 @@ def _verified(record: Mapping[str, Any]) -> bool:
     return True
 
 
-def _batchable(req: ScenarioRequest) -> bool:
+def _batchable(req: ScenarioRequest) -> "str | None":
     """Can this request take the batched-simulate fast path?
 
-    Exact-mode transfer kinds with no deadline qualify: their payloads
-    are byte-identical batched or serial, and there is no wall-clock
-    budget the batch could blow for a neighbour.  Everything else (io,
-    chaos, spin, deadline-bearing or approximate-mode requests) keeps
-    the full service treatment — admission, breakers, cancellation.
+    Exact-mode transfer kinds with no deadline qualify — including ones
+    that schedule a fault trace (``fault_seed``): their payloads are
+    byte-identical batched or serial, and there is no wall-clock budget
+    the batch could blow for a neighbour.  Everything else keeps the
+    full service treatment — admission, breakers, cancellation.
+
+    Returns ``None`` when the request qualifies; a reason code when a
+    transfer kind must fall back to the serial path (``"deadline-set"``,
+    ``"non-exact"``, or ``"faults-scheduled"`` — a fault trace combined
+    with a per-request proxy cap, which the resilient planner does not
+    take); and ``"not-a-transfer"`` for kinds that were never fast-path
+    candidates (io, chaos, spin).
     """
-    return (
-        req.kind in ("p2p", "group", "fanin")
-        and req.deadline_s is None
-        and float(req.params.get("batch_tol", 0.0) or 0.0) == 0.0
-    )
+    if req.kind not in ("p2p", "group", "fanin"):
+        return "not-a-transfer"
+    if req.deadline_s is not None:
+        return "deadline-set"
+    if float(req.params.get("batch_tol", 0.0) or 0.0) != 0.0:
+        return "non-exact"
+    if (
+        req.params.get("fault_seed") is not None
+        and req.params.get("max_proxies") is not None
+    ):
+        return "faults-scheduled"
+    return None
 
 
 def run_batch(
@@ -198,8 +215,12 @@ def run_batch(
     block-diagonal :class:`~repro.network.batchsim.BatchFlowSim` pass
     per machine size — instead of one service request each; payloads
     (and hence journal records and the results file) are byte-identical
-    to the serial path's.  If the batched stage fails for any reason,
-    every affected scenario falls back to the service.
+    to the serial path's.  Fault-traced scenarios (``fault_seed``) stay
+    batched through the resilient executor's wave batching.  Any
+    scenario that cannot batch — and any batched-stage failure — falls
+    back to the service, and the downgrade is surfaced: the
+    ``service.batch.fast_path_fallback`` counter (plus a per-reason
+    ``...fallback.<reason>`` counter) and a one-line log warning.
     """
     out_path = Path(out_path)
     doc, requests, sha = load_campaign(campaign_path)
@@ -233,7 +254,28 @@ def run_batch(
         )
     merged: "dict[str, dict]" = dict(done)
     try:
-        fast = [r for r in todo if batched and _batchable(r)]
+        fast: "list[ScenarioRequest]" = []
+        if batched:
+            reasons: "dict[str, int]" = {}
+            for r in todo:
+                why = _batchable(r)
+                if why is None:
+                    fast.append(r)
+                elif why != "not-a-transfer":
+                    reasons[why] = reasons.get(why, 0) + 1
+            if reasons:
+                for why, k in sorted(reasons.items()):
+                    get_registry().counter(
+                        "service.batch.fast_path_fallback"
+                    ).inc(k)
+                    get_registry().counter(
+                        f"service.batch.fast_path_fallback.{why}"
+                    ).inc(k)
+                log.warning(
+                    "batched fast path: %d scenario(s) fall back to serial (%s)",
+                    sum(reasons.values()),
+                    ", ".join(f"{why}: {k}" for why, k in sorted(reasons.items())),
+                )
         if fast:
             from repro.service.scenarios import run_transfer_kinds_batched
 
@@ -242,11 +284,19 @@ def run_batch(
                 payloads = run_transfer_kinds_batched(
                     [(r.kind, r.params) for r in fast]
                 )
-            except Exception:
+            except Exception as exc:
                 # Any failure (bad params, planner error) sends the whole
                 # group down the serial path, which reports it per request.
                 get_registry().counter("service.batch.fast_path_fallback").inc(
                     len(fast)
+                )
+                get_registry().counter(
+                    "service.batch.fast_path_fallback.error"
+                ).inc(len(fast))
+                log.warning(
+                    "batched fast path failed (%s: %s); "
+                    "%d scenario(s) fall back to serial",
+                    type(exc).__name__, exc, len(fast),
                 )
                 fast = []
             else:

@@ -76,6 +76,47 @@ def _mode_used_payload(mode_used: Mapping[tuple, str]) -> dict:
     return {f"{s}->{d}": m for (s, d), m in sorted(mode_used.items())}
 
 
+def _fault_trace(params: Mapping[str, Any], system):
+    """Build the request's seeded :class:`FaultTrace`, or ``None``.
+
+    A transfer request opts into fault injection with ``fault_seed``
+    (plus optional ``fault_events`` / ``fault_hard_fraction``); the
+    trace is a pure function of those params and the machine size, so
+    payloads stay byte-identical across runs and resumes.
+    """
+    seed = params.get("fault_seed")
+    if seed is None:
+        return None
+    from repro.machine.faults import random_fault_trace
+
+    return random_fault_trace(
+        system.topology,
+        int(params.get("fault_events", 3)),
+        hard_fraction=float(params.get("fault_hard_fraction", 0.5)),
+        seed=int(seed),
+    )
+
+
+def _faulted_payload(kind: str, system, out, *, degraded: bool = False) -> dict:
+    """Payload for a fault-traced transfer (serial and batched alike)."""
+    r = out.resilience
+    return {
+        "kind": kind,
+        "nnodes": system.nnodes,
+        "total_bytes": out.total_bytes,
+        "makespan_s": out.makespan,
+        "throughput_Bps": out.throughput,
+        "mode_used": _mode_used_payload(out.mode_used),
+        "degraded": degraded,
+        "faulted": True,
+        "delivered_bytes": r.delivered_bytes,
+        "residue_bytes": r.residue_bytes,
+        "rounds": r.telemetry.rounds,
+        "retries": r.telemetry.retries,
+        "complete": r.complete,
+    }
+
+
 def _effective_max_proxies(
     params: Mapping[str, Any], max_proxies_cap: "int | None"
 ) -> "int | None":
@@ -89,6 +130,20 @@ def _effective_max_proxies(
     return min(int(own), max_proxies_cap)
 
 
+def _ladder_capped(
+    params: Mapping[str, Any], max_proxies_cap: "int | None"
+) -> bool:
+    """Did the ladder's reduced-k cap actually tighten this request's
+    planning?  Payloads produced under a binding cap are marked
+    ``degraded`` — they are not the request's canonical result, which
+    matters to consumers that need payloads to be pure functions of the
+    request params (chaos-campaign replay, journal resume)."""
+    if max_proxies_cap is None:
+        return False
+    own = params.get("max_proxies")
+    return own is None or int(max_proxies_cap) < int(own)
+
+
 def _run_transfer_kind(
     kind: str,
     params: Mapping[str, Any],
@@ -100,6 +155,47 @@ def _run_transfer_kind(
     system = _system(nnodes=int(params.get("nnodes", 64)))
     specs = _transfer_specs(kind, params, system)
     tracer = get_tracer()
+    trace = _fault_trace(params, system)
+    if trace is not None:
+        # Fault-traced transfers run through the resilient executor,
+        # which does its own (fault-aware) planning — the plan stage and
+        # the degraded direct-path shortcut don't apply.  A per-request
+        # proxy cap needs a custom planner, which only the serial driver
+        # takes (the batched fast path surfaces these as the
+        # ``faults-scheduled`` fallback reason).
+        from repro.core.multipath import TransferOutcome, run_transfer_many
+
+        mp = _effective_max_proxies(params, max_proxies_cap)
+        check_cancelled()
+        t0 = time.perf_counter()
+        try:
+            with tracer.span(
+                "service.simulate", cat="service", kind=kind, faulted=True
+            ):
+                if mp is not None:
+                    from repro.resilience import run_resilient_transfer
+                    from repro.resilience.planner import ResilientPlanner
+
+                    r = run_resilient_transfer(
+                        system, specs, trace=trace,
+                        planner=ResilientPlanner(system, max_proxies=mp),
+                    )
+                    out = TransferOutcome(
+                        makespan=r.makespan, total_bytes=r.total_bytes,
+                        mode_used=r.mode_used, result=r.result, resilience=r,
+                    )
+                else:
+                    out = run_transfer_many(system, [specs], traces=[trace])[0]
+        except SimulationCancelled:
+            raise
+        except Exception as exc:
+            raise StageError("simulate", exc) from exc
+        finally:
+            stage_s["simulate_s"] = time.perf_counter() - t0
+        return _faulted_payload(
+            kind, system, out,
+            degraded=_ladder_capped(params, max_proxies_cap),
+        )
     assignments = None
     if not degraded:
         t0 = time.perf_counter()
@@ -142,7 +238,7 @@ def _run_transfer_kind(
         "makespan_s": out.makespan,
         "throughput_Bps": out.throughput,
         "mode_used": _mode_used_payload(out.mode_used),
-        "degraded": degraded,
+        "degraded": degraded or _ladder_capped(params, max_proxies_cap),
     }
 
 
@@ -156,13 +252,18 @@ def run_transfer_kinds_batched(
     :func:`_run_transfer_kind` produces un-degraded (planning runs per
     scenario through the same :class:`TransferPlanner`; only the
     simulate stage is batched, through
-    :func:`repro.core.multipath.run_transfer_many`).  Exact mode only —
-    a scenario requesting ``batch_tol != 0`` is rejected, callers
-    filter those to the serial path.
+    :func:`repro.core.multipath.run_transfer_many`).  Fault-traced
+    scenarios (``fault_seed``) stay batched too: each system's faulted
+    group runs through the resilience executor's wave batching, which
+    retries only a faulted scenario's outstanding ledger extents while
+    the rest of the batch proceeds.  Exact mode only — a scenario
+    requesting ``batch_tol != 0`` is rejected, and so is a fault trace
+    combined with ``max_proxies`` (the resilient planner plans its own
+    proxies); callers filter those to the serial path.
     """
     from repro.core.multipath import run_transfer_many
 
-    prepared = []  # (system, specs, assignments, kind, params)
+    prepared = []  # (system, specs, assignments, kind, params, trace)
     for kind, params in items:
         if kind not in ("p2p", "group", "fanin"):
             raise ConfigError(f"kind {kind!r} is not a transfer scenario")
@@ -170,19 +271,40 @@ def run_transfer_kinds_batched(
             raise ConfigError("batched transfer execution is exact-mode only")
         system = _system(nnodes=int(params.get("nnodes", 64)))
         specs = _transfer_specs(kind, params, system)
-        planner = TransferPlanner(system, max_proxies=params.get("max_proxies"))
-        assignments = planner.find_plan(
-            [(s.src, s.dst) for s in specs]
-        ).assignments
-        prepared.append((system, specs, assignments, kind, params))
+        trace = _fault_trace(params, system)
+        assignments = None
+        if trace is None:
+            planner = TransferPlanner(
+                system, max_proxies=params.get("max_proxies")
+            )
+            assignments = planner.find_plan(
+                [(s.src, s.dst) for s in specs]
+            ).assignments
+        elif params.get("max_proxies") is not None:
+            raise ConfigError(
+                "fault-traced scenarios plan their own proxies; "
+                "max_proxies is serial-path only"
+            )
+        prepared.append((system, specs, assignments, kind, params, trace))
 
-    # One batched pass per distinct system (scenarios may differ in nnodes).
+    # One batched pass per distinct system (scenarios may differ in
+    # nnodes), fault-free and fault-traced groups separately — the
+    # latter through the resilient executor's wave batching.
     payloads: "list[dict | None]" = [None] * len(items)
-    by_system: "dict[int, list[int]]" = {}
-    for i, (system, _, _, _, _) in enumerate(prepared):
-        by_system.setdefault(id(system), []).append(i)
-    for idxs in by_system.values():
+    by_system: "dict[tuple[int, bool], list[int]]" = {}
+    for i, (system, _, _, _, _, trace) in enumerate(prepared):
+        by_system.setdefault((id(system), trace is not None), []).append(i)
+    for (_, faulted), idxs in by_system.items():
         system = prepared[idxs[0]][0]
+        if faulted:
+            outs = run_transfer_many(
+                system,
+                [prepared[i][1] for i in idxs],
+                traces=[prepared[i][5] for i in idxs],
+            )
+            for i, out in zip(idxs, outs):
+                payloads[i] = _faulted_payload(prepared[i][3], system, out)
+            continue
         outs = run_transfer_many(
             system,
             [prepared[i][1] for i in idxs],

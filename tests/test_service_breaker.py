@@ -106,6 +106,83 @@ class TestHalfOpen:
         assert b.state == CLOSED and b.allow()
 
 
+class TestHalfOpenConcurrency:
+    """The probe-slot quota must hold under genuinely concurrent
+    ``allow`` calls — the dispatcher and collector threads race it."""
+
+    def trip(self, name, **kw):
+        b, clock = make(name, **kw)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        return b, clock
+
+    def _race_allow(self, breaker, n_threads):
+        import threading
+
+        barrier = threading.Barrier(n_threads)
+        granted = []
+        lock = threading.Lock()
+
+        def probe():
+            barrier.wait()
+            ok = breaker.allow()
+            with lock:
+                granted.append(ok)
+
+        threads = [threading.Thread(target=probe) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return sum(granted)
+
+    @pytest.mark.parametrize("quota", [1, 2, 4])
+    def test_concurrent_probes_never_exceed_quota(self, quota):
+        b, _ = self.trip(f"race{quota}", half_open_probes=quota)
+        assert b.state == HALF_OPEN
+        assert self._race_allow(b, 16) == quota
+
+    def test_released_slots_are_reusable_under_races(self):
+        b, _ = self.trip("race-release", half_open_probes=2)
+        assert self._race_allow(b, 16) == 2
+        b.release()  # one probe abandoned
+        assert self._race_allow(b, 16) == 1  # exactly the freed slot
+
+    def test_racing_probe_verdicts_end_closed_and_rearmed(self):
+        """A success and a failure verdict racing each other: either
+        order ends CLOSED (success always closes; a failure before it
+        merely re-opens first, a failure after it counts 1-of-3), and
+        the breaker must be fully re-armed — trippable and probe-quota
+        intact on the next probation window."""
+        b, clock = self.trip("race-verdict", half_open_probes=2)
+        assert self._race_allow(b, 8) == 2
+        import threading
+
+        barrier = threading.Barrier(2)
+
+        def succeed():
+            barrier.wait()
+            b.record_success()
+
+        def fail():
+            barrier.wait()
+            b.record_failure()
+
+        ts = [threading.Thread(target=succeed), threading.Thread(target=fail)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert b.state == CLOSED
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == OPEN
+        clock.advance(10.0)
+        assert b.state == HALF_OPEN
+        assert self._race_allow(b, 8) == 2
+
+
 class TestMetricsAndValidation:
     def test_state_gauge_and_transition_counters(self):
         b, clock = make("metrics")
