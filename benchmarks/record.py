@@ -282,6 +282,122 @@ def _faulted_campaign_throughput(
     }
 
 
+def _verification_overhead(
+    n_scenarios: int,
+    reps: int,
+    *,
+    nnodes: int = 64,
+    nbytes: int = 1 << 20,
+    seed: int = 0,
+) -> dict:
+    """Fault-free cost of end-to-end extent verification, interleaved.
+
+    Runs the same fault-free campaign twice per rep: once with no SDC
+    model (verification dormant — the pre-PR behaviour) and once with a
+    *null but active* :class:`~repro.machine.faults.SDCModel` (every
+    delivered extent's checksum is recomputed and compared, nothing is
+    ever corrupted).  Verification is pure observation, so the outcomes
+    must be byte-identical; the recorded overhead fraction is the CI
+    gate (must stay <= 3%).
+    """
+    import numpy as np
+
+    from repro.machine.faults import SDCModel
+    from repro.resilience.chaos import geometry_specs
+    from repro.resilience.executor import run_resilient_transfer_many
+
+    system = mira_system(nnodes=nnodes)
+    geometries = ("p2p", "group", "fanin")
+    spec_sets = []
+    for i in range(n_scenarios):
+        rng = np.random.default_rng([seed, i])
+        size = float(nbytes) * float(rng.integers(1, 4))
+        spec_sets.append(geometry_specs(system, geometries[i % 3], size))
+    null_sdc = [SDCModel(seed=seed)] * n_scenarios
+
+    def run_plain():
+        return run_resilient_transfer_many(system, spec_sets)
+
+    def run_verified():
+        return run_resilient_transfer_many(system, spec_sets, sdc=null_sdc)
+
+    plain_out = run_plain()  # warm both out of the measurement
+    verified_out = run_verified()
+    parity = 0.0
+    for p, v in zip(plain_out, verified_out):
+        parity = max(
+            parity,
+            abs(p.makespan - v.makespan),
+            abs(p.delivered_bytes - v.delivered_bytes),
+        )
+    t_p, t_v = [], []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        run_plain()
+        t_p.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_verified()
+        t_v.append(time.perf_counter() - t0)
+    p_mean, v_mean = statistics.fmean(t_p), statistics.fmean(t_v)
+    return {
+        "scenarios": n_scenarios,
+        "nnodes": nnodes,
+        "plain_mean_s": p_mean,
+        "verified_mean_s": v_mean,
+        "overhead_frac_mean": (v_mean - p_mean) / p_mean,
+        "overhead_frac_best": (min(t_v) - min(t_p)) / min(t_p),
+        "parity_max_abs": parity,
+        "reps": reps,
+    }
+
+
+def _recovered_goodput(
+    *, nnodes: int = 128, nbytes: int = 4 << 20, seeds=(0, 1)
+) -> dict:
+    """Goodput retained while detecting and re-driving silent corruption.
+
+    Runs the corruption chaos scenarios and reports delivered goodput
+    as a fraction of each geometry's fault-free baseline, plus the
+    detection/quarantine totals.  ``corrupted_acknowledged_bytes`` must
+    be zero across every run — that is the tentpole invariant, gated
+    here as well as in the campaign itself.
+    """
+    from repro.resilience.chaos import CampaignConfig, run_campaign
+
+    report = run_campaign(
+        CampaignConfig(
+            nnodes=nnodes,
+            nbytes=nbytes,
+            seeds=tuple(seeds),
+            scenarios=("silent-corruption", "corrupting-proxy"),
+        )
+    )
+    runs = report["runs"]
+    baselines = report["baseline_throughput_Bps"]
+    fracs = [
+        r["goodput_Bps"] / baselines[r["geometry"]]
+        for r in runs
+        if baselines.get(r["geometry"])
+    ]
+    return {
+        "campaign_passed": report["passed"],
+        "n_runs": report["n_runs"],
+        "corrupt_extents_detected": sum(
+            r["corrupt_extents_detected"] for r in runs
+        ),
+        "corrupt_bytes_redriven": sum(r["corrupt_bytes_redriven"] for r in runs),
+        "stale_drops": sum(r["stale_drops"] for r in runs),
+        "corrupted_acknowledged_bytes": sum(
+            r["corrupted_acknowledged_bytes"] for r in runs
+        ),
+        "quarantined_carriers": sum(
+            r["quarantined_links"] + r["quarantined_proxies"] for r in runs
+        ),
+        "recovered_goodput_frac_mean": statistics.fmean(fracs) if fracs else 0.0,
+        "recovered_goodput_frac_min": min(fracs) if fracs else 0.0,
+    }
+
+
 def _interleaved_speedup(make_new, make_seed, run, reps: int) -> dict:
     """Mean times and speedup of ``new`` vs ``seed``, reps interleaved.
 
@@ -356,9 +472,10 @@ def main(argv: "list[str] | None" = None) -> int:
         "--chaos-service",
         action="store_true",
         help="also measure faulted-campaign throughput (batched vs "
-        "forced-serial under link-fault traces) and run a seeded "
-        "service chaos campaign; writes a bench-resilience/1 report "
-        "to --resilience-out",
+        "forced-serial under link-fault traces), fault-free "
+        "verification overhead (gated <= 3%%), recovered goodput under "
+        "silent corruption, and run a seeded service chaos campaign; "
+        "writes a bench-resilience/1 report to --resilience-out",
     )
     ap.add_argument(
         "--resilience-out",
@@ -404,6 +521,30 @@ def main(argv: "list[str] | None" = None) -> int:
             f"fallbacks {faulted['batched_fallbacks']}"
         )
         log.info(
+            "measuring fault-free verification overhead (plain vs null-SDC) ..."
+        )
+        verification = _verification_overhead(96, max(args.seed_reps, 5))
+        log.info(
+            f"verification_overhead: plain "
+            f"{verification['plain_mean_s'] * 1e3:.1f} ms, verified "
+            f"{verification['verified_mean_s'] * 1e3:.1f} ms -> "
+            f"{verification['overhead_frac_mean']:+.2%} mean "
+            f"({verification['overhead_frac_best']:+.2%} best), parity "
+            f"{verification['parity_max_abs']:.1e}"
+        )
+        log.info("measuring recovered goodput under silent corruption ...")
+        recovered = _recovered_goodput()
+        log.info(
+            f"recovered_goodput: {recovered['recovered_goodput_frac_mean']:.1%} "
+            f"of fault-free baseline (min "
+            f"{recovered['recovered_goodput_frac_min']:.1%}) across "
+            f"{recovered['n_runs']} corruption runs; "
+            f"{recovered['corrupt_extents_detected']} corrupt arrivals "
+            f"detected, {recovered['corrupted_acknowledged_bytes']} corrupt "
+            f"bytes acknowledged, "
+            f"{recovered['quarantined_carriers']} carriers quarantined"
+        )
+        log.info(
             f"running seeded service chaos campaign "
             f"({args.chaos_requests} requests) ..."
         )
@@ -417,6 +558,8 @@ def main(argv: "list[str] | None" = None) -> int:
             "schema": "bench-resilience/1",
             "python": sys.version.split()[0],
             "faulted_campaign": faulted,
+            "verification_overhead": verification,
+            "recovered_goodput": recovered,
             "chaos_service": chaos_summary,
         }
         atomic_write_text(
@@ -440,6 +583,28 @@ def main(argv: "list[str] | None" = None) -> int:
             log.warning(
                 f"faulted campaign speedup below the 2x gate "
                 f"({faulted['speedup_mean']:.2f}x)"
+            )
+            resilience_ok = False
+        if verification["overhead_frac_mean"] > 0.03:
+            log.warning(
+                f"fault-free verification overhead above the 3% gate "
+                f"({verification['overhead_frac_mean']:.2%})"
+            )
+            resilience_ok = False
+        if verification["parity_max_abs"] > 0.0:
+            log.warning(
+                f"verification changed a fault-free outcome "
+                f"({verification['parity_max_abs']:.3e} != 0) — it must be "
+                f"pure observation"
+            )
+            resilience_ok = False
+        if not recovered["campaign_passed"]:
+            log.warning("corruption chaos campaign failed its invariants")
+            resilience_ok = False
+        if recovered["corrupted_acknowledged_bytes"] != 0:
+            log.warning(
+                f"corrupted bytes were acknowledged "
+                f"({recovered['corrupted_acknowledged_bytes']})"
             )
             resilience_ok = False
         if not chaos_summary["passed"]:

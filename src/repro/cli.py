@@ -126,6 +126,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--hard-fraction", type=float, default=0.0,
         help="probability a transient event is a hard failure",
     )
+    fl.add_argument(
+        "--sdc-links", type=int, default=0,
+        help="torus links silently flipping bits in transit (non-fail-stop; "
+        "detected only by end-to-end extent verification)",
+    )
+    fl.add_argument(
+        "--sdc-proxies", type=int, default=0,
+        help="store-and-forward proxies corrupting relayed extents",
+    )
+    fl.add_argument(
+        "--sdc-rate", type=float, default=0.5,
+        help="per-extent corruption probability on an afflicted carrier",
+    )
+    fl.add_argument(
+        "--sdc-stale-rate", type=float, default=0.0,
+        help="per-extent probability a delivered extent is replayed stale",
+    )
     fl.add_argument("--seed", type=int, default=2014)
     fl.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
 
@@ -181,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--out", type=str, default="chaos.json", metavar="PATH")
     ch.add_argument("--metrics-out", type=str, default=None, metavar="PATH")
     ch.add_argument(
+        "--list-campaigns", action="store_true",
+        help="list scenario kinds and geometries with one-line summaries, "
+        "then exit",
+    )
+    ch.add_argument(
         "--service", action="store_true",
         help="live-service campaign: boot a real ScenarioService, drive "
         "it with the load generator while injecting worker crashes, "
@@ -217,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--hang-frac", type=float, default=0.01,
         help="[--service] fraction of requests injected as worker hangs",
+    )
+    ch.add_argument(
+        "--sdc-frac", type=float, default=0.05,
+        help="[--service] fraction of transfers carrying a seeded "
+        "silent-corruption model",
     )
     ch.add_argument(
         "--hang-timeout", type=float, default=1.5, metavar="S",
@@ -520,7 +547,9 @@ def _cmd_faults(args) -> int:
         random_link_faults,
     )
     from repro.resilience import (
+        HealthMonitor,
         ResilientPlanner,
+        RetryPolicy,
         TransferAbortedError,
         run_resilient_transfer,
     )
@@ -591,10 +620,54 @@ def _cmd_faults(args) -> int:
         blind = None
         log.info(f"  fault-blind: stalled ({e})")
 
-    planner = ResilientPlanner(system, faults=faults, max_proxies=args.max_proxies)
+    policy = RetryPolicy()
+    monitor = HealthMonitor(
+        system,
+        faults=faults,
+        suspect_fraction=policy.health_threshold,
+        reprobe_interval=policy.reprobe_interval,
+    )
+    planner = ResilientPlanner(
+        system, faults=faults, monitor=monitor, max_proxies=args.max_proxies
+    )
+    sdc = None
+    if args.sdc_links or args.sdc_proxies or args.sdc_stale_rate:
+        # Target carriers the plan actually uses — corruption on links
+        # and proxies the transfer never crosses exercises nothing
+        # (the chaos harness does the same route-targeting).
+        import numpy as np
+
+        from repro.machine.faults import SDCModel
+
+        asg = planner.plan([spec])[0].assignment
+        rng = np.random.default_rng(args.seed + 2)
+        proxies = list(asg.proxies)
+        rng.shuffle(proxies)
+        route_links = list(system.compute_path(spec.src, spec.dst).links)
+        for j in range(asg.k):
+            route_links += list(asg.phase1[j].links + asg.phase2[j].links)
+        links = sorted(set(route_links))
+        rng.shuffle(links)
+        sdc = SDCModel(
+            flip_links={
+                int(l): args.sdc_rate for l in links[: args.sdc_links]
+            },
+            corrupt_proxies={
+                int(p): args.sdc_rate for p in proxies[: args.sdc_proxies]
+            },
+            stale_rate=args.sdc_stale_rate,
+            seed=args.seed + 2,
+        )
+        log.info(
+            f"  silent corruption: {len(sdc.flip_links)} bit-flipping "
+            f"route link(s), {len(sdc.corrupt_proxies)} corrupting "
+            f"prox(ies) at rate {args.sdc_rate:.0%}, stale-replay rate "
+            f"{args.sdc_stale_rate:.0%}"
+        )
     try:
         out = run_resilient_transfer(
-            system, [spec], faults=faults, trace=trace, planner=planner
+            system, [spec], faults=faults, trace=trace, sdc=sdc,
+            policy=policy, planner=planner, monitor=monitor,
         )
     except TransferAbortedError as e:
         log.error(f"  resilient:   aborted ({e})")
@@ -606,6 +679,28 @@ def _cmd_faults(args) -> int:
         f"resent {format_bytes(t.bytes_resent)}, "
         f"direct fallbacks {t.degraded_to_direct}"
     )
+    if sdc is not None:
+        log.info(
+            f"    corruption: {t.corrupt_extents_detected} extent arrivals "
+            f"detected, {format_bytes(t.corrupt_bytes_redriven)} re-driven "
+            f"clean, {t.stale_drops} stale replays dropped, "
+            f"{format_bytes(out.corrupted_acknowledged_bytes)} corrupt "
+            f"acknowledged"
+        )
+        for link in monitor.quarantined_links():
+            state = monitor.link_quarantine(link)
+            strikes = monitor.corruption_strikes(link=link)
+            log.info(
+                f"    link {link}: {state} "
+                f"({strikes} corruption strike(s))"
+            )
+        for p in monitor.quarantined_proxies():
+            state = monitor.proxy_quarantine(p)
+            strikes = monitor.corruption_strikes(proxy=p)
+            log.info(
+                f"    proxy {p}: {state} "
+                f"({strikes} corruption strike(s))"
+            )
     for a in t.failed_attempts:
         carrier = "direct" if a.proxy is None else f"proxy {a.proxy}"
         finish = "stalled" if a.finish > 100 * a.deadline else f"{a.finish:.6f}s"
@@ -764,6 +859,7 @@ def _cmd_chaos_service(args) -> int:
             rate=args.rate,
             overload_factor=args.overload_factor,
             fault_frac=args.fault_frac,
+            sdc_frac=args.sdc_frac,
             crash_frac=args.crash_frac,
             hang_frac=args.hang_frac,
             hang_timeout_s=args.hang_timeout,
@@ -797,6 +893,23 @@ def _cmd_chaos_service(args) -> int:
 def _cmd_chaos(args) -> int:
     """Run a seeded chaos campaign and write its JSON report."""
     import json
+
+    if args.list_campaigns:
+        from repro.resilience.chaos import (
+            GEOMETRIES,
+            SCENARIO_KINDS,
+            SCENARIO_SUMMARIES,
+        )
+
+        log.info("scenario kinds (repro chaos --scenarios a,b,...):")
+        for kind in SCENARIO_KINDS:
+            log.info(f"  {kind:<18} {SCENARIO_SUMMARIES.get(kind, '')}")
+        log.info(f"geometries (--geometries): {', '.join(GEOMETRIES)}")
+        log.info(
+            "service campaigns (--service) additionally inject worker "
+            "crashes, hangs and silent corruption from one seeded schedule"
+        )
+        return 0
 
     if args.service:
         return _cmd_chaos_service(args)
@@ -852,6 +965,16 @@ def _cmd_chaos(args) -> int:
             f"resent={format_bytes(r['bytes_resent'])} "
             f"residue={format_bytes(r['residue_bytes'])}"
         )
+        if r.get("corrupt_extents_detected") or r.get("stale_drops"):
+            log.info(
+                f"         corruption: {r['corrupt_extents_detected']} extents "
+                f"detected, {format_bytes(r['corrupt_bytes_redriven'])} "
+                f"re-driven clean, {r['stale_drops']} stale replays dropped, "
+                f"{format_bytes(r['corrupted_acknowledged_bytes'])} "
+                f"corrupt acknowledged; quarantine: "
+                f"{r['quarantined_links']} link(s), "
+                f"{r['quarantined_proxies']} prox(ies)"
+            )
         for f in r["failures"]:
             log.info(f"         {f}")
     log.info(

@@ -374,6 +374,7 @@ def run_transfer_many(
     events: "Sequence[Sequence | None] | None" = None,
     faults=None,
     traces=None,
+    sdc=None,
     policy=None,
     on_error: str = "raise",
 ) -> list[TransferOutcome]:
@@ -409,9 +410,10 @@ def run_transfer_many(
         events: optional per-scenario capacity-event sequences (aligned
             with ``spec_sets``; ``None`` entries run undisturbed).
             Mutually exclusive with ``traces``.
-        faults / traces: per-scenario
+        faults / traces / sdc: per-scenario
             :class:`~repro.machine.faults.FaultModel` /
-            :class:`~repro.machine.faults.FaultTrace` sequences (or one
+            :class:`~repro.machine.faults.FaultTrace` /
+            :class:`~repro.machine.faults.SDCModel` sequences (or one
             instance shared by all); when any is set the batch runs
             through the resilience executor with ledger-based
             partial-progress retries and each outcome carries its
@@ -441,7 +443,12 @@ def run_transfer_many(
             f"({len(assignments)} != {len(spec_sets)})"
         )
 
-    if faults is not None or traces is not None or policy is not None:
+    if (
+        faults is not None
+        or traces is not None
+        or sdc is not None
+        or policy is not None
+    ):
         if events is not None:
             raise ConfigError("events and traces are mutually exclusive")
         if assignments is not None or capacity_fn is not None:
@@ -457,6 +464,7 @@ def run_transfer_many(
             spec_sets,
             faults=faults,
             traces=traces,
+            sdc=sdc,
             policy=policy,
             on_error=on_error,
         )

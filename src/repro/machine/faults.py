@@ -15,8 +15,17 @@ This module lets experiments relax that assumption:
 * :func:`degraded_system_capacity` — wraps a
   :class:`~repro.machine.system.BGQSystem` capacity function with a
   fault model;
-* :func:`random_link_faults` / :func:`random_fault_trace` —
-  reproducible random fault drawing.
+* :class:`SDCModel` — the *non-fail-stop* family: silent data
+  corruption.  Links flip bits in transit, store-and-forward proxy
+  buffers corrupt staged extents, and stale duplicates of
+  already-delivered extents reappear — all while every transfer
+  *reports success*.  Decisions are pure functions of
+  ``(seed, transfer, extent, round, carrier)`` via a stable hash, so a
+  faulted campaign is byte-deterministic regardless of whether the
+  serial or the batched execution path evaluates it (and in which
+  order);
+* :func:`random_link_faults` / :func:`random_fault_trace` /
+  :func:`random_sdc_model` — reproducible random fault drawing.
 
 The split between the two containers mirrors how the resilience layer
 (:mod:`repro.resilience`) consumes them: a :class:`FaultModel` is
@@ -34,6 +43,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.machine.system import BGQSystem
 from repro.torus.topology import TorusTopology
+from repro.util.checksum import stable_unit
 from repro.util.rng import make_rng
 from repro.util.validation import ConfigError
 
@@ -234,6 +244,162 @@ class FaultTrace:
             failed_nodes=base.failed_nodes,
             failed_links=frozenset(failed),
         )
+
+
+def _check_rate(name: str, rate: float) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+    return float(rate)
+
+
+@dataclass(frozen=True)
+class SDCModel:
+    """Seeded silent-data-corruption (non-fail-stop) fault family.
+
+    Unlike :class:`FaultModel`/:class:`FaultTrace`, nothing here slows a
+    flow down or fails it: every transfer *appears* to succeed.  The
+    damage is to payload bytes — exactly the failure mode the extent
+    checksums in :mod:`repro.resilience.ledger` exist to catch.
+
+    Attributes:
+        flip_links: directed link id → per-extent probability that an
+            extent crossing the link in one round arrives corrupted.
+        corrupt_proxies: proxy node id → per-extent probability that the
+            proxy's store-and-forward buffer corrupts a staged extent.
+        stale_rate: per-extent probability that a round re-delivers a
+            stale duplicate of an already-delivered extent (receiver
+            dedup must drop it — delivering it twice breaks
+            exactly-once).
+        seed: campaign seed folded into every draw.
+
+    Every decision (:meth:`wire_corrupts`, :meth:`proxy_corrupts`,
+    :meth:`stale_replay`) is a pure function of its labels via
+    :func:`repro.util.checksum.stable_unit` — no mutable RNG state — so
+    the serial executor and the block-diagonal batched executor reach
+    byte-identical verdicts under one seed no matter how their
+    evaluation orders interleave.
+    """
+
+    flip_links: Mapping[int, float] = field(default_factory=dict)
+    corrupt_proxies: Mapping[int, float] = field(default_factory=dict)
+    stale_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for link, rate in self.flip_links.items():
+            _check_rate(f"flip_links[{link}]", rate)
+        for node, rate in self.corrupt_proxies.items():
+            _check_rate(f"corrupt_proxies[{node}]", rate)
+        _check_rate("stale_rate", self.stale_rate)
+
+    @property
+    def is_null(self) -> bool:
+        """True when no draw can ever corrupt anything."""
+        return (
+            all(r <= 0.0 for r in self.flip_links.values())
+            and all(r <= 0.0 for r in self.corrupt_proxies.values())
+            and self.stale_rate <= 0.0
+        )
+
+    # -- rates --------------------------------------------------------------------
+
+    def link_flip_rate(self, link: int) -> float:
+        """Per-extent corruption probability of one directed link."""
+        return self.flip_links.get(link, 0.0)
+
+    def proxy_corrupt_rate(self, node: int) -> float:
+        """Per-extent corruption probability of one proxy's buffer."""
+        return self.corrupt_proxies.get(node, 0.0)
+
+    def route_flip_probability(self, links: Iterable[int]) -> float:
+        """Probability an extent crossing ``links`` arrives corrupted:
+        ``1 - Π(1 - rate_l)`` over the route's flaky links."""
+        survive = 1.0
+        for l in links:
+            rate = self.flip_links.get(l, 0.0)
+            if rate > 0.0:
+                survive *= 1.0 - rate
+        return 1.0 - survive
+
+    def flaky_links_on(self, links: Iterable[int]) -> tuple[int, ...]:
+        """The route's links with a non-zero flip rate, ascending."""
+        return tuple(
+            sorted(l for l in set(links) if self.flip_links.get(l, 0.0) > 0.0)
+        )
+
+    # -- pure-function decisions --------------------------------------------------
+
+    def _draw(self, kind: str, key: tuple[int, int], eid: int, rnd: int) -> float:
+        return stable_unit("sdc", self.seed, kind, key[0], key[1], eid, rnd)
+
+    def wire_corrupts(
+        self, key: tuple[int, int], eid: int, rnd: int, links: Iterable[int]
+    ) -> bool:
+        """Did extent ``eid`` of transfer ``key`` arrive corrupted after
+        crossing ``links`` in retry round ``rnd``?"""
+        p = self.route_flip_probability(links)
+        return p > 0.0 and self._draw("wire", key, eid, rnd) < p
+
+    def proxy_corrupts(
+        self, key: tuple[int, int], eid: int, rnd: int, proxy: int
+    ) -> bool:
+        """Did proxy ``proxy``'s buffer corrupt staged extent ``eid``
+        during retry round ``rnd``?"""
+        p = self.proxy_corrupt_rate(proxy)
+        return p > 0.0 and self._draw(f"proxy:{proxy}", key, eid, rnd) < p
+
+    def stale_replay(self, key: tuple[int, int], eid: int, rnd: int) -> bool:
+        """Does round ``rnd`` re-deliver a stale duplicate of the
+        already-delivered extent ``eid``?"""
+        return (
+            self.stale_rate > 0.0
+            and self._draw("stale", key, eid, rnd) < self.stale_rate
+        )
+
+
+def random_sdc_model(
+    topology: TorusTopology,
+    nflip_links: int,
+    *,
+    flip_rate: float = 0.25,
+    ncorrupt_proxies: int = 0,
+    corrupt_rate: float = 0.5,
+    stale_rate: float = 0.0,
+    seed=None,
+) -> SDCModel:
+    """Draw a reproducible random silent-corruption model.
+
+    ``nflip_links`` distinct directed links flip bits at ``flip_rate``
+    per extent; ``ncorrupt_proxies`` distinct nodes corrupt staged
+    extents at ``corrupt_rate``.  The draw seed doubles as the model's
+    decision seed so one integer reproduces the whole campaign.
+    """
+    nflip_links = _check_count(
+        "nflip_links", nflip_links, topology.nlinks, "directed-link count"
+    )
+    ncorrupt_proxies = _check_count(
+        "ncorrupt_proxies", ncorrupt_proxies, topology.nnodes, "node count"
+    )
+    _check_rate("flip_rate", flip_rate)
+    _check_rate("corrupt_rate", corrupt_rate)
+    _check_rate("stale_rate", stale_rate)
+    rng = make_rng(seed)
+    links = (
+        rng.choice(topology.nlinks, size=nflip_links, replace=False)
+        if nflip_links
+        else []
+    )
+    nodes = (
+        rng.choice(topology.nnodes, size=ncorrupt_proxies, replace=False)
+        if ncorrupt_proxies
+        else []
+    )
+    return SDCModel(
+        flip_links={int(l): flip_rate for l in links},
+        corrupt_proxies={int(n): corrupt_rate for n in nodes},
+        stale_rate=stale_rate,
+        seed=int(seed) if isinstance(seed, int) else 0,
+    )
 
 
 def degraded_system_capacity(

@@ -50,6 +50,7 @@ class FlowProgram:
         capacity_fn: "CapacityFn | None" = None,
         probe: "TimeSeriesProbe | None" = None,
         t_base: float = 0.0,
+        sdc=None,
     ):
         self.comm = comm
         self.system = comm.system
@@ -60,6 +61,11 @@ class FlowProgram:
         self.capacity_fn = capacity_fn
         self.probe = probe
         self.t_base = t_base
+        #: Optional silent-corruption model: forwarded to the simulator
+        #: so results carry wire-corruption annotations (metadata only —
+        #: the batched driver reads it off the program the same way it
+        #: reads ``capacity_fn``).
+        self.sdc = sdc
         self.flows: list[Flow] = []
         self._counter = 0
 
@@ -293,4 +299,5 @@ class FlowProgram:
             probe=self.probe,
             t_base=self.t_base,
             cutoffs=cutoffs,
+            sdc=self.sdc,
         )

@@ -283,6 +283,7 @@ class BatchFlowSim:
         cancel_check: "Callable[[], object] | None" = None,
         cancel_every: int = 64,
         on_error: str = "raise",
+        sdc: "Sequence | None" = None,
     ) -> list[FlowSimResult]:
         """Run every ``(capacities, flows)`` scenario; one result each.
 
@@ -297,6 +298,11 @@ class BatchFlowSim:
         scenario's capacity events and per-flow cutoff snapshots carry
         exactly the semantics of :meth:`FlowSim.run`'s same-named
         arguments, applied to that scenario's own clock and block only.
+        ``sdc`` is the same-shaped per-scenario sequence of
+        silent-corruption models: each non-``None`` entry annotates its
+        scenario's result exactly as :meth:`FlowSim.run`'s ``sdc``
+        argument would — pure metadata, so batched and serial faulted
+        runs stay byte-identical.
 
         ``cancel_check``/``cancel_every`` poll the cooperative
         cancellation hook once per lockstep round (the batched analogue
@@ -337,6 +343,11 @@ class BatchFlowSim:
             raise ConfigError(
                 f"cutoffs must align with scenarios "
                 f"({len(cutoffs)} != {len(scenarios)})"
+            )
+        if sdc is not None and len(sdc) != len(scenarios):
+            raise ConfigError(
+                f"sdc must align with scenarios "
+                f"({len(sdc)} != {len(scenarios)})"
             )
 
         # ---- per-scenario structural build (validation + compaction) --
@@ -813,9 +824,12 @@ class BatchFlowSim:
                 for i, f in enumerate(st.flows)
             }
             makespan = float(np.max(finish_rec[lo:hi]))
-            results[st.index] = FlowSimResult(
+            out = FlowSimResult(
                 res, makespan, link_bytes, st.n_updates, st.cut_rec
             )
+            if sdc is not None and sdc[st.index] is not None:
+                out.annotate_sdc(sdc[st.index], st.flows)
+            results[st.index] = out
 
         reg = get_registry()
         reg.counter("flowsim.batch_runs").inc()

@@ -203,6 +203,14 @@ class FlowSimResult:
     delivered by that instant — the byte-exact partial-progress record
     the resilience ledger credits when a carrier is cancelled at its
     deadline.
+
+    When the run carried a silent-data-corruption model
+    (:class:`repro.machine.faults.SDCModel` via ``run(..., sdc=...)``),
+    the result is annotated with it: :meth:`wire_flip_probability`
+    reports each flow's route corruption probability.  The annotation
+    is pure metadata — SDC never changes rates or timings (that is what
+    makes it *silent*), so annotated and unannotated runs are
+    byte-identical in every physical output.
     """
 
     def __init__(
@@ -218,8 +226,24 @@ class FlowSimResult:
         self.link_bytes = link_bytes
         self.n_rate_updates = n_rate_updates
         self.cutoff_bytes = cutoff_bytes or {}
+        self.sdc = None
+        self._flow_paths: dict[FlowId, tuple] = {}
         self._total_bytes: "float | None" = None
         self._aggregate_throughput: "float | None" = None
+
+    def annotate_sdc(self, sdc, flows: "Sequence[Flow]") -> None:
+        """Attach the run's SDC model and flow routes (metadata only)."""
+        self.sdc = sdc
+        self._flow_paths = {f.fid: f.path for f in flows}
+
+    def wire_flip_probability(self, fid: FlowId) -> float:
+        """Probability this flow's payload crossed a bit-flipping link
+        (``1 - Π(1 - rate_l)`` over its route; 0.0 without an SDC
+        model).  Per-extent corruption *decisions* stay with the
+        resilience executor — only it knows the extent identities."""
+        if self.sdc is None:
+            return 0.0
+        return self.sdc.route_flip_probability(self._flow_paths.get(fid, ()))
 
     def __len__(self) -> int:
         return len(self.results)
@@ -696,8 +720,15 @@ class FlowSim:
         cutoffs: "Mapping[FlowId, float] | None" = None,
         cancel_check: "Callable[[], object] | None" = None,
         cancel_every: int = 64,
+        sdc=None,
     ) -> FlowSimResult:
         """Simulate all flows to completion and return per-flow results.
+
+        ``sdc`` (a :class:`repro.machine.faults.SDCModel`) annotates the
+        result with per-flow wire-corruption probabilities — see
+        :meth:`FlowSimResult.wire_flip_probability`.  Corruption is
+        *silent*: it never alters rates, timings or delivered bytes, so
+        passing a model cannot change any physical output.
 
         ``capacity_events`` schedules mid-run capacity changes (link
         degradation, failure, or recovery); each triggers an exact rate
@@ -1541,4 +1572,7 @@ class FlowSim:
         reg.counter("flowsim.rate_updates").inc(n_updates)
         reg.counter("flowsim.capacity_events_applied").inc(ep)
         reg.counter("flowsim.delivered_bytes").inc(delivered)
-        return FlowSimResult(results, makespan, link_bytes, n_updates, cut_rec)
+        out = FlowSimResult(results, makespan, link_bytes, n_updates, cut_rec)
+        if sdc is not None:
+            out.annotate_sdc(sdc, flows)
+        return out

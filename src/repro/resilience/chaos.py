@@ -35,7 +35,18 @@ Scenario kinds (:data:`SCENARIO_KINDS`):
 * ``brownout`` — a window of deep capacity degradation over several
   routes, no hard failure;
 * ``retry-storm`` — a second wave of failures lands *during* recovery,
-  hitting the retry round mid-flight.
+  hitting the retry round mid-flight;
+* ``silent-corruption`` — non-fail-stop: route links flip bits in
+  transit (plus stale replays of delivered extents); nothing slows
+  down, only end-to-end extent verification can notice;
+* ``corrupting-proxy`` — a store-and-forward proxy's staging buffer
+  corrupts everything it relays, driving strike accumulation into
+  corruption quarantine and re-planning around the poisoned node.
+
+Corruption cells additionally verify ``no-corrupt-acked`` (zero bytes
+whose recorded arrival checksum mismatches the sealed truth were ever
+credited) and — when the model makes a hit certain —
+``corruption-detected``.
 
 Geometries (:data:`GEOMETRIES`): ``p2p`` (one pair), ``group`` (three
 disjoint pairs), ``fanin`` (three sources, one destination — the
@@ -53,7 +64,7 @@ from dataclasses import dataclass
 
 from repro.core.multipath import TransferSpec, run_transfer_many
 from repro.machine import mira_system
-from repro.machine.faults import FaultEvent, FaultTrace
+from repro.machine.faults import FaultEvent, FaultTrace, SDCModel
 from repro.machine.system import BGQSystem
 from repro.obs.metrics import counter_violations, get_registry
 from repro.resilience.executor import (
@@ -62,6 +73,7 @@ from repro.resilience.executor import (
     TransferAbortedError,
     run_resilient_transfer,
 )
+from repro.resilience.health import HealthMonitor
 from repro.resilience.ledger import IntegrityError
 from repro.resilience.planner import ResilientPlanner
 from repro.torus.links import link_id_parts
@@ -74,7 +86,26 @@ SCENARIO_KINDS = (
     "flapping",
     "brownout",
     "retry-storm",
+    "silent-corruption",
+    "corrupting-proxy",
 )
+
+#: One-line operator summaries (``repro chaos --list-campaigns``).
+SCENARIO_SUMMARIES = {
+    "hard-down": "one or two carrier routes go to zero mid-transfer",
+    "correlated-dim": "every route link along one torus dimension fails together",
+    "flapping": "route links oscillate down/up, exercising probation re-probes",
+    "brownout": "deep capacity degradation window, no hard failure",
+    "retry-storm": "a second failure wave lands during recovery itself",
+    "silent-corruption": (
+        "non-fail-stop: links flip bits in transit (+ stale replays); "
+        "only end-to-end verification can notice"
+    ),
+    "corrupting-proxy": (
+        "a store-and-forward proxy corrupts everything it relays, "
+        "driving corruption quarantine and re-planning"
+    ),
+}
 
 #: Transfer geometries a campaign can sweep.
 GEOMETRIES = ("p2p", "group", "fanin")
@@ -84,13 +115,23 @@ _MiB = 1 << 20
 
 @dataclass(frozen=True)
 class ChaosScenario:
-    """One generated fault schedule, tied to the routes it targets."""
+    """One generated fault schedule, tied to the routes it targets.
+
+    ``sdc`` is the silent-corruption model of non-fail-stop cells
+    (``None`` for timing-fault cells); ``expect_detection`` is True
+    when the model *guarantees* at least one corrupt arrival in round 0
+    (rate-1.0 fault on a round-0 carrier), making
+    ``corruption-detected`` machine-checkable rather than
+    probabilistic.
+    """
 
     kind: str
     geometry: str
     seed: int
     trace: FaultTrace
     description: str
+    sdc: "SDCModel | None" = None
+    expect_detection: bool = False
 
 
 @dataclass
@@ -117,6 +158,12 @@ class ChaosRun:
     replacements: int = 0
     degraded_to_direct: int = 0
     budget_exhausted: bool = False
+    corrupt_extents_detected: int = 0
+    corrupt_bytes_redriven: int = 0
+    stale_drops: int = 0
+    corrupted_acknowledged_bytes: int = 0
+    quarantined_links: int = 0
+    quarantined_proxies: int = 0
     error: "str | None" = None
 
     def to_dict(self) -> dict:
@@ -142,6 +189,12 @@ class ChaosRun:
             "replacements": self.replacements,
             "degraded_to_direct": self.degraded_to_direct,
             "budget_exhausted": self.budget_exhausted,
+            "corrupt_extents_detected": self.corrupt_extents_detected,
+            "corrupt_bytes_redriven": self.corrupt_bytes_redriven,
+            "stale_drops": self.stale_drops,
+            "corrupted_acknowledged_bytes": self.corrupted_acknowledged_bytes,
+            "quarantined_links": self.quarantined_links,
+            "quarantined_proxies": self.quarantined_proxies,
             "error": self.error,
         }
 
@@ -243,6 +296,26 @@ def build_scenario(
     if not routes:
         raise ConfigError("plans yielded no routes to fault")
     events: list[FaultEvent] = []
+    sdc: "SDCModel | None" = None
+    expect_detection = False
+
+    def round0_routes() -> list[tuple[int, ...]]:
+        """Routes that carry round-0 traffic (unlike ``routes``, this
+        excludes the direct path of proxy-planned pairs — a rate-1.0
+        fault must hit a route that actually runs to guarantee a
+        detection)."""
+        out: list[tuple[int, ...]] = []
+        for plan in plans:
+            if plan.strategy == "proxy":
+                a = plan.assignment
+                out.extend(
+                    a.phase1[j].links + a.phase2[j].links for j in range(a.k)
+                )
+            else:
+                out.append(
+                    system.compute_path(plan.spec.src, plan.spec.dst).links
+                )
+        return out
 
     def kill(links, *, start, end=float("inf"), factor=0.0):
         for l in sorted(set(links)):
@@ -295,6 +368,43 @@ def build_scenario(
                 factor=rng.uniform(0.05, 0.2),
             )
         desc = f"cascading failures starting t={t0:.4f}"
+    elif kind == "silent-corruption":
+        # Non-fail-stop: nothing slows down, links flip bits in
+        # transit.  One round-0 carrier link flips at rate 1.0 so a
+        # detection is *certain* (the invariant is machine-checkable),
+        # a few more route links flip probabilistically, and delivered
+        # extents see stale replays the receiver must drop.
+        r0 = round0_routes()
+        anchor = rng.choice(r0)
+        flips = {anchor[0]: 1.0}
+        others = sorted({l for r in r0 for l in r} - set(flips))
+        for l in rng.sample(others, min(3, len(others))):
+            flips[l] = round(rng.uniform(0.2, 0.6), 3)
+        sdc = SDCModel(flip_links=flips, stale_rate=0.2, seed=seed)
+        expect_detection = True
+        desc = (
+            f"wire bit-flips on {len(flips)} route links (link {anchor[0]} "
+            f"at rate 1.0) + stale replays at 0.2"
+        )
+    elif kind == "corrupting-proxy":
+        # A store-and-forward staging buffer poisons everything it
+        # relays: strikes accumulate into corruption quarantine and the
+        # retry machinery re-plans around the node.
+        proxy_asgs = [p.assignment for p in plans if p.strategy == "proxy"]
+        if proxy_asgs:
+            a = rng.choice(proxy_asgs)
+            rates = {a.proxies[0]: 1.0}
+            if a.k > 1 and rng.random() < 0.5:
+                rates[a.proxies[1]] = round(rng.uniform(0.5, 0.9), 3)
+            sdc = SDCModel(corrupt_proxies=rates, seed=seed)
+            desc = f"corrupting proxy buffer(s) {rates}"
+        else:
+            # Every pair went direct — no staging buffer exists, so the
+            # nearest equivalent is a certain wire flip on that path.
+            d = round0_routes()[0]
+            sdc = SDCModel(flip_links={d[0]: 1.0}, seed=seed)
+            desc = "no proxy plan; direct-route wire flip at rate 1.0"
+        expect_detection = True
     else:
         raise ConfigError(f"unknown scenario kind {kind!r}")
 
@@ -304,6 +414,8 @@ def build_scenario(
         seed=seed,
         trace=FaultTrace(events=tuple(events)),
         description=desc,
+        sdc=sdc,
+        expect_detection=expect_detection,
     )
 
 
@@ -316,6 +428,7 @@ def _check_invariants(
     goodput_floor: float,
     counters_before: dict,
     counters_after: dict,
+    expect_detection: bool = False,
 ) -> tuple[dict[str, bool], list[str]]:
     inv: dict[str, bool] = {}
     failures: list[str] = []
@@ -383,6 +496,21 @@ def _check_invariants(
     bad = counter_violations(counters_before, counters_after)
     check("metrics-monotone", not bad, f"counters went backwards: {bad}")
 
+    check(
+        "no-corrupt-acked",
+        outcome.corrupted_acknowledged_bytes == 0,
+        f"{outcome.corrupted_acknowledged_bytes} corrupted bytes were "
+        f"credited as delivered",
+    )
+    if expect_detection:
+        check(
+            "corruption-detected",
+            outcome.telemetry.corrupt_extents_detected > 0,
+            "a rate-1.0 corruption fault produced no detection",
+        )
+    else:
+        inv["corruption-detected"] = True  # nothing certain to detect
+
     return inv, failures
 
 
@@ -439,9 +567,20 @@ def run_campaign(config: "CampaignConfig | None" = None) -> dict:
                 before = dict(reg.snapshot()["counters"])
                 error = None
                 outcome = None
+                # Corruption cells get their own monitor so the report
+                # can read quarantine state back out; timing cells keep
+                # the executor's default construction, byte-identical.
+                mon = None
+                if scenario.sdc is not None:
+                    mon = HealthMonitor(
+                        system,
+                        suspect_fraction=policy.health_threshold,
+                        reprobe_interval=policy.reprobe_interval,
+                    )
                 try:
                     outcome = run_resilient_transfer(
-                        system, specs, trace=scenario.trace, policy=policy
+                        system, specs, trace=scenario.trace, policy=policy,
+                        sdc=scenario.sdc, monitor=mon,
                     )
                 except (IntegrityError, TransferAbortedError) as exc:
                     error = f"{type(exc).__name__}: {exc}"
@@ -469,6 +608,7 @@ def run_campaign(config: "CampaignConfig | None" = None) -> dict:
                     goodput_floor=config.goodput_floor,
                     counters_before=before,
                     counters_after=after,
+                    expect_detection=scenario.expect_detection,
                 )
                 t = outcome.telemetry
                 runs.append(
@@ -497,6 +637,18 @@ def run_campaign(config: "CampaignConfig | None" = None) -> dict:
                         replacements=t.replacements,
                         degraded_to_direct=t.degraded_to_direct,
                         budget_exhausted=t.budget_exhausted,
+                        corrupt_extents_detected=t.corrupt_extents_detected,
+                        corrupt_bytes_redriven=t.corrupt_bytes_redriven,
+                        stale_drops=t.stale_drops,
+                        corrupted_acknowledged_bytes=(
+                            outcome.corrupted_acknowledged_bytes
+                        ),
+                        quarantined_links=(
+                            len(mon.quarantined_links()) if mon else 0
+                        ),
+                        quarantined_proxies=(
+                            len(mon.quarantined_proxies()) if mon else 0
+                        ),
                     )
                 )
 

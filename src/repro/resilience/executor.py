@@ -64,14 +64,20 @@ from repro.core.multipath import (
     build_multipath_flows_detailed,
 )
 from repro.core.proxy_select import ProxyAssignment, forced_assignment
-from repro.machine.faults import FaultModel, FaultTrace
+from repro.machine.faults import FaultModel, FaultTrace, SDCModel
 from repro.machine.system import BGQSystem
 from repro.mpi.comm import SimComm
 from repro.mpi.program import FlowProgram
 from repro.network.flowsim import CapacityEvent, FlowSimResult
 from repro.obs.metrics import TimeSeriesProbe, get_registry
 from repro.obs.trace import get_tracer
-from repro.resilience.health import DOWN, HEALTHY, PROBATION, HealthMonitor
+from repro.resilience.health import (
+    DOWN,
+    HEALTHY,
+    PROBATION,
+    QUARANTINED,
+    HealthMonitor,
+)
 from repro.util.cancel import check_cancelled
 from repro.resilience.ledger import (
     DEFAULT_CHUNK_BYTES,
@@ -88,6 +94,11 @@ from repro.util.validation import ConfigError, SimulationError
 #: fluid model stays well-posed; deadlines do the actual failure
 #: detection, as they would on the real machine.
 STALL_RATE = 1.0
+
+#: XOR mask applied to an extent's checksum to model the observed
+#: checksum of a corrupted arrival (any constant != 0 works: the
+#: mismatch, not the value, is what detection keys on).
+_CORRUPT_MASK = 0xA5A5A5A5
 
 
 @dataclass(frozen=True)
@@ -225,7 +236,7 @@ class PathAttempt:
     planned_time: float
     deadline: float
     finish: float
-    verdict: str  # "ok" or "failed"
+    verdict: str  # "ok", "failed" (deadline) or "corrupt" (integrity)
 
 
 @dataclass
@@ -247,6 +258,9 @@ class ResilienceTelemetry:
     bytes_redriven: int = 0
     replacements: int = 0
     budget_exhausted: bool = False
+    corrupt_extents_detected: int = 0
+    corrupt_bytes_redriven: int = 0
+    stale_drops: int = 0
     attempts: list[PathAttempt] = field(default_factory=list)
 
     @property
@@ -285,6 +299,14 @@ class ResilientOutcome:
     def throughput(self) -> float:
         """Requested payload over total elapsed time [B/s]."""
         return self.total_bytes / self.makespan if self.makespan > 0 else float("inf")
+
+    @property
+    def corrupted_acknowledged_bytes(self) -> int:
+        """Bytes whose *recorded arrival checksum* mismatches the sealed
+        truth yet were credited as delivered — the zero-tolerance audit
+        the corruption chaos campaigns assert on (summed over every
+        transfer's integrity report)."""
+        return sum(r.corrupted_acknowledged_bytes for r in self.integrity)
 
     @property
     def result(self) -> FlowSimResult:
@@ -342,6 +364,7 @@ def _resilient_execution(
     policy: "RetryPolicy | None" = None,
     planner: "ResilientPlanner | None" = None,
     monitor: "HealthMonitor | None" = None,
+    sdc: "SDCModel | None" = None,
     batch_tol: float = 0.0,
     fair_tol: float = 0.0,
     lazy_frac: float = 0.0,
@@ -364,6 +387,20 @@ def _resilient_execution(
     ``throw()``s simulation errors in, which propagate exactly as they
     would from an inline ``prog.run``.  Returns (via ``StopIteration``)
     the :class:`ResilientOutcome`.
+
+    ``sdc`` switches on the silent-corruption defense: every extent
+    arriving at its destination is end-to-end checksum-verified before
+    credit.  A mismatch is `corrupted, not lost` — the extent returns
+    to outstanding (never acknowledged), the mismatch is attributed to
+    its carrier (the staging proxy of a store-and-forward carrier, the
+    route links of a direct one), the carrier's verdict becomes
+    ``"corrupt"`` and a retry round re-drives *only* the corrupt
+    extents over carriers the monitor still trusts.  Passing a *null*
+    model (all rates zero) keeps the verification active but inert —
+    the configuration the verification-overhead benchmark measures.
+    Corruption decisions are pure functions of
+    ``(seed, transfer, extent, round, carrier)``, so serial and batched
+    drivers agree byte-for-byte.
     """
     specs = list(specs)
     if not specs:
@@ -394,6 +431,9 @@ def _resilient_execution(
     # Fault-free runs never register cutoffs: the flow program the
     # simulator sees is byte-identical to the fault-blind executor's.
     track_cutoffs = faulted and policy.partial_progress
+    # Verification is on whenever an SDC model is supplied — even a
+    # null one (that configuration measures pure verification cost).
+    verify_extents = sdc is not None
     ledgers = {
         idx: TransferLedger(
             (s.src, s.dst), s.nbytes, chunk_bytes=policy.chunk_bytes
@@ -568,7 +608,54 @@ def _resilient_execution(
             out.extend(cars)
         return out
 
-    def credit_carrier(car: _Carrier, ok: bool, result: FlowSimResult) -> None:
+    def carrier_links(car: _Carrier) -> list[int]:
+        """Every link the carrier's hops cross (observation routes)."""
+        return [l for links, _ in car.obs for l in links]
+
+    def carrier_str(car: _Carrier) -> str:
+        """Attribution label: the staging proxy of a store-and-forward
+        carrier (its buffer is the prime suspect, and it persists
+        across re-routed hops so repeated strikes localise), else the
+        direct route's links."""
+        if car.proxy is not None:
+            return f"proxy:{car.proxy}"
+        links = sorted(set(carrier_links(car)))
+        return "links:" + ",".join(str(l) for l in links)
+
+    def credit_verified(
+        car: _Carrier, exts: "list[Extent]", rnd: int
+    ) -> tuple[int, list[Extent]]:
+        """Credit destination arrivals, end-to-end verifying when the
+        SDC defense is on; returns ``(fresh_bytes, corrupt_extents)``."""
+        led = ledgers[car.spec_idx]
+        if not verify_extents:
+            return led.credit_delivered(exts), []
+        key = led.key
+        links = carrier_links(car)
+        observed = []
+        for e in exts:
+            bad = sdc.wire_corrupts(key, e.eid, rnd, links) or (
+                car.proxy is not None
+                and sdc.proxy_corrupts(key, e.eid, rnd, car.proxy)
+            )
+            observed.append((e.checksum ^ _CORRUPT_MASK) if bad else e.checksum)
+        return led.credit_received(exts, observed, carrier=carrier_str(car))
+
+    def note_corruption(car: _Carrier, corrupt: "list[Extent]") -> None:
+        """Telemetry + monitor strikes for one carrier's corrupt extents."""
+        nb = sum(e.length for e in corrupt)
+        telemetry.corrupt_extents_detected += len(corrupt)
+        telemetry.corrupt_bytes_redriven += nb
+        reg.counter("resilience.extents.corrupt").inc(len(corrupt))
+        reg.counter("resilience.corrupt_bytes_redriven").inc(nb)
+        if car.proxy is not None:
+            monitor.record_corruption(proxy=car.proxy)
+        else:
+            monitor.record_corruption(links=carrier_links(car))
+
+    def credit_carrier(
+        car: _Carrier, ok: bool, result: FlowSimResult, rnd: int
+    ) -> "list[Extent]":
         """Move the carrier's extents through the ledger.
 
         ``ok`` carriers delivered everything.  Failed carriers are
@@ -577,35 +664,44 @@ def _resilient_execution(
         prefix are credited (delivered at the destination, or — for the
         first hop of a store-and-forward carrier — parked at the
         proxy).  The receiver drops anything arriving after the
-        cancellation, so nothing here can double-deliver.
+        cancellation, so nothing here can double-deliver.  Returns the
+        extents whose end-to-end verification failed (empty without an
+        SDC model) — credited nothing, back to outstanding.
         """
         led = ledgers[car.spec_idx]
         if ok:
-            led.credit_delivered(car.extents)
-            reg.counter("resilience.extents.delivered").inc(len(car.extents))
-            return
+            _, corrupt = credit_verified(car, car.extents, rnd)
+            reg.counter("resilience.extents.delivered").inc(
+                len(car.extents) - len(corrupt)
+            )
+            return corrupt
         if not (faulted and policy.partial_progress):
-            return
+            return []
         if car.two_hop:
             g2 = result.delivered_by_cutoff(car.exit_fid)
             g1 = result.delivered_by_cutoff(car.phase1_fid)
             cov2, _ = prefix_extents(car.extents, g2)
             cov1, _ = prefix_extents(car.extents, g1)
-            got = led.credit_delivered(cov2)
+            got, corrupt = credit_verified(car, cov2, rnd)
             # Store-and-forward: phase 2 only starts once phase 1 has
             # fully landed, so cov2 is always a prefix of cov1 — the
             # difference sits at the proxy, owing only the second hop.
             led.credit_at_proxy(cov1[len(cov2):], car.proxy)
-            reg.counter("resilience.extents.delivered").inc(len(cov2))
+            reg.counter("resilience.extents.delivered").inc(
+                len(cov2) - len(corrupt)
+            )
             reg.counter("resilience.extents.at_proxy").inc(len(cov1) - len(cov2))
         else:
             g = result.delivered_by_cutoff(car.exit_fid)
             cov, _ = prefix_extents(car.extents, g)
-            got = led.credit_delivered(cov)
-            reg.counter("resilience.extents.delivered").inc(len(cov))
+            got, corrupt = credit_verified(car, cov, rnd)
+            reg.counter("resilience.extents.delivered").inc(
+                len(cov) - len(corrupt)
+            )
         if got:
             telemetry.partial_credit_bytes += got
             reg.counter("resilience.partial_credit_bytes").inc(got)
+        return corrupt
 
     def settle_round(
         carriers: list[_Carrier], result: FlowSimResult, rnd: int, T: float
@@ -626,6 +722,9 @@ def _resilient_execution(
                     car.planned_rate / 2 if car.two_hop else car.planned_rate
                 )
                 ok = achieved >= policy.health_threshold * planned_delivery
+            # Credit first: the integrity verdict needs the corrupt set.
+            corrupt = credit_carrier(car, ok, result, rnd)
+            verdict = "corrupt" if corrupt else ("ok" if ok else "failed")
             spec = specs[car.spec_idx]
             telemetry.attempts.append(
                 PathAttempt(
@@ -637,12 +736,10 @@ def _resilient_execution(
                     planned_time=car.planned_time,
                     deadline=T + car.deadline,
                     finish=T + finish,
-                    verdict="ok" if ok else "failed",
+                    verdict=verdict,
                 )
             )
-            reg.counter(
-                "resilience.attempts.ok" if ok else "resilience.attempts.failed"
-            ).inc()
+            reg.counter(f"resilience.attempts.{verdict}").inc()
             if math.isfinite(finish):
                 reg.histogram("resilience.attempt_time_s").observe(finish)
             # A stalled flow's *mean* rate is its bytes diluted over the
@@ -657,14 +754,41 @@ def _resilient_execution(
                 monitor.observe(links, rate_obs)
                 if not ok and rate_obs <= down_rate:
                     monitor.mark_down(links)
-            credit_carrier(car, ok, result)
+            if corrupt:
+                note_corruption(car, corrupt)
+            elif verify_extents and ok and car.extents:
+                # A fully verified-clean round absolves any earlier
+                # corruption suspicion against this carrier.
+                if car.proxy is not None:
+                    monitor.absolve(proxy=car.proxy)
+                else:
+                    monitor.absolve(links=carrier_links(car))
             if ok:
                 round_end = max(round_end, finish)
             else:
                 # Cancelled at the deadline: the receiver ignores the
                 # late arrival; only the credited prefix counts.
                 round_end = max(round_end, min(finish, car.deadline))
+            if not ok or corrupt:
+                # Corrupt extents are already back to OUTSTANDING in the
+                # ledger; listing the carrier here drives the retry
+                # machinery to re-split and re-drive them.
                 failed_by_spec.setdefault(car.spec_idx, []).append(car)
+        if verify_extents and sdc.stale_rate > 0.0:
+            # Stale/duplicate replays of already-delivered extents: the
+            # receiver's epoch check discards them on arrival, so they
+            # cost nothing — but they are counted, and exactly-once
+            # verification at the end proves none was double-credited.
+            for idx, led in sorted(ledgers.items()):
+                stale = sum(
+                    1
+                    for e in led.delivered_extents()
+                    if sdc.stale_replay(led.key, e.eid, rnd)
+                )
+                if stale:
+                    led.record_stale_drops(stale)
+                    telemetry.stale_drops += stale
+                    reg.counter("resilience.stale_dropped").inc(stale)
         monitor.end_round()
         monitor.advance(T + round_end)
         return round_end, failed_by_spec
@@ -686,6 +810,7 @@ def _resilient_execution(
             capacity_fn=round_capacity_fn(T0),
             probe=probe,
             t_base=T0,
+            sdc=sdc,
         )
         carriers: list[_Carrier] = []
         for idx, led in sorted(ledgers.items()):
@@ -694,7 +819,10 @@ def _resilient_execution(
             spec = specs[idx]
             for p in led.holders():
                 p2 = system.compute_path(p, spec.dst).links
-                if monitor.path_verdict(p2) != DOWN:
+                if (
+                    monitor.path_verdict(p2) != DOWN
+                    and monitor.proxy_quarantine(p) != QUARANTINED
+                ):
                     exts = led.held_extents(p)
                     carriers.append(
                         emit_redrive(
@@ -731,8 +859,10 @@ def _resilient_execution(
             ok = finish <= t_rem
             g = result.delivered_by_cutoff(car.exit_fid)
             cov, _ = prefix_extents(car.extents, g)
-            got = ledgers[car.spec_idx].credit_delivered(cov)
-            reg.counter("resilience.extents.delivered").inc(len(cov))
+            got, corrupt = credit_verified(car, cov, rnd)
+            reg.counter("resilience.extents.delivered").inc(len(cov) - len(corrupt))
+            if corrupt:
+                note_corruption(car, corrupt)
             if not ok and got:
                 telemetry.partial_credit_bytes += got
                 reg.counter("resilience.partial_credit_bytes").inc(got)
@@ -747,7 +877,7 @@ def _resilient_execution(
                     planned_time=car.planned_time,
                     deadline=T0 + min(t_rem, car.deadline),
                     finish=T0 + finish,
-                    verdict="ok" if ok else "failed",
+                    verdict="corrupt" if corrupt else ("ok" if ok else "failed"),
                 )
             )
             round_end = max(round_end, min(finish, t_rem))
@@ -768,6 +898,7 @@ def _resilient_execution(
                 capacity_fn=round_capacity_fn(T),
                 probe=probe,
                 t_base=T,
+                sdc=sdc,
             )
             carriers = emit_round(prog)
             if policy.budget_s is not None and rnd > 0:
@@ -862,7 +993,12 @@ def _resilient_execution(
             for p in led.holders():
                 p2 = system.compute_path(p, spec.dst).links
                 verdict = monitor.path_verdict(p2)
-                if verdict in (HEALTHY, PROBATION):
+                if monitor.proxy_quarantine(p) == QUARANTINED:
+                    # A corruption-quarantined holder's buffer cannot be
+                    # trusted: abandon the parked copy and re-send those
+                    # extents from the source over a clean carrier.
+                    led.release_proxy(p)
+                elif verdict in (HEALTHY, PROBATION):
                     exts = led.held_extents(p)
                     nb = sum(e.length for e in exts)
                     telemetry.bytes_redriven += nb
@@ -893,6 +1029,10 @@ def _resilient_execution(
                     if asg.proxies[j] != spec.src
                     and monitor.path_verdict(asg.phase1[j].links + asg.phase2[j].links)
                     == HEALTHY
+                    # A corruption-quarantined proxy is never a survivor,
+                    # even when its route looks fast — its *buffer* is
+                    # the suspect, not its links.
+                    and monitor.proxy_quarantine(asg.proxies[j]) != QUARANTINED
                 ]
             carriers_nodes = [asg.proxies[j] for j in healthy]
             rates = [
@@ -1047,6 +1187,7 @@ def run_resilient_transfer(
     policy: "RetryPolicy | None" = None,
     planner: "ResilientPlanner | None" = None,
     monitor: "HealthMonitor | None" = None,
+    sdc: "SDCModel | None" = None,
     batch_tol: float = 0.0,
     fair_tol: float = 0.0,
     lazy_frac: float = 0.0,
@@ -1062,6 +1203,9 @@ def run_resilient_transfer(
         faults: *known* static faults — the planner routes around them.
         trace: *hidden* ground truth the executor only discovers through
             missed deadlines and observed rates.
+        sdc: optional silent-corruption model; supplying one (even a
+            null one) turns on end-to-end extent verification — corrupt
+            arrivals are credited nothing and re-driven.
         policy: retry/deadline/backoff/budget knobs (default
             :class:`RetryPolicy`).
         planner: a pre-built (possibly pre-warmed) fault-aware planner.
@@ -1073,7 +1217,7 @@ def run_resilient_transfer(
     """
     gen = _resilient_execution(
         system, specs, faults=faults, trace=trace, policy=policy,
-        planner=planner, monitor=monitor, batch_tol=batch_tol,
+        planner=planner, monitor=monitor, sdc=sdc, batch_tol=batch_tol,
         fair_tol=fair_tol, lazy_frac=lazy_frac, probe=probe,
     )
     result: "FlowSimResult | None" = None
@@ -1096,6 +1240,7 @@ def run_resilient_transfer_many(
     traces: "Sequence[FaultTrace | None] | FaultTrace | None" = None,
     policy: "RetryPolicy | None" = None,
     monitors: "Sequence[HealthMonitor | None] | None" = None,
+    sdc: "Sequence[SDCModel | None] | SDCModel | None" = None,
     batch_tol: float = 0.0,
     fair_tol: float = 0.0,
     lazy_frac: float = 0.0,
@@ -1130,6 +1275,10 @@ def run_resilient_transfer_many(
         faults / traces: per-scenario sequences aligned with
             ``spec_sets`` (a single instance is shared by all).
         monitors: optional per-scenario pre-built health monitors.
+        sdc: optional per-scenario silent-corruption models (a single
+            model is shared by all).  Corruption decisions are pure
+            functions of the model's seed and extent identity, so the
+            batched waves make byte-identical decisions to serial runs.
         probes: optional per-scenario probes (a probed scenario runs
             its rounds serially — surfaced as above).
         on_error: ``"raise"`` propagates the first scenario's
@@ -1152,7 +1301,7 @@ def run_resilient_transfer_many(
     def _aligned(arg, name):
         if arg is None:
             return [None] * n
-        if isinstance(arg, (FaultModel, FaultTrace)):
+        if isinstance(arg, (FaultModel, FaultTrace, SDCModel)):
             return [arg] * n
         arg = list(arg)
         if len(arg) != n:
@@ -1165,6 +1314,7 @@ def run_resilient_transfer_many(
     traces_l = _aligned(traces, "traces")
     monitors_l = _aligned(monitors, "monitors")
     probes_l = _aligned(probes, "probes")
+    sdc_l = _aligned(sdc, "sdc")
 
     reg = get_registry()
     log = get_logger(__name__)
@@ -1173,8 +1323,9 @@ def run_resilient_transfer_many(
     gens = [
         _resilient_execution(
             system, spec_sets[i], faults=faults_l[i], trace=traces_l[i],
-            policy=policy, monitor=monitors_l[i], batch_tol=batch_tol,
-            fair_tol=fair_tol, lazy_frac=lazy_frac, probe=probes_l[i],
+            policy=policy, monitor=monitors_l[i], sdc=sdc_l[i],
+            batch_tol=batch_tol, fair_tol=fair_tol, lazy_frac=lazy_frac,
+            probe=probes_l[i],
         )
         for i in range(n)
     ]
@@ -1232,6 +1383,7 @@ def run_resilient_transfer_many(
                 ],
                 events=[pending[i][2] for i in batchable],
                 cutoffs=[pending[i][3] for i in batchable],
+                sdc=[pending[i][1].sdc for i in batchable],
                 on_error="capture",
             )
             results.update(zip(batchable, batch))

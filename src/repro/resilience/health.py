@@ -35,6 +35,11 @@ DOWN = "down"
 #: Half-open: the link was believed dead but its re-probe interval has
 #: elapsed — a path through it may carry a *small* probing share again.
 PROBATION = "probation"
+#: A carrier (link or proxy) accumulated enough corruption strikes to be
+#: distrusted outright: planners route around it until its re-probe
+#: interval elapses (half-open, :data:`PROBATION`) and a verified-clean
+#: delivery absolves it.
+QUARANTINED = "quarantined"
 
 
 class HealthMonitor:
@@ -54,6 +59,12 @@ class HealthMonitor:
             :data:`PROBATION` instead of :data:`DOWN`, so a flapping link
             isn't excluded for the rest of the transfer.  ``None``
             disables re-probing (down stays down until re-observed).
+            The same interval times corruption-quarantine re-probes.
+        corruption_threshold: checksum-mismatch strikes (attributed via
+            :meth:`record_corruption`) after which a link or proxy is
+            quarantined.  Capacity estimates and corruption trust are
+            orthogonal axes: a quarantined link may be *fast* — it just
+            cannot be believed.
     """
 
     def __init__(
@@ -63,6 +74,7 @@ class HealthMonitor:
         faults: "FaultModel | None" = None,
         suspect_fraction: float = 0.4,
         reprobe_interval: "float | None" = None,
+        corruption_threshold: int = 2,
     ):
         if not 0 < suspect_fraction < 1:
             raise ConfigError(
@@ -72,13 +84,22 @@ class HealthMonitor:
             raise ConfigError(
                 f"reprobe_interval must be > 0, got {reprobe_interval}"
             )
+        if corruption_threshold < 1:
+            raise ConfigError(
+                f"corruption_threshold must be >= 1, got {corruption_threshold}"
+            )
         self.system = system
         self.faults = faults or FaultModel()
         self.suspect_fraction = suspect_fraction
         self.reprobe_interval = reprobe_interval
+        self.corruption_threshold = corruption_threshold
         self._estimates: dict[int, float] = {}
         self._pending: dict[int, float] = {}
         self._down_since: dict[int, float] = {}
+        self._link_strikes: dict[int, int] = {}
+        self._proxy_strikes: dict[int, int] = {}
+        self._q_link_since: dict[int, float] = {}
+        self._q_proxy_since: dict[int, float] = {}
         self._now = 0.0
 
     # -- state access ------------------------------------------------------------
@@ -99,7 +120,15 @@ class HealthMonitor:
         return self.nominal(link) * self.faults.link_factor(link)
 
     def link_fraction(self, link: int) -> float:
-        """Effective capacity as a fraction of nominal (0.0 = down)."""
+        """Effective capacity as a fraction of nominal (0.0 = down).
+
+        A hard-quarantined link reports 0.0 regardless of how fast it
+        is: bytes that cannot be trusted are bytes not moved.  In
+        corruption probation (half-open) the capacity belief applies
+        again so a probing share can be planned across it.
+        """
+        if self.link_quarantine(link) == QUARANTINED:
+            return 0.0
         est = self._estimates.get(link)
         if est is None:
             # Without an observation the belief is nominal × static
@@ -112,19 +141,27 @@ class HealthMonitor:
     @property
     def is_pristine(self) -> bool:
         """True while nothing degrades any link: no observation-backed
-        estimate recorded and an empty static fault set.  Planners use
-        this to skip per-link belief queries on healthy systems."""
-        return not self._estimates and self.faults.is_null
+        estimate recorded, an empty static fault set, and no corruption
+        strikes on record.  Planners use this to skip per-link belief
+        queries on healthy systems."""
+        return (
+            not self._estimates
+            and self.faults.is_null
+            and not self._link_strikes
+            and not self._proxy_strikes
+        )
 
     def is_suspect(self, link: int) -> bool:
         """True when the link's estimate falls below the suspect line."""
         return self.link_fraction(link) < self.suspect_fraction
 
     def suspect_links(self) -> list[int]:
-        """All observed-or-known links currently below the suspect line."""
+        """All observed-or-known links currently below the suspect line
+        (hard-quarantined links report fraction 0.0, so they qualify)."""
         known = set(self._estimates)
         known.update(self.faults.degraded_links)
         known.update(self.faults.failed_links)
+        known.update(self._q_link_since)
         return sorted(l for l in known if self.is_suspect(l))
 
     # -- observation -------------------------------------------------------------
@@ -179,6 +216,92 @@ class HealthMonitor:
                 self._down_since.pop(link, None)
         self._pending.clear()
 
+    # -- corruption trust ---------------------------------------------------------
+
+    def record_corruption(
+        self, *, links: Iterable[int] = (), proxy: "int | None" = None
+    ) -> None:
+        """Attribute one detected checksum mismatch to a carrier.
+
+        Each call adds one strike to every named link and to the proxy;
+        an entity reaching ``corruption_threshold`` strikes is
+        quarantined (its re-probe clock starts — and *restarts* if a
+        half-open probe corrupts again).
+        """
+        for link in links:
+            n = self._link_strikes.get(link, 0) + 1
+            self._link_strikes[link] = n
+            if n >= self.corruption_threshold:
+                self._q_link_since[link] = self._now
+        if proxy is not None:
+            n = self._proxy_strikes.get(proxy, 0) + 1
+            self._proxy_strikes[proxy] = n
+            if n >= self.corruption_threshold:
+                self._q_proxy_since[proxy] = self._now
+
+    def absolve(
+        self, *, links: Iterable[int] = (), proxy: "int | None" = None
+    ) -> None:
+        """Clear corruption strikes after a verified-clean delivery
+        crossed the carrier — the half-open probe (or plain good
+        behaviour) restores trust."""
+        for link in links:
+            self._link_strikes.pop(link, None)
+            self._q_link_since.pop(link, None)
+        if proxy is not None:
+            self._proxy_strikes.pop(proxy, None)
+            self._q_proxy_since.pop(proxy, None)
+
+    def _quarantine_state(self, since: "float | None") -> "str | None":
+        if since is None:
+            return None
+        if (
+            self.reprobe_interval is not None
+            and self._now - since >= self.reprobe_interval
+        ):
+            return PROBATION
+        return QUARANTINED
+
+    def link_quarantine(self, link: int) -> "str | None":
+        """``"quarantined"``, ``"probation"`` (half-open) or ``None``."""
+        return self._quarantine_state(self._q_link_since.get(link))
+
+    def proxy_quarantine(self, node: int) -> "str | None":
+        """``"quarantined"``, ``"probation"`` (half-open) or ``None``."""
+        return self._quarantine_state(self._q_proxy_since.get(node))
+
+    def corruption_strikes(self, *, link: "int | None" = None,
+                           proxy: "int | None" = None) -> int:
+        """Current strike count of one link or proxy."""
+        if link is not None:
+            return self._link_strikes.get(link, 0)
+        if proxy is not None:
+            return self._proxy_strikes.get(proxy, 0)
+        return 0
+
+    def quarantined_links(self) -> list[int]:
+        """Links under quarantine or half-open re-probe, ascending."""
+        return sorted(self._q_link_since)
+
+    def quarantined_proxies(self) -> list[int]:
+        """Proxies under quarantine or half-open re-probe, ascending."""
+        return sorted(self._q_proxy_since)
+
+    def reprobe_countdown(
+        self, *, link: "int | None" = None, proxy: "int | None" = None
+    ) -> "float | None":
+        """Simulated seconds until a quarantined carrier turns half-open
+        (0.0 = already in probation; ``None`` = not quarantined or
+        re-probing disabled)."""
+        since = (
+            self._q_link_since.get(link)
+            if link is not None
+            else self._q_proxy_since.get(proxy)
+        )
+        if since is None or self.reprobe_interval is None:
+            return None
+        return max(0.0, self.reprobe_interval - (self._now - since))
+
     # -- path-level queries -------------------------------------------------------
 
     def path_rate(self, links: Iterable[int], *, cap: "float | None" = None) -> float:
@@ -190,13 +313,19 @@ class HealthMonitor:
         return min(rate, cap)
 
     def path_verdict(self, links: Iterable[int]) -> str:
-        """``"down"`` when any link is believed dead, ``"probation"``
-        when every dead link has aged past the re-probe interval (the
-        path may carry a small probing share again), ``"degraded"`` when
-        any link is suspect, ``"healthy"`` otherwise."""
+        """``"down"`` when any link is believed dead or hard-quarantined
+        for corruption, ``"probation"`` when every such link has aged
+        past the re-probe interval (the path may carry a small probing
+        share again), ``"degraded"`` when any link is suspect,
+        ``"healthy"`` otherwise."""
         verdict = HEALTHY
         saw_dead = False
         for link in links:
+            q = self.link_quarantine(link)
+            if q == QUARANTINED:
+                return DOWN
+            if q == PROBATION:
+                saw_dead = True
             if self.effective_capacity(link) <= 0.0:
                 if not self.in_probation(link):
                     return DOWN

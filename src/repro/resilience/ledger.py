@@ -22,10 +22,10 @@ every faulted path gets machine-checkable exactly-once semantics.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.util.checksum import extent_checksum
 from repro.util.validation import ConfigError, SimulationError
 
 #: Default extent granularity: 256 KiB — small enough that a carrier
@@ -44,13 +44,24 @@ class IntegrityError(SimulationError):
     """Exactly-once delivery was violated (or a checksum mismatched).
 
     ``extent_ids`` carries the offending extents; ``kind`` is one of
-    ``"duplicate"``, ``"gap"`` or ``"corrupt"``.
+    ``"duplicate"``, ``"gap"`` or ``"corrupt"``; ``carrier`` names the
+    attributed carrier (``"links:3,7"``, ``"proxy:42"``) when the
+    violation can be pinned on one — retry logs and chaos reports can
+    name the culprit without re-deriving it.
     """
 
-    def __init__(self, message: str, *, kind: str, extent_ids: Sequence[int]):
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str,
+        extent_ids: Sequence[int],
+        carrier: "str | None" = None,
+    ):
         super().__init__(message)
         self.kind = kind
         self.extent_ids = tuple(extent_ids)
+        self.carrier = carrier
 
 
 @dataclass(frozen=True)
@@ -70,20 +81,6 @@ class Extent:
     @property
     def end(self) -> int:
         return self.offset + self.length
-
-
-def extent_checksum(key: tuple[int, int], offset: int, length: int) -> int:
-    """CRC-32 of the deterministic pseudo-payload of one extent.
-
-    The simulation moves no real bytes, so the "payload" of byte ``i``
-    of transfer ``(src, dst)`` is defined as a pure function of
-    ``(src, dst, i)``; hashing the extent's parameters is then
-    equivalent to hashing its payload, and an extent re-derived
-    anywhere (source, proxy, destination) checksums identically.
-    """
-    src, dst = key
-    blob = f"{src}:{dst}:{offset}:{length}".encode()
-    return zlib.crc32(blob) & 0xFFFFFFFF
 
 
 def prefix_extents(
@@ -123,6 +120,15 @@ class LedgerReport:
     n_at_proxy: int
     duplicates: tuple[int, ...]
     complete: bool
+    #: Checksum mismatches caught (and re-driven) during the transfer.
+    n_corrupt_detected: int = 0
+    #: Carriers attributed for those mismatches, detection order.
+    corrupt_carriers: tuple[str, ...] = ()
+    #: Stale duplicate arrivals the receiver dedup dropped uncredited.
+    stale_drops: int = 0
+    #: Bytes credited despite a checksum mismatch — the silent-corruption
+    #: defense's core invariant is that this is **always zero**.
+    corrupted_acknowledged_bytes: int = 0
 
 
 class TransferLedger:
@@ -155,6 +161,11 @@ class TransferLedger:
         self._holder: list["int | None"] = []  # proxy node per AT_PROXY extent
         self._deliveries: list[int] = []  # delivery count per extent
         self._duplicates: list[int] = []
+        self._corruption_events: list[tuple[int, "str | None"]] = []
+        self._stale_drops = 0
+        # Observed checksum recorded at credit time, per delivered extent
+        # (None = credited without end-to-end verification).
+        self._acked_checksum: list["int | None"] = []
         self._sealed = False
 
     # -- construction ------------------------------------------------------------
@@ -195,6 +206,7 @@ class TransferLedger:
         self._state = [OUTSTANDING] * n
         self._holder = [None] * n
         self._deliveries = [0] * n
+        self._acked_checksum = [None] * n
         self._sealed = True
 
     # -- queries -----------------------------------------------------------------
@@ -220,6 +232,12 @@ class TransferLedger:
         return [
             e for e in self._extents if self._state[e.eid] == OUTSTANDING
         ]
+
+    def delivered_extents(self) -> list[Extent]:
+        """Extents already credited as delivered (the stale-replay fault
+        targets these: a duplicate arrival of one must be dropped)."""
+        self._require_sealed()
+        return [e for e in self._extents if self._state[e.eid] == DELIVERED]
 
     def held_extents(self, proxy: "int | None" = None) -> list[Extent]:
         """Extents parked at a store-and-forward proxy (``proxy=None``:
@@ -259,6 +277,38 @@ class TransferLedger:
     def complete(self) -> bool:
         self._require_sealed()
         return all(st == DELIVERED for st in self._state)
+
+    @property
+    def n_corrupt_detected(self) -> int:
+        """Checksum mismatches caught so far (each re-driven, not credited)."""
+        return len(self._corruption_events)
+
+    @property
+    def corrupt_carriers(self) -> tuple[str, ...]:
+        """Attributed carriers of the mismatches, detection order."""
+        return tuple(c for _, c in self._corruption_events if c is not None)
+
+    @property
+    def stale_drops(self) -> int:
+        """Stale duplicate arrivals dropped uncredited by receiver dedup."""
+        return self._stale_drops
+
+    @property
+    def corrupted_acknowledged_bytes(self) -> int:
+        """Bytes credited despite a checksum mismatch — must stay zero.
+
+        Audited from evidence, not assumed: every verified credit path
+        records the checksum it *observed*, and this re-compares each
+        delivered extent's recorded observation against the sealed
+        truth.  The chaos campaigns assert it is zero on every run.
+        """
+        return sum(
+            e.length
+            for e in self._extents
+            if self._state[e.eid] == DELIVERED
+            and self._acked_checksum[e.eid] is not None
+            and self._acked_checksum[e.eid] != e.checksum
+        )
 
     # -- state transitions -------------------------------------------------------
 
@@ -325,7 +375,7 @@ class TransferLedger:
                     extent_ids=bad,
                 )
         fresh = 0
-        for ext in extents:
+        for i, ext in enumerate(extents):
             self._check_member(ext)
             self._deliveries[ext.eid] += 1
             if self._state[ext.eid] == DELIVERED:
@@ -333,8 +383,63 @@ class TransferLedger:
                 continue
             self._state[ext.eid] = DELIVERED
             self._holder[ext.eid] = None
+            if checksums is not None:
+                self._acked_checksum[ext.eid] = int(checksums[i])
             fresh += ext.length
         return fresh
+
+    def credit_received(
+        self,
+        extents: Iterable[Extent],
+        checksums: Sequence[int],
+        *,
+        carrier: "str | None" = None,
+    ) -> tuple[int, list[Extent]]:
+        """Verify-then-credit one carrier's arrivals; the corruption-aware
+        sibling of :meth:`credit_delivered`.
+
+        Each arriving extent's observed ``checksum`` is compared with the
+        sealed one.  A match credits the extent exactly as
+        :meth:`credit_delivered` would.  A mismatch does **not** raise
+        and credits nothing: the extent is `corrupted, not lost` — it
+        returns to outstanding (releasing any proxy hold) for re-drive,
+        and the mismatch is recorded with its attributed ``carrier``
+        (``"links:..."`` / ``"proxy:..."``) for quarantine decisions.
+
+        Returns ``(fresh_bytes, corrupt_extents)``.
+        """
+        self._require_sealed()
+        extents = list(extents)
+        if len(checksums) != len(extents):
+            raise ConfigError("one checksum per extent required")
+        fresh = 0
+        corrupt: list[Extent] = []
+        for ext, obs in zip(extents, checksums):
+            self._check_member(ext)
+            if int(obs) != ext.checksum:
+                corrupt.append(ext)
+                self._corruption_events.append((ext.eid, carrier))
+                if self._state[ext.eid] != DELIVERED:
+                    # Corrupted, not lost: back to outstanding for re-drive.
+                    self._state[ext.eid] = OUTSTANDING
+                    self._holder[ext.eid] = None
+                continue
+            self._deliveries[ext.eid] += 1
+            if self._state[ext.eid] == DELIVERED:
+                self._duplicates.append(ext.eid)
+                continue
+            self._state[ext.eid] = DELIVERED
+            self._holder[ext.eid] = None
+            self._acked_checksum[ext.eid] = int(obs)
+            fresh += ext.length
+        return fresh, corrupt
+
+    def record_stale_drops(self, n: int = 1) -> None:
+        """Count stale duplicate arrivals the receiver dedup dropped
+        (never credited — exactly-once is preserved by construction)."""
+        if n < 0:
+            raise ConfigError(f"n must be >= 0, got {n}")
+        self._stale_drops += int(n)
 
     def _check_member(self, ext: Extent) -> None:
         if (
@@ -384,6 +489,10 @@ class TransferLedger:
             n_at_proxy=sum(1 for s in self._state if s == AT_PROXY),
             duplicates=tuple(dupes),
             complete=not gaps,
+            n_corrupt_detected=self.n_corrupt_detected,
+            corrupt_carriers=self.corrupt_carriers,
+            stale_drops=self._stale_drops,
+            corrupted_acknowledged_bytes=self.corrupted_acknowledged_bytes,
         )
 
 

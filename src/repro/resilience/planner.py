@@ -36,7 +36,7 @@ from repro.core.proxy_select import (
 )
 from repro.machine.faults import FaultModel
 from repro.machine.system import BGQSystem
-from repro.resilience.health import HealthMonitor
+from repro.resilience.health import QUARANTINED, HealthMonitor
 from repro.util.validation import ConfigError
 
 
@@ -142,6 +142,18 @@ class ResilientPlanner(TransferPlanner):
         """Proxies the last search rejected for this (src, dst) pair."""
         return self._dropped.get(pair, ())
 
+    def _untrusted_proxies(self) -> set[int]:
+        """Nodes hard-quarantined for corruption — never planned as
+        proxies (half-open probation nodes stay eligible so a probing
+        share can absolve them)."""
+        if self.monitor is None:
+            return set()
+        return {
+            p
+            for p in self.monitor.quarantined_proxies()
+            if self.monitor.proxy_quarantine(p) == QUARANTINED
+        }
+
     def find_replacements(
         self,
         src: int,
@@ -176,6 +188,7 @@ class ResilientPlanner(TransferPlanner):
             raise ConfigError(f"n must be >= 1, got {n}")
         excluded = set(exclude)
         excluded.update(self.faults.failed_nodes)
+        excluded.update(self._untrusted_proxies())
         return find_proxies_for_pair(
             self.system,
             src,
@@ -194,6 +207,7 @@ class ResilientPlanner(TransferPlanner):
         """Algorithm 1's search, excluding cordoned nodes and iteratively
         re-searching around carriers with failed/too-degraded routes."""
         exclude: set[int] = set(self.faults.failed_nodes)
+        exclude.update(self._untrusted_proxies())
         dropped: dict[tuple[int, int], list[int]] = {p: [] for p in pairs}
         for attempt in range(self.replan_rounds + 1):
             plan = find_proxies(

@@ -12,6 +12,11 @@ and injects three kinds of trouble from one seeded schedule:
   must hard-kill and fail the request;
 * **link-fault traces** (``fault_seed`` on transfer requests) — the
   resilient executor must retry outstanding ledger extents, batched;
+* **silent corruption** (``sdc_seed`` on transfer requests) — a seeded
+  non-fail-stop :class:`~repro.machine.faults.SDCModel` corrupts
+  payloads in flight; integrity verification must detect every corrupt
+  arrival, credit nothing for it, and either deliver over clean paths
+  or land a deterministic ``corrupt-data`` quarantine record;
 * **overload bursts** — a step-profile window at ``overload_factor``
   times the base arrival rate exercises shedding and the degradation
   ladder.
@@ -43,6 +48,9 @@ Machine-verified invariants (schema ``chaos-service/1``):
 ``ledger-conservation``
     fault-traced transfer payloads conserve bytes
     (``delivered + residue == total``);
+``no-corrupt-acked``
+    no final payload acknowledged a single corrupted byte
+    (``corrupted_acknowledged_bytes == 0`` everywhere);
 ``metrics-monotone``
     no ``service.*``/``resilience.*`` counter ran backwards.
 """
@@ -91,8 +99,9 @@ class ServiceCampaignConfig:
     ``rate`` is the base offered load; a window covering
     ``overload_frac`` of the horizon runs at ``overload_factor`` times
     that.  ``fault_frac`` of the transfer requests carry a seeded
-    ``fault_seed`` link-fault trace; ``crash_frac``/``hang_frac`` of
-    all requests are replaced with worker crash/hang injections.
+    ``fault_seed`` link-fault trace; ``sdc_frac`` carry a seeded
+    ``sdc_seed`` silent-corruption model; ``crash_frac``/``hang_frac``
+    of all requests are replaced with worker crash/hang injections.
     """
 
     n_requests: int = 200
@@ -109,6 +118,7 @@ class ServiceCampaignConfig:
     nnodes: int = 32
     nbytes: int = _MiB
     fault_frac: float = 0.10
+    sdc_frac: float = 0.05
     crash_frac: float = 0.02
     hang_frac: float = 0.01
     fault_events: int = 3
@@ -129,7 +139,7 @@ class ServiceCampaignConfig:
             raise ConfigError(
                 f"overload_frac must be in [0, 1), got {self.overload_frac}"
             )
-        for frac_name in ("fault_frac", "crash_frac", "hang_frac"):
+        for frac_name in ("fault_frac", "sdc_frac", "crash_frac", "hang_frac"):
             v = getattr(self, frac_name)
             if not 0 <= v <= 1:
                 raise ConfigError(f"{frac_name} must be in [0, 1], got {v}")
@@ -155,6 +165,7 @@ class ServiceCampaignConfig:
             "nnodes": self.nnodes,
             "nbytes": self.nbytes,
             "fault_frac": self.fault_frac,
+            "sdc_frac": self.sdc_frac,
             "crash_frac": self.crash_frac,
             "hang_frac": self.hang_frac,
             "fault_events": self.fault_events,
@@ -167,8 +178,9 @@ def build_campaign_schedule(config: ServiceCampaignConfig):
     A Poisson arrival stream over a step profile (base rate → overload
     burst → base rate) is generated for ~1.25x the target count and
     trimmed to exactly ``n_requests``, then the injection pass rewrites
-    a seeded subset of requests into crashes, hangs, and fault-traced
-    transfers.  Same config → byte-identical schedule.
+    a seeded subset of requests into crashes, hangs, fault-traced
+    transfers, and silent-corruption transfers.  Same config →
+    byte-identical schedule.
     """
     from repro.loadgen.arrivals import Schedule, build_schedule, make_profile
     from repro.loadgen.mix import get_mix
@@ -230,6 +242,20 @@ def build_campaign_schedule(config: ServiceCampaignConfig):
                     "fault_events": c.fault_events,
                 },
             )
+        elif float(rng.random()) < c.sdc_frac:
+            # Silent corruption: the seeded SDCModel never alters the
+            # simulated flow — only end-to-end verification can see it.
+            req = dc_replace(
+                req,
+                params={
+                    **req.params,
+                    "sdc_seed": int(rng.integers(0, 2**31)),
+                    "sdc_flip_links": 8,
+                    "sdc_corrupt_proxies": 2,
+                    "sdc_rate": 0.7,
+                    "sdc_stale_rate": 0.1,
+                },
+            )
         items[i] = dc_replace(item, request=req)
     return Schedule(
         items=tuple(items),
@@ -255,7 +281,7 @@ def _base_id(rid: str) -> str:
     return rid
 
 
-def _trusted(record, inject=None) -> bool:
+def _trusted(record, inject=None, *, sdc=False) -> bool:
     """Is a replayed journal record a deterministic terminal record?
 
     Completed records must checksum-verify and be *canonical* — not
@@ -267,8 +293,11 @@ def _trusted(record, inject=None) -> bool:
     request's injection) and the error carries the matching marker: a
     genuine request killed by the hang watchdog on a slow machine says
     ``hang:`` too, but its canonical record is a completion — it must
-    re-run.  Shed records are retriable by construction and never
-    trusted.
+    re-run.  For corruption-seeded requests (``sdc``), a
+    ``corrupt-data`` quarantine failure is also canonical: the service
+    only raises it when the ladder did not cap planning, so it is a
+    deterministic function of the request params.  Shed records are
+    retriable by construction and never trusted.
     """
     status = record.get("status")
     if status == COMPLETED:
@@ -279,8 +308,10 @@ def _trusted(record, inject=None) -> bool:
             and record.get("checksum") == payload_checksum(payload)
         )
     if status == FAILED:
-        marker = _INJECT_ERROR_MARKER.get(inject)
         error = record.get("error") or ""
+        if sdc and "corrupt-data:" in error:
+            return True
+        marker = _INJECT_ERROR_MARKER.get(inject)
         return marker is not None and error.startswith(marker)
     return False
 
@@ -367,6 +398,10 @@ def run_service_campaign(
         _base_id(item.request.id): item.request.inject
         for item in schedule.items
     }
+    sdc_by_base = {
+        _base_id(item.request.id): item.request.params.get("sdc_seed") is not None
+        for item in schedule.items
+    }
 
     done: "dict[str, dict]" = {}
     if resume and journal_path.exists():
@@ -381,7 +416,11 @@ def run_service_campaign(
             if (
                 base in inject_by_base
                 and base not in done
-                and _trusted(record, inject_by_base[base])
+                and _trusted(
+                    record,
+                    inject_by_base[base],
+                    sdc=sdc_by_base.get(base, False),
+                )
             ):
                 done[base] = dict(record, id=base)
         journal = Journal.open_for_append(journal_path, sha)
@@ -490,7 +529,9 @@ def run_service_campaign(
             for record in snapshot:
                 base = _base_id(record["id"])
                 if base not in finals and _trusted(
-                    record, inject_by_base.get(base)
+                    record,
+                    inject_by_base.get(base),
+                    sdc=sdc_by_base.get(base, False),
                 ):
                     finals[base] = dict(record, id=base)
             pending = [
@@ -536,7 +577,11 @@ def run_service_campaign(
                         svc.result(req.id, timeout=240.0)
                         record = await_record(req.id)
                         base = _base_id(req.id)
-                        if _trusted(record, inject_by_base.get(base)):
+                        if _trusted(
+                            record,
+                            inject_by_base.get(base),
+                            sdc=sdc_by_base.get(base, False),
+                        ):
                             finals[base] = dict(record, id=base)
                 pending = [
                     item for item in schedule.items
@@ -620,6 +665,19 @@ def run_service_campaign(
         f"bytes not conserved for {unconserved[:5]}",
     )
 
+    # The tentpole invariant: no payload anywhere — live, drained, or
+    # replayed from a journal — ever acknowledged a corrupted byte.
+    corrupt_acked = [
+        base
+        for base, record in finals.items()
+        if (record.get("payload") or {}).get("corrupted_acknowledged_bytes", 0)
+    ]
+    check(
+        "no-corrupt-acked",
+        not corrupt_acked,
+        f"corrupted bytes acknowledged for {corrupt_acked[:5]}",
+    )
+
     bad = counter_violations(counters_before, counters_after)
     check("metrics-monotone", not bad, f"counters went backwards: {bad}")
 
@@ -647,6 +705,13 @@ def run_service_campaign(
         for item in schedule.items
         if item.request.params.get("fault_seed") is not None
     )
+    n_sdc = sum(1 for v in sdc_by_base.values() if v)
+    n_corrupt_quarantined = sum(
+        1
+        for record in finals.values()
+        if record["status"] == FAILED
+        and "corrupt-data:" in (record.get("error") or "")
+    )
     live_statuses: "dict[str, int]" = {}
     for o in live_outcomes:
         live_statuses[o.status] = live_statuses.get(o.status, 0) + 1
@@ -665,6 +730,8 @@ def run_service_campaign(
         "n_requests": len(schedule.items),
         "n_injected_crash_hang": n_injected,
         "n_fault_traced": n_faulted,
+        "n_sdc_seeded": n_sdc,
+        "n_corrupt_quarantined": n_corrupt_quarantined,
         "resumed": len(done),
         "driven": len(todo),
         "live_statuses": live_statuses,
@@ -683,6 +750,7 @@ def run_service_campaign(
     say(
         f"chaos-service: {counts.get(COMPLETED, 0)} completed, "
         f"{counts.get(FAILED, 0)} failed (injected), "
+        f"{n_corrupt_quarantined} corrupt-data quarantined, "
         f"{summary['shed_events']} live shed/rejected, "
         f"goodput {goodput_rps:.1f} req/s, "
         f"invariants {'PASS' if summary['passed'] else 'FAIL'}"

@@ -78,6 +78,19 @@ class PoisonRequestError(ServiceError):
     code = "poison"
 
 
+class CorruptDataError(ServiceError):
+    """The request's transfer kept failing end-to-end integrity
+    verification: its seeded silent-corruption model poisons every
+    usable path, so the corruption is a *deterministic* function of the
+    request params and resubmitting verbatim reproduces it.  The
+    service maps this to the same quarantine accounting as a poison
+    crash (``service.poison_quarantined``) — nothing corrupt was ever
+    acknowledged; the request simply has no clean answer."""
+
+    retriable = False
+    code = "corrupt-data"
+
+
 class UnknownRequestError(ServiceError):
     """A result was asked for a request id the service never admitted."""
 

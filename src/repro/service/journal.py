@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import Mapping
 
 from repro.obs.metrics import get_registry
-from repro.service.request import canonical_json, payload_checksum
+from repro.util.checksum import canonical_json, payload_checksum
 from repro.util.validation import ConfigError
 
 #: Journal format tag (header line).

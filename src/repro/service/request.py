@@ -19,11 +19,10 @@ form, journaled by :mod:`repro.service.journal` and re-verified on
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.util.checksum import canonical_json, payload_checksum
 from repro.util.validation import ConfigError
 
 #: Every admitted request ends in exactly one of these.
@@ -41,16 +40,6 @@ SCENARIO_KINDS = ("p2p", "group", "fanin", "io", "chaos", "spin")
 #: ``hang`` spins forever ignoring cooperative cancellation (exercises
 #: the watchdog's deadline hard-kill).
 INJECT_KINDS = ("crash", "hang")
-
-
-def canonical_json(doc: Any) -> str:
-    """Canonical JSON form: sorted keys, compact separators."""
-    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
-
-
-def payload_checksum(payload: Any) -> str:
-    """sha256 hex digest of a payload's canonical JSON form."""
-    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 @dataclass(frozen=True)

@@ -97,10 +97,43 @@ def _fault_trace(params: Mapping[str, Any], system):
     )
 
 
-def _faulted_payload(kind: str, system, out, *, degraded: bool = False) -> dict:
-    """Payload for a fault-traced transfer (serial and batched alike)."""
+def _sdc_model(params: Mapping[str, Any], system):
+    """Build the request's seeded :class:`SDCModel`, or ``None``.
+
+    A transfer request opts into silent-corruption injection with
+    ``sdc_seed`` (plus optional ``sdc_flip_links`` /
+    ``sdc_corrupt_proxies`` / ``sdc_rate`` / ``sdc_stale_rate``); the
+    model is a pure function of those params and the machine size, so
+    payloads stay byte-identical across runs, resumes and the batched
+    path.
+    """
+    seed = params.get("sdc_seed")
+    if seed is None:
+        return None
+    from repro.machine.faults import random_sdc_model
+
+    return random_sdc_model(
+        system.topology,
+        int(params.get("sdc_flip_links", 2)),
+        flip_rate=float(params.get("sdc_rate", 0.5)),
+        ncorrupt_proxies=int(params.get("sdc_corrupt_proxies", 1)),
+        corrupt_rate=float(params.get("sdc_rate", 0.5)),
+        stale_rate=float(params.get("sdc_stale_rate", 0.0)),
+        seed=int(seed),
+    )
+
+
+def _faulted_payload(
+    kind: str, system, out, *, degraded: bool = False, sdc: bool = False
+) -> dict:
+    """Payload for a fault-traced transfer (serial and batched alike).
+
+    ``sdc`` adds the integrity-verification fields — only for requests
+    that opted into corruption injection, so pre-existing fault-traced
+    payloads stay byte-identical.
+    """
     r = out.resilience
-    return {
+    payload = {
         "kind": kind,
         "nnodes": system.nnodes,
         "total_bytes": out.total_bytes,
@@ -115,6 +148,14 @@ def _faulted_payload(kind: str, system, out, *, degraded: bool = False) -> dict:
         "retries": r.telemetry.retries,
         "complete": r.complete,
     }
+    if sdc:
+        payload.update(
+            corrupt_extents_detected=r.telemetry.corrupt_extents_detected,
+            corrupt_bytes_redriven=r.telemetry.corrupt_bytes_redriven,
+            stale_drops=r.telemetry.stale_drops,
+            corrupted_acknowledged_bytes=r.corrupted_acknowledged_bytes,
+        )
+    return payload
 
 
 def _effective_max_proxies(
@@ -156,14 +197,18 @@ def _run_transfer_kind(
     specs = _transfer_specs(kind, params, system)
     tracer = get_tracer()
     trace = _fault_trace(params, system)
-    if trace is not None:
-        # Fault-traced transfers run through the resilient executor,
-        # which does its own (fault-aware) planning — the plan stage and
-        # the degraded direct-path shortcut don't apply.  A per-request
-        # proxy cap needs a custom planner, which only the serial driver
-        # takes (the batched fast path surfaces these as the
-        # ``faults-scheduled`` fallback reason).
+    sdc = _sdc_model(params, system)
+    if trace is not None or sdc is not None:
+        # Fault-traced / corruption-injected transfers run through the
+        # resilient executor, which does its own (fault-aware) planning
+        # — the plan stage and the degraded direct-path shortcut don't
+        # apply.  A per-request proxy cap needs a custom planner, which
+        # only the serial driver takes (the batched fast path surfaces
+        # these as the ``faults-scheduled`` fallback reason).
         from repro.core.multipath import TransferOutcome, run_transfer_many
+        from repro.resilience.executor import TransferAbortedError
+        from repro.resilience.ledger import IntegrityError
+        from repro.service.errors import CorruptDataError
 
         mp = _effective_max_proxies(params, max_proxies_cap)
         check_cancelled()
@@ -177,7 +222,7 @@ def _run_transfer_kind(
                     from repro.resilience.planner import ResilientPlanner
 
                     r = run_resilient_transfer(
-                        system, specs, trace=trace,
+                        system, specs, trace=trace, sdc=sdc,
                         planner=ResilientPlanner(system, max_proxies=mp),
                     )
                     out = TransferOutcome(
@@ -185,9 +230,30 @@ def _run_transfer_kind(
                         mode_used=r.mode_used, result=r.result, resilience=r,
                     )
                 else:
-                    out = run_transfer_many(system, [specs], traces=[trace])[0]
+                    out = run_transfer_many(
+                        system, [specs], traces=[trace], sdc=[sdc]
+                    )[0]
         except SimulationCancelled:
             raise
+        except TransferAbortedError as exc:
+            tele = getattr(exc, "telemetry", None)
+            if (
+                sdc is not None
+                and tele is not None
+                and tele.corrupt_extents_detected
+                and not _ladder_capped(params, max_proxies_cap)
+            ):
+                # Persistent corruption: every attempted path kept
+                # failing end-to-end verification.  Deterministic for
+                # these params — the service quarantines like poison.
+                raise CorruptDataError(
+                    f"corrupt-data: {tele.corrupt_extents_detected} corrupt "
+                    f"extent arrivals across {tele.rounds} rounds; no clean "
+                    f"path delivered — quarantined"
+                ) from exc
+            raise StageError("simulate", exc) from exc
+        except IntegrityError as exc:
+            raise CorruptDataError(f"corrupt-data: {exc}") from exc
         except Exception as exc:
             raise StageError("simulate", exc) from exc
         finally:
@@ -195,6 +261,7 @@ def _run_transfer_kind(
         return _faulted_payload(
             kind, system, out,
             degraded=_ladder_capped(params, max_proxies_cap),
+            sdc=sdc is not None,
         )
     assignments = None
     if not degraded:
@@ -263,7 +330,7 @@ def run_transfer_kinds_batched(
     """
     from repro.core.multipath import run_transfer_many
 
-    prepared = []  # (system, specs, assignments, kind, params, trace)
+    prepared = []  # (system, specs, assignments, kind, params, trace, sdc)
     for kind, params in items:
         if kind not in ("p2p", "group", "fanin"):
             raise ConfigError(f"kind {kind!r} is not a transfer scenario")
@@ -272,8 +339,9 @@ def run_transfer_kinds_batched(
         system = _system(nnodes=int(params.get("nnodes", 64)))
         specs = _transfer_specs(kind, params, system)
         trace = _fault_trace(params, system)
+        sdc = _sdc_model(params, system)
         assignments = None
-        if trace is None:
+        if trace is None and sdc is None:
             planner = TransferPlanner(
                 system, max_proxies=params.get("max_proxies")
             )
@@ -285,15 +353,17 @@ def run_transfer_kinds_batched(
                 "fault-traced scenarios plan their own proxies; "
                 "max_proxies is serial-path only"
             )
-        prepared.append((system, specs, assignments, kind, params, trace))
+        prepared.append((system, specs, assignments, kind, params, trace, sdc))
 
     # One batched pass per distinct system (scenarios may differ in
     # nnodes), fault-free and fault-traced groups separately — the
     # latter through the resilient executor's wave batching.
     payloads: "list[dict | None]" = [None] * len(items)
     by_system: "dict[tuple[int, bool], list[int]]" = {}
-    for i, (system, _, _, _, _, trace) in enumerate(prepared):
-        by_system.setdefault((id(system), trace is not None), []).append(i)
+    for i, (system, _, _, _, _, trace, sdc) in enumerate(prepared):
+        by_system.setdefault(
+            (id(system), trace is not None or sdc is not None), []
+        ).append(i)
     for (_, faulted), idxs in by_system.items():
         system = prepared[idxs[0]][0]
         if faulted:
@@ -301,9 +371,13 @@ def run_transfer_kinds_batched(
                 system,
                 [prepared[i][1] for i in idxs],
                 traces=[prepared[i][5] for i in idxs],
+                sdc=[prepared[i][6] for i in idxs],
             )
             for i, out in zip(idxs, outs):
-                payloads[i] = _faulted_payload(prepared[i][3], system, out)
+                payloads[i] = _faulted_payload(
+                    prepared[i][3], system, out,
+                    sdc=prepared[i][6] is not None,
+                )
             continue
         outs = run_transfer_many(
             system,

@@ -639,6 +639,13 @@ class ScenarioService:
             return
         if error and error.startswith("deadline:"):
             get_registry().counter("service.deadline_misses").inc()
+        if error and "corrupt-data:" in error:
+            # Persistent silent corruption is a property of the request
+            # (its seeded SDC model poisons every usable path), so it
+            # joins the poison-crash quarantine accounting: resubmitting
+            # verbatim reproduces it.  Breakers stay untouched — the
+            # simulator itself is healthy.
+            get_registry().counter("service.poison_quarantined").inc()
         if failed_stage == "plan":
             self.planner_breaker.record_failure()
         elif failed_stage == "simulate":

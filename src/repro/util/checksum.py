@@ -1,0 +1,74 @@
+"""Unified checksum and deterministic-hash helpers.
+
+Three subsystems independently grew checksum code — the resilience
+ledger's CRC-32 extent checksums (:mod:`repro.resilience.ledger`), the
+service's sha256 payload checksums (:mod:`repro.service.request`), and
+the batch journal's per-record checksums (:mod:`repro.service.journal`).
+They all live here now; the original modules re-export these names so
+existing imports keep working.
+
+The module also provides :func:`stable_unit` — a deterministic uniform
+draw in ``[0, 1)`` keyed on arbitrary labels.  The silent-data-corruption
+fault family (:class:`repro.machine.faults.SDCModel`) uses it so that
+every corruption decision is a **pure function** of its identifying
+labels (seed, transfer, extent, round, carrier) rather than of mutable
+RNG state: serial and batched executions of the same campaign then make
+byte-identical corruption decisions regardless of evaluation order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from typing import Any
+
+__all__ = [
+    "canonical_json",
+    "payload_checksum",
+    "extent_checksum",
+    "crc32_hex",
+    "stable_unit",
+]
+
+
+def canonical_json(doc: Any) -> str:
+    """Canonical JSON form: sorted keys, compact separators."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def payload_checksum(payload: Any) -> str:
+    """sha256 hex digest of a payload's canonical JSON form."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def extent_checksum(key: "tuple[int, int]", offset: int, length: int) -> int:
+    """CRC-32 of the deterministic pseudo-payload of one extent.
+
+    The simulation moves no real bytes, so the "payload" of byte ``i``
+    of transfer ``(src, dst)`` is defined as a pure function of
+    ``(src, dst, i)``; hashing the extent's parameters is then
+    equivalent to hashing its payload, and an extent re-derived
+    anywhere (source, proxy, destination) checksums identically.
+    """
+    src, dst = key
+    blob = f"{src}:{dst}:{offset}:{length}".encode()
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def crc32_hex(blob: bytes) -> str:
+    """CRC-32 of raw bytes as 8 hex digits (journal-friendly form)."""
+    return f"{zlib.crc32(blob) & 0xFFFFFFFF:08x}"
+
+
+def stable_unit(*labels: Any) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed on ``labels``.
+
+    The draw is sha256 of the ``:``-joined label reprs, so it depends
+    only on the labels — not on call order, process, platform, or any
+    RNG state.  Distinct label tuples give independent-looking draws;
+    identical tuples always give the identical draw.
+    """
+    blob = ":".join(str(l) for l in labels).encode()
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)

@@ -32,6 +32,8 @@ INVARIANT_NAMES = {
     "retries-bounded",
     "budget-respected",
     "metrics-monotone",
+    "no-corrupt-acked",
+    "corruption-detected",
 }
 
 
@@ -65,13 +67,32 @@ class TestScenarioGeneration:
     def test_every_kind_targets_planned_routes(self, plans128, kind):
         system, plans = plans128
         sc = build_scenario(kind, system, plans, geometry="p2p", seed=0)
-        assert sc.trace.events, "a scenario must inject at least one event"
-        # Faults land on links the transfer can actually cross.
         route_links = set(system.compute_path(0, plans[0].spec.dst).links)
         asg = plans[0].assignment
         for j in range(asg.k):
             route_links |= set(asg.phase1[j].links + asg.phase2[j].links)
-        assert all(e.link in route_links for e in sc.trace.events)
+        if kind in ("silent-corruption", "corrupting-proxy"):
+            # Non-fail-stop: injection rides the SDC model, not the
+            # fault trace, and must target carriers the plan uses.
+            assert sc.sdc is not None and not sc.sdc.is_null
+            assert sc.expect_detection
+            all_proxies = {
+                p for plan in plans for p in plan.assignment.proxies
+            }
+            all_links = set()
+            for plan in plans:
+                all_links |= set(
+                    system.compute_path(plan.spec.src, plan.spec.dst).links
+                )
+                a = plan.assignment
+                for j in range(a.k):
+                    all_links |= set(a.phase1[j].links + a.phase2[j].links)
+            assert set(sc.sdc.flip_links) <= all_links
+            assert set(sc.sdc.corrupt_proxies) <= all_proxies
+        else:
+            assert sc.trace.events, "a scenario must inject at least one event"
+            # Faults land on links the transfer can actually cross.
+            assert all(e.link in route_links for e in sc.trace.events)
         assert sc.kind == kind and sc.description
 
     def test_same_seed_same_trace(self, plans128):

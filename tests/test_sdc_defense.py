@@ -1,0 +1,290 @@
+"""Unit coverage of the silent-corruption defense stack.
+
+Layer by layer: the seeded :class:`SDCModel` fault family, the ledger's
+verify-then-credit accounting (corrupted-vs-lost, carrier attribution),
+the health monitor's corruption quarantine (strikes → quarantined →
+half-open probation → absolution), the executor's end-to-end loop, the
+unified checksum helpers, the CLI surfacing, and the service-layer
+``corrupt-data`` mapping.  The statistical/adversarial coverage lives
+in ``test_sdc_properties.py`` and the chaos campaigns.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.multipath import TransferSpec
+from repro.machine import mira_system
+from repro.machine.faults import SDCModel, random_sdc_model
+from repro.resilience import (
+    HealthMonitor,
+    ResilientPlanner,
+    RetryPolicy,
+    run_resilient_transfer,
+)
+from repro.resilience.health import DOWN, PROBATION, QUARANTINED
+from repro.resilience.ledger import IntegrityError, TransferLedger
+from repro.util.validation import ConfigError
+
+MiB = 1 << 20
+
+
+class TestSDCModel:
+    def test_decisions_are_pure_functions(self):
+        sdc = SDCModel(
+            flip_links={3: 0.5}, corrupt_proxies={7: 0.5},
+            stale_rate=0.5, seed=42,
+        )
+        for _ in range(3):  # no mutable RNG: same labels, same verdicts
+            assert sdc.wire_corrupts((0, 9), 4, 1, [3]) == sdc.wire_corrupts(
+                (0, 9), 4, 1, [3]
+            )
+            assert sdc.proxy_corrupts((0, 9), 4, 1, 7) == sdc.proxy_corrupts(
+                (0, 9), 4, 1, 7
+            )
+            assert sdc.stale_replay((0, 9), 4, 1) == sdc.stale_replay(
+                (0, 9), 4, 1
+            )
+
+    def test_rate_extremes(self):
+        always = SDCModel(corrupt_proxies={7: 1.0}, seed=0)
+        never = SDCModel(corrupt_proxies={7: 0.0}, seed=0)
+        for eid in range(32):
+            assert always.proxy_corrupts((0, 9), eid, 0, 7)
+            assert not never.proxy_corrupts((0, 9), eid, 0, 7)
+        # A carrier the model does not name never corrupts.
+        assert not always.proxy_corrupts((0, 9), 0, 0, 8)
+        assert not always.wire_corrupts((0, 9), 0, 0, [1, 2, 3])
+
+    def test_null_model(self):
+        assert SDCModel(seed=5).is_null
+        assert not SDCModel(flip_links={1: 0.1}, seed=5).is_null
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            SDCModel(flip_links={1: 1.5})
+        with pytest.raises(ConfigError):
+            SDCModel(stale_rate=-0.1)
+
+    def test_random_model_seeded(self):
+        system = mira_system(nnodes=64)
+        a = random_sdc_model(system.topology, 4, ncorrupt_proxies=2, seed=9)
+        b = random_sdc_model(system.topology, 4, ncorrupt_proxies=2, seed=9)
+        assert a == b
+        assert len(a.flip_links) == 4 and len(a.corrupt_proxies) == 2
+
+
+class TestLedgerCorruption:
+    def _sealed(self, nbytes=1 * MiB):
+        led = TransferLedger((0, 9), nbytes, chunk_bytes=256 * 1024)
+        led.seal()
+        return led
+
+    def test_corrupted_is_not_lost_and_never_credited(self):
+        led = self._sealed()
+        exts = led.outstanding_extents()
+        bad = [e.checksum ^ 0xA5A5A5A5 for e in exts]
+        fresh, corrupt = led.credit_received(exts, bad, carrier="proxy:7")
+        assert fresh == 0 and len(corrupt) == len(exts)
+        # Corrupted, not lost: straight back to outstanding for re-drive.
+        assert led.outstanding_extents() == exts
+        assert led.delivered_bytes == 0
+        assert led.n_corrupt_detected == len(exts)
+        assert set(led.corrupt_carriers) == {"proxy:7"}
+        assert len(led.corrupt_carriers) == len(exts)
+        assert led.corrupted_acknowledged_bytes == 0
+
+    def test_clean_redrive_completes(self):
+        led = self._sealed()
+        exts = led.outstanding_extents()
+        led.credit_received(
+            exts, [e.checksum ^ 1 for e in exts], carrier="links:3,7"
+        )
+        fresh, corrupt = led.credit_received(exts, [e.checksum for e in exts])
+        assert fresh == led.nbytes and not corrupt
+        assert led.complete
+        report = led.verify()
+        assert report.n_corrupt_detected == len(exts)
+        assert report.corrupted_acknowledged_bytes == 0
+
+    def test_integrity_error_carries_extents_and_carrier(self):
+        err = IntegrityError(
+            "corrupt", kind="corrupt", extent_ids=[4, 5], carrier="proxy:42"
+        )
+        assert err.kind == "corrupt"
+        assert err.extent_ids == (4, 5)
+        assert err.carrier == "proxy:42"
+
+    def test_checksum_count_mismatch_rejected(self):
+        led = self._sealed()
+        exts = led.outstanding_extents()
+        with pytest.raises(ConfigError):
+            led.credit_received(exts, [0])
+
+
+class TestCorruptionQuarantine:
+    def test_strikes_accumulate_to_quarantine(self):
+        mon = HealthMonitor(mira_system(nnodes=64))
+        mon.record_corruption(proxy=7)
+        assert mon.proxy_quarantine(7) is None
+        assert mon.corruption_strikes(proxy=7) == 1
+        mon.record_corruption(proxy=7)
+        assert mon.proxy_quarantine(7) == QUARANTINED
+
+    def test_quarantined_link_is_dead_to_planning(self):
+        mon = HealthMonitor(mira_system(nnodes=64))
+        mon.record_corruption(links=[3])
+        mon.record_corruption(links=[3])
+        assert mon.link_quarantine(3) == QUARANTINED
+        assert mon.link_fraction(3) == 0.0
+        assert mon.path_verdict([1, 2, 3]) == DOWN
+
+    def test_reprobe_turns_half_open(self):
+        mon = HealthMonitor(mira_system(nnodes=64), reprobe_interval=1.0)
+        mon.record_corruption(proxy=7)
+        mon.record_corruption(proxy=7)
+        assert mon.proxy_quarantine(7) == QUARANTINED
+        assert mon.reprobe_countdown(proxy=7) == 1.0
+        mon.advance(2.0)
+        assert mon.proxy_quarantine(7) == PROBATION
+
+    def test_absolution_restores_trust(self):
+        mon = HealthMonitor(mira_system(nnodes=64))
+        mon.record_corruption(proxy=7)
+        mon.record_corruption(proxy=7)
+        mon.absolve(proxy=7)
+        assert mon.proxy_quarantine(7) is None
+        assert mon.corruption_strikes(proxy=7) == 0
+
+
+class TestExecutorDefense:
+    def test_corrupting_proxy_is_quarantined_and_routed_around(self):
+        system = mira_system(nnodes=128)
+        planner = ResilientPlanner(system)
+        spec = TransferSpec(src=0, dst=127, nbytes=2 * MiB)
+        proxy = planner.plan([spec])[0].assignment.proxies[0]
+        monitor = HealthMonitor(system)
+        out = run_resilient_transfer(
+            system,
+            [spec],
+            sdc=SDCModel(corrupt_proxies={proxy: 1.0}, seed=3),
+            policy=RetryPolicy(max_retries=3),
+            planner=ResilientPlanner(system, monitor=monitor),
+            monitor=monitor,
+        )
+        assert out.delivered_bytes == spec.nbytes
+        assert out.corrupted_acknowledged_bytes == 0
+        assert out.telemetry.corrupt_extents_detected > 0
+        assert proxy in monitor.quarantined_proxies()
+        assert monitor.proxy_quarantine(proxy) == QUARANTINED
+
+    def test_stale_replays_dropped_exactly_once(self):
+        system = mira_system(nnodes=128)
+        out = run_resilient_transfer(
+            system,
+            [TransferSpec(src=0, dst=127, nbytes=2 * MiB)],
+            sdc=SDCModel(stale_rate=1.0, seed=1),
+            policy=RetryPolicy(max_retries=3),
+        )
+        assert out.delivered_bytes == 2 * MiB
+        assert out.telemetry.stale_drops > 0
+        assert out.corrupted_acknowledged_bytes == 0
+
+
+class TestChecksumUnification:
+    def test_service_layer_uses_the_shared_helpers(self):
+        from repro.service import request
+        from repro.util import checksum
+
+        assert request.payload_checksum is checksum.payload_checksum
+        assert request.canonical_json is checksum.canonical_json
+
+    def test_stable_unit_deterministic_in_unit_interval(self):
+        from repro.util.checksum import stable_unit
+
+        u = stable_unit("sdc", 42, "wire", 0, 9, 4, 1)
+        assert u == stable_unit("sdc", 42, "wire", 0, 9, 4, 1)
+        assert 0.0 <= u < 1.0
+        assert u != stable_unit("sdc", 43, "wire", 0, 9, 4, 1)
+
+    def test_extent_checksum_depends_on_all_labels(self):
+        from repro.util.checksum import extent_checksum
+
+        base = extent_checksum((0, 9), 0, 4096)
+        assert base == extent_checksum((0, 9), 0, 4096)
+        assert base != extent_checksum((0, 9), 4096, 4096)
+        assert base != extent_checksum((1, 9), 0, 4096)
+
+
+class TestCLI:
+    def test_list_campaigns(self, capsys):
+        assert main(["chaos", "--list-campaigns"]) == 0
+        out = capsys.readouterr().out
+        assert "silent-corruption" in out
+        assert "corrupting-proxy" in out
+        assert "geometries" in out
+
+    def test_faults_sdc_reports_quarantine(self, capsys):
+        rc = main(
+            [
+                "faults", "--nodes", "128", "--size", "4MiB",
+                "--degraded", "0", "--sdc-proxies", "2",
+                "--sdc-rate", "1.0", "--seed", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "silent corruption" in out
+        assert "corruption:" in out
+        assert "quarantined" in out
+        assert "corrupt acknowledged" in out
+
+
+class TestServiceMapping:
+    def test_sdc_payload_fields_and_zero_acknowledgement(self):
+        from repro.service.scenarios import execute_request
+
+        payload, _, _ = execute_request(
+            "p2p",
+            {
+                "nnodes": 64, "nbytes": MiB, "sdc_seed": 11,
+                "sdc_corrupt_proxies": 1, "sdc_stale_rate": 0.1,
+            },
+        )
+        assert payload["faulted"] is True
+        for field in (
+            "corrupt_extents_detected",
+            "corrupt_bytes_redriven",
+            "stale_drops",
+            "corrupted_acknowledged_bytes",
+        ):
+            assert field in payload
+        assert payload["corrupted_acknowledged_bytes"] == 0
+
+    def test_plain_faulted_payload_stays_byte_identical(self):
+        # Pre-existing fault-traced requests must not grow SDC fields.
+        from repro.service.scenarios import execute_request
+
+        payload, _, _ = execute_request(
+            "p2p",
+            {"nnodes": 64, "nbytes": MiB, "fault_seed": 3, "fault_events": 2},
+        )
+        assert payload["faulted"] is True
+        assert "corrupt_extents_detected" not in payload
+
+    def test_corrupt_data_error_is_terminal(self):
+        from repro.service.errors import CorruptDataError, PoisonRequestError
+
+        assert CorruptDataError.retriable is False
+        assert CorruptDataError.code == "corrupt-data"
+        assert PoisonRequestError.retriable is False
+
+    def test_service_chaos_trusts_corrupt_data_failures(self):
+        from repro.resilience.service_chaos import _trusted
+
+        record = {
+            "status": "failed",
+            "error": "CorruptDataError: corrupt-data: 5 corrupt extents",
+        }
+        assert _trusted(record, None, sdc=True)
+        assert not _trusted(record, None, sdc=False)
+        assert not _trusted(record, "crash", sdc=False)
